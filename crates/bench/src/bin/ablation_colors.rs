@@ -1,0 +1,6 @@
+//! Ablation: aggregate bandwidth vs color count (1D/2D/3D tori).
+use bgp_bench::figures;
+
+fn main() {
+    figures::ablation_colors().print();
+}

@@ -1,0 +1,22 @@
+//! Regenerate every table and figure in one run (EXPERIMENTS.md source).
+use bgp_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    for fig in [
+        figures::fig6(scale),
+        figures::fig7(scale),
+        figures::fig8(scale),
+        figures::fig9(),
+        figures::fig10(scale),
+        figures::table1(scale),
+        figures::ablation_pwidth(scale),
+        figures::ablation_fifo(scale),
+        figures::ablation_colors(),
+        figures::ext_allgather(scale),
+        figures::ext_reduce_gather(scale),
+    ] {
+        fig.print();
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! The algorithm-selection crossover exhibit. `--small` for 64 nodes.
+use bgp_bench::{figures, Scale};
+
+fn main() {
+    figures::crossover(Scale::from_args()).print();
+}

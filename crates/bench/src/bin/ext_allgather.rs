@@ -1,0 +1,7 @@
+//! Extension (paper §VII future work): MPI_Allgather with the paper's
+//! mechanisms. `--small` for a 64-node run.
+use bgp_bench::{figures, Scale};
+
+fn main() {
+    figures::ext_allgather(Scale::from_args()).print();
+}

@@ -1,0 +1,12 @@
+//! Regenerate fig10 of the paper. `--small` runs a 64-node partition;
+//! `--json` emits JSON instead of the text table.
+use bgp_bench::{figures, Scale};
+
+fn main() {
+    let fig = figures::fig10(Scale::from_args());
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", fig.to_json());
+    } else {
+        fig.print();
+    }
+}

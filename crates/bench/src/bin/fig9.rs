@@ -1,0 +1,12 @@
+//! Regenerate Figure 9 (scaling sweep: 1024..8192 processes).
+//! `--json` emits JSON instead of the text table.
+use bgp_bench::figures;
+
+fn main() {
+    let fig = figures::fig9();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", fig.to_json());
+    } else {
+        fig.print();
+    }
+}

@@ -1,0 +1,589 @@
+//! One function per paper experiment.
+//!
+//! Each returns a [`Figure`] with the same series the paper plots, produced
+//! by the same microbenchmark protocol (Figure 5: barrier, then a timed
+//! collective, averaged — the simulator is deterministic so one timed run
+//! per point is exact).
+
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_mpi::allreduce::{throughput_mb, AllreduceAlgorithm};
+use bgp_mpi::{BcastAlgorithm, Mpi};
+
+use crate::report::{Figure, Row};
+use crate::Scale;
+
+fn quad(scale: Scale) -> Mpi {
+    Mpi::new(MachineConfig::with_nodes(scale.nodes(), OpMode::Quad))
+}
+
+fn smp(scale: Scale) -> Mpi {
+    Mpi::new(MachineConfig::with_nodes(scale.nodes(), OpMode::Smp))
+}
+
+fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = from;
+    while s <= to {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+fn mbps(bytes: u64, t: bgp_sim::SimTime) -> f64 {
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+/// Figure 6 — latency of `MPI_Bcast` over the collective network, short
+/// messages: `CollectiveNetwork+Shmem`, `CollectiveNetwork+DMA FIFO`, and
+/// the SMP-mode reference. Values in microseconds.
+pub fn fig6(scale: Scale) -> Figure {
+    let sizes = pow2_sizes(1, 1024);
+    let mut q = quad(scale);
+    let mut s = smp(scale);
+    let rows = sizes
+        .iter()
+        .map(|&b| Row {
+            x: b,
+            values: vec![
+                q.bcast(BcastAlgorithm::TreeShmem, b).as_micros_f64(),
+                q.bcast(BcastAlgorithm::TreeDmaFifo, b).as_micros_f64(),
+                s.bcast(BcastAlgorithm::TreeSmp, b).as_micros_f64(),
+            ],
+        })
+        .collect();
+    Figure {
+        id: "fig6".into(),
+        title: "Latency of MPI_Bcast (collective network, short messages)".into(),
+        xlabel: "bytes".into(),
+        ylabel: "latency (us)".into(),
+        series: vec![
+            "CollectiveNetwork+Shmem".into(),
+            "CollectiveNetwork+DMA FIFO".into(),
+            "CollectiveNetwork (SMP)".into(),
+        ],
+        rows,
+        paper_anchors: vec![
+            "paper: Shmem = 5.83 us for the 8192-process broadcast".into(),
+            "paper: Shmem adds 0.42 us over the SMP hardware broadcast".into(),
+            "paper: DMA FIFO is considerably slower than Shmem".into(),
+        ],
+    }
+}
+
+/// Figure 7 — bandwidth of `MPI_Bcast` over the collective network, medium
+/// messages: `Shaddr` (core specialization) vs the DMA baselines and SMP.
+pub fn fig7(scale: Scale) -> Figure {
+    let sizes = pow2_sizes(8 << 10, 4 << 20);
+    let mut q = quad(scale);
+    let mut s = smp(scale);
+    let rows = sizes
+        .iter()
+        .map(|&b| Row {
+            x: b,
+            values: vec![
+                mbps(b, q.bcast(BcastAlgorithm::TreeShaddr { caching: true }, b)),
+                mbps(b, q.bcast(BcastAlgorithm::TreeDmaFifo, b)),
+                mbps(b, q.bcast(BcastAlgorithm::TreeDmaDirectPut, b)),
+                mbps(b, s.bcast(BcastAlgorithm::TreeSmp, b)),
+            ],
+        })
+        .collect();
+    Figure {
+        id: "fig7".into(),
+        title: "Bandwidth of MPI_Bcast (collective network)".into(),
+        xlabel: "bytes".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec![
+            "CollectiveNetwork+Shaddr".into(),
+            "CollectiveNetwork+DMA FIFO".into(),
+            "CollectiveNetwork+DMA Direct Put".into(),
+            "CollectiveNetwork (SMP)".into(),
+        ],
+        rows,
+        paper_anchors: vec![
+            "paper: Shaddr outperforms all QUAD-mode algorithms".into(),
+            "paper: up to 45% improvement at 128K vs the DMA schemes".into(),
+            "paper: SMP reference saturates the 850 MB/s tree".into(),
+        ],
+    }
+}
+
+/// Figure 8 — system-call overhead: `Shaddr` with and without the
+/// window-mapping cache.
+pub fn fig8(scale: Scale) -> Figure {
+    let sizes = pow2_sizes(2 << 10, 4 << 20);
+    let mut q = quad(scale);
+    let rows = sizes
+        .iter()
+        .map(|&b| Row {
+            x: b,
+            values: vec![
+                mbps(b, q.bcast(BcastAlgorithm::TreeShaddr { caching: true }, b)),
+                mbps(b, q.bcast(BcastAlgorithm::TreeShaddr { caching: false }, b)),
+            ],
+        })
+        .collect();
+    Figure {
+        id: "fig8".into(),
+        title: "Overhead of process-window system calls (Shaddr bcast)".into(),
+        xlabel: "bytes".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec![
+            "CollectiveNetwork+Shaddr+caching".into(),
+            "CollectiveNetwork+Shaddr+nocaching".into(),
+        ],
+        rows,
+        paper_anchors: vec![
+            "paper: repeated syscalls are a big overhead; caching the buffer mapping removes it".into(),
+            "paper: the gap is largest for small/medium messages and closes at multi-MB sizes".into(),
+        ],
+    }
+}
+
+/// Figure 9 — `Shaddr` tree-broadcast bandwidth at 1024/2048/4096/8192
+/// processes: the collective network scales flat.
+pub fn fig9() -> Figure {
+    let sizes = pow2_sizes(8 << 10, 4 << 20);
+    let procs = [1024u32, 2048, 4096, 8192];
+    let mut mpis: Vec<Mpi> = procs
+        .iter()
+        .map(|&p| Mpi::new(MachineConfig::with_nodes(p / 4, OpMode::Quad)))
+        .collect();
+    let rows = sizes
+        .iter()
+        .map(|&b| Row {
+            x: b,
+            values: mpis
+                .iter_mut()
+                .map(|m| mbps(b, m.bcast(BcastAlgorithm::TreeShaddr { caching: true }, b)))
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "fig9".into(),
+        title: "Shaddr bcast bandwidth with increasing scale".into(),
+        xlabel: "bytes".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: procs
+            .iter()
+            .map(|p| format!("CollectiveNetwork+Shaddr({p})"))
+            .collect(),
+        rows,
+        paper_anchors: vec![
+            "paper: the algorithm scales well across process configurations (curves overlap)"
+                .into(),
+        ],
+    }
+}
+
+/// Figure 10 — bandwidth of `MPI_Bcast` over the torus, large messages:
+/// `Torus+Shaddr`, `Torus+FIFO`, `Torus Direct Put`, and the SMP reference.
+pub fn fig10(scale: Scale) -> Figure {
+    let sizes = pow2_sizes(64 << 10, 4 << 20);
+    let mut q = quad(scale);
+    let mut s = smp(scale);
+    let rows = sizes
+        .iter()
+        .map(|&b| Row {
+            x: b,
+            values: vec![
+                mbps(b, q.bcast(BcastAlgorithm::TorusShaddr, b)),
+                mbps(b, q.bcast(BcastAlgorithm::TorusFifo, b)),
+                mbps(b, q.bcast(BcastAlgorithm::TorusDirectPut, b)),
+                mbps(b, s.bcast(BcastAlgorithm::TorusDirectPut, b)),
+            ],
+        })
+        .collect();
+    Figure {
+        id: "fig10".into(),
+        title: "Bandwidth of MPI_Bcast (torus, large messages)".into(),
+        xlabel: "bytes".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec![
+            "Torus+Shaddr".into(),
+            "Torus+FIFO".into(),
+            "Torus Direct Put".into(),
+            "Torus Direct Put(SMP)".into(),
+        ],
+        rows,
+        paper_anchors: vec![
+            "paper: Shaddr reaches 2.9x over Direct Put at 2M".into(),
+            "paper: FIFO reaches 1.4x over Direct Put at 2M".into(),
+            "paper: Shaddr is within 15% of the SMP peak at 64K".into(),
+            "paper: performance drops at the top end (8 MB L2 exceeded)".into(),
+        ],
+    }
+}
+
+/// Table I — allreduce throughput (sum of doubles): the core-specialized
+/// shared-address scheme vs the current DMA ring.
+pub fn table1(scale: Scale) -> Figure {
+    let doubles = [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
+    let rows = doubles
+        .iter()
+        .map(|&d| {
+            let mut m1 = bgp_dcmf::Machine::new(cfg.clone());
+            let mut m2 = bgp_dcmf::Machine::new(cfg.clone());
+            Row {
+                x: d,
+                values: vec![
+                    throughput_mb(&mut m1, AllreduceAlgorithm::ShaddrSpecialized, d),
+                    throughput_mb(&mut m2, AllreduceAlgorithm::RingCurrent, d),
+                ],
+            }
+        })
+        .collect();
+    Figure {
+        id: "table1".into(),
+        title: "Allreduce throughput (doubles, sum)".into(),
+        xlabel: "doubles".into(),
+        ylabel: "throughput (MB/s)".into(),
+        series: vec!["New (MB/s)".into(), "Current (MB/s)".into()],
+        rows,
+        paper_anchors: vec![
+            "paper: ~33% improvement for 512K doubles".into(),
+            "paper: benefits across sizes, mostly useful for large messages".into(),
+        ],
+    }
+}
+
+/// Ablation — pipeline width sweep for the torus Shaddr broadcast.
+pub fn ablation_pwidth(scale: Scale) -> Figure {
+    let widths = [512u32, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+    let bytes = 2u64 << 20;
+    let rows = widths
+        .iter()
+        .map(|&w| {
+            let mut cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
+            cfg.sw.pwidth = w;
+            let mut mpi = Mpi::new(cfg);
+            Row {
+                x: w as u64,
+                values: vec![mbps(bytes, mpi.bcast(BcastAlgorithm::TorusShaddr, bytes))],
+            }
+        })
+        .collect();
+    Figure {
+        id: "ablation_pwidth".into(),
+        title: "Pwidth sweep: torus Shaddr bcast of 2M".into(),
+        xlabel: "pwidth".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec!["Torus+Shaddr(2M)".into()],
+        rows,
+        paper_anchors: vec![
+            "design: small Pwidth = more sync overhead; large Pwidth = worse pipelining".into(),
+        ],
+    }
+}
+
+/// Ablation — Bcast FIFO slot size sweep.
+pub fn ablation_fifo(scale: Scale) -> Figure {
+    let slots = [256u32, 512, 1024, 2048, 4096, 8192];
+    let bytes = 2u64 << 20;
+    let rows = slots
+        .iter()
+        .map(|&s| {
+            let mut cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
+            cfg.sw.fifo_slot_bytes = s;
+            let mut mpi = Mpi::new(cfg);
+            Row {
+                x: s as u64,
+                values: vec![mbps(bytes, mpi.bcast(BcastAlgorithm::TorusFifo, bytes))],
+            }
+        })
+        .collect();
+    Figure {
+        id: "ablation_fifo".into(),
+        title: "Bcast FIFO slot-size sweep: torus FIFO bcast of 2M".into(),
+        xlabel: "slot bytes".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec!["Torus+FIFO(2M)".into()],
+        rows,
+        paper_anchors: vec![
+            "design: per-slot atomic costs amortize with slot size until copies dominate".into(),
+        ],
+    }
+}
+
+/// Ablation — color count: the same broadcast on 1D/2D/3D tori shows the
+/// per-direction link aggregation (2/4/6 × 425 MB/s) the multi-color
+/// schedule is built to harvest.
+pub fn ablation_colors() -> Figure {
+    use bgp_machine::geometry::Dims;
+    let bytes = 4u64 << 20;
+    let shapes: [(&str, Dims, f64); 3] = [
+        ("1D x64 (2 colors)", Dims::new(64, 1, 1), 850.0),
+        ("2D 8x8 (4 colors)", Dims::new(8, 8, 1), 1700.0),
+        ("3D 4x4x4 (6 colors)", Dims::new(4, 4, 4), 2550.0),
+    ];
+    let rows = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, (_, dims, _))| {
+            let mut cfg = MachineConfig::test_small(OpMode::Smp);
+            cfg.dims = *dims;
+            let mut mpi = Mpi::new(cfg);
+            Row {
+                x: (i as u64 + 1) * 2, // the color count
+                values: vec![mbps(bytes, mpi.bcast(BcastAlgorithm::TorusDirectPut, bytes))],
+            }
+        })
+        .collect();
+    Figure {
+        id: "ablation_colors".into(),
+        title: "Color-count ablation: SMP torus bcast of 4M".into(),
+        xlabel: "colors".into(),
+        ylabel: "bandwidth (MB/s)".into(),
+        series: vec!["Torus Direct Put (SMP)".into()],
+        rows,
+        paper_anchors: vec![
+            "design: aggregate bandwidth scales with edge-disjoint colors (x425 MB/s each)".into(),
+        ],
+    }
+}
+
+/// Extension — the §VII future work: `MPI_Allgather` with the paper's
+/// mechanisms vs the DMA-driven pattern.
+pub fn ext_allgather(scale: Scale) -> Figure {
+    use bgp_mpi::allgather::{allgather_throughput_mb, AllgatherAlgorithm};
+    let blocks = [1u64 << 10, 4 << 10, 16 << 10, 64 << 10];
+    let cfg = MachineConfig::with_nodes(scale.nodes().min(256), OpMode::Quad);
+    let rows = blocks
+        .iter()
+        .map(|&b| {
+            let mut m1 = bgp_dcmf::Machine::new(cfg.clone());
+            let mut m2 = bgp_dcmf::Machine::new(cfg.clone());
+            Row {
+                x: b,
+                values: vec![
+                    allgather_throughput_mb(&mut m1, AllgatherAlgorithm::ShaddrSpecialized, b),
+                    allgather_throughput_mb(&mut m2, AllgatherAlgorithm::RingCurrent, b),
+                ],
+            }
+        })
+        .collect();
+    Figure {
+        id: "ext_allgather".into(),
+        title: "Extension (paper §VII): MPI_Allgather throughput".into(),
+        xlabel: "block bytes/rank".into(),
+        ylabel: "aggregate throughput (MB/s)".into(),
+        series: vec!["Shaddr-specialized".into(), "Current (DMA ring)".into()],
+        rows,
+        paper_anchors: vec![
+            "paper §VII: 'we intend to extend the mechanism to MPI_Gather and MPI_Allgather'"
+                .into(),
+        ],
+    }
+}
+
+/// The crossover exhibit: every quad-mode broadcast path across the full
+/// size range plus the production selection's pick - the evidence behind
+/// `select_bcast`'s thresholds.
+pub fn crossover(scale: Scale) -> Figure {
+    let sizes = pow2_sizes(64, 4 << 20);
+    let mut q = quad(scale);
+    let algs = [
+        BcastAlgorithm::TreeShmem,
+        BcastAlgorithm::TreeShaddr { caching: true },
+        BcastAlgorithm::TorusShaddr,
+    ];
+    let rows = sizes
+        .iter()
+        .map(|&b| {
+            let mut values: Vec<f64> = algs
+                .iter()
+                .map(|&a| q.bcast(a, b).as_micros_f64())
+                .collect();
+            let (picked, t) = q.bcast_auto(b);
+            values.push(t.as_micros_f64());
+            // Encode the picked algorithm as an index for the JSON side.
+            values.push(match picked {
+                BcastAlgorithm::TreeShmem => 0.0,
+                BcastAlgorithm::TreeShaddr { .. } => 1.0,
+                _ => 2.0,
+            });
+            Row { x: b, values }
+        })
+        .collect();
+    Figure {
+        id: "crossover".into(),
+        title: "Algorithm crossover: latency of each path + the selected one".into(),
+        xlabel: "bytes".into(),
+        ylabel: "latency (us)".into(),
+        series: vec![
+            "Tree+Shmem".into(),
+            "Tree+Shaddr".into(),
+            "Torus+Shaddr".into(),
+            "selected".into(),
+            "selected index (0/1/2)".into(),
+        ],
+        rows,
+        paper_anchors: vec![
+            "paper SV: 'depending on the message size, either the Torus or the Collective network based algorithms perform optimally'".into(),
+        ],
+    }
+}
+
+/// Extension - MPI_Reduce and MPI_Gather with the paper's mechanisms vs
+/// the DMA-driven patterns (one ring pass; root-ingress-bound gather).
+pub fn ext_reduce_gather(scale: Scale) -> Figure {
+    use bgp_mpi::allreduce::AllreduceAlgorithm;
+    let sizes = [16u64 << 10, 64 << 10, 256 << 10, 512 << 10];
+    let mut mpi = Mpi::new(MachineConfig::with_nodes(scale.nodes().min(256), OpMode::Quad));
+    let rows = sizes
+        .iter()
+        .map(|&doubles| {
+            let bytes = doubles * 8;
+            let rn = mpi.reduce(AllreduceAlgorithm::ShaddrSpecialized, doubles);
+            let rc = mpi.reduce(AllreduceAlgorithm::RingCurrent, doubles);
+            Row {
+                x: doubles,
+                values: vec![
+                    bytes as f64 / rn.as_secs_f64() / 1e6,
+                    bytes as f64 / rc.as_secs_f64() / 1e6,
+                ],
+            }
+        })
+        .collect();
+    Figure {
+        id: "ext_reduce".into(),
+        title: "Extension: MPI_Reduce throughput (doubles, sum to root)".into(),
+        xlabel: "doubles".into(),
+        ylabel: "throughput (MB/s)".into(),
+        series: vec!["New (MB/s)".into(), "Current (MB/s)".into()],
+        rows,
+        paper_anchors: vec![
+            "derived: allreduce minus the broadcast pass - the same core-specialization gain".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All shape tests run at Small scale to stay fast in debug builds; the
+    // integration suite re-checks the headline ratios, and the binaries
+    // regenerate the Paper scale.
+
+    #[test]
+    fn fig6_shape() {
+        let f = fig6(Scale::Small);
+        assert_eq!(f.rows.len(), 11); // 1..1024
+        for r in &f.rows {
+            let shmem = r.values[0];
+            let fifo = r.values[1];
+            let smp = r.values[2];
+            assert!(smp < shmem, "SMP must be fastest at {}", r.x);
+            assert!(shmem < fifo, "Shmem must beat DMA FIFO at {}", r.x);
+        }
+    }
+
+    #[test]
+    fn fig7_shape() {
+        let f = fig7(Scale::Small);
+        let last = f.rows.last().unwrap();
+        let (sh, fifo, dp, smp) = (last.values[0], last.values[1], last.values[2], last.values[3]);
+        assert!(sh > dp && dp >= fifo, "sh={sh:.0} dp={dp:.0} fifo={fifo:.0}");
+        assert!(smp >= sh * 0.95);
+    }
+
+    #[test]
+    fn fig8_shape() {
+        let f = fig8(Scale::Small);
+        for r in &f.rows {
+            assert!(
+                r.values[0] >= r.values[1] * 0.999,
+                "caching must not lose at {}",
+                r.x
+            );
+        }
+        // Relative gap shrinks with size.
+        let first = &f.rows[0];
+        let last = f.rows.last().unwrap();
+        let gap_small = first.values[0] / first.values[1];
+        let gap_large = last.values[0] / last.values[1];
+        assert!(gap_small > gap_large, "gap_small={gap_small} gap_large={gap_large}");
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let f = fig10(Scale::Small);
+        let at_2m = f.rows.iter().find(|r| r.x == 2 << 20).unwrap();
+        let (sh, fifo, dp, smp) = (at_2m.values[0], at_2m.values[1], at_2m.values[2], at_2m.values[3]);
+        assert!(sh > fifo && fifo > dp, "sh={sh:.0} fifo={fifo:.0} dp={dp:.0}");
+        assert!((2.3..3.5).contains(&(sh / dp)), "speedup {}", sh / dp);
+        assert!(smp >= sh * 0.95);
+    }
+
+    #[test]
+    fn table1_shape() {
+        let f = table1(Scale::Small);
+        for r in &f.rows {
+            assert!(r.values[0] > r.values[1], "new must win at {} doubles", r.x);
+        }
+    }
+
+    #[test]
+    fn color_ablation_scales_with_colors() {
+        let f = ablation_colors();
+        let v: Vec<f64> = f.rows.iter().map(|r| r.values[0]).collect();
+        assert!(v[1] > v[0] * 1.6, "2D should ~double 1D: {v:?}");
+        assert!(v[2] > v[1] * 1.2, "3D should beat 2D: {v:?}");
+    }
+
+    #[test]
+    fn allgather_extension_shape() {
+        let f = ext_allgather(Scale::Small);
+        for r in &f.rows {
+            assert!(r.values[0] > r.values[1], "new must win at block {}", r.x);
+        }
+    }
+
+    #[test]
+    fn crossover_selection_is_never_worse_than_25_percent() {
+        // The selected algorithm should be at or near the per-size optimum.
+        // The thresholds are calibrated for the paper-scale machine; on the
+        // Small machine the torus is so shallow that it wins much earlier,
+        // so only the large-message regime has a scale-independent winner.
+        let f = crossover(Scale::Small);
+        for r in &f.rows {
+            let best = r.values[..3].iter().cloned().fold(f64::MAX, f64::min);
+            let picked = r.values[3];
+            assert!(picked > 0.0 && picked.is_finite());
+            if r.x >= 1 << 20 {
+                assert!(
+                    picked <= best * 1.25 + 1.0,
+                    "selection at {} bytes: picked {picked:.1}us, best {best:.1}us",
+                    r.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_extension_shape() {
+        let f = ext_reduce_gather(Scale::Small);
+        for r in &f.rows {
+            assert!(r.values[0] > r.values[1], "new must win at {} doubles", r.x);
+        }
+    }
+
+    #[test]
+    fn ablations_produce_curves() {
+        let p = ablation_pwidth(Scale::Small);
+        assert_eq!(p.rows.len(), 9);
+        // The Pwidth U-shape: the 2-4K region beats both extremes.
+        let best = p.rows.iter().map(|r| r.values[0]).fold(0.0, f64::max);
+        let first = p.rows[0].values[0];
+        let last = p.rows.last().unwrap().values[0];
+        assert!(best > first, "tiny Pwidth should pay sync overhead");
+        assert!(best > last, "huge Pwidth should pay pipelining loss");
+        let fif = ablation_fifo(Scale::Small);
+        assert_eq!(fif.rows.len(), 6);
+        // FIFO throughput rises with slot size (amortized atomics).
+        assert!(fif.rows.last().unwrap().values[0] > fif.rows[0].values[0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Result tables: the common output format of every experiment.
+
+use serde::Serialize;
+
+/// One x-position of a figure (a message size) with one value per series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Message size in bytes (or doubles for Table I).
+    pub x: u64,
+    /// One value per series, aligned with [`Figure::series`].
+    pub values: Vec<f64>,
+}
+
+/// A regenerated figure or table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier ("fig6", "table1", …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Meaning of `Row::x`.
+    pub xlabel: String,
+    /// Meaning of the values.
+    pub ylabel: String,
+    /// Series names, in `Row::values` order.
+    pub series: Vec<String>,
+    /// The sweep.
+    pub rows: Vec<Row>,
+    /// Paper anchor points ("paper: 5.83 us at 8192 procs", …) printed
+    /// under the table for eyeball comparison.
+    pub paper_anchors: Vec<String>,
+}
+
+/// Format a byte count like the paper's axes (1K, 64K, 4M).
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+impl Figure {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("   ({} vs {})\n", self.ylabel, self.xlabel));
+        let w = 28usize;
+        out.push_str(&format!("{:>10}", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!("{s:>w$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:>10}", fmt_size(row.x)));
+            for v in &row.values {
+                out.push_str(&format!("{v:>w$.2}"));
+            }
+            out.push('\n');
+        }
+        if !self.paper_anchors.is_empty() {
+            out.push_str("-- paper anchors --\n");
+            for a in &self.paper_anchors {
+                out.push_str(&format!("  * {a}\n"));
+            }
+        }
+        out
+    }
+
+    /// Print the table to stdout (binaries call this).
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// JSON serialization for downstream plotting.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serializes")
+    }
+
+    /// Column index of a series by name.
+    pub fn series_index(&self, name: &str) -> Option<usize> {
+        self.series.iter().position(|s| s == name)
+    }
+
+    /// Value of `series` at x == `x`.
+    pub fn value_at(&self, series: &str, x: u64) -> Option<f64> {
+        let i = self.series_index(series)?;
+        self.rows.iter().find(|r| r.x == x).map(|r| r.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            xlabel: "bytes".into(),
+            ylabel: "MB/s".into(),
+            series: vec!["a".into(), "b".into()],
+            rows: vec![
+                Row { x: 1024, values: vec![1.0, 2.0] },
+                Row { x: 1 << 20, values: vec![3.0, 4.0] },
+            ],
+            paper_anchors: vec!["anchor".into()],
+        }
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(512), "512");
+        assert_eq!(fmt_size(1024), "1K");
+        assert_eq!(fmt_size(128 << 10), "128K");
+        assert_eq!(fmt_size(4 << 20), "4M");
+        assert_eq!(fmt_size(1500), "1500");
+    }
+
+    #[test]
+    fn lookup_by_series_and_x() {
+        let f = sample();
+        assert_eq!(f.value_at("b", 1024), Some(2.0));
+        assert_eq!(f.value_at("a", 1 << 20), Some(3.0));
+        assert_eq!(f.value_at("c", 1024), None);
+        assert_eq!(f.value_at("a", 7), None);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("1K"));
+        assert!(r.contains("1M"));
+        assert!(r.contains("anchor"));
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let j = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["series"].as_array().unwrap().len(), 2);
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,436 @@
+//! The multi-color torus broadcast executor.
+//!
+//! Drives the full machine, event by event: the root launches every pipeline
+//! chunk of every color; each deposit-bit line transfer produces per-node
+//! arrival events; an arriving node forwards the chunk on every line it
+//! sources (later phases of the color's spanning tree) and runs the
+//! pluggable *intra-node stage* (how the chunk reaches the node's other
+//! ranks — the thing the paper's algorithms differ in).
+//!
+//! All bandwidth contention — links, each node's DMA engine, memory system and
+//! cores — flows through the `bgp-sim` servers reserved by the `bgp-dcmf`
+//! ops, so baselines and proposed schemes compete under identical rules.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bgp_dcmf::{ops, Machine, Sim};
+use bgp_machine::geometry::NodeId;
+use bgp_machine::geometry::Direction;
+use bgp_machine::routing::{color_routes, nr_schedule, LineBcast};
+use bgp_sim::SimTime;
+
+use crate::chunking::{chunk_spans, chunk_sizes, color_spans, spans_cover_exactly, Span};
+
+/// The intra-node distribution stage: invoked at `node` when `bytes` of a
+/// chunk have landed in the master rank's reception buffer at time `now`;
+/// returns when every rank of the node has the chunk.
+pub type IntraStage = Rc<dyn Fn(&mut Machine, SimTime, NodeId, u64) -> SimTime>;
+
+/// An intra-node stage that does nothing (SMP mode: one rank per node).
+pub fn identity_stage() -> IntraStage {
+    Rc::new(|_m, now, _node, _bytes| now)
+}
+
+/// Parameters of one torus broadcast.
+#[derive(Debug, Clone)]
+pub struct TorusBcastSpec {
+    /// The broadcast root node.
+    pub root: NodeId,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Pipeline width (the paper's `Pwidth`).
+    pub pwidth: u64,
+    /// Resident footprint for L2-cliff rate selection (algorithm-specific;
+    /// e.g. `(ranks per node) × bytes` for quad-mode direct copies).
+    pub working_set: u64,
+}
+
+/// What the executor observed.
+#[derive(Debug, Clone)]
+pub struct BcastOutcome {
+    /// Time every rank of every node has the full message (incl. the MPI
+    /// dispatch overhead at the start).
+    pub completion: SimTime,
+    /// Network bytes delivered per node — each non-root node must equal the
+    /// message size (payload-coverage verification).
+    pub delivered: Vec<u64>,
+    /// Per node: the exact `(offset, len)` spans received off the network.
+    /// [`BcastOutcome::coverage_exact`] checks they tile `[0, bytes)` with
+    /// no gap, overlap, or duplicate — the functional-correctness check a
+    /// byte count cannot provide.
+    pub spans: Vec<Vec<Span>>,
+    /// Events executed (diagnostic).
+    pub events: u64,
+}
+
+impl BcastOutcome {
+    /// Whether every node received a disjoint exact cover of the message.
+    pub fn coverage_exact(&self, bytes: u64) -> bool {
+        self.spans
+            .iter()
+            .all(|s| spans_cover_exactly(s.clone(), bytes))
+    }
+}
+
+struct State {
+    root: NodeId,
+    /// Per color: lines sourced by each node (across all phases).
+    sources: Vec<HashMap<NodeId, Vec<LineBcast>>>,
+    /// Per color: the direction class carrying its delivery load.
+    charge_dirs: Vec<Direction>,
+    intra: IntraStage,
+    working_set: u64,
+    track: RefCell<Track>,
+}
+
+struct Track {
+    completion: SimTime,
+    delivered: Vec<u64>,
+    spans: Vec<Vec<Span>>,
+}
+
+/// Run one torus broadcast to completion on a fresh engine.
+///
+/// The machine's servers are *not* reset first — the caller decides whether
+/// the operation starts from a quiet machine (the microbenchmark barriers
+/// between iterations, so the harness resets).
+pub fn run_torus_bcast(m: &mut Machine, spec: &TorusBcastSpec, intra: IntraStage) -> BcastOutcome {
+    let dims = m.cfg.dims;
+    let n_nodes = dims.node_count() as usize;
+    let routes = color_routes(dims, m.cfg.wrap);
+    let t0 = m.cfg.sw.mpi_overhead();
+
+    // Degenerate single-node machine: only the intra-node stage runs.
+    if routes.is_empty() {
+        let mut done = t0;
+        for c in chunk_sizes(spec.bytes, spec.pwidth) {
+            done = done.max(intra(m, t0, spec.root, c));
+        }
+        return BcastOutcome {
+            completion: done,
+            delivered: vec![spec.bytes],
+            spans: vec![vec![(0, spec.bytes)]],
+            events: 0,
+        };
+    }
+
+    let root_coord = dims.coord_of(spec.root);
+    // The neighbor-rooted (edge-disjoint) schedule per color.
+    let schedules: Vec<_> = routes
+        .iter()
+        .map(|route| nr_schedule(dims, root_coord, route))
+        .collect();
+    let sources: Vec<HashMap<NodeId, Vec<LineBcast>>> = schedules
+        .iter()
+        .map(|sched| {
+            let mut map: HashMap<NodeId, Vec<LineBcast>> = HashMap::new();
+            for phase in &sched.phases {
+                for lb in phase {
+                    map.entry(dims.id_of(lb.from)).or_default().push(*lb);
+                }
+            }
+            map
+        })
+        .collect();
+    let charge_dirs: Vec<Direction> = schedules.iter().map(|s| s.hop_dir).collect();
+
+    let st = Rc::new(State {
+        root: spec.root,
+        sources,
+        charge_dirs,
+        intra,
+        working_set: spec.working_set,
+        track: RefCell::new(Track {
+            completion: t0,
+            delivered: vec![0; n_nodes],
+            spans: vec![Vec::new(); n_nodes],
+        }),
+    });
+
+    let mut eng: Sim = Sim::new();
+    let shares = color_spans(spec.bytes, routes.len());
+    // The root has the whole message at t0, but work must enter the servers
+    // in causal time order (the FIFO-server rule), so each color runs two
+    // chained streams from the root: the phase-0 unicast chain (chunk k+1
+    // launches when the DMA finished injecting chunk k towards the relay)
+    // and the intra-node chain (the root's peers copy chunk k+1 after
+    // finishing chunk k).
+    for (color, &(start, share)) in shares.iter().enumerate() {
+        let chunks = chunk_spans(start, share, spec.pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let root = spec.root;
+        {
+            let st2 = st.clone();
+            let chunks2 = chunks.clone();
+            eng.schedule_at(t0, move |m, eng| {
+                root_hop_step(m, eng, &st2, color, chunks2, 0, root);
+            });
+        }
+        let st2 = st.clone();
+        eng.schedule_at(t0, move |m, eng| {
+            root_intra_step(m, eng, &st2, chunks, 0, root);
+        });
+    }
+    eng.run(m);
+
+    let track = st.track.borrow();
+    // The root's redundant copies also arrive as exact spans; give the
+    // root's own data a synthetic full-cover entry is NOT needed — it
+    // receives every color's spans like everyone else.
+    BcastOutcome {
+        completion: track.completion,
+        delivered: track.delivered.clone(),
+        spans: track.spans.clone(),
+        events: eng.events_executed(),
+    }
+}
+
+/// Root phase-0 chain for one color: unicast chunk `k` one hop to the
+/// color's relay, then chain chunk `k+1` at the injection-complete time.
+/// The relay's arrival event (like every arrival) forwards the chunk on the
+/// lines the relay sources.
+fn root_hop_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<State>,
+    color: usize,
+    chunks: Vec<Span>,
+    k: usize,
+    root: NodeId,
+) {
+    let now = eng.now();
+    let span = chunks[k];
+    let dir = st.charge_dirs[color];
+    let (inj_done, arrival) = ops::hop_transfer(m, now, root, dir, span.1, st.working_set);
+    let relay = m.node_at(m.cfg.dims.neighbor(m.coord(root), dir));
+    schedule_arrivals(eng, st, color, span, vec![(relay, arrival)]);
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(inj_done, move |m, eng| {
+            root_hop_step(m, eng, &st2, color, chunks, k + 1, root);
+        });
+    }
+}
+
+/// Root intra-node chain for one color: the root's node peers copy the
+/// chunks out of the root rank's buffer as a pipelined stream.
+fn root_intra_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<State>,
+    chunks: Vec<Span>,
+    k: usize,
+    root: NodeId,
+) {
+    let now = eng.now();
+    let done = (st.intra)(m, now, root, chunks[k].1);
+    {
+        let mut tr = st.track.borrow_mut();
+        tr.completion = tr.completion.max(done);
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(done.max(now), move |m, eng| {
+            root_intra_step(m, eng, &st2, chunks, k + 1, root);
+        });
+    }
+}
+
+fn schedule_arrivals(
+    eng: &mut Sim,
+    st: &Rc<State>,
+    color: usize,
+    span: Span,
+    arrivals: Vec<(NodeId, SimTime)>,
+) {
+    // Two-step delivery: at the wire time the destination charges its DMA
+    // reception; the chunk is usable (and forwardable) once that completes.
+    for (dst, wire) in arrivals {
+        let st2 = st.clone();
+        eng.schedule_at(wire, move |m, eng| {
+            let arr = ops::dma_recv(m, eng.now(), dst, span.1, st2.working_set);
+            let st3 = st2.clone();
+            eng.schedule_at(arr, move |m, eng| {
+                on_chunk(m, eng, &st3, color, span, dst);
+            });
+        });
+    }
+}
+
+/// Non-root `node` received one `bytes`-sized chunk of `color` as of
+/// `eng.now()`: account it, distribute it intra-node, and forward it on
+/// every line this node sources for this color.
+fn on_chunk(m: &mut Machine, eng: &mut Sim, st: &Rc<State>, color: usize, span: Span, node: NodeId) {
+    let now = eng.now();
+    let bytes = span.1;
+    {
+        let mut track = st.track.borrow_mut();
+        track.delivered[node.idx()] += bytes;
+        track.spans[node.idx()].push(span);
+        // The root's intra-node distribution runs from t0 out of the root
+        // rank's own buffer (root_intra_step); its redundant network copy
+        // needs no further processing.
+        let done = if node == st.root {
+            now
+        } else {
+            (st.intra)(m, now, node, bytes)
+        };
+        track.completion = track.completion.max(done);
+    }
+    // Forward on every line this node sources for this color (the later
+    // phases of the spanning tree).
+    if let Some(lines) = st.sources[color].get(&node) {
+        let lines = lines.clone();
+        let charge = st.charge_dirs[color];
+        for lb in lines {
+            let d = ops::line_transfer(m, now, lb, charge, bytes, st.working_set);
+            schedule_arrivals(eng, st, color, span, d.arrivals);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::{MachineConfig, OpMode};
+    use bgp_sim::Rate;
+
+    fn machine(mode: OpMode) -> Machine {
+        Machine::new(MachineConfig::test_small(mode))
+    }
+
+    fn spec(bytes: u64) -> TorusBcastSpec {
+        TorusBcastSpec {
+            root: NodeId(0),
+            bytes,
+            pwidth: 64 * 1024,
+            working_set: bytes,
+        }
+    }
+
+    #[test]
+    fn every_node_receives_every_byte() {
+        let mut m = machine(OpMode::Smp);
+        let out = run_torus_bcast(&mut m, &spec(1 << 20), identity_stage());
+        // Every node, including the root (which gets a redundant copy from
+        // the final phases), receives the full message off the network.
+        for (i, &d) in out.delivered.iter().enumerate() {
+            assert_eq!(d, 1 << 20, "node {i} incomplete");
+        }
+    }
+
+    #[test]
+    fn every_node_receives_with_nonzero_root() {
+        let mut m = machine(OpMode::Smp);
+        let mut s = spec(300_000);
+        s.root = NodeId(37);
+        let out = run_torus_bcast(&mut m, &s, identity_stage());
+        for (i, &d) in out.delivered.iter().enumerate() {
+            assert_eq!(d, 300_000, "node {i}");
+        }
+    }
+
+    #[test]
+    fn smp_large_message_bandwidth_approaches_six_links() {
+        // 6-color broadcast on a 4x4x4 torus: asymptotic delivered
+        // bandwidth should approach 6 x 425 = 2550 MB/s (paper §V-A).
+        let mut m = machine(OpMode::Smp);
+        let bytes = 8 << 20;
+        let out = run_torus_bcast(&mut m, &spec(bytes), identity_stage());
+        let bw = Rate::observed(bytes, out.completion).unwrap().as_mb_per_sec();
+        assert!(bw > 2000.0, "bandwidth too low: {bw} MB/s");
+        assert!(bw < 2551.0, "bandwidth above physical peak: {bw} MB/s");
+    }
+
+    #[test]
+    fn small_message_is_latency_dominated() {
+        let mut m = machine(OpMode::Smp);
+        let out = run_torus_bcast(&mut m, &spec(1024), identity_stage());
+        // Dispatch + a few line hops; must be well under 100 us but above
+        // the bare MPI overhead.
+        assert!(out.completion > m.cfg.sw.mpi_overhead());
+        assert!(out.completion < SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn coverage_is_an_exact_tiling_at_every_node() {
+        // Stronger than byte counts: the spans each node receives must
+        // tile [0, bytes) exactly - no gap, no overlap, no duplicate.
+        let mut m = machine(OpMode::Quad);
+        let bytes = 1_234_567u64;
+        let out = run_torus_bcast(&mut m, &spec(bytes), identity_stage());
+        assert!(out.coverage_exact(bytes));
+        // And a deliberately broken span set must fail the check.
+        let mut bad = out.spans.clone();
+        bad[5].pop();
+        assert!(!bad
+            .iter()
+            .all(|s| crate::chunking::spans_cover_exactly(s.clone(), bytes)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut m = machine(OpMode::Smp);
+            run_torus_bcast(&mut m, &spec(2 << 20), identity_stage()).completion
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn intra_stage_is_invoked_per_node_per_chunk() {
+        use std::cell::Cell;
+        let count = Rc::new(Cell::new(0u64));
+        let c2 = count.clone();
+        let stage: IntraStage = Rc::new(move |_m, now, _node, _b| {
+            c2.set(c2.get() + 1);
+            now
+        });
+        let mut m = machine(OpMode::Quad);
+        let s = TorusBcastSpec {
+            root: NodeId(0),
+            bytes: 6 * 64 * 1024, // exactly one pwidth chunk per color
+            pwidth: 64 * 1024,
+            working_set: 4 * 6 * 64 * 1024,
+        };
+        run_torus_bcast(&mut m, &s, stage);
+        // 63 non-root nodes x 6 colors x 1 chunk each, plus the root's own
+        // intra chain (6 colors x 1 chunk).
+        assert_eq!(count.get(), 63 * 6 + 6);
+    }
+
+    #[test]
+    fn slow_intra_stage_reduces_bandwidth() {
+        // An intra stage that costs core time must show up as lower
+        // delivered bandwidth (back-pressure through completion).
+        let bytes = 4 << 20;
+        let fast = {
+            let mut m = machine(OpMode::Quad);
+            run_torus_bcast(&mut m, &spec(bytes), identity_stage()).completion
+        };
+        let slow_stage: IntraStage = Rc::new(move |m, now, node, b| {
+            // Distribute to 3 peers through the DMA (the Direct Put
+            // baseline's intra stage).
+            ops::dma_local_distribute(m, now, node, b, 3, 16 << 20)
+        });
+        let slow = {
+            let mut m = machine(OpMode::Quad);
+            run_torus_bcast(&mut m, &spec(bytes), slow_stage).completion
+        };
+        assert!(
+            slow.as_nanos() > fast.as_nanos() * 2,
+            "DMA distribution should be >2x slower: fast={fast} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn zero_byte_broadcast_completes() {
+        let mut m = machine(OpMode::Smp);
+        let out = run_torus_bcast(&mut m, &spec(0), identity_stage());
+        assert_eq!(out.completion, m.cfg.sw.mpi_overhead());
+    }
+}

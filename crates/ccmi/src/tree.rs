@@ -1,0 +1,312 @@
+//! The collective-network executor (broadcast as a hardware allreduce).
+//!
+//! BG/P implements tree broadcast with the ALU: the root injects the
+//! payload, **every other node injects zeros**, the switches OR the streams
+//! together on the way up, and the result flows back down to every node
+//! (paper §V-B). Two consequences the model must capture:
+//!
+//! 1. every node runs an injection *and* a reception data path — which is
+//!    why one core cannot saturate the tree and why the paper specializes
+//!    two processes (local ranks 0 and 1) to the two directions;
+//! 2. packet `k` emerges from the hardware root only after all nodes have
+//!    injected their packet `k` — the combine gate.
+//!
+//! Because tree channels are per-node (replication happens in the
+//! switches), nodes do not contend with each other; completion time is
+//! decided by the root node and the deepest *witness* node. Simulating
+//! those two with full per-chunk pipelines is therefore exact, and lets the
+//! same executor run 2048-node machines in microseconds.
+//!
+//! The executor is event-driven: chunk `k+1`'s injection is scheduled at
+//! chunk `k`'s injection completion, and reception events fire at delivery
+//! times, so shared-server reservations are always made in causal time
+//! order (the FIFO-server rule).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bgp_dcmf::{ops, Machine, Sim};
+use bgp_machine::geometry::NodeId;
+use bgp_sim::SimTime;
+
+use crate::chunking::chunk_sizes;
+
+/// Parameters of one tree collective.
+#[derive(Debug, Clone)]
+pub struct TreeSpec {
+    /// The (software) root node.
+    pub root: NodeId,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Pipeline width.
+    pub pwidth: u64,
+}
+
+/// The per-algorithm stages.
+pub struct TreeStages {
+    /// Per-chunk injection at a node. `payload` is `true` at the root
+    /// (inject real data, pays the memory read) and `false` elsewhere
+    /// (inject generated zeros — core and tree time, no memory read).
+    /// Returns injection completion.
+    #[allow(clippy::type_complexity)]
+    pub inject: Box<dyn Fn(&mut Machine, SimTime, NodeId, u64, bool) -> SimTime>,
+    /// Per-chunk reception **and intra-node distribution** at a node.
+    /// Returns when every rank of the node has the chunk.
+    #[allow(clippy::type_complexity)]
+    pub recv: Box<dyn Fn(&mut Machine, SimTime, NodeId, u64) -> SimTime>,
+}
+
+struct TreeState {
+    spec: TreeSpec,
+    stages: TreeStages,
+    chunks: Vec<u64>,
+    witness: NodeId,
+    up_root: u32,
+    up_wit: u32,
+    inj_root: Vec<Option<SimTime>>,
+    inj_wit: Vec<Option<SimTime>>,
+    completion: SimTime,
+}
+
+/// Run a tree broadcast; returns the time the last rank of the last node
+/// has the full message (including MPI dispatch overhead).
+pub fn run_tree_collective(m: &mut Machine, spec: &TreeSpec, stages: TreeStages) -> SimTime {
+    let n = m.tree.len();
+    let t0 = m.cfg.sw.mpi_overhead();
+    let mut chunks = chunk_sizes(spec.bytes, spec.pwidth);
+    if chunks.is_empty() {
+        // Zero-byte broadcast: a single header-only packet still flows.
+        chunks.push(0);
+    }
+
+    if n == 1 {
+        let mut done = t0;
+        for &c in &chunks {
+            done = (stages.recv)(m, done, spec.root, c);
+        }
+        return done;
+    }
+
+    // The witness: the deepest node that is not the root.
+    let witness = if spec.root.0 == n - 1 {
+        NodeId(n - 2)
+    } else {
+        NodeId(n - 1)
+    };
+    let n_chunks = chunks.len();
+    let st = Rc::new(RefCell::new(TreeState {
+        spec: spec.clone(),
+        stages,
+        chunks,
+        witness,
+        up_root: m.tree.hops_to_root(spec.root),
+        up_wit: m.tree.hops_to_root(witness),
+        inj_root: vec![None; n_chunks],
+        inj_wit: vec![None; n_chunks],
+        completion: t0,
+    }));
+
+    let mut eng: Sim = Sim::new();
+    {
+        let st_r = st.clone();
+        eng.schedule_at(t0, move |m, eng| inject_step(m, eng, &st_r, 0, true));
+        let st_w = st.clone();
+        eng.schedule_at(t0, move |m, eng| inject_step(m, eng, &st_w, 0, false));
+    }
+    eng.run(m);
+
+    let done = st.borrow().completion;
+    done
+}
+
+/// Inject chunk `k` at the root (`at_root`) or the witness; chain the next
+/// chunk at this one's completion, and fire the combine gate when both
+/// sides of chunk `k` are in.
+fn inject_step(m: &mut Machine, eng: &mut Sim, st: &Rc<RefCell<TreeState>>, k: usize, at_root: bool) {
+    let now = eng.now();
+    let (node, bytes, n_chunks) = {
+        let s = st.borrow();
+        let node = if at_root { s.spec.root } else { s.witness };
+        (node, s.chunks[k], s.chunks.len())
+    };
+    let fin = {
+        let s = st.borrow();
+        (s.stages.inject)(m, now, node, bytes, at_root)
+    };
+    let gate_ready = {
+        let mut s = st.borrow_mut();
+        if at_root {
+            s.inj_root[k] = Some(fin);
+        } else {
+            s.inj_wit[k] = Some(fin);
+        }
+        match (s.inj_root[k], s.inj_wit[k]) {
+            (Some(r), Some(w)) => {
+                let lat = |hops| m.cfg.tree.hop_latency(hops);
+                Some((r + lat(s.up_root)).max(w + lat(s.up_wit)))
+            }
+            _ => None,
+        }
+    };
+    if let Some(gate) = gate_ready {
+        let st2 = st.clone();
+        eng.schedule_at(gate, move |m, eng| deliver_step(m, eng, &st2, k));
+    }
+    if k + 1 < n_chunks {
+        let st2 = st.clone();
+        eng.schedule_at(fin, move |m, eng| inject_step(m, eng, &st2, k + 1, at_root));
+    }
+}
+
+/// Chunk `k` has emerged from the hardware root: deliver it down to the
+/// root node and the witness, then run their reception stages.
+fn deliver_step(m: &mut Machine, eng: &mut Sim, st: &Rc<RefCell<TreeState>>, k: usize) {
+    let now = eng.now();
+    let (root, witness, up_root, up_wit, bytes) = {
+        let s = st.borrow();
+        (s.spec.root, s.witness, s.up_root, s.up_wit, s.chunks[k])
+    };
+    for (node, down) in [(root, up_root), (witness, up_wit)] {
+        let wire = ops::tree_down_transfer(m, now, node, bytes);
+        let arrival = wire + m.cfg.tree.hop_latency(down);
+        let st2 = st.clone();
+        eng.schedule_at(arrival, move |m, eng| {
+            let now = eng.now();
+            let done = {
+                let s = st2.borrow();
+                (s.stages.recv)(m, now, node, bytes)
+            };
+            let mut s = st2.borrow_mut();
+            s.completion = s.completion.max(done);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::{MachineConfig, OpMode};
+    use bgp_sim::Rate;
+
+    /// SMP-mode stages: dedicated injection thread on core 0, reception on
+    /// core 1, no intra-node distribution.
+    fn smp_stages() -> TreeStages {
+        TreeStages {
+            inject: Box::new(|m, now, node, c, payload| {
+                let ws = if payload { 1 << 20 } else { 0 };
+                ops::tree_inject(m, now, node, 0, c, ws, payload)
+            }),
+            recv: Box::new(|m, now, node, c| ops::tree_recv(m, now, node, 1, c, 1 << 20)),
+        }
+    }
+
+    fn machine(nodes: u32) -> Machine {
+        let cfg = MachineConfig::with_nodes(nodes, OpMode::Smp);
+        Machine::new(cfg)
+    }
+
+    fn spec(bytes: u64) -> TreeSpec {
+        TreeSpec {
+            root: NodeId(0),
+            bytes,
+            pwidth: 16 * 1024,
+        }
+    }
+
+    #[test]
+    fn smp_bandwidth_approaches_tree_rate() {
+        let mut m = machine(2048);
+        let bytes = 4 << 20;
+        let done = run_tree_collective(&mut m, &spec(bytes), smp_stages());
+        let bw = Rate::observed(bytes, done).unwrap().as_mb_per_sec();
+        assert!(bw > 750.0, "tree bandwidth too low: {bw}");
+        assert!(bw <= 850.0, "tree bandwidth above raw rate: {bw}");
+    }
+
+    #[test]
+    fn one_core_for_both_directions_halves_bandwidth() {
+        let both_on_core0 = || TreeStages {
+            inject: Box::new(|m, now, node, c, payload| {
+                ops::tree_inject(m, now, node, 0, c, 1 << 20, payload)
+            }),
+            recv: Box::new(|m, now, node, c| ops::tree_recv(m, now, node, 0, c, 1 << 20)),
+        };
+        let bytes = 4 << 20;
+        let mut m1 = machine(512);
+        let two = run_tree_collective(&mut m1, &spec(bytes), smp_stages());
+        let mut m2 = machine(512);
+        let one = run_tree_collective(&mut m2, &spec(bytes), both_on_core0());
+        let ratio = one.as_secs_f64() / two.as_secs_f64();
+        assert!(
+            ratio > 1.5 && ratio < 2.4,
+            "single-core penalty should be ~2x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_machine_depth() {
+        // Figure 6/9: small-message latency rises with process count
+        // (deeper tree), bandwidth does not.
+        let mut small = machine(256);
+        let mut large = machine(2048);
+        let lat_small = run_tree_collective(&mut small, &spec(1), smp_stages());
+        let lat_large = run_tree_collective(&mut large, &spec(1), smp_stages());
+        assert!(lat_large > lat_small);
+        // Depth difference: 2048 nodes (depth 11) vs 256 (depth 8) = 3 hops
+        // each way = 6 hop latencies.
+        let d = (lat_large - lat_small).as_nanos();
+        assert_eq!(d, 6 * large.cfg.tree.hop_latency_ns);
+    }
+
+    #[test]
+    fn bandwidth_is_scale_independent() {
+        // Figure 9: the tree's throughput does not degrade with scale.
+        let bytes = 2 << 20;
+        let mut small = machine(256);
+        let mut large = machine(2048);
+        let t_small = run_tree_collective(&mut small, &spec(bytes), smp_stages());
+        let t_large = run_tree_collective(&mut large, &spec(bytes), smp_stages());
+        let ratio = t_large.as_secs_f64() / t_small.as_secs_f64();
+        assert!(ratio < 1.02, "tree bandwidth should not degrade: {ratio}");
+    }
+
+    #[test]
+    fn zero_bytes_is_header_latency() {
+        let mut m = machine(2048);
+        let done = run_tree_collective(&mut m, &spec(0), smp_stages());
+        assert!(done > m.cfg.sw.mpi_overhead());
+        assert!(done < SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn latency_is_root_position_independent() {
+        // With the OR-allreduce implementation every node injects, so the
+        // combine gate waits for the *deepest injector* regardless of which
+        // node holds the payload: moving the root deeper must not change
+        // the small-message latency (as long as the deepest node is
+        // unchanged).
+        let mut a = machine(512);
+        let lat_root0 = run_tree_collective(&mut a, &spec(1), smp_stages());
+        let mut b = machine(512);
+        let mut s = spec(1);
+        s.root = NodeId(300);
+        let lat_deep = run_tree_collective(&mut b, &s, smp_stages());
+        assert_eq!(lat_deep, lat_root0);
+    }
+
+    #[test]
+    fn single_node_machine_runs_recv_only() {
+        let mut m = machine(1);
+        let done = run_tree_collective(&mut m, &spec(4096), smp_stages());
+        assert!(done > m.cfg.sw.mpi_overhead());
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut m = machine(512);
+            run_tree_collective(&mut m, &spec(1 << 20), smp_stages())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,219 @@
+//! `MPI_Allgather` — the paper's stated future work (§VII: "we intend to
+//! extend the mechanism to other collectives such as MPI_Gather and
+//! MPI_Allgather which can also potentially move large volumes of data").
+//!
+//! The same decomposition as the allreduce, minus the arithmetic: each rank
+//! contributes a block; every rank ends with all `P` blocks.
+//!
+//! * **local gather** — the node's four blocks are assembled in the master
+//!   rank's buffer (through mapped windows in the new scheme; via DMA local
+//!   copies in the current one);
+//! * **node-level ring allgather** — node blocks circulate the multicolor
+//!   dimension-ordered rings; unlike allreduce there is a single pass (each
+//!   byte crosses each node once) and no arithmetic;
+//! * **local distribution** — every incoming node-block must reach all four
+//!   ranks: three direct copies out of the master's reception buffer (new)
+//!   or three DMA local copies per block (current) — the same DMA-budget
+//!   asymmetry that decides Figure 10.
+//!
+//! Representative-node simulation, like the allreduce (the collective is
+//! node-symmetric).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bgp_ccmi::chunking::{chunk_sizes, color_shares};
+use bgp_dcmf::{ops, Machine, Sim};
+use bgp_machine::geometry::{Axis, Direction, NodeId, Sign};
+use bgp_sim::SimTime;
+
+/// Allgather algorithm variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllgatherAlgorithm {
+    /// DMA-driven local gather + distribution (the pre-paper pattern).
+    RingCurrent,
+    /// Shared-address local gather + direct-copy distribution (the paper's
+    /// mechanism applied as §VII proposes).
+    ShaddrSpecialized,
+}
+
+const COLORS: usize = 3;
+
+fn color_dir(c: usize) -> Direction {
+    Direction {
+        axis: Axis::ALL[c],
+        sign: Sign::Plus,
+    }
+}
+
+/// Ring fill: one pass around the dimension-ordered rings.
+fn ring_fill(m: &Machine, stages: u64) -> SimTime {
+    let per_hop = m.cfg.torus.hop_latency(1) + SimTime::from_nanos(m.cfg.tree.core_packet_ns);
+    per_hop * stages
+}
+
+/// Simulate `MPI_Allgather` with `block_bytes` contributed per rank.
+/// Returns completion time; total moved data is `ranks × block_bytes` per
+/// rank's receive buffer.
+pub fn run_allgather(m: &mut Machine, alg: AllgatherAlgorithm, block_bytes: u64) -> SimTime {
+    let t0 = m.cfg.sw.mpi_overhead();
+    let node = NodeId(0);
+    let ranks = u64::from(m.cfg.ranks_per_node());
+    let nodes = u64::from(m.cfg.node_count());
+    // Bytes that stream *through* each node over the ring: every other
+    // node's node-block (ranks × block each).
+    let through = (nodes - 1).max(1) * ranks * block_bytes;
+    let ws = 2 * through.min(64 << 20);
+    let pwidth = m.cfg.sw.pwidth as u64;
+    let st = Rc::new(RefCell::new(SimTime::ZERO));
+
+    // Local gather of the node's own block (small, one-time): the three
+    // peers' blocks reach the master.
+    let gather_done = match alg {
+        AllgatherAlgorithm::ShaddrSpecialized => {
+            // Master core copies each peer block through windows.
+            let mut t = t0;
+            for _ in 1..ranks {
+                t = ops::core_copy(m, t, node, 0, block_bytes, ws, true);
+            }
+            t
+        }
+        AllgatherAlgorithm::RingCurrent => {
+            let posted = ops::descriptor_post(m, t0, node, 0);
+            ops::dma_local_distribute(m, posted, node, block_bytes, (ranks - 1) as u32, ws)
+        }
+    };
+
+    let mut eng: Sim = Sim::new();
+    let shares = color_shares(through, COLORS);
+    for (c, &share) in shares.iter().enumerate() {
+        let chunks = chunk_sizes(share, pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let st2 = st.clone();
+        eng.schedule_at(gather_done, move |m, eng| {
+            step(m, eng, &st2, alg, c, chunks, 0, node, ranks, ws);
+        });
+    }
+    eng.run(m);
+    let done = (*st.borrow()).max(gather_done);
+    done + ring_fill(m, u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z))
+}
+
+/// One ring chunk through the representative node.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<SimTime>>,
+    alg: AllgatherAlgorithm,
+    c: usize,
+    chunks: Vec<u64>,
+    k: usize,
+    node: NodeId,
+    ranks: u64,
+    ws: u64,
+) {
+    let now = eng.now();
+    let bytes = chunks[k];
+    // Ring: single pass — receive the chunk, forward it on.
+    let link = m.link(node, color_dir(c));
+    let link_done = m.pool.reserve(link, now, m.link_time(bytes));
+    // DMA: reception + forwarding injection.
+    let (dma_units, distribute_by_dma) = match alg {
+        AllgatherAlgorithm::ShaddrSpecialized => (2 * bytes, false),
+        // Current: + three local copies per byte to reach the peers.
+        AllgatherAlgorithm::RingCurrent => {
+            (2 * bytes + m.cfg.dma.local_copy_traffic((ranks - 1) * bytes), true)
+        }
+    };
+    let dma_t = m.dma_time(dma_units);
+    let mem_units = match alg {
+        AllgatherAlgorithm::ShaddrSpecialized => 2 * bytes,
+        AllgatherAlgorithm::RingCurrent => {
+            2 * bytes + m.cfg.mem.copy_traffic((ranks - 1) * bytes)
+        }
+    };
+    let mem_t = m.mem_time(mem_units, ws);
+    let dma = m.dma(node);
+    let mem = m.mem(node);
+    let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    // Forwarding is pure DMA work (remote-put chains; no arithmetic, so no
+    // core in the data path) — one descriptor post per chunk on the
+    // protocol core is the only processor involvement.
+    let posted = ops::descriptor_post(m, now, node, 0);
+    let mut done = link_done.max(dma_done).max(posted);
+    if !distribute_by_dma {
+        // New scheme: the three worker cores copy the chunk out of the
+        // master's reception buffer directly.
+        let visible = done + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+        let mut dist = visible;
+        for core in 1..ranks.min(4) as u32 {
+            dist = dist.max(ops::core_copy(m, visible, node, core, bytes, ws, true));
+        }
+        done = dist;
+    } else {
+        done += m.cfg.dma.counter_poll();
+    }
+    {
+        let mut s = st.borrow_mut();
+        *s = (*s).max(done);
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(dma_done, move |m, eng| {
+            step(m, eng, &st2, alg, c, chunks, k + 1, node, ranks, ws);
+        });
+    }
+}
+
+/// Aggregate throughput in MB/s (total gathered bytes per unit time).
+pub fn allgather_throughput_mb(m: &mut Machine, alg: AllgatherAlgorithm, block_bytes: u64) -> f64 {
+    let t = run_allgather(m, alg, block_bytes);
+    let total = u64::from(m.cfg.node_count()) * u64::from(m.cfg.ranks_per_node()) * block_bytes;
+    total as f64 / t.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::{MachineConfig, OpMode};
+
+    fn quad() -> Machine {
+        Machine::new(MachineConfig::test_small(OpMode::Quad))
+    }
+
+    #[test]
+    fn shaddr_beats_current() {
+        for block in [4u64 << 10, 64 << 10] {
+            let new = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, block);
+            let cur = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::RingCurrent, block);
+            assert!(
+                new > cur * 1.2,
+                "block {block}: new={new:.0} cur={cur:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_is_in_torus_range() {
+        // Single ring pass over 3 colors: bounded by 3 x 425 MB/s.
+        let new = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 64 << 10);
+        assert!(new < 3.0 * 425.0 * 1.01, "{new:.0}");
+        assert!(new > 300.0, "{new:.0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 8192);
+        let b = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 8192);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_blocks_complete() {
+        let t = run_allgather(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 1);
+        assert!(t > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,353 @@
+//! Torus allreduce (paper §V-C, Table I).
+//!
+//! Both algorithms decompose allreduce into (a) a local combine of the four
+//! ranks' contributions, (b) a multicolor ring allreduce over the torus
+//! (dimension-ordered rings, three edge-disjoint colors, reduction pass
+//! pipelined with the broadcast-of-result pass), and (c) a local broadcast
+//! of the result. They differ in *who moves and who computes*:
+//!
+//! * **Current** — the ring runs at *rank* level: intra-node ring hops are
+//!   DMA local copies, so the engine carries the inter-node traffic **and**
+//!   six redundant local copies per byte across the two passes ("the DMA
+//!   cannot keep pace with both the inter- and intra-node data transfers").
+//! * **Shaddr-specialized (new)** — the ring runs at *node* level. One
+//!   dedicated core (local rank 0) executes the network protocol: ring
+//!   arithmetic plus per-packet forwarding for the pipelined broadcast
+//!   pass. The other three cores each own one color's partition: they
+//!   reduce it across all four application buffers through mapped process
+//!   windows (no copies — §V-C: "all the application buffers are mapped
+//!   using the system call interfaces, and no extra copy operations are
+//!   necessary") and later copy the network result out of the master's
+//!   reception buffer.
+//!
+//! Because the collective is node-symmetric, the steady-state throughput is
+//! decided by one node's resources; the executor simulates the
+//! representative node's servers with full per-chunk pipelining and adds
+//! the analytic ring-fill latency (a constant, not a rate).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bgp_dcmf::{ops, Machine, Sim};
+use bgp_machine::geometry::{Axis, Direction, NodeId, Sign};
+use bgp_sim::SimTime;
+
+use bgp_ccmi::chunking::{chunk_sizes, color_shares};
+
+/// The allreduce algorithms of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreduceAlgorithm {
+    /// The pre-paper approach: rank-level multicolor ring, DMA-driven
+    /// intra-node movement.
+    RingCurrent,
+    /// The paper's core-specialized shared-address design.
+    ShaddrSpecialized,
+}
+
+/// Number of ring colors on a 3D torus (three edge-disjoint route pairs).
+const COLORS: usize = 3;
+
+/// Per-packet protocol-processing cost for ring forwarding on a core
+/// (reuses the calibrated per-packet core cost; torus packets are 240 B).
+fn forward_cost(m: &Machine, bytes: u64) -> SimTime {
+    let packets = bytes.div_ceil(m.cfg.torus.packet_bytes as u64).max(1);
+    SimTime::from_nanos(packets * m.cfg.tree.core_packet_ns)
+}
+
+/// Ring fill latency: the time the first byte needs to circulate
+/// (dimension-ordered rings: reduce pass + broadcast pass). `stages` is the
+/// number of per-hop pipeline stages (nodes for the new scheme, ranks for
+/// the current one).
+fn ring_fill(m: &Machine, stages: u64) -> SimTime {
+    let per_hop =
+        m.cfg.torus.hop_latency(1) + SimTime::from_nanos(m.cfg.tree.core_packet_ns);
+    per_hop * (2 * stages)
+}
+
+/// Simulate one allreduce of `bytes` (payload bytes, e.g. `8 × doubles`).
+/// Returns the completion time including MPI dispatch overhead.
+pub fn run_allreduce(m: &mut Machine, alg: AllreduceAlgorithm, bytes: u64) -> SimTime {
+    match alg {
+        AllreduceAlgorithm::ShaddrSpecialized => run_new(m, bytes),
+        AllreduceAlgorithm::RingCurrent => run_current(m, bytes),
+    }
+}
+
+/// Per-color link direction (the three plus directions; the minus
+/// directions carry the return halves of the ring, which the per-node
+/// accounting folds into the 2× pass factor).
+fn color_dir(c: usize) -> Direction {
+    Direction {
+        axis: Axis::ALL[c],
+        sign: Sign::Plus,
+    }
+}
+
+struct ArState {
+    completion: SimTime,
+}
+
+/// The paper's core-specialized shared-address allreduce.
+fn run_new(m: &mut Machine, bytes: u64) -> SimTime {
+    let t0 = m.cfg.sw.mpi_overhead();
+    let node = NodeId(0);
+    let n_ranks = m.cfg.ranks_per_node() as usize;
+    let ws = 2 * bytes;
+    let pwidth = m.cfg.sw.pwidth as u64;
+    let shares = color_shares(bytes, COLORS);
+    let st = Rc::new(RefCell::new(ArState { completion: t0 }));
+
+    let mut eng: Sim = Sim::new();
+    for (c, &share) in shares.iter().enumerate() {
+        let chunks = chunk_sizes(share, pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let st2 = st.clone();
+        eng.schedule_at(t0, move |m, eng| {
+            new_reduce_step(m, eng, &st2, c, chunks, 0, node, n_ranks, ws);
+        });
+    }
+    eng.run(m);
+    let fill = ring_fill(m, u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z));
+    let done = st.borrow().completion;
+    done + fill
+}
+
+/// Local reduce of chunk `k` of color `c` by core `1 + c`, reading all four
+/// ranks' buffers through mapped windows.
+#[allow(clippy::too_many_arguments)]
+fn new_reduce_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<ArState>>,
+    c: usize,
+    chunks: Vec<u64>,
+    k: usize,
+    node: NodeId,
+    n_ranks: usize,
+    ws: u64,
+) {
+    let now = eng.now();
+    let bytes = chunks[k];
+    let core = 1 + c as u32;
+    let reduced = ops::core_reduce(m, now, node, core, bytes, n_ranks, ws);
+    // Notify the protocol core through a software message counter.
+    let visible = reduced + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+    {
+        let st2 = st.clone();
+        eng.schedule_at(visible, move |m, eng| {
+            new_net_step(m, eng, &st2, c, bytes, node, ws);
+        });
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(reduced, move |m, eng| {
+            new_reduce_step(m, eng, &st2, c, chunks, k + 1, node, n_ranks, ws);
+        });
+    }
+}
+
+/// Network stage: the dedicated protocol core (local rank 0) runs the ring
+/// arithmetic and forwarding; the DMA and the color's links carry both the
+/// reduce and the pipelined broadcast pass.
+fn new_net_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<ArState>>,
+    c: usize,
+    bytes: u64,
+    node: NodeId,
+    ws: u64,
+) {
+    let now = eng.now();
+    // Links: both passes ride the color's ring.
+    let link = m.link(node, color_dir(c));
+    let link_done = m.pool.reserve(link, now, m.link_time(bytes) * 2);
+    // DMA: in + out for each pass (4 byte-units), coupled to memory.
+    let dma_t = m.dma_time(4 * bytes);
+    let mem_t = m.mem_time(4 * bytes, ws);
+    let dma = m.dma(node);
+    let mem = m.mem(node);
+    let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    // Protocol core: ring combine (2-input sum) + per-packet forwarding for
+    // the broadcast pass.
+    let combined = ops::core_reduce(m, now, node, 0, bytes, 2, ws);
+    let core_done = ops::core_busy(m, combined, node, 0, forward_cost(m, bytes));
+    let net_done = link_done.max(dma_done).max(core_done);
+
+    let st2 = st.clone();
+    eng.schedule_at(net_done, move |m, eng| {
+        // Local broadcast: the three worker cores copy the result chunk out
+        // of the master's reception buffer (shared address, single copy).
+        let now = eng.now();
+        let visible = now + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+        let mut done = visible;
+        for core in 1..=3u32.min(m.cfg.ranks_per_node() - 1) {
+            done = done.max(ops::core_copy(m, visible, node, core, bytes, ws, true));
+        }
+        let mut s = st2.borrow_mut();
+        s.completion = s.completion.max(done);
+    });
+}
+
+/// The current (pre-paper) rank-level ring.
+fn run_current(m: &mut Machine, bytes: u64) -> SimTime {
+    let t0 = m.cfg.sw.mpi_overhead();
+    let node = NodeId(0);
+    let ranks = m.cfg.ranks_per_node() as u64;
+    let ws = 2 * bytes;
+    let pwidth = m.cfg.sw.pwidth as u64;
+    let shares = color_shares(bytes, COLORS);
+    let st = Rc::new(RefCell::new(ArState { completion: t0 }));
+
+    let mut eng: Sim = Sim::new();
+    for (c, &share) in shares.iter().enumerate() {
+        let chunks = chunk_sizes(share, pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let st2 = st.clone();
+        eng.schedule_at(t0, move |m, eng| {
+            current_step(m, eng, &st2, c, chunks, 0, node, ranks, ws);
+        });
+    }
+    eng.run(m);
+    // Rank-level ring: the inter-node hops plus (ranks-1) intra-node ring
+    // stages per node; the intra stages add core processing latency only
+    // (no torus hop).
+    let node_hops = u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z);
+    let intra_stage = SimTime::from_nanos(m.cfg.tree.core_packet_ns);
+    let fill = ring_fill(m, node_hops) + intra_stage * (2 * node_hops * (ranks - 1));
+    let done = st.borrow().completion;
+    done + fill
+}
+
+/// One chunk of one color through the representative node, current scheme.
+#[allow(clippy::too_many_arguments)]
+fn current_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<ArState>>,
+    c: usize,
+    chunks: Vec<u64>,
+    k: usize,
+    node: NodeId,
+    ranks: u64,
+    ws: u64,
+) {
+    let now = eng.now();
+    let bytes = chunks[k];
+    // Links: both passes.
+    let link = m.link(node, color_dir(c));
+    let link_done = m.pool.reserve(link, now, m.link_time(bytes) * 2);
+    // DMA: inter-node in+out for both passes (4 units) plus the intra-node
+    // ring hops as local copies — (ranks-1) hops per pass, 2 byte-units
+    // each ("redundant copies of data are transferred by the DMA").
+    let intra_units = 2 * (ranks - 1) * 2;
+    let dma_units = (4 + intra_units) * bytes;
+    let dma_t = m.dma_time(dma_units);
+    let mem_t = m.mem_time(dma_units, ws);
+    let dma = m.dma(node);
+    let mem = m.mem(node);
+    let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    // Every rank's core does the 2-input combine plus forwarding for its
+    // ring stage (pipelined across cores).
+    let mut cores_done = now;
+    for core in 0..m.cfg.ranks_per_node() {
+        let combined = ops::core_reduce(m, now, node, core, bytes, 2, ws);
+        let fwd = ops::core_busy(m, combined, node, core, forward_cost(m, bytes));
+        cores_done = cores_done.max(fwd);
+    }
+    let done = link_done.max(dma_done).max(cores_done);
+    {
+        let mut s = st.borrow_mut();
+        s.completion = s.completion.max(done);
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        // The node can start its next chunk once the DMA accepted this one.
+        eng.schedule_at(dma_done.min(done), move |m, eng| {
+            current_step(m, eng, &st2, c, chunks, k + 1, node, ranks, ws);
+        });
+    }
+}
+
+/// Throughput in MB/s for a Table-I row of `doubles` doubles.
+pub fn throughput_mb(m: &mut Machine, alg: AllreduceAlgorithm, doubles: u64) -> f64 {
+    let bytes = doubles * 8;
+    let t = run_allreduce(m, alg, bytes);
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::MachineConfig;
+
+    fn quad() -> Machine {
+        Machine::new(MachineConfig::two_racks_quad())
+    }
+
+    #[test]
+    fn table1_new_beats_current_at_large_sizes() {
+        let doubles = 512 * 1024;
+        let new = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, doubles);
+        let cur = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, doubles);
+        let gain = new / cur;
+        assert!(
+            (1.15..1.75).contains(&gain),
+            "512K-doubles gain should be ~1.33x, got {gain:.2} (new={new:.0}, cur={cur:.0})"
+        );
+    }
+
+    #[test]
+    fn table1_absolute_throughputs_are_plausible() {
+        let doubles = 512 * 1024;
+        let new = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, doubles);
+        let cur = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, doubles);
+        assert!((250.0..900.0).contains(&new), "new={new:.0}");
+        assert!((200.0..700.0).contains(&cur), "cur={cur:.0}");
+    }
+
+    #[test]
+    fn gain_grows_with_message_size() {
+        // Paper: "benefits across the different messages but the algorithm
+        // is mostly useful for large messages."
+        let small_gain = {
+            let n = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 * 1024);
+            let c = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, 16 * 1024);
+            n / c
+        };
+        let large_gain = {
+            let n = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 512 * 1024);
+            let c = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, 512 * 1024);
+            n / c
+        };
+        assert!(
+            large_gain > small_gain * 0.95,
+            "gain should not shrink with size: small={small_gain:.2} large={large_gain:.2}"
+        );
+        assert!(small_gain > 1.0, "new must win at 16K doubles too: {small_gain:.2}");
+    }
+
+    #[test]
+    fn throughput_grows_with_size_then_saturates() {
+        let t16 = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 * 1024);
+        let t512 = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 512 * 1024);
+        assert!(t512 > t16, "throughput should rise with size: {t16:.0} -> {t512:.0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 65536);
+        let b = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 65536);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_size_completes() {
+        let t = run_allreduce(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 0);
+        assert!(t > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,154 @@
+//! MPI datatypes: contiguous vs. strided layouts, and why they matter here.
+//!
+//! §IV-C is explicit: the message-counter scheme "relies on data coming in
+//! order into the application buffer … applicable only in the context of
+//! data flow following connection semantics" and "message counters are
+//! applicable only to contiguous data flows." The Bcast FIFO has no such
+//! restriction — slots carry `{connection id, length}` metadata, so a
+//! non-contiguous stream simply packs into slots.
+//!
+//! This module gives the selection layer that distinction: a
+//! [`Datatype::Vector`] broadcast cannot use the `Shaddr` counter paths and
+//! falls back to the FIFO (torus) or staged-shmem (tree) algorithms, paying
+//! an explicit pack/unpack cost.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_machine::{MachineConfig, OpMode};
+
+use crate::select::{BcastAlgorithm, SHORT_MSG_BYTES, TREE_TORUS_CROSSOVER_BYTES};
+
+/// A (simplified) MPI datatype layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Datatype {
+    /// One contiguous byte run.
+    Contiguous,
+    /// `MPI_Type_vector`: `count` blocks of `blocklen` bytes, the start of
+    /// consecutive blocks separated by `stride` bytes (`stride >= blocklen`).
+    Vector {
+        /// Number of blocks.
+        count: u32,
+        /// Bytes per block.
+        blocklen: u32,
+        /// Distance between block starts.
+        stride: u32,
+    },
+}
+
+impl Datatype {
+    /// Whether the layout is one contiguous run (a vector with
+    /// `stride == blocklen` collapses to contiguous).
+    pub fn is_contiguous(&self) -> bool {
+        match *self {
+            Datatype::Contiguous => true,
+            Datatype::Vector { blocklen, stride, count } => count <= 1 || stride == blocklen,
+        }
+    }
+
+    /// Payload bytes actually transferred (the packed size).
+    pub fn packed_size(&self, contiguous_equivalent: u64) -> u64 {
+        match *self {
+            Datatype::Contiguous => contiguous_equivalent,
+            Datatype::Vector { count, blocklen, .. } => u64::from(count) * u64::from(blocklen),
+        }
+    }
+
+    /// Memory span touched in the user buffer (for working-set purposes).
+    pub fn extent(&self, contiguous_equivalent: u64) -> u64 {
+        match *self {
+            Datatype::Contiguous => contiguous_equivalent,
+            Datatype::Vector { count, blocklen, stride } => {
+                if count == 0 {
+                    0
+                } else {
+                    u64::from(count - 1) * u64::from(stride) + u64::from(blocklen)
+                }
+            }
+        }
+    }
+}
+
+/// Datatype-aware broadcast algorithm selection.
+///
+/// Contiguous layouts follow the ordinary policy; non-contiguous ones are
+/// barred from the counter-based `Shaddr` paths (§IV-C) and take the FIFO
+/// (large) or staged (small) algorithms, whose slot/staging copies double
+/// as pack/unpack.
+pub fn select_bcast_typed(cfg: &MachineConfig, bytes: u64, dtype: Datatype) -> BcastAlgorithm {
+    if dtype.is_contiguous() {
+        return crate::select::select_bcast(cfg, bytes);
+    }
+    if cfg.mode == OpMode::Smp {
+        // SMP mode: no intra-node stage; the torus path packs at the root.
+        return BcastAlgorithm::TorusDirectPut;
+    }
+    if bytes <= SHORT_MSG_BYTES {
+        BcastAlgorithm::TreeShmem
+    } else if bytes <= TREE_TORUS_CROSSOVER_BYTES {
+        // The tree Shaddr path also needs contiguous counter flow; the DMA
+        // Direct Put baseline handles typed buffers via descriptors.
+        BcastAlgorithm::TreeDmaDirectPut
+    } else {
+        BcastAlgorithm::TorusFifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_with_gap_is_noncontiguous() {
+        let v = Datatype::Vector { count: 8, blocklen: 64, stride: 256 };
+        assert!(!v.is_contiguous());
+        assert_eq!(v.packed_size(0), 512);
+        assert_eq!(v.extent(0), 7 * 256 + 64);
+    }
+
+    #[test]
+    fn degenerate_vectors_collapse_to_contiguous() {
+        assert!(Datatype::Vector { count: 1, blocklen: 64, stride: 999 }.is_contiguous());
+        assert!(Datatype::Vector { count: 8, blocklen: 64, stride: 64 }.is_contiguous());
+        assert!(Datatype::Contiguous.is_contiguous());
+        assert_eq!(Datatype::Contiguous.packed_size(123), 123);
+        assert_eq!(Datatype::Contiguous.extent(123), 123);
+    }
+
+    #[test]
+    fn zero_count_vector() {
+        let v = Datatype::Vector { count: 0, blocklen: 64, stride: 256 };
+        assert_eq!(v.packed_size(0), 0);
+        assert_eq!(v.extent(0), 0);
+    }
+
+    #[test]
+    fn noncontiguous_never_selects_a_counter_path() {
+        let cfg = MachineConfig::two_racks_quad();
+        let v = Datatype::Vector { count: 1024, blocklen: 512, stride: 4096 };
+        for bytes in [1024u64, 64 << 10, 4 << 20] {
+            let alg = select_bcast_typed(&cfg, bytes, v);
+            assert!(
+                !matches!(
+                    alg,
+                    BcastAlgorithm::TorusShaddr | BcastAlgorithm::TreeShaddr { .. }
+                ),
+                "counter path selected for non-contiguous data at {bytes}: {alg:?}"
+            );
+        }
+        // Large non-contiguous: the Bcast FIFO (its packetization is the
+        // pack step).
+        assert_eq!(
+            select_bcast_typed(&cfg, 4 << 20, v),
+            BcastAlgorithm::TorusFifo
+        );
+    }
+
+    #[test]
+    fn contiguous_follows_the_ordinary_policy() {
+        let cfg = MachineConfig::two_racks_quad();
+        assert_eq!(
+            select_bcast_typed(&cfg, 4 << 20, Datatype::Contiguous),
+            crate::select::select_bcast(&cfg, 4 << 20)
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! The MPI-like front end and the paper's timing microbenchmark.
+
+use bgp_dcmf::Machine;
+use bgp_machine::geometry::NodeId;
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_sim::SimTime;
+
+use crate::allgather::{run_allgather, AllgatherAlgorithm};
+use crate::allreduce::{run_allreduce, AllreduceAlgorithm};
+use crate::bcast_torus::{torus_direct_put, torus_fifo, torus_shaddr};
+use crate::bcast_tree::{tree_dma_direct_put, tree_dma_fifo, tree_shaddr, tree_shmem, tree_smp};
+use crate::select::{select_bcast, BcastAlgorithm};
+
+/// An MPI "process set" over a simulated machine: the object the examples
+/// and the bench harness talk to.
+pub struct Mpi {
+    machine: Machine,
+}
+
+impl Mpi {
+    /// Boot the partition described by `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Mpi {
+            machine: Machine::new(cfg),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.machine.cfg
+    }
+
+    /// Direct access to the simulated machine (diagnostics, utilization).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Total MPI ranks.
+    pub fn size(&self) -> u32 {
+        self.machine.cfg.rank_count()
+    }
+
+    /// `MPI_Bcast` of `bytes` from node-0/rank-0 with an explicit
+    /// algorithm. Runs on a quiet machine (fresh servers) and returns the
+    /// elapsed time until every rank holds the payload — exactly what one
+    /// timed iteration of the paper's Figure 5 microbenchmark observes
+    /// (the preceding `MPI_Barrier` quiesces the machine).
+    pub fn bcast(&mut self, alg: BcastAlgorithm, bytes: u64) -> SimTime {
+        self.bcast_from(alg, NodeId(0), bytes)
+    }
+
+    /// `MPI_Bcast` from an arbitrary root node.
+    pub fn bcast_from(&mut self, alg: BcastAlgorithm, root: NodeId, bytes: u64) -> SimTime {
+        if alg.requires_smp() {
+            assert_eq!(
+                self.machine.cfg.mode,
+                OpMode::Smp,
+                "{} requires SMP mode",
+                alg.label()
+            );
+        }
+        self.machine.reset();
+        let m = &mut self.machine;
+        match alg {
+            BcastAlgorithm::TorusDirectPut => torus_direct_put(m, root, bytes).completion,
+            BcastAlgorithm::TorusFifo => torus_fifo(m, root, bytes).completion,
+            BcastAlgorithm::TorusShaddr => torus_shaddr(m, root, bytes).completion,
+            BcastAlgorithm::TreeSmp => tree_smp(m, root, bytes),
+            BcastAlgorithm::TreeShmem => tree_shmem(m, root, bytes),
+            BcastAlgorithm::TreeDmaFifo => tree_dma_fifo(m, root, bytes),
+            BcastAlgorithm::TreeDmaDirectPut => tree_dma_direct_put(m, root, bytes),
+            BcastAlgorithm::TreeShaddr { caching } => tree_shaddr(m, root, bytes, caching),
+        }
+    }
+
+    /// `MPI_Bcast` with the production selection policy; returns the chosen
+    /// algorithm and the elapsed time.
+    pub fn bcast_auto(&mut self, bytes: u64) -> (BcastAlgorithm, SimTime) {
+        let alg = select_bcast(&self.machine.cfg, bytes);
+        let t = self.bcast(alg, bytes);
+        (alg, t)
+    }
+
+    /// `MPI_Allreduce` (sum of doubles) with an explicit algorithm.
+    pub fn allreduce(&mut self, alg: AllreduceAlgorithm, doubles: u64) -> SimTime {
+        self.machine.reset();
+        run_allreduce(&mut self.machine, alg, doubles * 8)
+    }
+
+    /// `MPI_Allgather` (the §VII future-work extension) with `block_bytes`
+    /// contributed per rank.
+    pub fn allgather(&mut self, alg: AllgatherAlgorithm, block_bytes: u64) -> SimTime {
+        self.machine.reset();
+        run_allgather(&mut self.machine, alg, block_bytes)
+    }
+
+    /// `MPI_Reduce` (sum of doubles, result at the root).
+    pub fn reduce(&mut self, alg: AllreduceAlgorithm, doubles: u64) -> SimTime {
+        self.machine.reset();
+        crate::reduce::run_reduce(&mut self.machine, alg, doubles * 8)
+    }
+
+    /// `MPI_Gather` of `block_bytes` per rank into the root.
+    pub fn gather(&mut self, alg: AllreduceAlgorithm, block_bytes: u64) -> SimTime {
+        self.machine.reset();
+        crate::reduce::run_gather(&mut self.machine, alg, block_bytes)
+    }
+
+    /// The Figure 5 microbenchmark: `ITERS` iterations of
+    /// `MPI_Barrier; t = -wtime; MPI_Bcast; t += wtime`, averaged.
+    ///
+    /// The simulation is deterministic, so every iteration measures the
+    /// same value; the loop is kept for fidelity (and to catch algorithms
+    /// with cross-iteration state, which would be a bug).
+    pub fn measure_bcast(&mut self, alg: BcastAlgorithm, bytes: u64, iters: u32) -> SimTime {
+        assert!(iters >= 1);
+        let mut total = SimTime::ZERO;
+        let mut first = None;
+        for _ in 0..iters {
+            // The barrier quiesces the machine; its cost is outside the
+            // timed region.
+            let t = self.bcast_from(alg, NodeId(0), bytes);
+            if let Some(f) = first {
+                assert_eq!(t, f, "iteration-dependent timing: algorithm leaks state");
+            }
+            first = Some(t);
+            total += t;
+        }
+        total / u64::from(iters)
+    }
+
+    /// Bandwidth in MB/s as the figures report it.
+    pub fn bcast_bandwidth_mb(&mut self, alg: BcastAlgorithm, bytes: u64) -> f64 {
+        let t = self.measure_bcast(alg, bytes, 3);
+        bytes as f64 / t.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_bcast_all_algorithms_run() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        for alg in [
+            BcastAlgorithm::TorusDirectPut,
+            BcastAlgorithm::TorusFifo,
+            BcastAlgorithm::TorusShaddr,
+            BcastAlgorithm::TreeShmem,
+            BcastAlgorithm::TreeDmaFifo,
+            BcastAlgorithm::TreeDmaDirectPut,
+            BcastAlgorithm::TreeShaddr { caching: true },
+        ] {
+            let t = mpi.bcast(alg, 256 * 1024);
+            assert!(t > SimTime::ZERO, "{}", alg.label());
+        }
+    }
+
+    #[test]
+    fn auto_selection_runs_and_picks_by_size() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        let (short_alg, _) = mpi.bcast_auto(1024);
+        let (large_alg, _) = mpi.bcast_auto(4 << 20);
+        assert_eq!(short_alg, BcastAlgorithm::TreeShmem);
+        assert_eq!(large_alg, BcastAlgorithm::TorusShaddr);
+    }
+
+    #[test]
+    fn measure_is_iteration_stable() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        let t = mpi.measure_bcast(BcastAlgorithm::TorusShaddr, 1 << 20, 5);
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires SMP mode")]
+    fn smp_algorithm_rejected_in_quad() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        let _ = mpi.bcast(BcastAlgorithm::TreeSmp, 1024);
+    }
+
+    #[test]
+    fn allreduce_runs_both_algorithms() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        let new = mpi.allreduce(AllreduceAlgorithm::ShaddrSpecialized, 16384);
+        let cur = mpi.allreduce(AllreduceAlgorithm::RingCurrent, 16384);
+        assert!(new < cur, "new={new} cur={cur}");
+    }
+
+    #[test]
+    fn size_reports_ranks() {
+        let mpi = Mpi::new(MachineConfig::two_racks_quad());
+        assert_eq!(mpi.size(), 8192);
+    }
+}

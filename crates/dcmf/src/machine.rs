@@ -1,0 +1,247 @@
+//! The dynamic machine: one server per finite hardware resource.
+
+use bgp_machine::geometry::{Coord, Direction, NodeId};
+use bgp_machine::tree::TreeTopology;
+use bgp_machine::MachineConfig;
+use bgp_sim::{Engine, ServerId, ServerPool, SimTime};
+
+/// The simulation engine type used throughout the reproduction.
+pub type Sim = Engine<Machine>;
+
+/// Per-node server ids.
+#[derive(Debug, Clone)]
+struct NodeServers {
+    /// Outgoing link in each of the six directions (the *sender* side
+    /// owns the link server; the wire is full duplex, so each direction is
+    /// an independent 425 MB/s resource).
+    links: [ServerId; 6],
+    /// The DMA engine (aggregate: injection + reception + local copies).
+    dma: ServerId,
+    /// The memory subsystem (aggregate bandwidth, all cores + DMA).
+    mem: ServerId,
+    /// The four cores.
+    cores: [ServerId; 4],
+    /// Collective-network uplink (towards the tree root).
+    tree_up: ServerId,
+    /// Collective-network downlink (towards the leaves).
+    tree_down: ServerId,
+}
+
+/// The dynamic machine state: configuration + topology + all servers.
+///
+/// This is the `bgp-sim` engine context: every event closure receives
+/// `(&mut Machine, &mut Sim)`.
+pub struct Machine {
+    /// The static configuration (never mutated during a run).
+    pub cfg: MachineConfig,
+    /// The collective-network topology over the partition's nodes.
+    pub tree: TreeTopology,
+    /// All bandwidth servers.
+    pub pool: ServerPool,
+    nodes: Vec<NodeServers>,
+}
+
+impl Machine {
+    /// Build the machine for `cfg`, allocating every server.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.node_count();
+        let tree = TreeTopology::balanced(n, cfg.tree.arity);
+        let mut pool = ServerPool::new();
+        let mut nodes = Vec::with_capacity(n as usize);
+        for id in 0..n {
+            let links = core::array::from_fn(|d| {
+                pool.alloc(format!("n{id}.link.{}", Direction::ALL[d]))
+            });
+            let dma = pool.alloc(format!("n{id}.dma"));
+            let mem = pool.alloc(format!("n{id}.mem"));
+            let cores = core::array::from_fn(|c| pool.alloc(format!("n{id}.core{c}")));
+            let tree_up = pool.alloc(format!("n{id}.tree_up"));
+            let tree_down = pool.alloc(format!("n{id}.tree_down"));
+            nodes.push(NodeServers {
+                links,
+                dma,
+                mem,
+                cores,
+                tree_up,
+                tree_down,
+            });
+        }
+        Machine {
+            cfg,
+            tree,
+            pool,
+            nodes,
+        }
+    }
+
+    /// The outgoing link server of `node` in `dir`.
+    #[inline]
+    pub fn link(&self, node: NodeId, dir: Direction) -> ServerId {
+        self.nodes[node.idx()].links[dir.index()]
+    }
+
+    /// The DMA engine server of `node`.
+    #[inline]
+    pub fn dma(&self, node: NodeId) -> ServerId {
+        self.nodes[node.idx()].dma
+    }
+
+    /// The memory server of `node`.
+    #[inline]
+    pub fn mem(&self, node: NodeId) -> ServerId {
+        self.nodes[node.idx()].mem
+    }
+
+    /// Core `c` (0..4) of `node`.
+    #[inline]
+    pub fn core(&self, node: NodeId, c: u32) -> ServerId {
+        self.nodes[node.idx()].cores[c as usize]
+    }
+
+    /// The tree uplink of `node`.
+    #[inline]
+    pub fn tree_up(&self, node: NodeId) -> ServerId {
+        self.nodes[node.idx()].tree_up
+    }
+
+    /// The tree downlink of `node`.
+    #[inline]
+    pub fn tree_down(&self, node: NodeId) -> ServerId {
+        self.nodes[node.idx()].tree_down
+    }
+
+    /// Coordinate helpers.
+    #[inline]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        self.cfg.dims.coord_of(node)
+    }
+
+    /// Node id for a coordinate.
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        self.cfg.dims.id_of(c)
+    }
+
+    /// Reset all servers to idle (between timed iterations).
+    pub fn reset(&mut self) {
+        self.pool.reset();
+    }
+
+    /// Utilization report: the `top_k` busiest servers relative to
+    /// `horizon` (usually an operation's completion time). Diagnostic for
+    /// finding an algorithm's bottleneck resource.
+    pub fn utilization_report(&self, horizon: SimTime, top_k: usize) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .pool
+            .iter()
+            .filter_map(|(_, name, s)| s.utilization(horizon).map(|u| (name.to_string(), u)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v.truncate(top_k);
+        v
+    }
+
+    /// Memory-server service time for `traffic_bytes` of memory-system
+    /// traffic, given the pipeline's working set (L2 cliff).
+    #[inline]
+    pub fn mem_time(&self, traffic_bytes: u64, working_set: u64) -> SimTime {
+        self.cfg.mem.node_rate(working_set).time_for(traffic_bytes)
+    }
+
+    /// Core service time for copying `payload` bytes (read+write folded into
+    /// the per-core copy rate), given the working set.
+    #[inline]
+    pub fn core_copy_time(&self, payload: u64, working_set: u64) -> SimTime {
+        self.cfg
+            .mem
+            .core_copy_rate(working_set)
+            .time_for(payload)
+    }
+
+    /// DMA service time for `traffic_bytes` of engine traffic.
+    #[inline]
+    pub fn dma_time(&self, traffic_bytes: u64) -> SimTime {
+        self.cfg.dma.engine_rate().time_for(traffic_bytes)
+    }
+
+    /// Torus link service time for a chunk.
+    #[inline]
+    pub fn link_time(&self, bytes: u64) -> SimTime {
+        self.cfg.torus.link_rate().time_for(bytes)
+    }
+
+    /// Tree channel service time for a chunk.
+    #[inline]
+    pub fn tree_time(&self, bytes: u64) -> SimTime {
+        self.cfg.tree.link_rate().time_for(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::geometry::{Axis, Sign};
+    use bgp_machine::OpMode;
+
+    #[test]
+    fn servers_are_allocated_per_node() {
+        let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        // 64 nodes * (6 links + dma + mem + 4 cores + 2 tree) = 64 * 14.
+        assert_eq!(m.pool.len(), 64 * 14);
+    }
+
+    #[test]
+    fn distinct_nodes_have_distinct_servers() {
+        let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_ne!(m.dma(a), m.dma(b));
+        assert_ne!(m.mem(a), m.mem(b));
+        assert_ne!(m.core(a, 0), m.core(a, 1));
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let xm = Direction { axis: Axis::X, sign: Sign::Minus };
+        assert_ne!(m.link(a, xp), m.link(a, xm));
+    }
+
+    #[test]
+    fn names_are_diagnostic() {
+        let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        assert_eq!(m.pool.name(m.dma(NodeId(3))), "n3.dma");
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        assert_eq!(m.pool.name(m.link(NodeId(0), xp)), "n0.link.X+");
+    }
+
+    #[test]
+    fn coord_round_trip() {
+        let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        for i in 0..64 {
+            let id = NodeId(i);
+            assert_eq!(m.node_at(m.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn utilization_report_ranks_busiest_first() {
+        let mut m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        let dma = m.dma(NodeId(0));
+        let mem = m.mem(NodeId(5));
+        m.pool.reserve(dma, SimTime::ZERO, SimTime::from_micros(80));
+        m.pool.reserve(mem, SimTime::ZERO, SimTime::from_micros(20));
+        let rep = m.utilization_report(SimTime::from_micros(100), 2);
+        assert_eq!(rep.len(), 2);
+        assert_eq!(rep[0].0, "n0.dma");
+        assert!((rep[0].1 - 0.8).abs() < 1e-9);
+        assert_eq!(rep[1].0, "n5.mem");
+    }
+
+    #[test]
+    fn service_time_helpers() {
+        let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
+        // 425 MB/s link: 425 bytes take 1000ns.
+        assert_eq!(m.link_time(425).as_nanos(), 1000);
+        // 850 MB/s tree: twice as fast.
+        assert_eq!(m.tree_time(850).as_nanos(), 1000);
+        // Working set beyond L2 slows core copies.
+        assert!(m.core_copy_time(1 << 20, 32 << 20) > m.core_copy_time(1 << 20, 1 << 20));
+    }
+}

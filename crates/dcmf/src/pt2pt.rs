@@ -1,0 +1,193 @@
+//! Point-to-point protocols: DCMF's two-sided send.
+//!
+//! The collectives mostly bypass two-sided messaging (they use direct puts
+//! and line broadcasts), but the messaging layer beneath them implements
+//! `MPI_Send`/`MPI_Recv` with the standard pair of protocols, and the ring
+//! allreduce's control traffic uses them:
+//!
+//! * **eager** — the payload rides memory-FIFO packets immediately; the
+//!   receiver's core drains them into the posted buffer (one copy). Lowest
+//!   latency; per-byte core cost makes it wrong for large messages.
+//! * **rendezvous** — an RTS/CTS handshake (two header-only packets), then
+//!   a zero-copy DMA direct put into the application buffer, tracked by a
+//!   byte counter. Handshake latency, but wire-rate bandwidth.
+//!
+//! The crossover between them is the classic pt2pt protocol switch
+//! (`EAGER_LIMIT`), observable with the `pingpong` example.
+
+use bgp_machine::geometry::NodeId;
+use bgp_sim::SimTime;
+
+use crate::machine::Machine;
+use crate::ops;
+
+/// Default eager limit (bytes): BG/P MPI used a ~1200-byte eager protocol
+/// threshold in quad mode.
+pub const EAGER_LIMIT: u64 = 1200;
+
+/// Header-only control packet latency between two nodes (hop-routed).
+fn control_latency(m: &Machine, src: NodeId, dst: NodeId) -> SimTime {
+    let hops = m.cfg.dims.torus_distance(m.coord(src), m.coord(dst)).max(1);
+    m.cfg.torus.hop_latency(hops) + SimTime::from_nanos(m.cfg.tree.core_packet_ns)
+}
+
+/// Eager send of `bytes` from `(src, src_core)` to `(dst, dst_core)`.
+/// Returns the receive-complete time.
+pub fn eager_send(
+    m: &mut Machine,
+    now: SimTime,
+    src: NodeId,
+    src_core: u32,
+    dst: NodeId,
+    dst_core: u32,
+    bytes: u64,
+    working_set: u64,
+) -> SimTime {
+    // Sender: build the memory-FIFO packets (per-packet core cost) and let
+    // the DMA inject them.
+    let packed = ops::core_busy(m, now, src, src_core, m.cfg.dma.memfifo_drain_cost(bytes));
+    let posted = ops::descriptor_post(m, packed, src, src_core);
+    let wire = ops::direct_put(m, posted, src, dst, bytes.max(1), working_set);
+    // Receiver: it is blocked in MPI_Recv actively polling its FIFO, so it
+    // notices arrival within one poll (unlike the collective memory-FIFO
+    // path, where the notify latency is the progress-engine interval).
+    let noticed = wire + m.cfg.dma.counter_poll();
+    let drained = ops::memfifo_drain(m, noticed, dst, dst_core, bytes);
+    ops::core_copy(m, drained, dst, dst_core, bytes, working_set, true)
+}
+
+/// Rendezvous send: RTS → CTS → zero-copy direct put.
+#[allow(clippy::too_many_arguments)]
+pub fn rendezvous_send(
+    m: &mut Machine,
+    now: SimTime,
+    src: NodeId,
+    src_core: u32,
+    dst: NodeId,
+    dst_core: u32,
+    bytes: u64,
+    working_set: u64,
+) -> SimTime {
+    // RTS: sender core posts a header packet.
+    let rts_out = ops::core_busy(m, now, src, src_core, m.cfg.tree.core_packet_cost(0));
+    let rts_in = rts_out + control_latency(m, src, dst);
+    // CTS: receiver matches the receive, allocates a counter, replies.
+    let cts_out = ops::core_busy(m, rts_in, dst, dst_core, m.cfg.tree.core_packet_cost(0));
+    let cts_in = cts_out + control_latency(m, dst, src);
+    // Data: descriptor + zero-copy direct put; receiver polls the counter.
+    let posted = ops::descriptor_post(m, cts_in, src, src_core);
+    let landed = ops::direct_put(m, posted, src, dst, bytes.max(1), working_set);
+    landed + m.cfg.dma.counter_poll()
+}
+
+/// Protocol-switching send, like `MPI_Send`.
+#[allow(clippy::too_many_arguments)]
+pub fn send(
+    m: &mut Machine,
+    now: SimTime,
+    src: NodeId,
+    src_core: u32,
+    dst: NodeId,
+    dst_core: u32,
+    bytes: u64,
+    working_set: u64,
+) -> SimTime {
+    if bytes <= EAGER_LIMIT {
+        eager_send(m, now, src, src_core, dst, dst_core, bytes, working_set)
+    } else {
+        rendezvous_send(m, now, src, src_core, dst, dst_core, bytes, working_set)
+    }
+}
+
+/// One ping-pong round-trip / 2 (the half-round-trip latency MPI
+/// benchmarks report) between nodes `a` and `b`.
+pub fn pingpong_half_rtt(m: &mut Machine, bytes: u64) -> SimTime {
+    let a = NodeId(0);
+    let b = NodeId(1);
+    let ws = 2 * bytes.max(1);
+    // Each direction pays the MPI call overhead (MPI_Send dispatch on one
+    // side; the receiver is already blocked polling in MPI_Recv).
+    let t0 = m.cfg.sw.mpi_overhead();
+    let there = send(m, t0, a, 0, b, 0, bytes, ws);
+    let back = send(m, there + m.cfg.sw.mpi_overhead(), b, 0, a, 0, bytes, ws);
+    back / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::{MachineConfig, OpMode};
+    use bgp_sim::Rate;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::test_small(OpMode::Quad))
+    }
+
+    #[test]
+    fn eager_wins_small_rendezvous_wins_large() {
+        let small = 256u64;
+        let large = 256 << 10;
+        let mut m = machine();
+        let e_small = eager_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, small, 4096);
+        let mut m = machine();
+        let r_small =
+            rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, small, 4096);
+        assert!(e_small < r_small, "eager small: {e_small} vs {r_small}");
+
+        let mut m = machine();
+        let e_large =
+            eager_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, large, large * 2);
+        let mut m = machine();
+        let r_large =
+            rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, large, large * 2);
+        assert!(r_large < e_large, "rendezvous large: {r_large} vs {e_large}");
+    }
+
+    #[test]
+    fn protocol_switch_at_eager_limit() {
+        let mut m1 = machine();
+        let below = send(&mut m1, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT, 4096);
+        let mut m2 = machine();
+        let eager = eager_send(&mut m2, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT, 4096);
+        assert_eq!(below, eager);
+        let mut m3 = machine();
+        let above = send(&mut m3, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT + 1, 4096);
+        let mut m4 = machine();
+        let rndv =
+            rendezvous_send(&mut m4, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT + 1, 4096);
+        assert_eq!(above, rndv);
+    }
+
+    #[test]
+    fn large_message_bandwidth_approaches_one_link() {
+        // A single pt2pt stream is bounded by one 425 MB/s link.
+        let bytes = 4u64 << 20;
+        let mut m = machine();
+        let t = rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, bytes, 8 << 20);
+        let bw = Rate::observed(bytes, t).unwrap().as_mb_per_sec();
+        assert!(bw > 300.0 && bw <= 425.0, "pt2pt bandwidth {bw:.0}");
+    }
+
+    #[test]
+    fn pingpong_latency_is_microseconds() {
+        let mut m = machine();
+        let half = pingpong_half_rtt(&mut m, 0);
+        assert!(half.as_micros_f64() > 1.0 && half.as_micros_f64() < 20.0, "{half}");
+    }
+
+    #[test]
+    fn zero_byte_send_completes() {
+        let mut m = machine();
+        let t = send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(63), 1, 0, 1);
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn distance_increases_latency() {
+        let mut m1 = machine();
+        let near = send(&mut m1, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, 8, 64);
+        let mut m2 = machine();
+        let far = send(&mut m2, SimTime::ZERO, NodeId(0), 0, NodeId(63), 0, 8, 64);
+        assert!(far > near);
+    }
+}

@@ -1,0 +1,266 @@
+//! Compute Node Kernel (CNK) process windows.
+//!
+//! CNK lets a process expose its memory to a peer on the same node through a
+//! pair of system calls (paper §III-B):
+//!
+//! 1. the *owner* translates a virtual address to a physical one;
+//! 2. the *mapper* maps that physical region into its own address space,
+//!    consuming one of `N` TLB slots reserved for process windows
+//!    (default `N = 3` — exactly one per peer in quad mode), each slot
+//!    sized 1, 16 or 256 MB.
+//!
+//! Repeating the syscall pair per operation is expensive; the paper's stacks
+//! cache the mapping when the application reuses buffers (Figure 8 measures
+//! exactly this). [`WindowCache`] reproduces that policy, including slot
+//! granularity, eviction when a peer's single slot is re-targeted, and the
+//! "buffer spans a slot boundary → more than one mapping" corner case.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use bgp_sim::SimTime;
+
+/// Calibrated process-window constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// TLB slots reserved for process windows (`N`, default 3).
+    pub tlb_slots: u32,
+    /// Available slot sizes in bytes, ascending (1 MB, 16 MB, 256 MB).
+    pub slot_sizes: Vec<u64>,
+    /// Cost of one system call (translate *or* map).
+    pub syscall_ns: u64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            tlb_slots: 3,
+            slot_sizes: vec![1 << 20, 16 << 20, 256 << 20],
+            syscall_ns: 1100,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// The smallest slot size that covers `len` bytes from an aligned base,
+    /// or the largest available if none does (the buffer will then need
+    /// multiple mappings).
+    pub fn best_slot_size(&self, len: u64) -> u64 {
+        for &s in &self.slot_sizes {
+            if len <= s {
+                return s;
+            }
+        }
+        *self.slot_sizes.last().expect("no slot sizes configured")
+    }
+
+    /// Number of `slot_size`-aligned regions the range `[base, base+len)`
+    /// touches — i.e. how many mappings are needed. A buffer that straddles
+    /// a slot boundary needs two even if it is small (paper: "in the worst
+    /// case, more than one mapping may be required").
+    pub fn maps_needed(&self, base: u64, len: u64, slot_size: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = base / slot_size;
+        let last = (base + len - 1) / slot_size;
+        last - first + 1
+    }
+
+    /// Cost of establishing `maps` fresh mappings: two syscalls each.
+    pub fn map_cost(&self, maps: u64) -> SimTime {
+        SimTime::from_nanos(2 * maps * self.syscall_ns)
+    }
+}
+
+/// Outcome of a window-map request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOutcome {
+    /// Whether the existing mapping already covered the request.
+    pub cached: bool,
+    /// Syscalls actually issued (0 on a cache hit).
+    pub syscalls: u64,
+    /// Time spent in the kernel.
+    pub cost: SimTime,
+}
+
+/// Per-process cache of peer-window mappings, mirroring the caching the
+/// paper's MPI stack does internally (§VI-A, Figure 8).
+///
+/// Each peer gets at most one slot (the quad-mode `N = 3` budget); mapping a
+/// region of a peer that the current slot does not cover evicts and remaps.
+#[derive(Debug, Default)]
+pub struct WindowCache {
+    /// peer-rank → (slot-aligned base, slot span) currently mapped.
+    slots: HashMap<u32, (u64, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl WindowCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request access to `[base, base+len)` of `peer`'s memory.
+    ///
+    /// `caching_enabled = false` models the naive stack of Figure 8's
+    /// `nocaching` curve: every request pays the syscall pair(s).
+    pub fn map(
+        &mut self,
+        cfg: &WindowConfig,
+        peer: u32,
+        base: u64,
+        len: u64,
+        caching_enabled: bool,
+    ) -> MapOutcome {
+        let slot = cfg.best_slot_size(len.max(1));
+        let aligned = (base / slot) * slot;
+        let maps = cfg.maps_needed(base, len.max(1), slot);
+        let span = maps * slot;
+
+        if caching_enabled {
+            if let Some(&(cur_base, cur_span)) = self.slots.get(&peer) {
+                if base >= cur_base && base + len <= cur_base + cur_span {
+                    self.hits += 1;
+                    return MapOutcome {
+                        cached: true,
+                        syscalls: 0,
+                        cost: SimTime::ZERO,
+                    };
+                }
+            }
+            self.slots.insert(peer, (aligned, span));
+        }
+        self.misses += 1;
+        MapOutcome {
+            cached: false,
+            syscalls: 2 * maps,
+            cost: cfg.map_cost(maps),
+        }
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (fresh mappings issued).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Peers currently holding a mapped slot.
+    pub fn active_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_slot_picks_smallest_cover() {
+        let c = WindowConfig::default();
+        assert_eq!(c.best_slot_size(1), 1 << 20);
+        assert_eq!(c.best_slot_size(1 << 20), 1 << 20);
+        assert_eq!(c.best_slot_size((1 << 20) + 1), 16 << 20);
+        assert_eq!(c.best_slot_size(200 << 20), 256 << 20);
+        // Larger than the largest slot: still the largest (multi-map).
+        assert_eq!(c.best_slot_size(1 << 30), 256 << 20);
+    }
+
+    #[test]
+    fn maps_needed_counts_boundary_straddles() {
+        let c = WindowConfig::default();
+        let mb = 1u64 << 20;
+        assert_eq!(c.maps_needed(0, mb, mb), 1);
+        // A 2-byte buffer straddling a 1MB boundary needs two mappings.
+        assert_eq!(c.maps_needed(mb - 1, 2, mb), 2);
+        assert_eq!(c.maps_needed(mb, mb, mb), 1);
+        assert_eq!(c.maps_needed(0, 0, mb), 0);
+        assert_eq!(c.maps_needed(0, 3 * mb, mb), 3);
+    }
+
+    #[test]
+    fn map_cost_is_two_syscalls_each() {
+        let c = WindowConfig::default();
+        assert_eq!(c.map_cost(1), SimTime::from_nanos(2 * c.syscall_ns));
+        assert_eq!(c.map_cost(3), SimTime::from_nanos(6 * c.syscall_ns));
+    }
+
+    #[test]
+    fn cache_hit_on_repeated_buffer() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        let first = cache.map(&cfg, 1, 0x100000, 4096, true);
+        assert!(!first.cached);
+        assert_eq!(first.syscalls, 2);
+        let second = cache.map(&cfg, 1, 0x100000, 4096, true);
+        assert!(second.cached);
+        assert_eq!(second.cost, SimTime::ZERO);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn nearby_buffer_in_same_slot_hits() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        cache.map(&cfg, 2, 0, 4096, true);
+        // Another buffer within the same 1MB slot: still covered.
+        let o = cache.map(&cfg, 2, 512 * 1024, 4096, true);
+        assert!(o.cached);
+    }
+
+    #[test]
+    fn retargeting_a_peer_evicts() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        cache.map(&cfg, 3, 0, 4096, true);
+        let far = cache.map(&cfg, 3, 64 << 20, 4096, true); // different slot
+        assert!(!far.cached);
+        // The original region is no longer covered.
+        let back = cache.map(&cfg, 3, 0, 4096, true);
+        assert!(!back.cached);
+    }
+
+    #[test]
+    fn caching_disabled_always_pays() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        for _ in 0..5 {
+            let o = cache.map(&cfg, 1, 0, 4096, false);
+            assert!(!o.cached);
+            assert_eq!(o.syscalls, 2);
+        }
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn distinct_peers_hold_distinct_slots() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        for peer in 1..=3 {
+            cache.map(&cfg, peer, 0x40000000, 1 << 20, true);
+        }
+        assert_eq!(cache.active_slots(), 3);
+        // All three now hit.
+        for peer in 1..=3 {
+            assert!(cache.map(&cfg, peer, 0x40000000, 1 << 20, true).cached);
+        }
+    }
+
+    #[test]
+    fn huge_buffer_needs_multiple_maps_of_largest_slot() {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        // 512 MB buffer: two 256 MB mappings.
+        let o = cache.map(&cfg, 1, 0, 512 << 20, true);
+        assert_eq!(o.syscalls, 4);
+        assert_eq!(o.cost, cfg.map_cost(2));
+    }
+}

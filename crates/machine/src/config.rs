@@ -1,0 +1,299 @@
+//! The full machine configuration: every calibration constant in one place.
+//!
+//! All figures and tables are regenerated from a [`MachineConfig`]; the
+//! constants are calibrated once (DESIGN.md §5) and shared by every
+//! algorithm, so that cross-algorithm comparisons measure the algorithms and
+//! not per-algorithm tuning.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_sim::{Rate, SimTime};
+
+use crate::cnk::WindowConfig;
+use crate::dma::DmaConfig;
+use crate::geometry::Dims;
+use crate::memory::MemoryModel;
+use crate::tree::TreeConfig;
+
+/// BG/P node operating modes (paper §III): how many MPI processes share the
+/// four cores of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpMode {
+    /// One process per node (with up to four threads).
+    Smp,
+    /// Two processes per node.
+    Dual,
+    /// Four processes per node — the mode the paper optimizes.
+    Quad,
+}
+
+impl OpMode {
+    /// MPI ranks per node in this mode.
+    #[inline]
+    pub fn ranks_per_node(self) -> u32 {
+        match self {
+            OpMode::Smp => 1,
+            OpMode::Dual => 2,
+            OpMode::Quad => 4,
+        }
+    }
+}
+
+/// Torus network constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TorusConfig {
+    /// Raw throughput of one link direction, MB/s (paper: 425).
+    pub link_mb: f64,
+    /// Per-hop router latency.
+    pub hop_latency_ns: u64,
+    /// Torus packet payload bytes.
+    pub packet_bytes: u32,
+}
+
+impl Default for TorusConfig {
+    fn default() -> Self {
+        TorusConfig {
+            link_mb: 425.0,
+            hop_latency_ns: 100,
+            packet_bytes: 240,
+        }
+    }
+}
+
+impl TorusConfig {
+    /// Link throughput as a [`Rate`].
+    #[inline]
+    pub fn link_rate(&self) -> Rate {
+        Rate::mb_per_sec(self.link_mb)
+    }
+
+    /// Router latency across `hops`.
+    #[inline]
+    pub fn hop_latency(&self, hops: u32) -> SimTime {
+        SimTime::from_nanos(self.hop_latency_ns * hops as u64)
+    }
+}
+
+/// Calibrated software costs: the messaging-stack overheads that dominate
+/// short-message latency and the per-chunk synchronization costs that bound
+/// pipelining.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftwareCosts {
+    /// Fixed per-collective software overhead (MPI + CCMI dispatch) on every
+    /// participating rank.
+    pub mpi_overhead_ns: u64,
+    /// Publishing a software message counter (store + lwsync).
+    pub counter_publish_ns: u64,
+    /// Observing a counter update (poll granularity: the mean delay between
+    /// the publish and the consumer noticing).
+    pub counter_poll_ns: u64,
+    /// Atomic completion-counter increment (fetch-and-increment round trip).
+    pub completion_inc_ns: u64,
+    /// Bcast FIFO per-slot enqueue overhead (atomic tail reservation, space
+    /// check, metadata write, write-completion flag).
+    pub fifo_enqueue_ns: u64,
+    /// Bcast FIFO per-slot dequeue overhead (head check, reader-count
+    /// decrement, possible head advance).
+    pub fifo_dequeue_ns: u64,
+    /// Bcast FIFO slot payload bytes.
+    pub fifo_slot_bytes: u32,
+    /// Bcast FIFO slot count.
+    pub fifo_slots: u32,
+    /// Barrier via the global interrupt network.
+    pub barrier_ns: u64,
+    /// Pipeline width: the chunk size collectives use to overlap network
+    /// and intra-node stages (the paper's `Pwidth`).
+    pub pwidth: u32,
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        SoftwareCosts {
+            mpi_overhead_ns: 1500,
+            counter_publish_ns: 160,
+            counter_poll_ns: 250,
+            completion_inc_ns: 60,
+            fifo_enqueue_ns: 450,
+            fifo_dequeue_ns: 200,
+            fifo_slot_bytes: 1024,
+            fifo_slots: 256,
+            barrier_ns: 1300,
+            pwidth: 16 * 1024,
+        }
+    }
+}
+
+impl SoftwareCosts {
+    /// Fixed MPI dispatch overhead.
+    #[inline]
+    pub fn mpi_overhead(&self) -> SimTime {
+        SimTime::from_nanos(self.mpi_overhead_ns)
+    }
+
+    /// Counter publish cost.
+    #[inline]
+    pub fn counter_publish(&self) -> SimTime {
+        SimTime::from_nanos(self.counter_publish_ns)
+    }
+
+    /// Counter poll/notice delay.
+    #[inline]
+    pub fn counter_poll(&self) -> SimTime {
+        SimTime::from_nanos(self.counter_poll_ns)
+    }
+
+    /// Completion increment cost.
+    #[inline]
+    pub fn completion_inc(&self) -> SimTime {
+        SimTime::from_nanos(self.completion_inc_ns)
+    }
+
+    /// Barrier latency.
+    #[inline]
+    pub fn barrier(&self) -> SimTime {
+        SimTime::from_nanos(self.barrier_ns)
+    }
+}
+
+/// The complete machine description used by the simulator and harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Torus extents of the partition.
+    pub dims: Dims,
+    /// Whether the partition wraps (a full torus) or is a mesh.
+    pub wrap: bool,
+    /// Operating mode (processes per node).
+    pub mode: OpMode,
+    /// Torus link constants.
+    pub torus: TorusConfig,
+    /// DMA engine constants.
+    pub dma: DmaConfig,
+    /// Collective network constants.
+    pub tree: TreeConfig,
+    /// Node memory model.
+    pub mem: MemoryModel,
+    /// CNK process-window constants.
+    pub cnk: WindowConfig,
+    /// Software-stack costs.
+    pub sw: SoftwareCosts,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation system: two racks (2048 nodes, 8×8×32 torus),
+    /// quad mode → 8192 MPI processes.
+    pub fn two_racks_quad() -> Self {
+        Self::racks(2, OpMode::Quad)
+    }
+
+    /// `n` racks of 1024 nodes. 1 rack is 8×8×16; racks stack along Z.
+    /// Supported sizes: 1, 2, 4, 8 racks (the Figure 9 sweep uses ¼ rack
+    /// to 2 racks via [`MachineConfig::with_nodes`]).
+    pub fn racks(n: u32, mode: OpMode) -> Self {
+        assert!(n >= 1, "at least one rack");
+        MachineConfig {
+            dims: Dims::new(8, 8, 16 * n),
+            wrap: true,
+            mode,
+            torus: TorusConfig::default(),
+            dma: DmaConfig::default(),
+            tree: TreeConfig::default(),
+            mem: MemoryModel::default(),
+            cnk: WindowConfig::default(),
+            sw: SoftwareCosts::default(),
+        }
+    }
+
+    /// A partition with approximately `nodes` nodes (rounded to a power of
+    /// two ≥ 64), used by the Figure 9 process-count sweep.
+    pub fn with_nodes(nodes: u32, mode: OpMode) -> Self {
+        assert!(nodes >= 1);
+        let mut cfg = Self::racks(1, mode);
+        // Factor `nodes` into the most cubic 2^a × 2^b × 2^c shape.
+        let log = (nodes as f64).log2().round() as u32;
+        let a = log / 3;
+        let b = (log - a) / 2;
+        let c = log - a - b;
+        cfg.dims = Dims::new(1 << a, 1 << b, 1 << c);
+        cfg
+    }
+
+    /// A small machine for unit/integration tests (fast to simulate).
+    pub fn test_small(mode: OpMode) -> Self {
+        let mut cfg = Self::racks(1, mode);
+        cfg.dims = Dims::new(4, 4, 4);
+        cfg
+    }
+
+    /// Nodes in the partition.
+    #[inline]
+    pub fn node_count(&self) -> u32 {
+        self.dims.node_count()
+    }
+
+    /// Total MPI ranks (nodes × ranks per node).
+    #[inline]
+    pub fn rank_count(&self) -> u32 {
+        self.node_count() * self.mode.ranks_per_node()
+    }
+
+    /// Ranks per node in the configured mode.
+    #[inline]
+    pub fn ranks_per_node(&self) -> u32 {
+        self.mode.ranks_per_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_racks_is_the_papers_system() {
+        let cfg = MachineConfig::two_racks_quad();
+        assert_eq!(cfg.node_count(), 2048);
+        assert_eq!(cfg.rank_count(), 8192);
+        assert_eq!(cfg.ranks_per_node(), 4);
+    }
+
+    #[test]
+    fn modes() {
+        assert_eq!(OpMode::Smp.ranks_per_node(), 1);
+        assert_eq!(OpMode::Dual.ranks_per_node(), 2);
+        assert_eq!(OpMode::Quad.ranks_per_node(), 4);
+    }
+
+    #[test]
+    fn with_nodes_hits_figure9_sizes() {
+        // Figure 9 sweeps 1024/2048/4096/8192 processes in quad mode,
+        // i.e. 256/512/1024/2048 nodes.
+        for (nodes, procs) in [(256u32, 1024u32), (512, 2048), (1024, 4096), (2048, 8192)] {
+            let cfg = MachineConfig::with_nodes(nodes, OpMode::Quad);
+            assert_eq!(cfg.node_count(), nodes, "requested {nodes}");
+            assert_eq!(cfg.rank_count(), procs);
+        }
+    }
+
+    #[test]
+    fn link_rates_match_paper() {
+        let cfg = MachineConfig::two_racks_quad();
+        assert!((cfg.torus.link_rate().as_mb_per_sec() - 425.0).abs() < 1e-9);
+        assert!((cfg.tree.link_rate().as_mb_per_sec() - 850.0).abs() < 1e-9);
+        // Six colors of torus ≈ 2.55 GB/s: the "close to peak" number.
+        assert!((6.0 * cfg.torus.link_mb - 2550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = MachineConfig::two_racks_quad();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), cfg.node_count());
+        assert_eq!(back.sw.pwidth, cfg.sw.pwidth);
+    }
+
+    #[test]
+    fn test_small_is_small() {
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        assert_eq!(cfg.node_count(), 64);
+    }
+}

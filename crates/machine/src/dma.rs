@@ -1,0 +1,213 @@
+//! The torus DMA engine model.
+//!
+//! BG/P's DMA injects and receives torus packets and can also perform local
+//! intra-node memory copies. It can keep all six torus links busy — but the
+//! paper's central observation is that it can *not* additionally carry the
+//! quad-mode intra-node distribution: the engine's aggregate bandwidth is the
+//! bottleneck the shared-address techniques remove.
+//!
+//! Two pieces live here:
+//!
+//! * [`DmaConfig`] — calibrated constants (aggregate bandwidth, descriptor
+//!   post cost, memory-FIFO per-packet cost, local-copy traffic factor).
+//! * [`ByteCounter`] — the hardware progress counter: initialised to the
+//!   message size and decremented by the engine per chunk delivered. The
+//!   software message counters of the paper (in `bgp-shmem`) deliberately
+//!   mirror this design at user level.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_sim::{Rate, SimTime};
+
+/// Calibrated DMA constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DmaConfig {
+    /// Aggregate engine bandwidth across injection + reception + local
+    /// copies, MB/s. 6 links × 425 MB/s in + out is 5.1 GB/s; the engine has
+    /// a little headroom beyond that but nowhere near enough for 3 extra
+    /// local copies per byte (quad-mode broadcast), which is the paper's
+    /// motivating bottleneck.
+    pub engine_mb: f64,
+    /// Bandwidth units consumed per payload byte of a DMA *local* copy
+    /// (read + write through the memory system).
+    pub local_copy_factor: f64,
+    /// Core time to build + post one injection descriptor.
+    pub descriptor_cost_ns: u64,
+    /// Extra per-packet cost of the memory-FIFO reception path (packets are
+    /// landed in a FIFO and must be drained by a core), per 256-byte packet.
+    pub memfifo_per_packet_ns: u64,
+    /// Packet payload for memory-FIFO accounting.
+    pub packet_bytes: u32,
+    /// Cost for a core to poll a DMA counter once.
+    pub counter_poll_ns: u64,
+    /// Latency from DMA memory-FIFO packet arrival to the receiving core
+    /// noticing it (progress-engine poll interval) — a fixed per-chunk
+    /// charge of the memory-FIFO reception path.
+    pub memfifo_notify_ns: u64,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            engine_mb: 6400.0,
+            local_copy_factor: 2.0,
+            descriptor_cost_ns: 500,
+            memfifo_per_packet_ns: 90,
+            packet_bytes: 240,
+            counter_poll_ns: 60,
+            memfifo_notify_ns: 1500,
+        }
+    }
+}
+
+impl DmaConfig {
+    /// Engine bandwidth as a [`Rate`].
+    #[inline]
+    pub fn engine_rate(&self) -> Rate {
+        Rate::mb_per_sec(self.engine_mb)
+    }
+
+    /// Descriptor post cost.
+    #[inline]
+    pub fn descriptor_cost(&self) -> SimTime {
+        SimTime::from_nanos(self.descriptor_cost_ns)
+    }
+
+    /// Engine bandwidth consumed to move `payload` bytes over the network
+    /// (injection or reception side — one unit per byte).
+    #[inline]
+    pub fn network_traffic(&self, payload: u64) -> u64 {
+        payload
+    }
+
+    /// Engine bandwidth consumed by a local copy of `payload` bytes.
+    #[inline]
+    pub fn local_copy_traffic(&self, payload: u64) -> u64 {
+        (payload as f64 * self.local_copy_factor).ceil() as u64
+    }
+
+    /// Core time to drain `payload` bytes of memory-FIFO packets.
+    pub fn memfifo_drain_cost(&self, payload: u64) -> SimTime {
+        let packets = payload.div_ceil(self.packet_bytes as u64);
+        SimTime::from_nanos(packets * self.memfifo_per_packet_ns)
+    }
+
+    /// One counter poll.
+    #[inline]
+    pub fn counter_poll(&self) -> SimTime {
+        SimTime::from_nanos(self.counter_poll_ns)
+    }
+
+    /// Memory-FIFO arrival-notice latency.
+    #[inline]
+    pub fn memfifo_notify(&self) -> SimTime {
+        SimTime::from_nanos(self.memfifo_notify_ns)
+    }
+}
+
+/// A DMA byte counter: allocated per operation, initialised to the total
+/// byte count, decremented by the engine as chunks land. Cores poll it to
+/// track progress (paper §III, *Direct Put/Get*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteCounter {
+    initial: u64,
+    remaining: u64,
+}
+
+impl ByteCounter {
+    /// Allocate a counter for an operation of `total` bytes.
+    pub fn new(total: u64) -> Self {
+        ByteCounter {
+            initial: total,
+            remaining: total,
+        }
+    }
+
+    /// The engine delivered `bytes`; decrement. Panics if decremented past
+    /// zero — that is always a protocol bug (more data landed than the
+    /// descriptor described).
+    pub fn decrement(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.remaining,
+            "DMA counter underflow: {} delivered into counter with {} remaining",
+            bytes,
+            self.remaining
+        );
+        self.remaining -= bytes;
+    }
+
+    /// Bytes still outstanding.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Bytes delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.initial - self.remaining
+    }
+
+    /// Whether the operation has fully completed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_down() {
+        let mut c = ByteCounter::new(100);
+        assert!(!c.is_complete());
+        c.decrement(60);
+        assert_eq!(c.remaining(), 40);
+        assert_eq!(c.delivered(), 60);
+        c.decrement(40);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn counter_underflow_panics() {
+        let mut c = ByteCounter::new(10);
+        c.decrement(11);
+    }
+
+    #[test]
+    fn zero_byte_operation_is_born_complete() {
+        assert!(ByteCounter::new(0).is_complete());
+    }
+
+    #[test]
+    fn engine_can_keep_six_links_busy_but_not_quad_distribution() {
+        // The calibration must encode the paper's motivation: 6 links of
+        // torus traffic fit in the engine budget, 6 links + 3 local copies
+        // per byte do not.
+        let d = DmaConfig::default();
+        let six_links_in_out = 2.0 * 6.0 * 425.0;
+        assert!(d.engine_mb >= six_links_in_out);
+        let with_quad_copies = six_links_in_out + 3.0 * d.local_copy_factor * (6.0 * 425.0);
+        assert!(d.engine_mb < with_quad_copies);
+    }
+
+    #[test]
+    fn local_copy_costs_double() {
+        let d = DmaConfig::default();
+        assert_eq!(d.local_copy_traffic(512), 1024);
+        assert_eq!(d.network_traffic(512), 512);
+    }
+
+    #[test]
+    fn memfifo_drain_is_per_packet() {
+        let d = DmaConfig::default();
+        let one = d.memfifo_drain_cost(1);
+        let full = d.memfifo_drain_cost(d.packet_bytes as u64);
+        assert_eq!(one, full); // both one packet
+        let two = d.memfifo_drain_cost(d.packet_bytes as u64 + 1);
+        assert_eq!(two, full * 2);
+    }
+}

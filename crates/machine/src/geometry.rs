@@ -1,0 +1,390 @@
+//! 3D torus geometry: coordinates, node ids, link directions, lines.
+//!
+//! A BG/P partition is an `X × Y × Z` torus; every node has six links
+//! (`X+ X- Y+ Y- Z+ Z-`). The *deposit bit* feature lets a packet travelling
+//! along one dimension be copied into every intermediate node on the way —
+//! a hardware line broadcast — which is the primitive under the multi-color
+//! spanning-tree algorithms in [`crate::routing`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three torus axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    /// All axes in canonical order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Index 0/1/2 for X/Y/Z.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "X"),
+            Axis::Y => write!(f, "Y"),
+            Axis::Z => write!(f, "Z"),
+        }
+    }
+}
+
+/// Link polarity along an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    Plus,
+    Minus,
+}
+
+impl Sign {
+    /// Both polarities.
+    pub const ALL: [Sign; 2] = [Sign::Plus, Sign::Minus];
+
+    /// The opposite polarity.
+    #[inline]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// One of the six torus link directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Direction {
+    pub axis: Axis,
+    pub sign: Sign,
+}
+
+impl Direction {
+    /// All six directions in canonical order `X+ X- Y+ Y- Z+ Z-`.
+    pub const ALL: [Direction; 6] = [
+        Direction { axis: Axis::X, sign: Sign::Plus },
+        Direction { axis: Axis::X, sign: Sign::Minus },
+        Direction { axis: Axis::Y, sign: Sign::Plus },
+        Direction { axis: Axis::Y, sign: Sign::Minus },
+        Direction { axis: Axis::Z, sign: Sign::Plus },
+        Direction { axis: Axis::Z, sign: Sign::Minus },
+    ];
+
+    /// Dense index 0..6 matching [`Direction::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.axis.index() * 2 + if self.sign == Sign::Plus { 0 } else { 1 }
+    }
+
+    /// The reverse direction (the link's other polarity).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        Direction {
+            axis: self.axis,
+            sign: self.sign.flip(),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = if self.sign == Sign::Plus { "+" } else { "-" };
+        write!(f, "{}{}", self.axis, s)
+    }
+}
+
+/// Torus extents. Every axis must be at least 1; an axis of extent 1 has no
+/// links (degenerate but allowed for unit tests on small meshes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dims {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dims {
+    /// Construct, validating that no axis is zero.
+    pub fn new(x: u32, y: u32, z: u32) -> Dims {
+        assert!(x >= 1 && y >= 1 && z >= 1, "torus axis of extent 0");
+        Dims { x, y, z }
+    }
+
+    /// Extent along `axis`.
+    #[inline]
+    pub fn extent(self, axis: Axis) -> u32 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn node_count(self) -> u32 {
+        self.x * self.y * self.z
+    }
+
+    /// Dense id for a coordinate (x fastest, z slowest).
+    #[inline]
+    pub fn id_of(self, c: Coord) -> NodeId {
+        debug_assert!(self.contains(c), "coordinate {c} outside {self:?}");
+        NodeId(c.x + self.x * (c.y + self.y * c.z))
+    }
+
+    /// Coordinate for a dense id.
+    #[inline]
+    pub fn coord_of(self, id: NodeId) -> Coord {
+        debug_assert!(id.0 < self.node_count());
+        let x = id.0 % self.x;
+        let y = (id.0 / self.x) % self.y;
+        let z = id.0 / (self.x * self.y);
+        Coord { x, y, z }
+    }
+
+    /// Whether `c` is a valid coordinate.
+    #[inline]
+    pub fn contains(self, c: Coord) -> bool {
+        c.x < self.x && c.y < self.y && c.z < self.z
+    }
+
+    /// The neighbouring coordinate in `dir`, with torus wraparound.
+    #[inline]
+    pub fn neighbor(self, c: Coord, dir: Direction) -> Coord {
+        let ext = self.extent(dir.axis);
+        let step = |v: u32| match dir.sign {
+            Sign::Plus => (v + 1) % ext,
+            Sign::Minus => (v + ext - 1) % ext,
+        };
+        let mut n = c;
+        match dir.axis {
+            Axis::X => n.x = step(c.x),
+            Axis::Y => n.y = step(c.y),
+            Axis::Z => n.z = step(c.z),
+        }
+        n
+    }
+
+    /// Minimal hop distance between two values along an axis of extent `ext`
+    /// on a torus.
+    #[inline]
+    pub fn torus_dist_1d(ext: u32, a: u32, b: u32) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(ext - d)
+    }
+
+    /// Minimal hop distance between two coordinates.
+    pub fn torus_distance(self, a: Coord, b: Coord) -> u32 {
+        Self::torus_dist_1d(self.x, a.x, b.x)
+            + Self::torus_dist_1d(self.y, a.y, b.y)
+            + Self::torus_dist_1d(self.z, a.z, b.z)
+    }
+
+    /// The nodes visited by a deposit-bit line transfer starting at `from`,
+    /// moving in `dir`, **excluding** `from` itself, in traversal order.
+    ///
+    /// On a torus the line covers all `extent-1` other nodes of the line;
+    /// the hardware stops delivery before wrapping back onto the source.
+    pub fn line_from(self, from: Coord, dir: Direction) -> Vec<Coord> {
+        let ext = self.extent(dir.axis);
+        let mut out = Vec::with_capacity(ext.saturating_sub(1) as usize);
+        let mut cur = from;
+        for _ in 1..ext {
+            cur = self.neighbor(cur, dir);
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Iterate all coordinates in id order.
+    pub fn iter_coords(self) -> impl Iterator<Item = Coord> {
+        let dims = self;
+        (0..self.node_count()).map(move |i| dims.coord_of(NodeId(i)))
+    }
+}
+
+/// A node's 3D coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Coord {
+    /// Construct a coordinate (unvalidated; validate with [`Dims::contains`]).
+    pub const fn new(x: u32, y: u32, z: u32) -> Coord {
+        Coord { x, y, z }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Coord = Coord::new(0, 0, 0);
+
+    /// Value along `axis`.
+    #[inline]
+    pub fn along(self, axis: Axis) -> u32 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// Dense node identifier in `0..Dims::node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index as `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_round_trip() {
+        let d = Dims::new(8, 8, 32);
+        assert_eq!(d.node_count(), 2048);
+        for i in 0..d.node_count() {
+            let id = NodeId(i);
+            let c = d.coord_of(id);
+            assert!(d.contains(c));
+            assert_eq!(d.id_of(c), id);
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_around() {
+        let d = Dims::new(4, 4, 4);
+        let c = Coord::new(3, 0, 2);
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let ym = Direction { axis: Axis::Y, sign: Sign::Minus };
+        assert_eq!(d.neighbor(c, xp), Coord::new(0, 0, 2));
+        assert_eq!(d.neighbor(c, ym), Coord::new(3, 3, 2));
+    }
+
+    #[test]
+    fn neighbor_round_trip() {
+        let d = Dims::new(3, 5, 7);
+        for c in d.iter_coords() {
+            for dir in Direction::ALL {
+                let n = d.neighbor(c, dir);
+                assert_eq!(d.neighbor(n, dir.opposite()), c);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_distance_takes_shortcut() {
+        let d = Dims::new(8, 8, 8);
+        // 0 -> 7 along X is one hop the short way round.
+        assert_eq!(
+            d.torus_distance(Coord::new(0, 0, 0), Coord::new(7, 0, 0)),
+            1
+        );
+        assert_eq!(
+            d.torus_distance(Coord::new(0, 0, 0), Coord::new(4, 4, 4)),
+            12
+        );
+        assert_eq!(d.torus_distance(Coord::new(1, 2, 3), Coord::new(1, 2, 3)), 0);
+    }
+
+    #[test]
+    fn line_covers_whole_ring_once() {
+        let d = Dims::new(4, 1, 1);
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let line = d.line_from(Coord::new(1, 0, 0), xp);
+        assert_eq!(
+            line,
+            vec![
+                Coord::new(2, 0, 0),
+                Coord::new(3, 0, 0),
+                Coord::new(0, 0, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn line_on_degenerate_axis_is_empty() {
+        let d = Dims::new(1, 4, 4);
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        assert!(d.line_from(Coord::new(0, 1, 1), xp).is_empty());
+    }
+
+    #[test]
+    fn line_minus_is_reverse_order_of_plus() {
+        let d = Dims::new(5, 1, 1);
+        let from = Coord::new(2, 0, 0);
+        let plus: Vec<u32> = d
+            .line_from(from, Direction { axis: Axis::X, sign: Sign::Plus })
+            .iter()
+            .map(|c| c.x)
+            .collect();
+        let minus: Vec<u32> = d
+            .line_from(from, Direction { axis: Axis::X, sign: Sign::Minus })
+            .iter()
+            .map(|c| c.x)
+            .collect();
+        assert_eq!(plus, vec![3, 4, 0, 1]);
+        assert_eq!(minus, vec![1, 0, 4, 3]);
+    }
+
+    #[test]
+    fn direction_indexing_is_dense_and_stable() {
+        for (i, d) in Direction::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn axis_display() {
+        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        assert_eq!(xp.to_string(), "X+");
+        assert_eq!(xp.opposite().to_string(), "X-");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_rejected() {
+        let _ = Dims::new(0, 4, 4);
+    }
+
+    #[test]
+    fn iter_coords_is_exhaustive_and_ordered() {
+        let d = Dims::new(2, 3, 2);
+        let all: Vec<Coord> = d.iter_coords().collect();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0], Coord::new(0, 0, 0));
+        assert_eq!(all[1], Coord::new(1, 0, 0)); // x fastest
+        assert_eq!(all[11], Coord::new(1, 2, 1));
+    }
+}

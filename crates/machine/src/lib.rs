@@ -1,0 +1,35 @@
+//! # bgp-machine — the Blue Gene/P hardware model
+//!
+//! Everything the paper's algorithms assume about the machine, as a *static*
+//! model: pure types and cost functions with no simulation state. The dynamic
+//! side (event scheduling, bandwidth servers) lives in `bgp-dcmf`, which
+//! instantiates `bgp-sim` servers according to this model.
+//!
+//! The model covers, per the paper's §III:
+//!
+//! * [`geometry`] / [`routing`] — the 3D torus: coordinates, the six link
+//!   directions, deposit-bit line broadcasts, and the multi-color
+//!   edge-disjoint spanning routes used by the collective algorithms.
+//! * [`tree`] — the collective network: a tree topology with an integer ALU,
+//!   no DMA, core-driven injection/reception at 850 MB/s.
+//! * [`dma`] — the torus DMA engine: descriptor costs, byte counters,
+//!   direct put/get, and the aggregate bandwidth budget whose exhaustion in
+//!   quad mode is the paper's core motivation.
+//! * [`memory`] — the node memory subsystem: per-core copy rates, aggregate
+//!   bandwidth, and the 8 MB L2 cliff visible in the paper's Figure 10.
+//! * [`cnk`] — the Compute Node Kernel's process windows: TLB slots,
+//!   the two-syscall mapping cost, and the mapping cache of Figure 8.
+//! * [`config`] — one [`config::MachineConfig`] bundling every calibration
+//!   constant, with presets for the paper's two-rack evaluation system.
+
+pub mod cnk;
+pub mod config;
+pub mod dma;
+pub mod geometry;
+pub mod memory;
+pub mod routing;
+pub mod tree;
+
+pub use config::{MachineConfig, OpMode};
+pub use geometry::{Axis, Coord, Dims, Direction, NodeId, Sign};
+pub use routing::{Color, ColorRoute};

@@ -1,0 +1,158 @@
+//! Node memory subsystem model.
+//!
+//! The PPC450 cores are clocked low (850 MHz) by design, so memory copies —
+//! not network links — are the scarce resource the paper's techniques manage.
+//! Two effects matter for the figures:
+//!
+//! * **Copy cost.** A `memcpy` of `n` bytes moves `2n` bytes of bandwidth
+//!   (read + write). Per-core copy throughput is far below the node's
+//!   aggregate bandwidth, and the aggregate is shared by all four cores plus
+//!   the DMA engine.
+//! * **The 8 MB L2 cliff.** When the data a consumer reads was recently
+//!   produced on-node (by the DMA or another core) *and* the working set
+//!   fits in the shared 8 MB L2, reads hit L2 and copies run at the fast
+//!   rate. Past the L2 size, source reads go to DRAM and rates drop — the
+//!   droop at 4 MB in the paper's Figure 10.
+
+use serde::{Deserialize, Serialize};
+
+use bgp_sim::Rate;
+
+/// Calibrated memory-subsystem parameters for one node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Shared L2/L3 prefetch-buffer capacity (8 MB on BG/P).
+    pub l2_bytes: u64,
+    /// Single-core copy throughput when the source is L2-resident, in MB/s
+    /// of *payload* (the read+write doubling is already folded in).
+    pub core_copy_mb_l2: f64,
+    /// Single-core copy throughput when the source streams from DRAM.
+    pub core_copy_mb_dram: f64,
+    /// Aggregate node memory bandwidth (all cores + DMA), L2-resident.
+    pub node_bw_mb_l2: f64,
+    /// Aggregate node memory bandwidth, DRAM-streaming.
+    pub node_bw_mb_dram: f64,
+    /// Aggregate byte-processing rate of one core doing reduction
+    /// arithmetic (sum of doubles): bytes *read* per second across all
+    /// input streams. An 850 MHz PPC450 with the double-FPU is
+    /// memory/issue-bound here, not flop-bound.
+    pub core_reduce_mb: f64,
+    /// Bandwidth units consumed per payload byte by a copy (read + write).
+    pub copy_traffic_factor: f64,
+    /// Bandwidth units consumed per payload byte by a read-only pass whose
+    /// source hits L2 (≈ the write half only).
+    pub shared_read_traffic_factor: f64,
+}
+
+impl Default for MemoryModel {
+    /// BG/P calibration. See DESIGN.md §5 for the derivation; the values are
+    /// held fixed across every algorithm so comparisons are fair.
+    fn default() -> Self {
+        MemoryModel {
+            l2_bytes: 8 * 1024 * 1024,
+            core_copy_mb_l2: 2800.0,
+            core_copy_mb_dram: 1500.0,
+            node_bw_mb_l2: 12000.0,
+            node_bw_mb_dram: 8200.0,
+            core_reduce_mb: 2400.0,
+            copy_traffic_factor: 2.0,
+            shared_read_traffic_factor: 1.0,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Whether a working set of `bytes` stays L2-resident.
+    #[inline]
+    pub fn l2_resident(&self, bytes: u64) -> bool {
+        bytes <= self.l2_bytes
+    }
+
+    /// Single-core copy rate for a pipeline whose working set is `bytes`.
+    #[inline]
+    pub fn core_copy_rate(&self, working_set: u64) -> Rate {
+        if self.l2_resident(working_set) {
+            Rate::mb_per_sec(self.core_copy_mb_l2)
+        } else {
+            Rate::mb_per_sec(self.core_copy_mb_dram)
+        }
+    }
+
+    /// Aggregate node memory bandwidth for a working set of `bytes`.
+    #[inline]
+    pub fn node_rate(&self, working_set: u64) -> Rate {
+        if self.l2_resident(working_set) {
+            Rate::mb_per_sec(self.node_bw_mb_l2)
+        } else {
+            Rate::mb_per_sec(self.node_bw_mb_dram)
+        }
+    }
+
+    /// Core time rate for reducing `n_inputs` streams into one output:
+    /// returns the rate at which *output* bytes are produced.
+    #[inline]
+    pub fn core_reduce_rate(&self, n_inputs: usize) -> Rate {
+        assert!(n_inputs >= 1, "reduction needs at least one input");
+        Rate::mb_per_sec(self.core_reduce_mb / n_inputs as f64)
+    }
+
+    /// Memory-bandwidth bytes consumed by copying `payload` bytes.
+    #[inline]
+    pub fn copy_traffic(&self, payload: u64) -> u64 {
+        (payload as f64 * self.copy_traffic_factor).ceil() as u64
+    }
+
+    /// Memory-bandwidth bytes consumed by a copy whose *source* hits L2
+    /// (read nearly free, write pays full price).
+    #[inline]
+    pub fn shared_copy_traffic(&self, payload: u64) -> u64 {
+        (payload as f64 * self.shared_read_traffic_factor).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bgp() {
+        let m = MemoryModel::default();
+        assert_eq!(m.l2_bytes, 8 << 20);
+        assert!(m.core_copy_mb_l2 > m.core_copy_mb_dram);
+        assert!(m.node_bw_mb_l2 > m.node_bw_mb_dram);
+    }
+
+    #[test]
+    fn cliff_is_at_l2_size() {
+        let m = MemoryModel::default();
+        assert!(m.l2_resident(8 << 20));
+        assert!(!m.l2_resident((8 << 20) + 1));
+        let fast = m.core_copy_rate(1 << 20);
+        let slow = m.core_copy_rate(32 << 20);
+        assert!(fast.as_mb_per_sec() > slow.as_mb_per_sec());
+    }
+
+    #[test]
+    fn copy_traffic_doubles() {
+        let m = MemoryModel::default();
+        assert_eq!(m.copy_traffic(1000), 2000);
+        assert_eq!(m.shared_copy_traffic(1000), 1000);
+    }
+
+    #[test]
+    fn memory_outpaces_tree_by_at_least_2x() {
+        // Paper §V-B: "the memory bandwidth is at least twice that of the
+        // collective network" — the fact that makes the extra back-copy by
+        // rank 2 affordable. Guard it as an invariant of the calibration.
+        let m = MemoryModel::default();
+        assert!(m.core_copy_rate(1 << 20).as_mb_per_sec() >= 2.0 * 850.0);
+    }
+
+    #[test]
+    fn aggregate_exceeds_single_core() {
+        let m = MemoryModel::default();
+        for ws in [1u64 << 20, 32 << 20] {
+            assert!(m.node_rate(ws).as_mb_per_sec() > m.core_copy_rate(ws).as_mb_per_sec());
+        }
+    }
+}

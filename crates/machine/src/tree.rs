@@ -1,0 +1,241 @@
+//! The collective network ("the tree").
+//!
+//! A separate physical network with a tree topology, 850 MB/s raw throughput,
+//! an integer ALU at every node (so reductions combine in-network), and — the
+//! property all the Figure 6/7 algorithms revolve around — **no DMA**:
+//! injection and reception are performed by processor cores, packet by
+//! packet. One 850 MHz core cannot simultaneously inject and receive at
+//! 850 MB/s, which is why SMP mode dedicates two threads to the tree, and
+//! why the paper's quad-mode design dedicates two *processes* (the
+//! core-specialization idea).
+
+use serde::{Deserialize, Serialize};
+
+use bgp_sim::{Rate, SimTime};
+
+use crate::geometry::NodeId;
+
+/// Calibrated collective-network constants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Raw link throughput, MB/s (paper: 850).
+    pub link_mb: f64,
+    /// Tree fan-out (BG/P's collective network has up to 3 ports per node;
+    /// a partition's tree is essentially binary).
+    pub arity: u32,
+    /// Per-hop hardware latency (router + ALU + wire).
+    pub hop_latency_ns: u64,
+    /// Packet size on the tree.
+    pub packet_bytes: u32,
+    /// Core time to inject or receive one packet (header construction,
+    /// FIFO store, status check). This is what makes a single core unable
+    /// to drive both directions at full rate.
+    pub core_packet_ns: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            link_mb: 850.0,
+            arity: 2,
+            hop_latency_ns: 155,
+            packet_bytes: 256,
+            core_packet_ns: 260,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// Link throughput as a [`Rate`].
+    #[inline]
+    pub fn link_rate(&self) -> Rate {
+        Rate::mb_per_sec(self.link_mb)
+    }
+
+    /// Hardware latency across `hops` tree hops.
+    #[inline]
+    pub fn hop_latency(&self, hops: u32) -> SimTime {
+        SimTime::from_nanos(self.hop_latency_ns * hops as u64)
+    }
+
+    /// Core time to inject (or receive) `payload` bytes packet-by-packet.
+    pub fn core_packet_cost(&self, payload: u64) -> SimTime {
+        let packets = payload.div_ceil(self.packet_bytes as u64).max(1);
+        SimTime::from_nanos(packets * self.core_packet_ns)
+    }
+
+    /// The peak payload rate one core can sustain on one direction of the
+    /// tree, limited by per-packet processing.
+    pub fn single_core_rate(&self) -> Rate {
+        Rate::bytes_per_sec(self.packet_bytes as f64 / (self.core_packet_ns as f64 * 1e-9))
+    }
+}
+
+/// The tree topology over a partition's nodes: a balanced `arity`-ary tree
+/// in node-id level order (node 0 is the tree root; this matches how CNK
+/// wires `MPI_COMM_WORLD` onto the collective network for a partition).
+#[derive(Debug, Clone)]
+pub struct TreeTopology {
+    arity: u32,
+    n: u32,
+}
+
+impl TreeTopology {
+    /// Build the balanced topology for `n` nodes with the given arity.
+    pub fn balanced(n: u32, arity: u32) -> Self {
+        assert!(n >= 1, "empty tree");
+        assert!(arity >= 1, "arity must be >= 1");
+        TreeTopology { arity, n }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// True if the tree has exactly one node.
+    pub fn is_empty(&self) -> bool {
+        false // a tree always has at least its root
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if node.0 == 0 {
+            None
+        } else {
+            Some(NodeId((node.0 - 1) / self.arity))
+        }
+    }
+
+    /// The children of `node`, in id order.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        let first = node.0 * self.arity + 1;
+        (first..(first + self.arity).min(self.n))
+            .filter(|&c| c < self.n)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> u32 {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The maximum depth of any node — the hop count that dominates the
+    /// small-message broadcast latency of Figure 6.
+    pub fn max_depth(&self) -> u32 {
+        if self.n == 0 {
+            return 0;
+        }
+        self.depth(NodeId(self.n - 1))
+    }
+
+    /// Hops between a node and the tree root.
+    pub fn hops_to_root(&self, node: NodeId) -> u32 {
+        self.depth(node)
+    }
+
+    /// Worst-case hops for a broadcast from the root of the *hardware* tree:
+    /// data is routed up from the software root to the hardware root and
+    /// back down to the deepest leaf. For a root at depth `d` this is
+    /// `d + max_depth`.
+    pub fn broadcast_hops(&self, software_root: NodeId) -> u32 {
+        self.depth(software_root) + self.max_depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_agree() {
+        let t = TreeTopology::balanced(100, 2);
+        for i in 0..100u32 {
+            for c in t.children(NodeId(i)) {
+                assert_eq!(t.parent(c), Some(NodeId(i)));
+            }
+        }
+        assert_eq!(t.parent(NodeId(0)), None);
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let t = TreeTopology::balanced(2048, 2);
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(1)), 1);
+        assert_eq!(t.depth(NodeId(2)), 1);
+        assert_eq!(t.depth(NodeId(3)), 2);
+        // 2048-node binary tree: depth 11 at the bottom.
+        assert_eq!(t.max_depth(), 11);
+    }
+
+    #[test]
+    fn every_nonroot_has_a_parent_below_it() {
+        let t = TreeTopology::balanced(77, 3);
+        for i in 1..77u32 {
+            let p = t.parent(NodeId(i)).unwrap();
+            assert!(p.0 < i);
+        }
+    }
+
+    #[test]
+    fn children_of_leaf_is_empty() {
+        let t = TreeTopology::balanced(10, 2);
+        assert!(t.children(NodeId(9)).is_empty());
+        assert!(t.children(NodeId(5)).len() <= 2);
+    }
+
+    #[test]
+    fn broadcast_hops_from_nonroot() {
+        let t = TreeTopology::balanced(15, 2); // perfect, depth 3
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.broadcast_hops(NodeId(0)), 3);
+        assert_eq!(t.broadcast_hops(NodeId(14)), 6);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = TreeTopology::balanced(1, 2);
+        assert_eq!(t.max_depth(), 0);
+        assert!(t.children(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn single_core_cannot_drive_both_directions() {
+        // The calibration behind core specialization: one core's packet rate
+        // is above the link rate (so a dedicated core saturates one
+        // direction) but below twice the link rate (so one core cannot do
+        // inject + receive at full speed).
+        let c = TreeConfig::default();
+        let core = c.single_core_rate().as_mb_per_sec();
+        assert!(core > c.link_mb, "a dedicated core must saturate the tree");
+        assert!(
+            core < 2.0 * c.link_mb,
+            "one core must not be able to do both directions"
+        );
+    }
+
+    #[test]
+    fn packet_cost_rounds_up() {
+        let c = TreeConfig::default();
+        assert_eq!(c.core_packet_cost(1), c.core_packet_cost(256));
+        assert_eq!(c.core_packet_cost(257), c.core_packet_cost(256) * 2);
+        // Zero-byte operations still touch one packet (header-only).
+        assert_eq!(c.core_packet_cost(0), c.core_packet_cost(1));
+    }
+
+    #[test]
+    fn hop_latency_scales() {
+        let c = TreeConfig::default();
+        assert_eq!(c.hop_latency(0), SimTime::ZERO);
+        assert_eq!(c.hop_latency(10).as_nanos(), 10 * c.hop_latency_ns);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the machine model: geometry, routing, CNK windows.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use bgp_machine::cnk::{WindowCache, WindowConfig};
+use bgp_machine::geometry::{Coord, Dims, Direction, NodeId};
+use bgp_machine::routing::{color_routes, nr_schedule};
+use bgp_machine::tree::TreeTopology;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Node id <-> coordinate is a bijection for arbitrary shapes.
+    #[test]
+    fn id_coord_bijection(x in 1u32..8, y in 1u32..8, z in 1u32..8) {
+        let d = Dims::new(x, y, z);
+        let mut seen = HashSet::new();
+        for c in d.iter_coords() {
+            let id = d.id_of(c);
+            prop_assert!(id.0 < d.node_count());
+            prop_assert!(seen.insert(id));
+            prop_assert_eq!(d.coord_of(id), c);
+        }
+    }
+
+    /// Walking any direction and back returns to the start; walking the
+    /// full extent wraps to the start.
+    #[test]
+    fn torus_walks(x in 1u32..8, y in 1u32..8, z in 1u32..8, dir_i in 0usize..6) {
+        let d = Dims::new(x, y, z);
+        let dir = Direction::ALL[dir_i];
+        for c in d.iter_coords() {
+            prop_assert_eq!(d.neighbor(d.neighbor(c, dir), dir.opposite()), c);
+            let mut cur = c;
+            for _ in 0..d.extent(dir.axis) {
+                cur = d.neighbor(cur, dir);
+            }
+            prop_assert_eq!(cur, c, "full walk must wrap");
+        }
+    }
+
+    /// Torus distance is a metric (symmetric, identity, triangle
+    /// inequality) bounded by the sum of half-extents.
+    #[test]
+    fn torus_distance_is_a_metric(
+        x in 1u32..8, y in 1u32..8, z in 1u32..8,
+        pts in proptest::collection::vec((0u32..8, 0u32..8, 0u32..8), 3),
+    ) {
+        let d = Dims::new(x, y, z);
+        let p: Vec<Coord> = pts.iter().map(|&(a, b, c)| Coord::new(a % x, b % y, c % z)).collect();
+        let (a, b, c) = (p[0], p[1], p[2]);
+        prop_assert_eq!(d.torus_distance(a, a), 0);
+        prop_assert_eq!(d.torus_distance(a, b), d.torus_distance(b, a));
+        prop_assert!(d.torus_distance(a, c) <= d.torus_distance(a, b) + d.torus_distance(b, c));
+        prop_assert!(d.torus_distance(a, b) <= x / 2 + y / 2 + z / 2);
+    }
+
+    /// The neighbor-rooted schedules of the full color set deliver to each
+    /// node exactly `n_colors` times in total (once per color), from any
+    /// root.
+    #[test]
+    fn nr_schedules_balance_deliveries(
+        x in 2u32..6, y in 2u32..6, z in 2u32..6,
+        root_seed in 0u32..1000,
+    ) {
+        let d = Dims::new(x, y, z);
+        let root = d.coord_of(NodeId(root_seed % d.node_count()));
+        let routes = color_routes(d, true);
+        let mut deliveries = vec![0u32; d.node_count() as usize];
+        for route in &routes {
+            let s = nr_schedule(d, root, route);
+            deliveries[d.id_of(s.relay).idx()] += 1; // phase-0 unicast
+            for phase in &s.phases {
+                for lb in phase {
+                    for c in d.line_from(lb.from, lb.dir) {
+                        deliveries[d.id_of(c).idx()] += 1;
+                    }
+                }
+            }
+        }
+        for (i, &cnt) in deliveries.iter().enumerate() {
+            prop_assert_eq!(cnt, routes.len() as u32, "node {}", i);
+        }
+    }
+
+    /// Tree parent/child relations are consistent and acyclic for any size
+    /// and arity.
+    #[test]
+    fn tree_is_well_formed(n in 1u32..5000, arity in 1u32..5) {
+        let t = TreeTopology::balanced(n, arity);
+        let mut child_count = 0u32;
+        for i in 0..n {
+            let node = NodeId(i);
+            for c in t.children(node) {
+                prop_assert_eq!(t.parent(c), Some(node));
+                child_count += 1;
+            }
+            prop_assert!(t.depth(node) <= n); // terminates (acyclic)
+        }
+        prop_assert_eq!(child_count, n - 1, "every non-root is someone's child");
+        prop_assert!(t.max_depth() <= n);
+    }
+
+    /// Window cache: a request within an established slot never misses; a
+    /// request outside always does.
+    #[test]
+    fn window_cache_hit_iff_covered(base in 0u64..(1 << 30), len in 1u64..(1 << 20)) {
+        let cfg = WindowConfig::default();
+        let mut cache = WindowCache::new();
+        let first = cache.map(&cfg, 1, base, len, true);
+        prop_assert!(!first.cached);
+        // Same request again: always a hit.
+        let again = cache.map(&cfg, 1, base, len, true);
+        prop_assert!(again.cached);
+        // A request 512MB away: always a miss.
+        let far = cache.map(&cfg, 1, base + (512 << 20), len, true);
+        prop_assert!(!far.cached);
+    }
+
+    /// maps_needed is exactly the number of slot-aligned regions touched.
+    #[test]
+    fn maps_needed_matches_span(base in 0u64..(1 << 24), len in 1u64..(1 << 22), slot_i in 0usize..3) {
+        let cfg = WindowConfig::default();
+        let slot = cfg.slot_sizes[slot_i];
+        let n = cfg.maps_needed(base, len, slot);
+        let first = base / slot;
+        let last = (base + len - 1) / slot;
+        prop_assert_eq!(n, last - first + 1);
+        // Bounds: at least ceil(len/slot), at most one more.
+        prop_assert!(n >= len.div_ceil(slot));
+        prop_assert!(n <= len.div_ceil(slot) + 1);
+    }
+}

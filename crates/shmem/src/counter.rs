@@ -1,0 +1,267 @@
+//! Software message counters (paper §IV-C).
+//!
+//! The DMA engine tracks progress with hardware byte counters; the paper
+//! mirrors that design in software so intra-node consumers can chase a
+//! network reception *as it happens*. A [`MessageCounter`] is a single
+//! monotonically increasing byte count: the producer (the rank receiving
+//! from the network) publishes after each chunk lands; consumers poll and
+//! copy the newly valid prefix. The [`CompletionCounter`] is the atomic
+//! "all n-1 peers are done" count the master needs before it may reuse or
+//! overwrite its buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::spin;
+
+/// A monotone byte counter published by one producer, polled by any number
+/// of consumers.
+///
+/// The counter value is the number of bytes of the stream that are valid in
+/// the producer's buffer. `publish` uses `Release` so a consumer that
+/// `Acquire`-reads the new value also observes the buffer bytes it covers.
+///
+/// The counter is reusable across operations via [`MessageCounter::reset`],
+/// which only the producer may call, and only once all consumers of the
+/// previous operation are known to be done (use a [`CompletionCounter`]).
+#[derive(Debug)]
+pub struct MessageCounter {
+    bytes: CachePadded<AtomicU64>,
+}
+
+impl Default for MessageCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MessageCounter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        MessageCounter {
+            bytes: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Producer: `delta` more bytes of the stream are now valid.
+    ///
+    /// Returns the new total.
+    #[inline]
+    pub fn publish(&self, delta: u64) -> u64 {
+        self.bytes.fetch_add(delta, Ordering::Release) + delta
+    }
+
+    /// Consumer: the currently valid byte count (acquire: pairs with
+    /// [`publish`](Self::publish), making the covered bytes visible).
+    #[inline]
+    pub fn read(&self) -> u64 {
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    /// Consumer: spin until at least `target` bytes are valid; returns the
+    /// observed count (which may exceed `target`).
+    pub fn wait_for(&self, target: u64) -> u64 {
+        loop {
+            let v = self.read();
+            if v >= target {
+                return v;
+            }
+            spin();
+        }
+    }
+
+    /// Producer only: rearm for the next operation. Must happen-after all
+    /// consumers finished with the previous one.
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Release);
+    }
+}
+
+/// The atomic completion counter of §V-A: initialised to zero by the master;
+/// every peer increments once when it has finished copying; when the count
+/// reaches `n-1` the master may reuse its buffer.
+///
+/// Reusable across operations through an internal epoch: [`reset`] begins a
+/// new operation. (On BG/P this is a plain shared word; the epoch only
+/// protects against the programming error of arriving into a completed,
+/// un-reset counter, which the paper's flow structure makes impossible but a
+/// library should check.)
+#[derive(Debug)]
+pub struct CompletionCounter {
+    arrived: CachePadded<AtomicU64>,
+    expected: u64,
+}
+
+impl CompletionCounter {
+    /// A counter expecting `expected` arrivals (use `n-1` for n ranks).
+    pub fn new(expected: u64) -> Self {
+        CompletionCounter {
+            arrived: CachePadded::new(AtomicU64::new(0)),
+            expected,
+        }
+    }
+
+    /// The number of arrivals this counter waits for.
+    #[inline]
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// A peer announces it is done. Returns `true` if this was the final
+    /// arrival. Release ordering: the master's acquire in
+    /// [`is_complete`](Self::is_complete)/[`wait`](Self::wait) then
+    /// happens-after every peer's copies.
+    #[inline]
+    pub fn arrive(&self) -> bool {
+        let prev = self.arrived.fetch_add(1, Ordering::Release);
+        debug_assert!(
+            prev < self.expected,
+            "completion counter overflow: arrival {} of {}",
+            prev + 1,
+            self.expected
+        );
+        prev + 1 == self.expected
+    }
+
+    /// Master: have all peers arrived?
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.arrived.load(Ordering::Acquire) >= self.expected
+    }
+
+    /// Master: spin until all peers arrived.
+    pub fn wait(&self) {
+        while !self.is_complete() {
+            spin();
+        }
+    }
+
+    /// Master only, after completion: rearm for the next operation.
+    pub fn reset(&self) {
+        self.arrived.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn publish_accumulates() {
+        let c = MessageCounter::new();
+        assert_eq!(c.read(), 0);
+        assert_eq!(c.publish(100), 100);
+        assert_eq!(c.publish(28), 128);
+        assert_eq!(c.read(), 128);
+        c.reset();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn wait_for_returns_at_or_above_target() {
+        let c = MessageCounter::new();
+        c.publish(512);
+        assert_eq!(c.wait_for(512), 512);
+        assert_eq!(c.wait_for(100), 512);
+    }
+
+    #[test]
+    fn counter_chase_across_threads() {
+        // A producer publishes a buffer chunk by chunk; a consumer chases
+        // the counter and must observe every published byte correctly.
+        // This is the §V-A broadcast data path in miniature.
+        const CHUNK: usize = 1024;
+        const CHUNKS: usize = 64;
+        let buf: Arc<Vec<std::sync::atomic::AtomicU8>> = Arc::new(
+            (0..CHUNK * CHUNKS)
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect(),
+        );
+        let ctr = Arc::new(MessageCounter::new());
+
+        let producer = {
+            let buf = buf.clone();
+            let ctr = ctr.clone();
+            thread::spawn(move || {
+                for k in 0..CHUNKS {
+                    for i in 0..CHUNK {
+                        buf[k * CHUNK + i].store((k % 251) as u8, Ordering::Relaxed);
+                    }
+                    ctr.publish(CHUNK as u64);
+                }
+            })
+        };
+        let consumer = {
+            let buf = buf.clone();
+            let ctr = ctr.clone();
+            thread::spawn(move || {
+                let mut seen = 0u64;
+                while seen < (CHUNK * CHUNKS) as u64 {
+                    let avail = ctr.wait_for(seen + 1);
+                    for i in seen..avail {
+                        let k = (i as usize) / CHUNK;
+                        let v = buf[i as usize].load(Ordering::Relaxed);
+                        assert_eq!(v, (k % 251) as u8, "byte {i} not yet visible");
+                    }
+                    seen = avail;
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn completion_counts_to_expected() {
+        let c = CompletionCounter::new(3);
+        assert!(!c.is_complete());
+        assert!(!c.arrive());
+        assert!(!c.arrive());
+        assert!(c.arrive());
+        assert!(c.is_complete());
+        c.reset();
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn completion_zero_expected_is_always_complete() {
+        let c = CompletionCounter::new(0);
+        assert!(c.is_complete());
+        c.wait();
+    }
+
+    #[test]
+    fn completion_across_threads() {
+        let c = Arc::new(CompletionCounter::new(7));
+        let mut handles = Vec::new();
+        for _ in 0..7 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                c.arrive();
+            }));
+        }
+        c.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn exactly_one_final_arrival() {
+        // Under concurrency, exactly one arriver sees `true`.
+        for _ in 0..50 {
+            let c = Arc::new(CompletionCounter::new(8));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let c = c.clone();
+                handles.push(thread::spawn(move || u32::from(c.arrive())));
+            }
+            let finals: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(finals, 1);
+        }
+    }
+}

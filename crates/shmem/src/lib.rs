@@ -1,0 +1,59 @@
+//! # bgp-shmem — the paper's intra-node communication primitives, for real
+//!
+//! Unlike the network (which must be simulated — see `bgp-sim`/`bgp-dcmf`),
+//! the intra-node mechanisms of the paper are ordinary cache-coherent
+//! shared-memory algorithms and run natively. This crate implements them
+//! exactly as §IV describes, with real atomics, and `bgp-smp` runs them
+//! across real threads:
+//!
+//! * [`ptp_fifo::PtpFifo`] — the Point-to-Point FIFO (§IV-A): slots reserved
+//!   by an atomic fetch-and-increment on the tail, drained in reservation
+//!   order.
+//! * [`bcast_fifo::BcastFifo`] — the Bcast FIFO (§IV-B): same reservation
+//!   protocol, but a slot retires only after *every* consumer has read it,
+//!   tracked by a per-slot atomic reader count initialised to `n-1`.
+//! * [`counter::MessageCounter`] / [`counter::CompletionCounter`] — the
+//!   software message counters (§IV-C): a byte counter published by the
+//!   producer and polled by consumers, mirroring the DMA hardware counters
+//!   at user level; plus the atomic completion counter the master waits on
+//!   before reusing its buffer.
+//! * [`region::SharedRegion`] / [`window::WindowRegistry`] — the shared
+//!   address space: a peer's buffer made directly readable, standing in for
+//!   CNK's process-window system calls (which cannot exist off-BG/P; the
+//!   registry also keeps the map/cache statistics the simulator charges
+//!   time for).
+//!
+//! ## Memory-ordering discipline
+//!
+//! Every publication follows the release/acquire message-passing pattern:
+//! payload bytes are written plainly, then the flag/counter is stored (or
+//! fetch-added) with `Release`; consumers observe it with `Acquire` before
+//! touching the payload. Slot recycling in the FIFOs uses the same pattern
+//! in the opposite direction. No `SeqCst` is needed anywhere — each
+//! synchronization is pairwise.
+
+pub mod bcast_fifo;
+pub mod counter;
+pub mod mutex_fifo;
+pub mod ptp_fifo;
+pub mod region;
+pub mod window;
+
+pub use bcast_fifo::{BcastConsumer, BcastFifo};
+pub use counter::{CompletionCounter, MessageCounter};
+pub use mutex_fifo::{MutexBcastConsumer, MutexBcastFifo};
+pub use ptp_fifo::PtpFifo;
+pub use region::SharedRegion;
+pub use window::{WindowRegistry, WindowStats};
+
+/// Wait hint used by all blocking primitives in this crate.
+///
+/// On a real BG/P node each rank owns a core, so pure `spin_loop` is right;
+/// on an oversubscribed host (tests/benches with more rank-threads than
+/// cores) a waiting thread must yield or the thread it waits on may not be
+/// scheduled. Yielding costs little on dedicated cores and is mandatory for
+/// correctness-of-progress when oversubscribed, so we always yield.
+#[inline]
+pub(crate) fn spin() {
+    std::thread::yield_now();
+}

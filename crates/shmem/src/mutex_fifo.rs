@@ -1,0 +1,200 @@
+//! The lock-based broadcast FIFO the paper argues *against*.
+//!
+//! §IV-A: "One of the ways would be to use a mutex for the FIFO and obtain
+//! a unique slot … However, one would incur the overhead of lock/unlock for
+//! every enqueue operation." This module implements exactly that strawman —
+//! a mutex-protected broadcast queue with the same delivery semantics as
+//! [`crate::BcastFifo`] — so the claim is testable on real hardware: the
+//! `intranode_real` criterion bench compares the two under the quad-mode
+//! 1-producer/3-consumer pattern.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::spin;
+
+struct Inner<T> {
+    /// Messages still needed by at least one consumer, with the count of
+    /// consumers that have already read each.
+    queue: VecDeque<(T, usize)>,
+    /// Ticket of the oldest message still in `queue`.
+    head_ticket: usize,
+    /// Next ticket to assign.
+    tail_ticket: usize,
+    capacity: usize,
+    n_consumers: usize,
+}
+
+/// A mutex-protected broadcast FIFO (the §IV-A baseline).
+pub struct MutexBcastFifo<T> {
+    inner: Mutex<Inner<T>>,
+}
+
+/// Consumer handle with a private cursor (same shape as
+/// [`crate::BcastConsumer`]).
+pub struct MutexBcastConsumer<T> {
+    fifo: Arc<MutexBcastFifo<T>>,
+    cursor: usize,
+}
+
+impl<T: Clone> MutexBcastFifo<T> {
+    /// Create with `capacity` slots for `n_consumers` consumers.
+    pub fn with_consumers(
+        capacity: usize,
+        n_consumers: usize,
+    ) -> (Arc<Self>, Vec<MutexBcastConsumer<T>>) {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        assert!(n_consumers >= 1, "need at least one consumer");
+        let fifo = Arc::new(MutexBcastFifo {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                head_ticket: 0,
+                tail_ticket: 0,
+                capacity,
+                n_consumers,
+            }),
+        });
+        let consumers = (0..n_consumers)
+            .map(|_| MutexBcastConsumer {
+                fifo: fifo.clone(),
+                cursor: 0,
+            })
+            .collect();
+        (fifo, consumers)
+    }
+
+    /// Broadcast `value`, blocking (spinning) while the FIFO is full.
+    pub fn enqueue(&self, value: T) {
+        loop {
+            {
+                let mut g = self.inner.lock();
+                if g.queue.len() < g.capacity {
+                    g.queue.push_back((value, 0));
+                    g.tail_ticket += 1;
+                    return;
+                }
+            }
+            spin();
+        }
+    }
+
+    /// Messages currently resident (diagnostic).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no message is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn try_read(&self, cursor: usize) -> Option<T> {
+        let mut g = self.inner.lock();
+        if cursor < g.head_ticket || cursor >= g.tail_ticket {
+            return None; // already retired (impossible per-consumer) or not yet produced
+        }
+        let idx = cursor - g.head_ticket;
+        let value = g.queue[idx].0.clone();
+        g.queue[idx].1 += 1;
+        // Retire any fully-read prefix.
+        while g
+            .queue
+            .front()
+            .is_some_and(|(_, reads)| *reads == g.n_consumers)
+        {
+            g.queue.pop_front();
+            g.head_ticket += 1;
+        }
+        Some(value)
+    }
+}
+
+impl<T: Clone> MutexBcastConsumer<T> {
+    /// Receive the next message, spinning until available.
+    pub fn recv(&mut self) -> T {
+        loop {
+            if let Some(v) = self.fifo.try_read(self.cursor) {
+                self.cursor += 1;
+                return v;
+            }
+            spin();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        let v = self.fifo.try_read(self.cursor)?;
+        self.cursor += 1;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn delivers_to_every_consumer_in_order() {
+        let (fifo, mut consumers) = MutexBcastFifo::with_consumers(4, 3);
+        let producer = thread::spawn(move || {
+            for i in 0..500u64 {
+                fifo.enqueue(i);
+            }
+        });
+        let handles: Vec<_> = consumers
+            .drain(..)
+            .map(|mut c| {
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        assert_eq!(c.recv(), i);
+                    }
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn retires_only_after_all_read() {
+        let (fifo, mut consumers) = MutexBcastFifo::with_consumers(2, 2);
+        fifo.enqueue(1u8);
+        assert_eq!(fifo.len(), 1);
+        assert_eq!(consumers[0].recv(), 1);
+        assert_eq!(fifo.len(), 1, "one reader outstanding");
+        assert_eq!(consumers[1].recv(), 1);
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn try_recv_when_empty() {
+        let (_fifo, mut consumers) = MutexBcastFifo::<u8>::with_consumers(2, 1);
+        assert_eq!(consumers[0].try_recv(), None);
+    }
+
+    #[test]
+    fn backpressure_with_tiny_capacity() {
+        let (fifo, mut consumers) = MutexBcastFifo::with_consumers(1, 2);
+        let producer = thread::spawn(move || {
+            for i in 0..200u64 {
+                fifo.enqueue(i);
+            }
+        });
+        let handles: Vec<_> = consumers
+            .drain(..)
+            .map(|mut c| {
+                thread::spawn(move || (0..200u64).map(|_| c.recv()).sum::<u64>())
+            })
+            .collect();
+        producer.join().unwrap();
+        let expect: u64 = (0..200).sum();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The process-window registry: shared address space between rank-threads.
+//!
+//! On BG/P, rank A reads rank B's buffer by (1) B translating its virtual
+//! address to physical and (2) A mapping that physical range into its own
+//! address space — two system calls, cached by the MPI stack when buffers
+//! repeat (paper §III-B, §VI-A). Between threads the mapping itself is free
+//! — every thread already sees the whole address space — so the registry's
+//! job is the part that still matters off-BG/P:
+//!
+//! * the *rendezvous*: a rank exposes `(tag → region)` and peers look it up;
+//! * the *accounting*: map calls and cache hits/misses are counted so the
+//!   simulator and harness can charge the Figure 8 syscall costs for
+//!   exactly the operations a real CNK stack would issue.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::region::SharedRegion;
+
+/// Statistics mirroring what the CNK window path would have cost.
+#[derive(Debug, Default)]
+pub struct WindowStats {
+    /// `expose` calls (virtual→physical translations on the owner side).
+    pub exposes: AtomicU64,
+    /// `map` calls that missed the cache (each costs the syscall pair).
+    pub map_misses: AtomicU64,
+    /// `map` calls served from the cache.
+    pub map_hits: AtomicU64,
+}
+
+impl WindowStats {
+    /// Snapshot as `(exposes, misses, hits)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.exposes.load(Ordering::Relaxed),
+            self.map_misses.load(Ordering::Relaxed),
+            self.map_hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A node-wide registry of exposed buffers, keyed by `(owner rank, tag)`.
+///
+/// Cloneable handle (`Arc` inside); one registry per node.
+#[derive(Clone)]
+pub struct WindowRegistry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    exposed: RwLock<HashMap<(u32, u64), Arc<SharedRegion>>>,
+    stats: WindowStats,
+}
+
+impl Default for WindowRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WindowRegistry {
+            inner: Arc::new(Inner {
+                exposed: RwLock::new(HashMap::new()),
+                stats: WindowStats::default(),
+            }),
+        }
+    }
+
+    /// Owner side: expose `region` under `(owner, tag)`, replacing any
+    /// previous exposure with that key. This is the virtual→physical
+    /// translation step on BG/P.
+    pub fn expose(&self, owner: u32, tag: u64, region: Arc<SharedRegion>) {
+        self.inner.stats.exposes.fetch_add(1, Ordering::Relaxed);
+        self.inner.exposed.write().insert((owner, tag), region);
+    }
+
+    /// Remove an exposure (e.g. when the application frees the buffer).
+    pub fn unexpose(&self, owner: u32, tag: u64) {
+        self.inner.exposed.write().remove(&(owner, tag));
+    }
+
+    /// Peer side: map `(owner, tag)`. `cached` reports whether the *caller's*
+    /// cache already held it — pass `false` on first use, `true` on reuse —
+    /// so the stats ledger matches what a CNK stack would really pay.
+    /// Returns `None` if the owner has not exposed the tag yet.
+    pub fn map(&self, owner: u32, tag: u64, cached: bool) -> Option<Arc<SharedRegion>> {
+        let region = self.inner.exposed.read().get(&(owner, tag)).cloned()?;
+        if cached {
+            self.inner.stats.map_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.stats.map_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(region)
+    }
+
+    /// Spin until `(owner, tag)` is exposed, then map it. Collectives use
+    /// this at operation start: the master exposes its application buffer,
+    /// peers block momentarily until it appears.
+    pub fn map_blocking(&self, owner: u32, tag: u64, cached: bool) -> Arc<SharedRegion> {
+        loop {
+            if let Some(r) = self.map(owner, tag, cached) {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Peer side with automatic cache classification: the caller supplies
+    /// its private set of region pointers already mapped (its window cache);
+    /// a region seen before counts as a hit, a new one as a miss. Blocks
+    /// until the tag is exposed.
+    pub fn map_auto_blocking(
+        &self,
+        owner: u32,
+        tag: u64,
+        seen: &mut std::collections::HashSet<usize>,
+    ) -> Arc<SharedRegion> {
+        let region = loop {
+            if let Some(r) = self.inner.exposed.read().get(&(owner, tag)).cloned() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        let ptr = Arc::as_ptr(&region) as usize;
+        if seen.insert(ptr) {
+            self.inner.stats.map_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.stats.map_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        region
+    }
+
+    /// The accounting ledger.
+    pub fn stats(&self) -> &WindowStats {
+        &self.inner.stats
+    }
+
+    /// Number of currently exposed buffers.
+    pub fn exposed_count(&self) -> usize {
+        self.inner.exposed.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn expose_then_map() {
+        let reg = WindowRegistry::new();
+        let region = Arc::new(SharedRegion::new(128));
+        unsafe { region.write(0, b"window") };
+        reg.expose(2, 77, region);
+        let mapped = reg.map(2, 77, false).expect("mapped");
+        let mut buf = [0u8; 6];
+        unsafe { mapped.read(0, &mut buf) };
+        assert_eq!(&buf, b"window");
+        assert_eq!(reg.stats().snapshot(), (1, 1, 0));
+    }
+
+    #[test]
+    fn map_missing_returns_none() {
+        let reg = WindowRegistry::new();
+        assert!(reg.map(0, 0, false).is_none());
+    }
+
+    #[test]
+    fn cache_accounting() {
+        let reg = WindowRegistry::new();
+        reg.expose(1, 1, Arc::new(SharedRegion::new(8)));
+        reg.map(1, 1, false);
+        reg.map(1, 1, true);
+        reg.map(1, 1, true);
+        let (exposes, misses, hits) = reg.stats().snapshot();
+        assert_eq!((exposes, misses, hits), (1, 1, 2));
+    }
+
+    #[test]
+    fn re_expose_replaces() {
+        let reg = WindowRegistry::new();
+        let a = Arc::new(SharedRegion::new(4));
+        let b = Arc::new(SharedRegion::new(8));
+        reg.expose(0, 5, a);
+        reg.expose(0, 5, b);
+        assert_eq!(reg.map(0, 5, true).unwrap().len(), 8);
+        assert_eq!(reg.exposed_count(), 1);
+        reg.unexpose(0, 5);
+        assert_eq!(reg.exposed_count(), 0);
+    }
+
+    #[test]
+    fn map_blocking_waits_for_exposure() {
+        let reg = WindowRegistry::new();
+        let reg2 = reg.clone();
+        let waiter = thread::spawn(move || {
+            let r = reg2.map_blocking(3, 9, false);
+            r.len()
+        });
+        // Give the waiter a moment to start spinning, then expose.
+        thread::sleep(std::time::Duration::from_millis(5));
+        reg.expose(3, 9, Arc::new(SharedRegion::new(321)));
+        assert_eq!(waiter.join().unwrap(), 321);
+    }
+
+    #[test]
+    fn registry_handle_is_shared() {
+        let reg = WindowRegistry::new();
+        let clone = reg.clone();
+        clone.expose(0, 1, Arc::new(SharedRegion::new(1)));
+        assert_eq!(reg.exposed_count(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! The discrete-event engine.
+//!
+//! A minimal, deterministic event loop: events are `FnOnce(&mut C, &mut
+//! Engine<C>)` closures keyed by `(time, sequence)`. The sequence number
+//! breaks ties so that two events scheduled for the same instant always fire
+//! in scheduling order — this is what makes whole-machine simulations of
+//! thousands of ranks reproducible run-to-run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type EventFn<C> = Box<dyn FnOnce(&mut C, &mut Engine<C>)>;
+
+struct Entry<C> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<C>,
+}
+
+impl<C> PartialEq for Entry<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<C> Eq for Entry<C> {}
+impl<C> PartialOrd for Entry<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C> Ord for Entry<C> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// among equal times, the lowest sequence number fires first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over a user context `C`.
+///
+/// ```
+/// use bgp_sim::{Engine, SimTime};
+///
+/// let mut engine: Engine<Vec<u32>> = Engine::new();
+/// engine.schedule_in(SimTime::from_nanos(10), |log, _| log.push(1));
+/// engine.schedule_in(SimTime::from_nanos(5), |log, eng| {
+///     log.push(2);
+///     eng.schedule_in(SimTime::from_nanos(100), |log, _| log.push(3));
+/// });
+/// let mut log = Vec::new();
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![2, 1, 3]);
+/// assert_eq!(engine.now(), SimTime::from_nanos(105));
+/// ```
+pub struct Engine<C> {
+    heap: BinaryHeap<Entry<C>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+}
+
+impl<C> Default for Engine<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Engine<C> {
+    /// A fresh engine at time zero with an empty calendar.
+    pub fn new() -> Self {
+        Engine {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated time. Advances only while [`run`](Self::run) /
+    /// [`step`](Self::step) execute events.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (a cheap progress/size metric).
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past — an event scheduled before `now` is
+    /// always a protocol bug, and silently clamping it would hide the bug.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut C, &mut Engine<C>) + 'static) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` after a relative `delay`.
+    #[inline]
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        f: impl FnOnce(&mut C, &mut Engine<C>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Execute the single earliest pending event. Returns `false` when the
+    /// calendar is empty.
+    pub fn step(&mut self, ctx: &mut C) -> bool {
+        match self.heap.pop() {
+            None => false,
+            Some(e) => {
+                debug_assert!(e.at >= self.now, "event heap violated time order");
+                self.now = e.at;
+                self.executed += 1;
+                (e.f)(ctx, self);
+                true
+            }
+        }
+    }
+
+    /// Run until the calendar drains. Returns the final time.
+    pub fn run(&mut self, ctx: &mut C) -> SimTime {
+        while self.step(ctx) {}
+        self.now
+    }
+
+    /// Run until the calendar drains or `deadline` is reached, whichever is
+    /// first. Events scheduled beyond the deadline stay pending; `now` is
+    /// left at the last executed event (not advanced to the deadline).
+    pub fn run_until(&mut self, ctx: &mut C, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step(ctx);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_run_is_noop() {
+        let mut e: Engine<()> = Engine::new();
+        assert_eq!(e.run(&mut ()), SimTime::ZERO);
+        assert_eq!(e.events_executed(), 0);
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        for &t in &[30u64, 10, 20, 40] {
+            e.schedule_at(SimTime::from_nanos(t), move |log, eng| {
+                assert_eq!(eng.now(), SimTime::from_nanos(t));
+                log.push(t);
+            });
+        }
+        let mut log = Vec::new();
+        e.run(&mut log);
+        assert_eq!(log, vec![10, 20, 30, 40]);
+        assert_eq!(e.events_executed(), 4);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(SimTime::from_nanos(7), move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        e.run(&mut log);
+        assert_eq!(log, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_cascades() {
+        // A chain of events, each scheduling the next; verifies `now`
+        // advances correctly through recursion.
+        let mut e: Engine<u32> = Engine::new();
+        fn chain(depth: u32, ctx: &mut u32, eng: &mut Engine<u32>) {
+            *ctx += 1;
+            if depth > 0 {
+                eng.schedule_in(SimTime::from_nanos(3), move |c, en| chain(depth - 1, c, en));
+            }
+        }
+        e.schedule_at(SimTime::ZERO, |c, en| chain(9, c, en));
+        let mut count = 0;
+        e.run(&mut count);
+        assert_eq!(count, 10);
+        assert_eq!(e.now(), SimTime::from_nanos(27));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        for t in [5u64, 15, 25] {
+            e.schedule_at(SimTime::from_nanos(t), move |log, _| log.push(t));
+        }
+        let mut log = Vec::new();
+        e.run_until(&mut log, SimTime::from_nanos(20));
+        assert_eq!(log, vec![5, 15]);
+        assert_eq!(e.pending(), 1);
+        // Resume to completion.
+        e.run(&mut log);
+        assert_eq!(log, vec![5, 15, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_nanos(10), |_, eng| {
+            eng.schedule_at(SimTime::from_nanos(5), |_, _| {});
+        });
+        e.run(&mut ());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        // The same program must yield the same trace twice.
+        fn trace() -> Vec<(u64, u32)> {
+            let mut e: Engine<Vec<(u64, u32)>> = Engine::new();
+            for i in 0..50u32 {
+                let t = (i as u64 * 37) % 11;
+                e.schedule_at(SimTime::from_nanos(t), move |log, eng| {
+                    log.push((eng.now().as_nanos(), i));
+                    if i % 7 == 0 {
+                        eng.schedule_in(SimTime::from_nanos(2), move |log, eng| {
+                            log.push((eng.now().as_nanos(), 1000 + i));
+                        });
+                    }
+                });
+            }
+            let mut log = Vec::new();
+            e.run(&mut log);
+            log
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn context_can_hold_shared_state() {
+        // Engine works with interior-mutability contexts too (used by the
+        // machine layer to share node state between protocol closures).
+        let shared = Rc::new(RefCell::new(0));
+        let mut e: Engine<Rc<RefCell<i32>>> = Engine::new();
+        let _ = &shared;
+        e.schedule_at(SimTime::from_nanos(1), |s, _| *s.borrow_mut() += 5);
+        let mut ctx = shared.clone();
+        e.run(&mut ctx);
+        assert_eq!(*shared.borrow(), 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! A sense-reversing centralized barrier.
+//!
+//! The classic HPC barrier: one shared arrival counter plus a "sense" flag
+//! that flips each episode; each thread keeps a thread-local sense. This is
+//! what an MPI runtime uses for intra-node barriers (BG/P additionally has
+//! the global interrupt network for the inter-node part, which the simulator
+//! charges separately). `std::sync::Barrier` would also work but parks
+//! threads; collectives want the spin behaviour of the real thing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// A reusable spinning barrier for a fixed set of `n` participants.
+///
+/// Each participant must pass its own [`BarrierToken`], created once per
+/// thread via [`SenseBarrier::token`], carrying the thread-local sense.
+pub struct SenseBarrier {
+    n: usize,
+    arrived: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+}
+
+/// Thread-local barrier state (the private sense bit).
+#[derive(Debug)]
+pub struct BarrierToken {
+    local_sense: bool,
+}
+
+impl SenseBarrier {
+    /// A barrier for `n` participants (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        SenseBarrier {
+            n,
+            arrived: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Participant count.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Create a token for one participating thread.
+    pub fn token(&self) -> BarrierToken {
+        BarrierToken { local_sense: false }
+    }
+
+    /// Wait until all `n` participants have arrived. Returns `true` on the
+    /// last arriver (the one that released the episode).
+    pub fn wait(&self, token: &mut BarrierToken) -> bool {
+        let my_sense = !token.local_sense;
+        token.local_sense = my_sense;
+        // AcqRel: arriving publishes everything the thread did before the
+        // barrier; the release below publishes the episode flip.
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SenseBarrier::new(1);
+        let mut t = b.token();
+        for _ in 0..10 {
+            assert!(b.wait(&mut t));
+        }
+    }
+
+    #[test]
+    fn separates_phases() {
+        // Each thread increments a phase counter between barriers; at every
+        // barrier all threads must have seen the same number of phases.
+        const THREADS: usize = 4;
+        const PHASES: usize = 200;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let phase_sum = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let phase_sum = phase_sum.clone();
+                thread::spawn(move || {
+                    let mut token = barrier.token();
+                    for p in 0..PHASES {
+                        phase_sum.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut token);
+                        // Inside the episode boundary, the sum must be an
+                        // exact multiple: everyone finished phase p.
+                        let s = phase_sum.load(Ordering::Relaxed);
+                        assert!(
+                            s >= ((p + 1) * THREADS) as u64,
+                            "barrier leaked a thread into phase {p}"
+                        );
+                        barrier.wait(&mut token);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            phase_sum.load(Ordering::Relaxed),
+            (THREADS * PHASES) as u64
+        );
+    }
+
+    #[test]
+    fn exactly_one_releaser_per_episode() {
+        const THREADS: usize = 8;
+        const EPISODES: usize = 100;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let releasers = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let releasers = releasers.clone();
+                thread::spawn(move || {
+                    let mut token = barrier.token();
+                    for _ in 0..EPISODES {
+                        if barrier.wait(&mut token) {
+                            releasers.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(releasers.load(Ordering::Relaxed), EPISODES as u64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_participants_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,651 @@
+//! Real intra-node collectives over threads — the paper's §V mechanisms,
+//! minus the (simulated) network.
+//!
+//! Three broadcast data paths, exactly the paper's intra-node options:
+//!
+//! * [`RankCtx::bcast_shmem`] — **staged shared memory**: the root copies
+//!   through a fixed double-buffered shared segment; peers copy out. Two
+//!   copies per byte; the baseline every prior-work scheme uses.
+//! * [`RankCtx::bcast_fifo`] — the **Bcast FIFO** (§IV-B): the root
+//!   packetizes into FIFO slots (payload + `{conn, len}` metadata); each
+//!   peer drains every slot. Concurrent, multiplexable, but still staged.
+//! * [`RankCtx::bcast_shaddr`] — **shared address + message counters**
+//!   (§IV-C/§V-A): the root exposes its *application buffer* through the
+//!   window registry and publishes a byte counter chunk by chunk; peers
+//!   copy directly out of the root's buffer — one copy, pipelined.
+//!
+//! Plus [`RankCtx::allreduce_f64`] — the §V-C decomposition (local reduce by
+//! partition, then local broadcast), here in its intra-node form: every rank
+//! owns a partition, reduces it across all exposed input buffers, and all
+//! ranks copy the assembled result.
+//!
+//! All operations are SPMD: every rank of the node must call them in the
+//! same order with consistent arguments. Every operation ends with a node
+//! barrier, so buffers may be reused immediately after return.
+
+use std::sync::Arc;
+
+use bgp_shmem::SharedRegion;
+
+use crate::runtime::{RankCtx, FIFO_SLOT_BYTES, STAGING_HALF_BYTES};
+
+/// One Bcast-FIFO slot: payload plus the metadata the paper stores alongside
+/// it ("the number of data bytes copied into the slot and the connection id
+/// of the global broadcast flow").
+#[derive(Clone)]
+pub struct FifoMsg {
+    /// Connection id of the broadcast flow (the color / stream id).
+    pub conn: u32,
+    /// Valid bytes in `data`.
+    pub len: u32,
+    /// Slot payload.
+    pub data: Box<[u8; FIFO_SLOT_BYTES]>,
+}
+
+impl FifoMsg {
+    fn new(conn: u32) -> Self {
+        FifoMsg {
+            conn,
+            len: 0,
+            data: Box::new([0u8; FIFO_SLOT_BYTES]),
+        }
+    }
+}
+
+/// Write a slice of `f64`s into a region at byte `offset`.
+pub fn write_f64s(region: &SharedRegion, offset: usize, vals: &[f64]) {
+    let mut bytes = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        bytes.extend_from_slice(&v.to_ne_bytes());
+    }
+    // SAFETY: caller is the unique writer of this range (SPMD partitioning).
+    unsafe { region.write(offset, &bytes) };
+}
+
+/// Read `count` `f64`s from a region at byte `offset`.
+pub fn read_f64s(region: &SharedRegion, offset: usize, count: usize) -> Vec<f64> {
+    let mut bytes = vec![0u8; count * 8];
+    // SAFETY: caller ordered this read after the producing writes.
+    unsafe { region.read(offset, &mut bytes) };
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+impl RankCtx {
+    /// Staged shared-memory broadcast of `len` bytes from `root`'s `buf`
+    /// into every other rank's `buf`.
+    pub fn bcast_shmem(&mut self, root: usize, buf: &Arc<SharedRegion>, len: usize) {
+        assert!(buf.len() >= len, "buffer shorter than message");
+        let _op = self.next_op();
+        let n_chunks = len.div_ceil(STAGING_HALF_BYTES);
+        let me = self.rank();
+
+        if me == root {
+            let mut tmp = vec![0u8; STAGING_HALF_BYTES];
+            for k in 0..n_chunks {
+                let off = k * STAGING_HALF_BYTES;
+                let clen = (len - off).min(STAGING_HALF_BYTES);
+                let half = k % 2;
+                if k >= 2 {
+                    // Wait until every peer finished the previous use of
+                    // this half, then rearm it.
+                    self.stage_done(half).wait();
+                    self.stage_done(half).reset();
+                }
+                // SAFETY: root is the only writer of buf/staging here;
+                // peers read staging only after the counter publish below.
+                unsafe {
+                    buf.read(off, &mut tmp[..clen]);
+                    self.staging().write(half * STAGING_HALF_BYTES, &tmp[..clen]);
+                }
+                self.msg_counter(root).publish(clen as u64);
+            }
+            // Drain the last (up to two) outstanding half-uses and rearm.
+            for k in n_chunks.saturating_sub(2)..n_chunks {
+                self.stage_done(k % 2).wait();
+                self.stage_done(k % 2).reset();
+            }
+            self.msg_counter(root).reset();
+        } else {
+            let mut seen = 0usize;
+            for k in 0..n_chunks {
+                let off = k * STAGING_HALF_BYTES;
+                let clen = (len - off).min(STAGING_HALF_BYTES);
+                let half = k % 2;
+                self.msg_counter(root).wait_for((seen + clen) as u64);
+                // SAFETY: the counter acquire ordered us after the root's
+                // staging write; we write a disjoint range of our own buf.
+                unsafe {
+                    buf.copy_from(off, self.staging(), half * STAGING_HALF_BYTES, clen)
+                };
+                self.stage_done(half).arrive();
+                seen += clen;
+            }
+        }
+        self.barrier();
+    }
+
+    /// Bcast-FIFO broadcast of `len` bytes from `root`'s `buf`.
+    ///
+    /// `conn` tags the flow (multiple colors can share the FIFO). The root
+    /// is also a FIFO consumer (the runtime's FIFO has one consumer per
+    /// rank), so it drains — and discards — its own messages as it
+    /// produces, which keeps slot retirement uniform for any root.
+    pub fn bcast_fifo(&mut self, root: usize, buf: &Arc<SharedRegion>, len: usize, conn: u32) {
+        assert!(buf.len() >= len, "buffer shorter than message");
+        let _op = self.next_op();
+        let n_msgs = len.div_ceil(FIFO_SLOT_BYTES);
+        let me = self.rank();
+
+        if me == root {
+            let mut drained = 0usize;
+            for k in 0..n_msgs {
+                // Drain our own consumer opportunistically so our lag never
+                // blocks slot retirement.
+                while self.consumer().try_recv().is_some() {
+                    drained += 1;
+                }
+                let off = k * FIFO_SLOT_BYTES;
+                let clen = (len - off).min(FIFO_SLOT_BYTES);
+                let mut msg = FifoMsg::new(conn);
+                msg.len = clen as u32;
+                // SAFETY: root reads its own buffer.
+                unsafe { buf.read(off, &mut msg.data[..clen]) };
+                self.fifo().enqueue(msg);
+            }
+            while drained < n_msgs {
+                let _ = self.consumer().recv();
+                drained += 1;
+            }
+        } else {
+            let mut off = 0usize;
+            for _ in 0..n_msgs {
+                let msg = self.consumer().recv();
+                debug_assert_eq!(msg.conn, conn, "flow multiplexing mismatch");
+                let clen = msg.len as usize;
+                // SAFETY: we are the only writer of our own buf range.
+                unsafe { buf.write(off, &msg.data[..clen]) };
+                off += clen;
+            }
+            debug_assert_eq!(off, len);
+        }
+        self.barrier();
+    }
+
+    /// Shared-address broadcast with software message counters: peers copy
+    /// `len` bytes directly from `root`'s application buffer, chasing the
+    /// root's counter in `pwidth`-byte pipeline chunks.
+    pub fn bcast_shaddr(
+        &mut self,
+        root: usize,
+        buf: &Arc<SharedRegion>,
+        len: usize,
+        pwidth: usize,
+    ) {
+        assert!(buf.len() >= len, "buffer shorter than message");
+        assert!(pwidth > 0, "pipeline width must be positive");
+        let op = self.next_op();
+        let me = self.rank();
+
+        if me == root {
+            // Expose the application buffer (the process-window step).
+            self.registry().expose(root as u32, op, buf.clone());
+            // Publish availability chunk by chunk. In the integrated
+            // (networked) algorithm each publish follows a network chunk
+            // reception; intra-node the data is already present, so this
+            // exercises the pipeline protocol itself.
+            let mut published = 0usize;
+            while published < len {
+                let c = (len - published).min(pwidth);
+                published += c;
+                self.msg_counter(root).publish(c as u64);
+            }
+            if len == 0 {
+                // Zero-byte broadcast: nothing to publish, peers skip copy.
+            }
+            self.done_counter(root).wait();
+            self.done_counter(root).reset();
+            self.msg_counter(root).reset();
+            self.registry().unexpose(root as u32, op);
+        } else {
+            let mut seen_cache = std::mem::take(&mut self.mapped_before);
+            let src = self
+                .registry()
+                .map_auto_blocking(root as u32, op, &mut seen_cache);
+            self.mapped_before = seen_cache;
+            let mut seen = 0usize;
+            while seen < len {
+                let avail = self.msg_counter(root).wait_for(seen as u64 + 1) as usize;
+                let avail = avail.min(len);
+                // SAFETY: counter acquire orders us after the root's writes
+                // of [seen, avail); our own range is exclusively ours.
+                unsafe { buf.copy_from(seen, &src, seen, avail - seen) };
+                seen = avail;
+            }
+            self.done_counter(root).arrive();
+        }
+        self.barrier();
+    }
+
+    /// Intra-node allreduce (sum) over `count` doubles: the §V-C local
+    /// decomposition. Every rank exposes `input`, owns one contiguous
+    /// partition, reduces it across all ranks' inputs, publishes, and then
+    /// assembles the full result into its own `output`.
+    pub fn allreduce_f64(
+        &mut self,
+        input: &Arc<SharedRegion>,
+        output: &Arc<SharedRegion>,
+        count: usize,
+    ) {
+        assert!(input.len() >= count * 8, "input shorter than count");
+        assert!(output.len() >= count * 8, "output shorter than count");
+        let op = self.next_op();
+        let me = self.rank();
+        let n = self.n_ranks();
+
+        // Tag space: input of rank r under tag 2*op, result under 2*op+1.
+        let in_tag = 2 * op;
+        let res_tag = 2 * op + 1;
+
+        self.registry().expose(me as u32, in_tag, input.clone());
+        if me == 0 {
+            let result = self.alloc_buffer(count * 8);
+            self.registry().expose(0, res_tag, result);
+        }
+        let mut seen_cache = std::mem::take(&mut self.mapped_before);
+        let inputs: Vec<Arc<SharedRegion>> = (0..n)
+            .map(|r| {
+                self.registry()
+                    .map_auto_blocking(r as u32, in_tag, &mut seen_cache)
+            })
+            .collect();
+        let result = self
+            .registry()
+            .map_auto_blocking(0, res_tag, &mut seen_cache);
+        self.mapped_before = seen_cache;
+
+        // My partition: [lo, hi) in element index.
+        let lo = me * count / n;
+        let hi = (me + 1) * count / n;
+        if hi > lo {
+            let mut acc = read_f64s(&inputs[0], lo * 8, hi - lo);
+            for inp in &inputs[1..] {
+                let vals = read_f64s(inp, lo * 8, hi - lo);
+                for (a, v) in acc.iter_mut().zip(vals) {
+                    *a += v;
+                }
+            }
+            write_f64s(&result, lo * 8, &acc);
+        }
+        self.msg_counter(me).publish(((hi - lo) * 8).max(1) as u64);
+
+        // Wait for every partition, then copy the full result out.
+        for r in 0..n {
+            let rlo = r * count / n;
+            let rhi = (r + 1) * count / n;
+            self.msg_counter(r).wait_for(((rhi - rlo) * 8).max(1) as u64);
+        }
+        // SAFETY: all partition writers published before our acquires above.
+        unsafe { output.copy_from(0, &result, 0, count * 8) };
+
+        if me == 0 {
+            self.done_counter(0).wait();
+            for r in 0..n {
+                self.msg_counter(r).reset();
+            }
+            self.done_counter(0).reset();
+            self.registry().unexpose(0, res_tag);
+        } else {
+            self.done_counter(0).arrive();
+        }
+        self.registry().unexpose(me as u32, in_tag);
+        self.barrier();
+    }
+}
+
+impl RankCtx {
+    /// Intra-node gather: every rank's `len`-byte block lands in `root`'s
+    /// `recv` buffer at offset `rank * len` — through the shared address
+    /// space (each rank writes its own slice of the exposed buffer
+    /// directly; the paper's §VII extension applied intra-node).
+    pub fn gather(&mut self, root: usize, send: &Arc<SharedRegion>, recv: &Arc<SharedRegion>, len: usize) {
+        let n = self.n_ranks();
+        assert!(send.len() >= len, "send buffer shorter than block");
+        let op = self.next_op();
+        let me = self.rank();
+        if me == root {
+            assert!(recv.len() >= n * len, "recv buffer shorter than n blocks");
+            self.registry().expose(root as u32, op, recv.clone());
+            // Root contributes its own block locally.
+            // SAFETY: each rank writes a disjoint slice of the exposed
+            // buffer; the completion counter orders the root's reads.
+            unsafe { recv.copy_from(me * len, send, 0, len) };
+            self.done_counter(root).wait();
+            self.done_counter(root).reset();
+            self.registry().unexpose(root as u32, op);
+        } else {
+            let mut seen = std::mem::take(&mut self.mapped_before);
+            let dst = self.registry().map_auto_blocking(root as u32, op, &mut seen);
+            self.mapped_before = seen;
+            // SAFETY: disjoint slice per rank.
+            unsafe { dst.copy_from(me * len, send, 0, len) };
+            self.done_counter(root).arrive();
+        }
+        self.barrier();
+    }
+
+    /// Intra-node allgather: every rank ends with all `n` blocks in its
+    /// `recv` buffer (block `r` at offset `r * len`). Gather into rank 0's
+    /// exposed buffer, then every rank copies the assembled result — the
+    /// shared-address single-copy pattern in both directions.
+    pub fn allgather(&mut self, send: &Arc<SharedRegion>, recv: &Arc<SharedRegion>, len: usize) {
+        let n = self.n_ranks();
+        assert!(send.len() >= len, "send buffer shorter than block");
+        assert!(recv.len() >= n * len, "recv buffer shorter than n blocks");
+        let op = self.next_op();
+        let me = self.rank();
+        // Every rank exposes its send block; every rank assembles from all.
+        self.registry().expose(me as u32, 2 * op, send.clone());
+        self.msg_counter(me).publish(len.max(1) as u64);
+        let mut seen = std::mem::take(&mut self.mapped_before);
+        for r in 0..n {
+            let src = self.registry().map_auto_blocking(r as u32, 2 * op, &mut seen);
+            self.msg_counter(r).wait_for(len.max(1) as u64);
+            // SAFETY: counter acquire orders us after r's block write (done
+            // before the collective per contract); our recv slice is ours.
+            unsafe { recv.copy_from(r * len, &src, 0, len) };
+        }
+        self.mapped_before = seen;
+        // Rearm the counters: last arriver resets via rank 0.
+        if me == 0 {
+            self.done_counter(0).wait();
+            for r in 0..n {
+                self.msg_counter(r).reset();
+            }
+            self.done_counter(0).reset();
+        } else {
+            self.done_counter(0).arrive();
+        }
+        // Unexpose only after the barrier: a rank that finishes early must
+        // not retract its buffer while a slower peer is still inside
+        // `map_auto_blocking` for it (each rank publishes its counter
+        // *before* its own mapping loop, so completion-counter arrival does
+        // not imply everyone has mapped everyone).
+        self.barrier();
+        self.registry().unexpose(me as u32, 2 * op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_node;
+
+    fn pattern(len: usize, salt: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8) ^ salt).collect()
+    }
+
+    fn check_bcast(
+        n_ranks: usize,
+        root: usize,
+        len: usize,
+        run: impl Fn(&mut RankCtx, usize, &Arc<SharedRegion>, usize) + Sync,
+    ) {
+        let results = run_node(n_ranks, |mut ctx| {
+            let buf = ctx.alloc_buffer(len.max(1));
+            if ctx.rank() == root {
+                unsafe { buf.write(0, &pattern(len, 0x5a)) };
+            }
+            ctx.barrier();
+            run(&mut ctx, root, &buf, len);
+            unsafe { buf.snapshot() }
+        });
+        for (rank, got) in results.iter().enumerate() {
+            assert_eq!(
+                &got[..len],
+                &pattern(len, 0x5a)[..],
+                "rank {rank} payload mismatch (n={n_ranks}, root={root}, len={len})"
+            );
+        }
+    }
+
+    #[test]
+    fn shmem_bcast_various_sizes() {
+        for len in [0usize, 1, 100, STAGING_HALF_BYTES, STAGING_HALF_BYTES + 1, 500_000] {
+            check_bcast(4, 0, len, |ctx, root, buf, len| {
+                ctx.bcast_shmem(root, buf, len)
+            });
+        }
+    }
+
+    #[test]
+    fn shmem_bcast_nonzero_root() {
+        check_bcast(4, 2, 200_000, |ctx, root, buf, len| {
+            ctx.bcast_shmem(root, buf, len)
+        });
+    }
+
+    #[test]
+    fn fifo_bcast_various_sizes() {
+        for len in [0usize, 1, FIFO_SLOT_BYTES - 1, FIFO_SLOT_BYTES, 3 * FIFO_SLOT_BYTES + 17, 400_000] {
+            check_bcast(4, 0, len, |ctx, root, buf, len| {
+                ctx.bcast_fifo(root, buf, len, 0)
+            });
+        }
+    }
+
+    #[test]
+    fn fifo_bcast_rotating_roots_back_to_back() {
+        // Exercises slot retirement when the producer role moves around.
+        let len = 10 * FIFO_SLOT_BYTES;
+        let results = run_node(4, |mut ctx| {
+            let buf = ctx.alloc_buffer(len);
+            let mut sums = Vec::new();
+            for root in 0..4usize {
+                if ctx.rank() == root {
+                    unsafe { buf.write(0, &pattern(len, root as u8)) };
+                }
+                ctx.barrier();
+                ctx.bcast_fifo(root, &buf, len, root as u32);
+                let snap = unsafe { buf.snapshot() };
+                sums.push(snap.iter().map(|&b| b as u64).sum::<u64>());
+            }
+            sums
+        });
+        for r in 1..4 {
+            assert_eq!(results[r], results[0]);
+        }
+    }
+
+    #[test]
+    fn shaddr_bcast_various_sizes_and_pwidths() {
+        for (len, pw) in [
+            (0usize, 4096usize),
+            (1, 4096),
+            (65_536, 1024),
+            (65_536, 65_536),
+            (300_001, 16 * 1024),
+        ] {
+            check_bcast(4, 0, len, move |ctx, root, buf, len| {
+                ctx.bcast_shaddr(root, buf, len, pw)
+            });
+        }
+    }
+
+    #[test]
+    fn shaddr_bcast_two_ranks() {
+        check_bcast(2, 1, 100_000, |ctx, root, buf, len| {
+            ctx.bcast_shaddr(root, buf, len, 8192)
+        });
+    }
+
+    #[test]
+    fn shaddr_repeated_ops_reuse_window_cache() {
+        let len = 64 * 1024;
+        let results = run_node(4, |mut ctx| {
+            let buf = ctx.alloc_buffer(len);
+            if ctx.rank() == 0 {
+                unsafe { buf.write(0, &pattern(len, 1)) };
+            }
+            ctx.barrier();
+            for _ in 0..5 {
+                ctx.bcast_shaddr(0, &buf, len, 16 * 1024);
+            }
+            ctx.barrier();
+            let (_, misses, hits) = ctx.registry().stats().snapshot();
+            (misses, hits)
+        });
+        // Same root buffer each time: 3 peers miss once, hit 4 times each.
+        let (misses, hits) = results[0];
+        assert_eq!(misses, 3, "each peer should map the root buffer once");
+        assert_eq!(hits, 12, "subsequent ops should hit the window cache");
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_sum() {
+        for count in [0usize, 1, 7, 1024, 10_000] {
+            let results = run_node(4, move |mut ctx| {
+                let me = ctx.rank();
+                let input = ctx.alloc_buffer((count * 8).max(1));
+                let output = ctx.alloc_buffer((count * 8).max(1));
+                let vals: Vec<f64> = (0..count).map(|i| (i as f64) + (me as f64) * 0.25).collect();
+                write_f64s(&input, 0, &vals);
+                ctx.barrier();
+                ctx.allreduce_f64(&input, &output, count);
+                read_f64s(&output, 0, count)
+            });
+            let expect: Vec<f64> = (0..count)
+                .map(|i| (0..4).map(|r| (i as f64) + (r as f64) * 0.25).sum())
+                .collect();
+            for (rank, got) in results.iter().enumerate() {
+                assert_eq!(got.len(), count);
+                for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                    assert!(
+                        (g - e).abs() < 1e-9,
+                        "rank {rank} element {i}: got {g}, expect {e} (count={count})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_repeats_are_stable() {
+        let count = 4096;
+        let results = run_node(4, move |mut ctx| {
+            let me = ctx.rank();
+            let input = ctx.alloc_buffer(count * 8);
+            let output = ctx.alloc_buffer(count * 8);
+            write_f64s(&input, 0, &vec![me as f64 + 1.0; count]);
+            ctx.barrier();
+            let mut checks = Vec::new();
+            for _ in 0..10 {
+                ctx.allreduce_f64(&input, &output, count);
+                let out = read_f64s(&output, 0, count);
+                checks.push(out.iter().all(|&v| (v - 10.0).abs() < 1e-12));
+            }
+            checks
+        });
+        for rank_checks in results {
+            assert!(rank_checks.into_iter().all(|ok| ok));
+        }
+    }
+
+    #[test]
+    fn gather_assembles_blocks_in_rank_order() {
+        for (n, root, len) in [(4usize, 0usize, 1000usize), (4, 3, 8192), (2, 1, 1), (3, 0, 0)] {
+            let results = run_node(n, move |mut ctx| {
+                let me = ctx.rank();
+                let send = ctx.alloc_buffer(len.max(1));
+                let recv = ctx.alloc_buffer((n * len).max(1));
+                unsafe { send.write(0, &vec![me as u8 + 1; len]) };
+                ctx.barrier();
+                ctx.gather(root, &send, &recv, len);
+                unsafe { recv.snapshot() }
+            });
+            let got = &results[root];
+            for r in 0..n {
+                for i in 0..len {
+                    assert_eq!(
+                        got[r * len + i],
+                        r as u8 + 1,
+                        "n={n} root={root} block {r} byte {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let len = 5000usize;
+        let results = run_node(4, move |mut ctx| {
+            let me = ctx.rank();
+            let send = ctx.alloc_buffer(len);
+            let recv = ctx.alloc_buffer(4 * len);
+            unsafe { send.write(0, &vec![(me as u8) ^ 0x3C; len]) };
+            ctx.barrier();
+            ctx.allgather(&send, &recv, len);
+            unsafe { recv.snapshot() }
+        });
+        for (rank, got) in results.iter().enumerate() {
+            for r in 0..4usize {
+                assert!(
+                    got[r * len..(r + 1) * len].iter().all(|&b| b == (r as u8) ^ 0x3C),
+                    "rank {rank} block {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_repeats_rearm_cleanly() {
+        let len = 2048usize;
+        let results = run_node(4, move |mut ctx| {
+            let me = ctx.rank();
+            let send = ctx.alloc_buffer(len);
+            let recv = ctx.alloc_buffer(4 * len);
+            unsafe { send.write(0, &vec![me as u8; len]) };
+            ctx.barrier();
+            let mut ok = true;
+            for _ in 0..5 {
+                ctx.allgather(&send, &recv, len);
+                let snap = unsafe { recv.snapshot() };
+                ok &= (0..4).all(|r| snap[r * len..(r + 1) * len].iter().all(|&b| b == r as u8));
+            }
+            ok
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn mixed_collectives_in_sequence() {
+        // Interleave all three broadcast paths and the allreduce in one
+        // program, ensuring shared structures rearm correctly between ops.
+        let len = 150_000;
+        let results = run_node(4, move |mut ctx| {
+            let buf = ctx.alloc_buffer(len);
+            if ctx.rank() == 3 {
+                unsafe { buf.write(0, &pattern(len, 9)) };
+            }
+            ctx.barrier();
+            ctx.bcast_shmem(3, &buf, len);
+            ctx.bcast_fifo(3, &buf, len, 1);
+            ctx.bcast_shaddr(3, &buf, len, 32 * 1024);
+            let input = ctx.alloc_buffer(1024 * 8);
+            let output = ctx.alloc_buffer(1024 * 8);
+            write_f64s(&input, 0, &vec![1.0; 1024]);
+            ctx.barrier();
+            ctx.allreduce_f64(&input, &output, 1024);
+            let b = unsafe { buf.snapshot() };
+            let s = read_f64s(&output, 0, 1024);
+            (b, s)
+        });
+        for (b, s) in results {
+            assert_eq!(b, pattern(len, 9));
+            assert!(s.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+        }
+    }
+}

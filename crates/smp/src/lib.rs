@@ -1,0 +1,24 @@
+//! # bgp-smp — a real four-rank SMP node, as threads
+//!
+//! The paper's intra-node techniques are ordinary cache-coherent algorithms,
+//! so this crate runs them for real: a [`NodeRuntime`] spawns one OS thread
+//! per MPI rank of a node (four in quad mode), gives each a [`RankCtx`], and
+//! the intra-node collectives in [`collectives`] move actual bytes between
+//! actual threads using the `bgp-shmem` primitives — the Bcast FIFO, message
+//! counters, completion counters, and the window registry standing in for
+//! CNK process windows.
+//!
+//! This is the half of the reproduction that needs no simulation. It backs:
+//!
+//! * correctness/stress testing of the §IV data structures under genuine
+//!   concurrency;
+//! * the `intranode_real` criterion bench (staged-shmem vs Bcast-FIFO vs
+//!   shared-address-counter broadcast on the host machine);
+//! * the quickstart example.
+
+pub mod barrier;
+pub mod collectives;
+pub mod runtime;
+
+pub use barrier::SenseBarrier;
+pub use runtime::{run_node, RankCtx};

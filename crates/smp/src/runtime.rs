@@ -1,0 +1,256 @@
+//! The node runtime: one thread per MPI rank of one node.
+//!
+//! [`run_node`] spawns `n` rank-threads over a shared [`NodeShared`] state —
+//! the barrier, the window registry, the per-rank message/completion
+//! counters, one node-wide Bcast FIFO — and hands each thread a [`RankCtx`].
+//! The intra-node collectives in [`crate::collectives`] are methods on
+//! `RankCtx`, called SPMD-style by all ranks like MPI collectives.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bgp_shmem::{
+    BcastConsumer, BcastFifo, CompletionCounter, MessageCounter, SharedRegion, WindowRegistry,
+};
+
+use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::collectives::FifoMsg;
+
+/// Bcast FIFO geometry used by the runtime (paper-plausible defaults:
+/// 4 KB slots, 64 of them).
+pub const FIFO_SLOT_BYTES: usize = 4096;
+/// Number of slots in the node-wide Bcast FIFO.
+pub const FIFO_SLOTS: usize = 64;
+/// Staging segment for the staged shared-memory broadcast: two halves of
+/// 64 KB (double buffering).
+pub const STAGING_HALF_BYTES: usize = 64 * 1024;
+
+/// State shared by all ranks of the node.
+pub struct NodeShared {
+    n: usize,
+    barrier: SenseBarrier,
+    registry: WindowRegistry,
+    /// Per-rank message counter: counter `r` is published by rank `r` when
+    /// it acts as a producer (master / partition owner).
+    msg_counters: Vec<MessageCounter>,
+    /// Per-rank completion counter, expecting `n-1` arrivals.
+    done_counters: Vec<CompletionCounter>,
+    /// Ping-pong completion counters for the staged shmem broadcast.
+    stage_done: [CompletionCounter; 2],
+    /// The staged shared-memory segment (two halves).
+    staging: Arc<SharedRegion>,
+    /// The node-wide Bcast FIFO (all ranks are consumers; producers drain
+    /// their own consumer — see `collectives::bcast_fifo`).
+    fifo: Arc<BcastFifo<FifoMsg>>,
+    /// Each rank claims its consumer handle at startup.
+    consumer_slots: Vec<Mutex<Option<BcastConsumer<FifoMsg>>>>,
+}
+
+impl NodeShared {
+    fn new(n: usize) -> Arc<Self> {
+        assert!(n >= 1, "a node has at least one rank");
+        let (fifo, consumers) = BcastFifo::with_consumers(FIFO_SLOTS, n);
+        let consumer_slots = consumers
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        Arc::new(NodeShared {
+            n,
+            barrier: SenseBarrier::new(n),
+            registry: WindowRegistry::new(),
+            msg_counters: (0..n).map(|_| MessageCounter::new()).collect(),
+            done_counters: (0..n)
+                .map(|_| CompletionCounter::new(n as u64 - 1))
+                .collect(),
+            stage_done: [
+                CompletionCounter::new(n as u64 - 1),
+                CompletionCounter::new(n as u64 - 1),
+            ],
+            staging: Arc::new(SharedRegion::new(2 * STAGING_HALF_BYTES)),
+            fifo,
+            consumer_slots,
+        })
+    }
+}
+
+/// One rank's view of the node. Created by [`run_node`]; the collectives of
+/// [`crate::collectives`] are implemented as methods on this.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<NodeShared>,
+    token: BarrierToken,
+    consumer: BcastConsumer<FifoMsg>,
+    /// Collective-call sequence number; identical across ranks because
+    /// collectives are called SPMD in the same order. Used as window tags.
+    pub(crate) op_seq: u64,
+    /// Region pointers this rank has mapped before (its window cache, the
+    /// subject of Figure 8).
+    pub(crate) mapped_before: HashSet<usize>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..n_ranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Ranks on the node.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Intra-node barrier. Returns `true` on the releasing rank.
+    pub fn barrier(&mut self) -> bool {
+        self.shared.barrier.wait(&mut self.token)
+    }
+
+    /// Allocate an "application buffer" shareable with peers.
+    pub fn alloc_buffer(&self, len: usize) -> Arc<SharedRegion> {
+        Arc::new(SharedRegion::new(len))
+    }
+
+    /// The node's window registry (the CNK stand-in).
+    pub fn registry(&self) -> &WindowRegistry {
+        &self.shared.registry
+    }
+
+    /// Message counter published by `rank`.
+    pub(crate) fn msg_counter(&self, rank: usize) -> &MessageCounter {
+        &self.shared.msg_counters[rank]
+    }
+
+    /// Completion counter owned by `rank`.
+    pub(crate) fn done_counter(&self, rank: usize) -> &CompletionCounter {
+        &self.shared.done_counters[rank]
+    }
+
+    /// Staged-broadcast shared segment.
+    pub(crate) fn staging(&self) -> &Arc<SharedRegion> {
+        &self.shared.staging
+    }
+
+    /// Ping-pong stage counters.
+    pub(crate) fn stage_done(&self, half: usize) -> &CompletionCounter {
+        &self.shared.stage_done[half]
+    }
+
+    /// The node Bcast FIFO.
+    pub(crate) fn fifo(&self) -> &Arc<BcastFifo<FifoMsg>> {
+        &self.shared.fifo
+    }
+
+    /// This rank's FIFO consumer.
+    pub(crate) fn consumer(&mut self) -> &mut BcastConsumer<FifoMsg> {
+        &mut self.consumer
+    }
+
+    /// Advance and return the collective sequence number.
+    pub(crate) fn next_op(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq
+    }
+}
+
+/// Run `n_ranks` rank-threads, each executing `body(ctx)` SPMD-style.
+/// Returns each rank's result, indexed by rank.
+///
+/// ```
+/// let sums = bgp_smp::run_node(4, |mut ctx| {
+///     let me = ctx.rank();
+///     ctx.barrier();
+///     me * 10
+/// });
+/// assert_eq!(sums, vec![0, 10, 20, 30]);
+/// ```
+pub fn run_node<R, F>(n_ranks: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(RankCtx) -> R + Sync,
+{
+    let shared = NodeShared::new(n_ranks);
+    let body = &body;
+    let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_ranks)
+            .map(|rank| {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let consumer = shared.consumer_slots[rank]
+                        .lock()
+                        .take()
+                        .expect("consumer already claimed");
+                    let token = shared.barrier.token();
+                    let ctx = RankCtx {
+                        rank,
+                        shared,
+                        token,
+                        consumer,
+                        op_seq: 0,
+                        mapped_before: HashSet::new(),
+                    };
+                    body(ctx)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let out = run_node(4, |ctx| ctx.rank());
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_is_usable_from_ctx() {
+        let out = run_node(3, |mut ctx| {
+            let mut releases = 0;
+            for _ in 0..10 {
+                if ctx.barrier() {
+                    releases += 1;
+                }
+            }
+            releases
+        });
+        assert_eq!(out.iter().sum::<i32>(), 10);
+    }
+
+    #[test]
+    fn single_rank_node() {
+        let out = run_node(1, |mut ctx| {
+            ctx.barrier();
+            ctx.n_ranks()
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn registry_is_node_wide() {
+        let out = run_node(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                let buf = ctx.alloc_buffer(16);
+                unsafe { buf.write(0, &[42; 16]) };
+                ctx.registry().expose(0, 999, buf);
+            }
+            ctx.barrier();
+            let mapped = ctx.registry().map_blocking(0, 999, false);
+            let mut b = [0u8; 1];
+            unsafe { mapped.read(3, &mut b) };
+            ctx.barrier();
+            b[0]
+        });
+        assert_eq!(out, vec![42, 42]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Scenario: the message-counter pipeline in isolation (paper §IV-C,
+//! Figure 3) — a producer thread "receives from the network" chunk by
+//! chunk into its application buffer and publishes a software message
+//! counter; consumer threads chase the counter and copy each chunk the
+//! moment it lands, overlapping "network" reception with intra-node
+//! distribution.
+//!
+//! Measures the same transfer twice:
+//!
+//! * **unpipelined** — receive everything, then copy (the no-counter
+//!   strawman: distribution starts only when reception ends);
+//! * **pipelined** — consumers chase the counter (the paper's scheme).
+//!
+//! The pipelined run should approach `max(network, copies)` while the
+//! unpipelined one pays `network + copies`. Absolute numbers are
+//! host-specific (and on a host with fewer cores than rank-threads the
+//! copies themselves slow down), but the pipelining gain is visible
+//! regardless.
+//!
+//! Run: `cargo run --release --example intranode_pipeline`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bgp_collectives::shmem::{MessageCounter, SharedRegion};
+
+const TOTAL: usize = 8 << 20;
+const CHUNK: usize = 64 * 1024;
+/// Simulated per-chunk network delay (what a 425 MB/s link would take).
+const NET_DELAY: Duration = Duration::from_micros(150);
+/// Copy passes per chunk, making the distribution cost comparable to the
+/// link time as it is on BG/P's slow cores.
+const COPY_PASSES: usize = 6;
+
+/// Number of consumer threads: the paper's quad mode has 3 peers, but on a
+/// small host we leave one core for the producer.
+fn n_consumers() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    (cores.saturating_sub(1)).clamp(1, 3)
+}
+
+fn run(pipelined: bool, consumers: usize) -> Duration {
+    let master = Arc::new(SharedRegion::new(TOTAL));
+    let counter = Arc::new(MessageCounter::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let m = master.clone();
+        let c = counter.clone();
+        scope.spawn(move || {
+            let chunk: Vec<u8> = (0..CHUNK).map(|i| (i % 255) as u8).collect();
+            let mut off = 0;
+            while off < TOTAL {
+                // The link: a calibrated busy-wait (thread::sleep overshoots
+                // badly at sub-millisecond scales on many kernels, which
+                // would swamp the measurement).
+                let t = Instant::now();
+                while t.elapsed() < NET_DELAY {
+                    std::hint::spin_loop();
+                }
+                // SAFETY: single writer; readers gated on the counter.
+                unsafe { m.write(off, &chunk) };
+                off += CHUNK;
+                if pipelined {
+                    c.publish(CHUNK as u64);
+                }
+            }
+            if !pipelined {
+                c.publish(TOTAL as u64); // everything at once, at the end
+            }
+        });
+        for _ in 0..consumers {
+            let m = master.clone();
+            let c = counter.clone();
+            scope.spawn(move || {
+                let dst = SharedRegion::new(TOTAL);
+                let mut seen = 0usize;
+                while seen < TOTAL {
+                    let avail = c.wait_for(seen as u64 + 1) as usize;
+                    // SAFETY: the counter acquire ordered us after the
+                    // producer's writes of [seen, avail).
+                    // Several passes stand in for the slow-core copies of
+                    // the real machine (one pass on a modern host is far
+                    // cheaper relative to the link than on an 850 MHz
+                    // PPC450).
+                    for _ in 0..COPY_PASSES {
+                        unsafe { dst.copy_from(seen, &m, seen, avail - seen) };
+                    }
+                    seen = avail;
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn main() {
+    let consumers = n_consumers();
+    let network = NET_DELAY * (TOTAL / CHUNK) as u32;
+    println!(
+        "reception + {consumers}-way distribution of {} MB ({} cores available)",
+        TOTAL >> 20,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+    );
+    println!("  network time alone:              {network:>10.2?}");
+    let seq = run(false, consumers);
+    println!("  unpipelined (receive THEN copy): {seq:>10.2?}");
+    let pipe = run(true, consumers);
+    println!("  pipelined (counter chase):       {pipe:>10.2?}");
+    let gain = seq.as_secs_f64() / pipe.as_secs_f64();
+    println!("  pipelining gain:                 {gain:>9.2}x");
+    println!();
+    println!("The counters let the copies hide behind the network time (paper");
+    println!("§V-A: 'effectively pipeline across the network and intra-node");
+    println!("interfaces'); without them the copy time is paid serially.");
+}

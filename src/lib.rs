@@ -1,0 +1,30 @@
+//! # bgp-collectives — facade crate
+//!
+//! Reproduction of *"Optimizing MPI Collectives Using Efficient Intra-node
+//! Communication Techniques over the Blue Gene/P Supercomputer"* (IPDPS 2011,
+//! Mamidala et al., IBM RC25088).
+//!
+//! This crate re-exports the whole workspace under short names and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See `DESIGN.md` at the repository root for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Layer map (bottom to top)
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `bgp-sim` | deterministic discrete-event engine + bandwidth servers |
+//! | [`machine`] | `bgp-machine` | BG/P hardware model: torus, tree, DMA, memory, CNK |
+//! | [`shmem`] | `bgp-shmem` | real concurrent primitives: Bcast FIFO, message counters, windows |
+//! | [`smp`] | `bgp-smp` | threaded 4-rank node runtime over real shared memory |
+//! | [`dcmf`] | `bgp-dcmf` | messaging layer: pt2pt, direct put/get, line bcast, tree channel |
+//! | [`ccmi`] | `bgp-ccmi` | collective framework: color schedules, executors, pipelining |
+//! | [`mpi`] | `bgp-mpi` | MPI-like API + every algorithm and baseline from the paper |
+
+pub use bgp_ccmi as ccmi;
+pub use bgp_dcmf as dcmf;
+pub use bgp_machine as machine;
+pub use bgp_mpi as mpi;
+pub use bgp_shmem as shmem;
+pub use bgp_sim as sim;
+pub use bgp_smp as smp;

@@ -1,0 +1,153 @@
+//! Cross-crate integration: the whole stack from `bgp-machine` geometry up
+//! through `bgp-mpi` algorithm selection, on a small (fast) machine.
+
+use bgp_collectives::dcmf::Machine;
+use bgp_collectives::machine::geometry::NodeId;
+use bgp_collectives::machine::{MachineConfig, OpMode};
+use bgp_collectives::mpi::allreduce::AllreduceAlgorithm;
+use bgp_collectives::mpi::bcast_torus::{torus_direct_put, torus_fifo, torus_shaddr};
+use bgp_collectives::mpi::{select_bcast, BcastAlgorithm, Mpi};
+use bgp_collectives::sim::SimTime;
+
+fn quad() -> MachineConfig {
+    MachineConfig::test_small(OpMode::Quad)
+}
+
+#[test]
+fn every_torus_algorithm_delivers_every_byte_to_every_node() {
+    let bytes = 777_777u64; // deliberately not chunk-aligned
+    for (name, f) in [
+        ("direct_put", torus_direct_put as fn(&mut Machine, NodeId, u64) -> _),
+        ("fifo", torus_fifo),
+        ("shaddr", torus_shaddr),
+    ] {
+        let mut m = Machine::new(quad());
+        let out = f(&mut m, NodeId(7), bytes);
+        assert_eq!(out.delivered.len(), 64);
+        for (i, &d) in out.delivered.iter().enumerate() {
+            assert_eq!(d, bytes, "{name}: node {i} incomplete");
+        }
+        assert!(
+            out.coverage_exact(bytes),
+            "{name}: some node's spans do not tile the message exactly"
+        );
+    }
+}
+
+#[test]
+fn all_roots_work() {
+    let bytes = 100_000u64;
+    for root in [0u32, 1, 31, 63] {
+        let mut m = Machine::new(quad());
+        let out = torus_shaddr(&mut m, NodeId(root), bytes);
+        assert!(out.delivered.iter().all(|&d| d == bytes), "root {root}");
+    }
+}
+
+#[test]
+fn selection_policy_end_to_end() {
+    let mut mpi = Mpi::new(quad());
+    // Short -> tree+shmem; medium -> tree+shaddr; large -> torus+shaddr.
+    for (bytes, expect) in [
+        (256u64, BcastAlgorithm::TreeShmem),
+        (64 << 10, BcastAlgorithm::TreeShaddr { caching: true }),
+        (1 << 20, BcastAlgorithm::TorusShaddr),
+    ] {
+        let picked = select_bcast(mpi.config(), bytes);
+        assert_eq!(picked, expect, "{bytes} bytes");
+        let t = mpi.bcast(picked, bytes);
+        assert!(t > SimTime::ZERO);
+    }
+}
+
+#[test]
+fn selection_beats_or_matches_the_wrong_network_choice() {
+    // The crossover logic exists because each network wins its regime.
+    // The large-message winner (torus) is scale-independent:
+    let mut mpi = Mpi::new(quad());
+    let large = 4u64 << 20;
+    let tree_large = mpi.bcast(BcastAlgorithm::TreeShaddr { caching: true }, large);
+    let torus_large = mpi.bcast(BcastAlgorithm::TorusShaddr, large);
+    assert!(
+        torus_large < tree_large,
+        "torus should win large: {torus_large} vs {tree_large}"
+    );
+    // The small-message winner (tree) depends on machine depth — on a tiny
+    // 4x4x4 torus the multi-phase fill is negligible — so check it at the
+    // paper's scale, where a 4K broadcast is cheap to simulate.
+    let mut big = Mpi::new(MachineConfig::two_racks_quad());
+    let small = 256u64;
+    let tree_small = big.bcast(BcastAlgorithm::TreeShmem, small);
+    let torus_small = big.bcast(BcastAlgorithm::TorusShaddr, small);
+    assert!(
+        tree_small < torus_small,
+        "tree should win small at scale: {tree_small} vs {torus_small}"
+    );
+}
+
+#[test]
+fn paper_headline_ratios_hold_on_the_small_machine() {
+    let mut mpi = Mpi::new(quad());
+    let bytes = 2u64 << 20;
+    let dp = mpi.bcast(BcastAlgorithm::TorusDirectPut, bytes).as_secs_f64();
+    let fifo = mpi.bcast(BcastAlgorithm::TorusFifo, bytes).as_secs_f64();
+    let sh = mpi.bcast(BcastAlgorithm::TorusShaddr, bytes).as_secs_f64();
+    let sh_speedup = dp / sh;
+    let fifo_speedup = dp / fifo;
+    assert!((2.3..3.5).contains(&sh_speedup), "shaddr {sh_speedup:.2}");
+    assert!((1.15..1.8).contains(&fifo_speedup), "fifo {fifo_speedup:.2}");
+}
+
+#[test]
+fn allreduce_new_vs_current_headline() {
+    let mut mpi = Mpi::new(quad());
+    let doubles = 512u64 << 10;
+    let new = mpi
+        .allreduce(AllreduceAlgorithm::ShaddrSpecialized, doubles)
+        .as_secs_f64();
+    let cur = mpi
+        .allreduce(AllreduceAlgorithm::RingCurrent, doubles)
+        .as_secs_f64();
+    let gain = cur / new;
+    assert!((1.1..1.8).contains(&gain), "allreduce gain {gain:.2}");
+}
+
+#[test]
+fn quad_vs_smp_rank_counts() {
+    assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Quad)).size(), 256);
+    assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Smp)).size(), 64);
+    assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Dual)).size(), 128);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut mpi = Mpi::new(quad());
+        let a = mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+        let b = mpi.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 64 << 10);
+        let c = mpi.allreduce(AllreduceAlgorithm::ShaddrSpecialized, 65536);
+        (a, b, c)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn machine_reset_between_operations_is_complete() {
+    // Two identical operations on one Mpi must time identically: the
+    // reset must clear every server.
+    let mut mpi = Mpi::new(quad());
+    let a = mpi.bcast(BcastAlgorithm::TorusFifo, 1 << 20);
+    let b = mpi.bcast(BcastAlgorithm::TorusFifo, 1 << 20);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dual_mode_runs_quad_algorithms() {
+    // Dual mode: 2 ranks/node; the intra stages must degrade gracefully
+    // (one peer instead of three).
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Dual));
+    let t = mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+    let mut quad_mpi = Mpi::new(quad());
+    let tq = quad_mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+    assert!(t <= tq, "fewer peers cannot be slower: dual={t} quad={tq}");
+}

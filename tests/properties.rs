@@ -1,0 +1,157 @@
+//! Property-based tests across the stack (proptest).
+//!
+//! Invariants, not examples: arbitrary machine shapes, message sizes,
+//! pipeline widths, and thread interleavings.
+
+use proptest::prelude::*;
+
+use bgp_collectives::ccmi::{chunk_sizes, color_shares};
+use bgp_collectives::dcmf::Machine;
+use bgp_collectives::machine::geometry::{Coord, Dims, NodeId};
+use bgp_collectives::machine::routing::{color_routes, coverage, nr_schedule};
+use bgp_collectives::machine::{MachineConfig, OpMode};
+use bgp_collectives::mpi::bcast_torus::torus_shaddr;
+use bgp_collectives::smp::collectives::{read_f64s, write_f64s};
+use bgp_collectives::smp::run_node;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Message splitting never loses or duplicates a byte, whatever the
+    /// total, color count, or pipeline width.
+    #[test]
+    fn chunking_partitions_exactly(total in 0u64..10_000_000, colors in 1usize..8, pwidth in 1u64..100_000) {
+        let shares = color_shares(total, colors);
+        prop_assert_eq!(shares.iter().sum::<u64>(), total);
+        let chunked: u64 = shares
+            .iter()
+            .flat_map(|&s| chunk_sizes(s, pwidth))
+            .sum();
+        prop_assert_eq!(chunked, total);
+    }
+
+    /// Every color of every torus shape covers every node exactly once
+    /// from any root (the no-loss/no-duplication invariant of the
+    /// multi-color schedule).
+    #[test]
+    fn color_coverage_is_a_partition(
+        x in 1u32..6, y in 1u32..6, z in 1u32..6,
+        rx in 0u32..6, ry in 0u32..6, rz in 0u32..6,
+        wrap in proptest::bool::ANY,
+    ) {
+        let dims = Dims::new(x, y, z);
+        let root = Coord::new(rx % x, ry % y, rz % z);
+        for route in color_routes(dims, wrap) {
+            let cov = coverage(dims, root, &route);
+            prop_assert_eq!(cov.len() as u32, dims.node_count());
+            let set: std::collections::HashSet<Coord> = cov.into_iter().collect();
+            prop_assert_eq!(set.len() as u32, dims.node_count());
+        }
+    }
+
+    /// The neighbor-rooted schedule also reaches everyone, including a
+    /// redundant copy at the root, for arbitrary wrap-torus shapes.
+    #[test]
+    fn nr_schedule_reaches_everyone(
+        x in 2u32..6, y in 2u32..6, z in 2u32..6,
+        rx in 0u32..6, ry in 0u32..6, rz in 0u32..6,
+    ) {
+        let dims = Dims::new(x, y, z);
+        let root = Coord::new(rx % x, ry % y, rz % z);
+        for route in color_routes(dims, true) {
+            let s = nr_schedule(dims, root, &route);
+            let mut covered = vec![s.relay];
+            for phase in &s.phases {
+                let mut next = covered.clone();
+                for lb in phase {
+                    next.extend(dims.line_from(lb.from, lb.dir));
+                }
+                covered = next;
+            }
+            prop_assert_eq!(covered.len() as u32, dims.node_count());
+            let set: std::collections::HashSet<Coord> = covered.into_iter().collect();
+            prop_assert_eq!(set.len() as u32, dims.node_count());
+        }
+    }
+
+    /// The simulated torus broadcast delivers exactly the message size to
+    /// every node for arbitrary sizes and pipeline widths.
+    #[test]
+    fn simulated_bcast_conserves_payload(
+        bytes in 1u64..3_000_000,
+        pwidth_kb in 1u32..64,
+        root in 0u32..27,
+    ) {
+        let mut cfg = MachineConfig::test_small(OpMode::Quad);
+        cfg.dims = Dims::new(3, 3, 3);
+        cfg.sw.pwidth = pwidth_kb * 1024;
+        let mut m = Machine::new(cfg);
+        let out = torus_shaddr(&mut m, NodeId(root), bytes);
+        for (i, &d) in out.delivered.iter().enumerate() {
+            prop_assert_eq!(d, bytes, "node {}", i);
+        }
+        prop_assert!(out.coverage_exact(bytes), "span tiling violated");
+    }
+}
+
+proptest! {
+    // Thread-spawning cases are expensive on a small host; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The real threaded intra-node broadcast moves arbitrary payloads
+    /// intact through all three data paths.
+    #[test]
+    fn threaded_bcast_payload_integrity(
+        len in 1usize..200_000,
+        seed in 0u8..255,
+        path in 0u8..3,
+    ) {
+        let results = run_node(4, move |mut ctx| {
+            let buf = ctx.alloc_buffer(len);
+            if ctx.rank() == 2 {
+                let payload: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+                unsafe { buf.write(0, &payload) };
+            }
+            ctx.barrier();
+            match path {
+                0 => ctx.bcast_shmem(2, &buf, len),
+                1 => ctx.bcast_fifo(2, &buf, len, 0),
+                _ => ctx.bcast_shaddr(2, &buf, len, 8192),
+            }
+            unsafe { buf.snapshot() }
+        });
+        let expect: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+        for (rank, got) in results.iter().enumerate() {
+            prop_assert_eq!(got, &expect, "rank {} path {}", rank, path);
+        }
+    }
+
+    /// The threaded allreduce equals a sequential reduction for arbitrary
+    /// inputs (within fp tolerance: summation order is fixed by partition).
+    #[test]
+    fn threaded_allreduce_matches_sequential(
+        count in 1usize..5_000,
+        scale in -100.0f64..100.0,
+    ) {
+        let results = run_node(4, move |mut ctx| {
+            let me = ctx.rank();
+            let input = ctx.alloc_buffer(count * 8);
+            let output = ctx.alloc_buffer(count * 8);
+            let vals: Vec<f64> = (0..count)
+                .map(|i| scale * (me as f64 + 1.0) / (i as f64 + 1.0))
+                .collect();
+            write_f64s(&input, 0, &vals);
+            ctx.barrier();
+            ctx.allreduce_f64(&input, &output, count);
+            read_f64s(&output, 0, count)
+        });
+        for got in &results {
+            for (i, g) in got.iter().enumerate() {
+                let expect: f64 = (0..4)
+                    .map(|r| scale * (r as f64 + 1.0) / (i as f64 + 1.0))
+                    .sum();
+                prop_assert!((g - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+            }
+        }
+    }
+}
