@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, the tier-1 verify (release build + tests),
+# and a smoke run of a figure binary checking that its JSON report and its
+# --trace probe artifacts parse.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== smoke: fig6 --small --json parses"
+cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json
+python3 -m json.tool ci_fig6.json >/dev/null
+rm -f ci_fig6.json
+
+echo "== smoke: fig6 --small --trace artifacts parse"
+cargo run --release -p bgp-bench --bin fig6 -- --small --trace >/dev/null
+python3 -m json.tool BENCH_fig6_phases.json >/dev/null
+python3 -m json.tool BENCH_fig6_trace.json >/dev/null
+rm -f BENCH_fig6_phases.json BENCH_fig6_trace.json
+
+echo "CI OK"

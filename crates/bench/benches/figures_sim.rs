@@ -1,16 +1,19 @@
-//! Criterion benches: one representative simulated point per paper
+//! Plain-harness benches: one representative simulated point per paper
 //! experiment, at Small scale (64 nodes) so `cargo bench` completes in
 //! minutes. The full-scale sweeps are the `fig*`/`table1` binaries.
 //!
 //! These measure the *simulator's* wall time; the simulated (paper-facing)
 //! numbers are printed by the binaries and recorded in EXPERIMENTS.md.
+//! No external bench harness: each case runs a fixed warmup + N timed
+//! iterations and prints the median and spread.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use bgp_machine::{MachineConfig, OpMode};
 use bgp_mpi::allreduce::{throughput_mb, AllreduceAlgorithm};
 use bgp_mpi::{BcastAlgorithm, Mpi};
+
+use bgp_bench::harness::bench_case;
 
 fn quad() -> Mpi {
     Mpi::new(MachineConfig::with_nodes(64, OpMode::Quad))
@@ -20,101 +23,67 @@ fn smp() -> Mpi {
     Mpi::new(MachineConfig::with_nodes(64, OpMode::Smp))
 }
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_tree_latency");
-    g.sample_size(20);
+fn main() {
+    println!("figures_sim: simulator wall-time per operation (median of samples)");
+
     let mut q = quad();
-    g.bench_function("tree_shmem_64B", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TreeShmem, 64)))
+    bench_case("fig6/tree_shmem_64B", 20, || {
+        black_box(q.bcast(BcastAlgorithm::TreeShmem, 64));
     });
     let mut s = smp();
-    g.bench_function("tree_smp_64B", |b| {
-        b.iter(|| black_box(s.bcast(BcastAlgorithm::TreeSmp, 64)))
+    bench_case("fig6/tree_smp_64B", 20, || {
+        black_box(s.bcast(BcastAlgorithm::TreeSmp, 64));
     });
-    g.finish();
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_tree_bw");
-    g.sample_size(20);
     let mut q = quad();
-    g.bench_function("tree_shaddr_128K", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 128 << 10)))
+    bench_case("fig7/tree_shaddr_128K", 20, || {
+        black_box(q.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 128 << 10));
     });
-    g.bench_function("tree_dma_direct_put_128K", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TreeDmaDirectPut, 128 << 10)))
+    bench_case("fig7/tree_dma_direct_put_128K", 20, || {
+        black_box(q.bcast(BcastAlgorithm::TreeDmaDirectPut, 128 << 10));
     });
-    g.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_syscall");
-    g.sample_size(20);
-    let mut q = quad();
-    g.bench_function("tree_shaddr_nocaching_64K", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TreeShaddr { caching: false }, 64 << 10)))
+    bench_case("fig8/tree_shaddr_nocaching_64K", 20, || {
+        black_box(q.bcast(BcastAlgorithm::TreeShaddr { caching: false }, 64 << 10));
     });
-    g.finish();
-}
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_scaling");
-    g.sample_size(10);
     for nodes in [64u32, 256] {
         let mut m = Mpi::new(MachineConfig::with_nodes(nodes, OpMode::Quad));
-        g.bench_function(format!("tree_shaddr_1M_{}procs", nodes * 4), |b| {
-            b.iter(|| black_box(m.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 1 << 20)))
-        });
+        bench_case(
+            &format!("fig9/tree_shaddr_1M_{}procs", nodes * 4),
+            10,
+            || {
+                black_box(m.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 1 << 20));
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_torus_bw");
-    g.sample_size(10);
     let mut q = quad();
-    g.bench_function("torus_shaddr_2M", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TorusShaddr, 2 << 20)))
+    bench_case("fig10/torus_shaddr_2M", 10, || {
+        black_box(q.bcast(BcastAlgorithm::TorusShaddr, 2 << 20));
     });
-    g.bench_function("torus_fifo_2M", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TorusFifo, 2 << 20)))
+    bench_case("fig10/torus_fifo_2M", 10, || {
+        black_box(q.bcast(BcastAlgorithm::TorusFifo, 2 << 20));
     });
-    g.bench_function("torus_direct_put_2M", |b| {
-        b.iter(|| black_box(q.bcast(BcastAlgorithm::TorusDirectPut, 2 << 20)))
+    bench_case("fig10/torus_direct_put_2M", 10, || {
+        black_box(q.bcast(BcastAlgorithm::TorusDirectPut, 2 << 20));
     });
-    g.finish();
-}
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_allreduce");
-    g.sample_size(20);
     let cfg = MachineConfig::with_nodes(64, OpMode::Quad);
-    g.bench_function("allreduce_new_512K_doubles", |b| {
-        b.iter(|| {
-            let mut m = bgp_dcmf::Machine::new(cfg.clone());
-            black_box(throughput_mb(
-                &mut m,
-                AllreduceAlgorithm::ShaddrSpecialized,
-                512 << 10,
-            ))
-        })
+    bench_case("table1/allreduce_new_512K_doubles", 20, || {
+        let mut m = bgp_dcmf::Machine::new(cfg.clone());
+        black_box(throughput_mb(
+            &mut m,
+            AllreduceAlgorithm::ShaddrSpecialized,
+            512 << 10,
+        ));
     });
-    g.bench_function("allreduce_current_512K_doubles", |b| {
-        b.iter(|| {
-            let mut m = bgp_dcmf::Machine::new(cfg.clone());
-            black_box(throughput_mb(&mut m, AllreduceAlgorithm::RingCurrent, 512 << 10))
-        })
+    bench_case("table1/allreduce_current_512K_doubles", 20, || {
+        let mut m = bgp_dcmf::Machine::new(cfg.clone());
+        black_box(throughput_mb(
+            &mut m,
+            AllreduceAlgorithm::RingCurrent,
+            512 << 10,
+        ));
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_table1
-);
-criterion_main!(benches);

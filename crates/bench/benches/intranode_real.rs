@@ -1,5 +1,6 @@
-//! Criterion benches of the REAL intra-node collectives: four rank-threads
-//! moving actual bytes through the `bgp-shmem` primitives (no simulation).
+//! Plain-harness benches of the REAL intra-node collectives: four
+//! rank-threads moving actual bytes through the `bgp-shmem` primitives (no
+//! simulation).
 //!
 //! The interesting comparison mirrors the paper's intra-node argument:
 //! staged shared memory (two copies) vs the Bcast FIFO (two copies + slot
@@ -7,75 +8,60 @@
 //! few cores the absolute numbers are host-specific; the *ordering* is the
 //! paper's.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use bgp_bench::harness::bench_case;
 use bgp_smp::collectives::{read_f64s, write_f64s};
 use bgp_smp::run_node;
 
 const LEN: usize = 256 * 1024;
 const RANKS: usize = 4;
 
-fn bench_intranode_bcast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intranode_real_bcast");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes((LEN * (RANKS - 1)) as u64));
+fn main() {
+    println!("intranode_real: wall-time of the threaded intra-node collectives");
 
-    g.bench_function("shmem_staged_256K", |b| {
-        b.iter(|| {
-            run_node(RANKS, |mut ctx| {
-                let buf = ctx.alloc_buffer(LEN);
-                if ctx.rank() == 0 {
-                    unsafe { buf.write(0, &[7u8; LEN]) };
-                }
-                ctx.barrier();
-                ctx.bcast_shmem(0, &buf, LEN);
-                black_box(())
-            });
-        })
+    // The three broadcast data paths. Each closure allocates inside
+    // run_node, so the shared buffer is created per rank-team.
+    bench_case("bcast/shmem_staged_256K", 10, || {
+        run_node(RANKS, |mut ctx| {
+            let buf = ctx.alloc_buffer(LEN);
+            if ctx.rank() == 0 {
+                unsafe { buf.write(0, &[7u8; LEN]) };
+            }
+            ctx.barrier();
+            ctx.bcast_shmem(0, &buf, LEN);
+            black_box(())
+        });
+    });
+    bench_case("bcast/bcast_fifo_256K", 10, || {
+        run_node(RANKS, |mut ctx| {
+            let buf = ctx.alloc_buffer(LEN);
+            if ctx.rank() == 0 {
+                unsafe { buf.write(0, &[7u8; LEN]) };
+            }
+            ctx.barrier();
+            ctx.bcast_fifo(0, &buf, LEN, 0);
+            black_box(())
+        });
+    });
+    bench_case("bcast/shaddr_counters_256K", 10, || {
+        run_node(RANKS, |mut ctx| {
+            let buf = ctx.alloc_buffer(LEN);
+            if ctx.rank() == 0 {
+                unsafe { buf.write(0, &[7u8; LEN]) };
+            }
+            ctx.barrier();
+            ctx.bcast_shaddr(0, &buf, LEN, 16 * 1024);
+            black_box(())
+        });
     });
 
-    g.bench_function("bcast_fifo_256K", |b| {
-        b.iter(|| {
-            run_node(RANKS, |mut ctx| {
-                let buf = ctx.alloc_buffer(LEN);
-                if ctx.rank() == 0 {
-                    unsafe { buf.write(0, &[7u8; LEN]) };
-                }
-                ctx.barrier();
-                ctx.bcast_fifo(0, &buf, LEN, 0);
-                black_box(())
-            });
-        })
-    });
-
-    g.bench_function("shaddr_counters_256K", |b| {
-        b.iter(|| {
-            run_node(RANKS, |mut ctx| {
-                let buf = ctx.alloc_buffer(LEN);
-                if ctx.rank() == 0 {
-                    unsafe { buf.write(0, &[7u8; LEN]) };
-                }
-                ctx.barrier();
-                ctx.bcast_shaddr(0, &buf, LEN, 16 * 1024);
-                black_box(())
-            });
-        })
-    });
-    g.finish();
-}
-
-/// §IV-A's claim, measured: the fetch-and-increment Bcast FIFO vs the
-/// mutex-per-operation strawman, 1 producer / 3 consumers.
-fn bench_fifo_vs_mutex(c: &mut Criterion) {
-    use bgp_shmem::{BcastFifo, MutexBcastFifo};
-    const MSGS: u64 = 2_000;
-    let mut g = c.benchmark_group("fifo_vs_mutex");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(MSGS));
-
-    g.bench_function("atomic_faa_fifo", |b| {
-        b.iter(|| {
+    // §IV-A's claim, measured: the fetch-and-increment Bcast FIFO vs the
+    // mutex-per-operation strawman, 1 producer / 3 consumers.
+    {
+        use bgp_shmem::{BcastFifo, MutexBcastFifo};
+        const MSGS: u64 = 2_000;
+        bench_case("fifo_vs_mutex/atomic_faa_fifo", 10, || {
             let (fifo, mut consumers) = BcastFifo::with_consumers(64, 3);
             std::thread::scope(|s| {
                 s.spawn(move || {
@@ -93,11 +79,8 @@ fn bench_fifo_vs_mutex(c: &mut Criterion) {
                     });
                 }
             });
-        })
-    });
-
-    g.bench_function("mutex_fifo", |b| {
-        b.iter(|| {
+        });
+        bench_case("fifo_vs_mutex/mutex_fifo", 10, || {
             let (fifo, mut consumers) = MutexBcastFifo::with_consumers(64, 3);
             std::thread::scope(|s| {
                 s.spawn(move || {
@@ -115,18 +98,12 @@ fn bench_fifo_vs_mutex(c: &mut Criterion) {
                     });
                 }
             });
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_intranode_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("intranode_real_allreduce");
-    g.sample_size(10);
-    const COUNT: usize = 16 * 1024;
-    g.throughput(Throughput::Bytes((COUNT * 8) as u64));
-    g.bench_function("allreduce_f64_16K", |b| {
-        b.iter(|| {
+    {
+        const COUNT: usize = 16 * 1024;
+        bench_case("allreduce/allreduce_f64_16K", 10, || {
             let out = run_node(RANKS, |mut ctx| {
                 let input = ctx.alloc_buffer(COUNT * 8);
                 let output = ctx.alloc_buffer(COUNT * 8);
@@ -135,11 +112,7 @@ fn bench_intranode_allreduce(c: &mut Criterion) {
                 ctx.allreduce_f64(&input, &output, COUNT);
                 read_f64s(&output, 0, 1)[0]
             });
-            black_box(out)
-        })
-    });
-    g.finish();
+            black_box(out);
+        });
+    }
 }
-
-criterion_group!(benches, bench_intranode_bcast, bench_fifo_vs_mutex, bench_intranode_allreduce);
-criterion_main!(benches);

@@ -1,12 +1,23 @@
 //! Regenerate fig6 of the paper. `--small` runs a 64-node partition;
-//! `--json` emits JSON instead of the text table.
+//! `--json` emits JSON instead of the text table; `--trace` additionally
+//! writes `BENCH_fig6_phases.json` + `BENCH_fig6_trace.json` (a per-phase
+//! breakdown and a `chrome://tracing` trace of one representative bcast).
+use bgp_bench::trace::{self, TraceOp};
 use bgp_bench::{figures, Scale};
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_mpi::BcastAlgorithm;
 
 fn main() {
-    let fig = figures::fig6(Scale::from_args());
+    let scale = Scale::from_args();
+    let fig = figures::fig6(scale);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", fig.to_json());
     } else {
         fig.print();
     }
+    trace::emit_if_requested(
+        "fig6",
+        MachineConfig::with_nodes(scale.nodes(), OpMode::Quad),
+        TraceOp::Bcast(BcastAlgorithm::TreeShaddr { caching: true }, 64 << 10),
+    );
 }

@@ -4,14 +4,27 @@ use bgp_dcmf::{pt2pt, Machine};
 use bgp_machine::MachineConfig;
 
 fn main() {
-    println!("{:>10} {:>14} {:>12} {:>12}", "bytes", "half-RTT", "MB/s", "protocol");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "bytes", "half-RTT", "MB/s", "protocol"
+    );
     let mut bytes = 1u64;
     while bytes <= 4 << 20 {
         let mut m = Machine::new(MachineConfig::two_racks_quad());
         let half = pt2pt::pingpong_half_rtt(&mut m, bytes);
         let bw = bytes as f64 / half.as_secs_f64() / 1e6;
-        let proto = if bytes <= pt2pt::EAGER_LIMIT { "eager" } else { "rendezvous" };
-        println!("{:>10} {:>14} {:>12.1} {:>12}", bytes, half.to_string(), bw, proto);
+        let proto = if bytes <= pt2pt::EAGER_LIMIT {
+            "eager"
+        } else {
+            "rendezvous"
+        };
+        println!(
+            "{:>10} {:>14} {:>12.1} {:>12}",
+            bytes,
+            half.to_string(),
+            bw,
+            proto
+        );
         bytes *= 4;
     }
 }

@@ -1,12 +1,23 @@
 //! Regenerate table1 of the paper. `--small` runs a 64-node partition;
-//! `--json` emits JSON instead of the text table.
+//! `--json` emits JSON instead of the text table; `--trace` additionally
+//! writes `BENCH_table1_phases.json` + `BENCH_table1_trace.json` (a
+//! per-phase breakdown and a `chrome://tracing` trace of one allreduce).
+use bgp_bench::trace::{self, TraceOp};
 use bgp_bench::{figures, Scale};
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_mpi::allreduce::AllreduceAlgorithm;
 
 fn main() {
-    let fig = figures::table1(Scale::from_args());
+    let scale = Scale::from_args();
+    let fig = figures::table1(scale);
     if std::env::args().any(|a| a == "--json") {
         println!("{}", fig.to_json());
     } else {
         fig.print();
     }
+    trace::emit_if_requested(
+        "table1",
+        MachineConfig::with_nodes(scale.nodes(), OpMode::Quad),
+        TraceOp::Allreduce(AllreduceAlgorithm::ShaddrSpecialized, 64 * 1024),
+    );
 }

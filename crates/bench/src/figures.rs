@@ -135,8 +135,10 @@ pub fn fig8(scale: Scale) -> Figure {
         ],
         rows,
         paper_anchors: vec![
-            "paper: repeated syscalls are a big overhead; caching the buffer mapping removes it".into(),
-            "paper: the gap is largest for small/medium messages and closes at multi-MB sizes".into(),
+            "paper: repeated syscalls are a big overhead; caching the buffer mapping removes it"
+                .into(),
+            "paper: the gap is largest for small/medium messages and closes at multi-MB sizes"
+                .into(),
         ],
     }
 }
@@ -219,7 +221,14 @@ pub fn fig10(scale: Scale) -> Figure {
 /// Table I — allreduce throughput (sum of doubles): the core-specialized
 /// shared-address scheme vs the current DMA ring.
 pub fn table1(scale: Scale) -> Figure {
-    let doubles = [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    let doubles = [
+        16u64 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+    ];
     let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
     let rows = doubles
         .iter()
@@ -251,7 +260,17 @@ pub fn table1(scale: Scale) -> Figure {
 
 /// Ablation — pipeline width sweep for the torus Shaddr broadcast.
 pub fn ablation_pwidth(scale: Scale) -> Figure {
-    let widths = [512u32, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+    let widths = [
+        512u32,
+        1 << 10,
+        2 << 10,
+        4 << 10,
+        8 << 10,
+        16 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+    ];
     let bytes = 2u64 << 20;
     let rows = widths
         .iter()
@@ -327,7 +346,10 @@ pub fn ablation_colors() -> Figure {
             let mut mpi = Mpi::new(cfg);
             Row {
                 x: (i as u64 + 1) * 2, // the color count
-                values: vec![mbps(bytes, mpi.bcast(BcastAlgorithm::TorusDirectPut, bytes))],
+                values: vec![mbps(
+                    bytes,
+                    mpi.bcast(BcastAlgorithm::TorusDirectPut, bytes),
+                )],
             }
         })
         .collect();
@@ -431,7 +453,10 @@ pub fn crossover(scale: Scale) -> Figure {
 pub fn ext_reduce_gather(scale: Scale) -> Figure {
     use bgp_mpi::allreduce::AllreduceAlgorithm;
     let sizes = [16u64 << 10, 64 << 10, 256 << 10, 512 << 10];
-    let mut mpi = Mpi::new(MachineConfig::with_nodes(scale.nodes().min(256), OpMode::Quad));
+    let mut mpi = Mpi::new(MachineConfig::with_nodes(
+        scale.nodes().min(256),
+        OpMode::Quad,
+    ));
     let rows = sizes
         .iter()
         .map(|&doubles| {
@@ -455,7 +480,8 @@ pub fn ext_reduce_gather(scale: Scale) -> Figure {
         series: vec!["New (MB/s)".into(), "Current (MB/s)".into()],
         rows,
         paper_anchors: vec![
-            "derived: allreduce minus the broadcast pass - the same core-specialization gain".into(),
+            "derived: allreduce minus the broadcast pass - the same core-specialization gain"
+                .into(),
         ],
     }
 }
@@ -485,8 +511,16 @@ mod tests {
     fn fig7_shape() {
         let f = fig7(Scale::Small);
         let last = f.rows.last().unwrap();
-        let (sh, fifo, dp, smp) = (last.values[0], last.values[1], last.values[2], last.values[3]);
-        assert!(sh > dp && dp >= fifo, "sh={sh:.0} dp={dp:.0} fifo={fifo:.0}");
+        let (sh, fifo, dp, smp) = (
+            last.values[0],
+            last.values[1],
+            last.values[2],
+            last.values[3],
+        );
+        assert!(
+            sh > dp && dp >= fifo,
+            "sh={sh:.0} dp={dp:.0} fifo={fifo:.0}"
+        );
         assert!(smp >= sh * 0.95);
     }
 
@@ -505,15 +539,26 @@ mod tests {
         let last = f.rows.last().unwrap();
         let gap_small = first.values[0] / first.values[1];
         let gap_large = last.values[0] / last.values[1];
-        assert!(gap_small > gap_large, "gap_small={gap_small} gap_large={gap_large}");
+        assert!(
+            gap_small > gap_large,
+            "gap_small={gap_small} gap_large={gap_large}"
+        );
     }
 
     #[test]
     fn fig10_shape() {
         let f = fig10(Scale::Small);
         let at_2m = f.rows.iter().find(|r| r.x == 2 << 20).unwrap();
-        let (sh, fifo, dp, smp) = (at_2m.values[0], at_2m.values[1], at_2m.values[2], at_2m.values[3]);
-        assert!(sh > fifo && fifo > dp, "sh={sh:.0} fifo={fifo:.0} dp={dp:.0}");
+        let (sh, fifo, dp, smp) = (
+            at_2m.values[0],
+            at_2m.values[1],
+            at_2m.values[2],
+            at_2m.values[3],
+        );
+        assert!(
+            sh > fifo && fifo > dp,
+            "sh={sh:.0} fifo={fifo:.0} dp={dp:.0}"
+        );
         assert!((2.3..3.5).contains(&(sh / dp)), "speedup {}", sh / dp);
         assert!(smp >= sh * 0.95);
     }

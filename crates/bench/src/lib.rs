@@ -3,7 +3,7 @@
 //! One function per experiment ([`figures`]), a common result format
 //! ([`report`]), and runnable binaries (`src/bin/fig6.rs` … `table1.rs`,
 //! plus the ablations) that print the measured series next to the paper's
-//! anchor numbers. Criterion benches live in `benches/`.
+//! anchor numbers. Plain-harness wall-time benches live in `benches/`.
 //!
 //! Everything runs at two scales:
 //!
@@ -14,7 +14,9 @@
 //!   fill shrink, so absolute latencies differ).
 
 pub mod figures;
+pub mod harness;
 pub mod report;
+pub mod trace;
 
 pub use report::{Figure, Row};
 

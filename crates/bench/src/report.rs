@@ -1,9 +1,9 @@
 //! Result tables: the common output format of every experiment.
 
-use serde::Serialize;
+use bgp_sim::json;
 
 /// One x-position of a figure (a message size) with one value per series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Message size in bytes (or doubles for Table I).
     pub x: u64,
@@ -12,7 +12,7 @@ pub struct Row {
 }
 
 /// A regenerated figure or table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier ("fig6", "table1", …).
     pub id: String,
@@ -33,9 +33,9 @@ pub struct Figure {
 
 /// Format a byte count like the paper's axes (1K, 64K, 4M).
 pub fn fmt_size(bytes: u64) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}M", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}K", bytes >> 10)
     } else {
         format!("{bytes}")
@@ -77,7 +77,40 @@ impl Figure {
 
     /// JSON serialization for downstream plotting.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let strings = |items: &[String]| -> String {
+            items
+                .iter()
+                .map(|s| json::escape(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json::escape(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json::escape(&self.title)));
+        out.push_str(&format!("  \"xlabel\": {},\n", json::escape(&self.xlabel)));
+        out.push_str(&format!("  \"ylabel\": {},\n", json::escape(&self.ylabel)));
+        out.push_str(&format!("  \"series\": [{}],\n", strings(&self.series)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let vals = row
+                .values
+                .iter()
+                .map(|&v| json::fmt_f64(v))
+                .collect::<Vec<_>>();
+            out.push_str(&format!(
+                "    {{\"x\": {}, \"values\": [{}]}}{}\n",
+                row.x,
+                vals.join(", "),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"paper_anchors\": [{}]\n",
+            strings(&self.paper_anchors)
+        ));
+        out.push('}');
+        out
     }
 
     /// Column index of a series by name.
@@ -104,8 +137,14 @@ mod tests {
             ylabel: "MB/s".into(),
             series: vec!["a".into(), "b".into()],
             rows: vec![
-                Row { x: 1024, values: vec![1.0, 2.0] },
-                Row { x: 1 << 20, values: vec![3.0, 4.0] },
+                Row {
+                    x: 1024,
+                    values: vec![1.0, 2.0],
+                },
+                Row {
+                    x: 1 << 20,
+                    values: vec![3.0, 4.0],
+                },
             ],
             paper_anchors: vec!["anchor".into()],
         }
@@ -141,8 +180,15 @@ mod tests {
     #[test]
     fn json_round_trips_structurally() {
         let j = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["series"].as_array().unwrap().len(), 2);
-        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        let v = json::parse(&j).unwrap();
+        assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 2);
+        let rows = v.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("x").unwrap().as_f64(), Some(1024.0));
+        assert_eq!(
+            rows[1].get("values").unwrap().as_arr().unwrap()[1].as_f64(),
+            Some(4.0)
+        );
+        assert_eq!(v.get("id").unwrap().as_str(), Some("figX"));
     }
 }

@@ -1,0 +1,107 @@
+//! Probe artifacts for the figure binaries.
+//!
+//! When a figure binary is run with `--trace`, it re-runs one
+//! representative operation of its figure with the probe enabled and writes
+//! two machine-readable files next to the report:
+//!
+//! * `BENCH_<id>_phases.json` — the per-phase breakdown (schema
+//!   [`bgp_sim::TRACE_SCHEMA`]): per-phase busy and exclusive times, where
+//!   the exclusive times partition the end-to-end operation time exactly.
+//! * `BENCH_<id>_trace.json` — a `chrome://tracing` / Perfetto JSON trace
+//!   of every recorded span (one `tid` per node; load it directly in either
+//!   viewer).
+//!
+//! The traced run is separate from the measured sweep, so the figure's
+//! numbers are never produced with recording on (recording does not change
+//! simulated time, but keeping the runs apart makes that fact irrelevant).
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use bgp_machine::MachineConfig;
+use bgp_mpi::allreduce::AllreduceAlgorithm;
+use bgp_mpi::{BcastAlgorithm, Mpi};
+
+/// Whether `--trace` was passed on the command line.
+pub fn requested() -> bool {
+    std::env::args().any(|a| a == "--trace")
+}
+
+/// The representative operation a figure's trace artifacts describe.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceOp {
+    /// One `MPI_Bcast` of the given size.
+    Bcast(BcastAlgorithm, u64),
+    /// One `MPI_Allreduce` of the given number of doubles.
+    Allreduce(AllreduceAlgorithm, u64),
+}
+
+/// Run `op` on a fresh machine with the probe enabled and write the two
+/// artifacts for figure `id`; returns `(phases_path, trace_path)`.
+pub fn emit(id: &str, cfg: MachineConfig, op: TraceOp) -> io::Result<(PathBuf, PathBuf)> {
+    let mut mpi = Mpi::new(cfg);
+    mpi.enable_probe();
+    match op {
+        TraceOp::Bcast(alg, bytes) => {
+            mpi.bcast(alg, bytes);
+        }
+        TraceOp::Allreduce(alg, doubles) => {
+            mpi.allreduce(alg, doubles);
+        }
+    }
+    let phases_path = PathBuf::from(format!("BENCH_{id}_phases.json"));
+    let trace_path = PathBuf::from(format!("BENCH_{id}_trace.json"));
+    fs::write(&phases_path, mpi.breakdown().to_json())?;
+    fs::write(&trace_path, mpi.chrome_trace())?;
+    Ok((phases_path, trace_path))
+}
+
+/// [`emit`] if `--trace` was requested, reporting the written paths on
+/// stdout (what the figure binaries call after printing their table).
+pub fn emit_if_requested(id: &str, cfg: MachineConfig, op: TraceOp) {
+    if !requested() {
+        return;
+    }
+    match emit(id, cfg, op) {
+        Ok((p, t)) => println!("trace: wrote {} and {}", p.display(), t.display()),
+        Err(e) => eprintln!("trace: failed to write artifacts: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::OpMode;
+    use bgp_sim::json;
+
+    #[test]
+    fn emit_writes_parseable_artifacts() {
+        let dir = std::env::temp_dir().join("bgp_bench_trace_test");
+        fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        // The artifact paths are cwd-relative; run the test in a temp dir.
+        std::env::set_current_dir(&dir).unwrap();
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        let result = emit(
+            "testfig",
+            cfg,
+            TraceOp::Bcast(BcastAlgorithm::TreeShaddr { caching: true }, 64 << 10),
+        );
+        std::env::set_current_dir(old).unwrap();
+        let (p, t) = result.unwrap();
+        let phases = fs::read_to_string(dir.join(&p)).unwrap();
+        let trace = fs::read_to_string(dir.join(&t)).unwrap();
+        let pv = json::parse(&phases).unwrap();
+        assert_eq!(
+            pv.get("schema").unwrap().as_str(),
+            Some(bgp_sim::TRACE_SCHEMA)
+        );
+        assert_eq!(pv.get("op").unwrap().as_str(), Some("bcast"));
+        assert!(!pv.get("phases").unwrap().as_arr().unwrap().is_empty());
+        let tv = json::parse(&trace).unwrap();
+        assert!(tv.as_arr().unwrap().len() > 1);
+        fs::remove_file(dir.join(p)).ok();
+        fs::remove_file(dir.join(t)).ok();
+    }
+}

@@ -7,9 +7,7 @@ pub fn color_shares(total: u64, n_colors: usize) -> Vec<u64> {
     assert!(n_colors >= 1, "need at least one color");
     let base = total / n_colors as u64;
     let rem = (total % n_colors as u64) as usize;
-    (0..n_colors)
-        .map(|i| base + u64::from(i < rem))
-        .collect()
+    (0..n_colors).map(|i| base + u64::from(i < rem)).collect()
 }
 
 /// Split `bytes` into pipeline chunks of `pwidth` (the last chunk may be
@@ -95,7 +93,7 @@ mod tests {
         for bytes in [0u64, 1, 1023, 1024, 1025, 100_000] {
             let c = chunk_sizes(bytes, 1024);
             assert_eq!(c.iter().sum::<u64>(), bytes);
-            assert!(c.iter().all(|&x| x >= 1 && x <= 1024));
+            assert!(c.iter().all(|&x| (1..=1024).contains(&x)));
             // Only the final chunk may be short.
             for &x in c.iter().rev().skip(1) {
                 assert_eq!(x, 1024);

@@ -25,6 +25,8 @@ pub mod chunking;
 pub mod torus;
 pub mod tree;
 
-pub use chunking::{chunk_sizes, chunk_spans, color_shares, color_spans, spans_cover_exactly, Span};
+pub use chunking::{
+    chunk_sizes, chunk_spans, color_shares, color_spans, spans_cover_exactly, Span,
+};
 pub use torus::{run_torus_bcast, BcastOutcome, IntraStage, TorusBcastSpec};
 pub use tree::{run_tree_collective, TreeSpec, TreeStages};

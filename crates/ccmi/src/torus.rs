@@ -16,12 +16,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bgp_dcmf::{ops, Machine, Sim};
-use bgp_machine::geometry::NodeId;
 use bgp_machine::geometry::Direction;
+use bgp_machine::geometry::NodeId;
 use bgp_machine::routing::{color_routes, nr_schedule, LineBcast};
 use bgp_sim::SimTime;
 
-use crate::chunking::{chunk_spans, chunk_sizes, color_spans, spans_cover_exactly, Span};
+use crate::chunking::{chunk_sizes, chunk_spans, color_spans, spans_cover_exactly, Span};
 
 /// The intra-node distribution stage: invoked at `node` when `bytes` of a
 /// chunk have landed in the master rank's reception buffer at time `now`;
@@ -228,6 +228,7 @@ fn root_intra_step(
 ) {
     let now = eng.now();
     let done = (st.intra)(m, now, root, chunks[k].1);
+    m.probe.record("intra_stage", root.0, now, done);
     {
         let mut tr = st.track.borrow_mut();
         tr.completion = tr.completion.max(done);
@@ -264,7 +265,14 @@ fn schedule_arrivals(
 /// Non-root `node` received one `bytes`-sized chunk of `color` as of
 /// `eng.now()`: account it, distribute it intra-node, and forward it on
 /// every line this node sources for this color.
-fn on_chunk(m: &mut Machine, eng: &mut Sim, st: &Rc<State>, color: usize, span: Span, node: NodeId) {
+fn on_chunk(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<State>,
+    color: usize,
+    span: Span,
+    node: NodeId,
+) {
     let now = eng.now();
     let bytes = span.1;
     {
@@ -277,7 +285,10 @@ fn on_chunk(m: &mut Machine, eng: &mut Sim, st: &Rc<State>, color: usize, span: 
         let done = if node == st.root {
             now
         } else {
-            (st.intra)(m, now, node, bytes)
+            let done = (st.intra)(m, now, node, bytes);
+            m.probe.count("torus_chunks", 1);
+            m.probe.record("intra_stage", node.0, now, done);
+            done
         };
         track.completion = track.completion.max(done);
     }
@@ -341,7 +352,9 @@ mod tests {
         let mut m = machine(OpMode::Smp);
         let bytes = 8 << 20;
         let out = run_torus_bcast(&mut m, &spec(bytes), identity_stage());
-        let bw = Rate::observed(bytes, out.completion).unwrap().as_mb_per_sec();
+        let bw = Rate::observed(bytes, out.completion)
+            .unwrap()
+            .as_mb_per_sec();
         assert!(bw > 2000.0, "bandwidth too low: {bw} MB/s");
         assert!(bw < 2551.0, "bandwidth above physical peak: {bw} MB/s");
     }

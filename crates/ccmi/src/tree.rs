@@ -122,7 +122,13 @@ pub fn run_tree_collective(m: &mut Machine, spec: &TreeSpec, stages: TreeStages)
 /// Inject chunk `k` at the root (`at_root`) or the witness; chain the next
 /// chunk at this one's completion, and fire the combine gate when both
 /// sides of chunk `k` are in.
-fn inject_step(m: &mut Machine, eng: &mut Sim, st: &Rc<RefCell<TreeState>>, k: usize, at_root: bool) {
+fn inject_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<TreeState>>,
+    k: usize,
+    at_root: bool,
+) {
     let now = eng.now();
     let (node, bytes, n_chunks) = {
         let s = st.borrow();
@@ -133,6 +139,7 @@ fn inject_step(m: &mut Machine, eng: &mut Sim, st: &Rc<RefCell<TreeState>>, k: u
         let s = st.borrow();
         (s.stages.inject)(m, now, node, bytes, at_root)
     };
+    m.probe.count("tree_chunk_injections", 1);
     let gate_ready = {
         let mut s = st.borrow_mut();
         if at_root {
@@ -176,6 +183,8 @@ fn deliver_step(m: &mut Machine, eng: &mut Sim, st: &Rc<RefCell<TreeState>>, k: 
                 let s = st2.borrow();
                 (s.stages.recv)(m, now, node, bytes)
             };
+            m.probe.count("tree_chunk_deliveries", 1);
+            m.probe.record("recv_stage", node.0, now, done);
             let mut s = st2.borrow_mut();
             s.completion = s.completion.max(done);
         });

@@ -37,6 +37,16 @@ pub enum AllgatherAlgorithm {
     ShaddrSpecialized,
 }
 
+impl AllgatherAlgorithm {
+    /// Short label used in reports and probe contexts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllgatherAlgorithm::RingCurrent => "Ring (current)",
+            AllgatherAlgorithm::ShaddrSpecialized => "Shaddr specialized",
+        }
+    }
+}
+
 const COLORS: usize = 3;
 
 fn color_dir(c: usize) -> Direction {
@@ -124,16 +134,15 @@ fn step(
     let (dma_units, distribute_by_dma) = match alg {
         AllgatherAlgorithm::ShaddrSpecialized => (2 * bytes, false),
         // Current: + three local copies per byte to reach the peers.
-        AllgatherAlgorithm::RingCurrent => {
-            (2 * bytes + m.cfg.dma.local_copy_traffic((ranks - 1) * bytes), true)
-        }
+        AllgatherAlgorithm::RingCurrent => (
+            2 * bytes + m.cfg.dma.local_copy_traffic((ranks - 1) * bytes),
+            true,
+        ),
     };
     let dma_t = m.dma_time(dma_units);
     let mem_units = match alg {
         AllgatherAlgorithm::ShaddrSpecialized => 2 * bytes,
-        AllgatherAlgorithm::RingCurrent => {
-            2 * bytes + m.cfg.mem.copy_traffic((ranks - 1) * bytes)
-        }
+        AllgatherAlgorithm::RingCurrent => 2 * bytes + m.cfg.mem.copy_traffic((ranks - 1) * bytes),
     };
     let mem_t = m.mem_time(mem_units, ws);
     let dma = m.dma(node);
@@ -187,19 +196,18 @@ mod tests {
     #[test]
     fn shaddr_beats_current() {
         for block in [4u64 << 10, 64 << 10] {
-            let new = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, block);
+            let new =
+                allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, block);
             let cur = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::RingCurrent, block);
-            assert!(
-                new > cur * 1.2,
-                "block {block}: new={new:.0} cur={cur:.0}"
-            );
+            assert!(new > cur * 1.2, "block {block}: new={new:.0} cur={cur:.0}");
         }
     }
 
     #[test]
     fn throughput_is_in_torus_range() {
         // Single ring pass over 3 colors: bounded by 3 x 425 MB/s.
-        let new = allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 64 << 10);
+        let new =
+            allgather_throughput_mb(&mut quad(), AllgatherAlgorithm::ShaddrSpecialized, 64 << 10);
         assert!(new < 3.0 * 425.0 * 1.01, "{new:.0}");
         assert!(new > 300.0, "{new:.0}");
     }

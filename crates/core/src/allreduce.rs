@@ -44,6 +44,16 @@ pub enum AllreduceAlgorithm {
     ShaddrSpecialized,
 }
 
+impl AllreduceAlgorithm {
+    /// Short label used in reports and probe contexts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllreduceAlgorithm::RingCurrent => "Ring (current)",
+            AllreduceAlgorithm::ShaddrSpecialized => "Shaddr specialized",
+        }
+    }
+}
+
 /// Number of ring colors on a 3D torus (three edge-disjoint route pairs).
 const COLORS: usize = 3;
 
@@ -59,8 +69,7 @@ fn forward_cost(m: &Machine, bytes: u64) -> SimTime {
 /// number of per-hop pipeline stages (nodes for the new scheme, ranks for
 /// the current one).
 fn ring_fill(m: &Machine, stages: u64) -> SimTime {
-    let per_hop =
-        m.cfg.torus.hop_latency(1) + SimTime::from_nanos(m.cfg.tree.core_packet_ns);
+    let per_hop = m.cfg.torus.hop_latency(1) + SimTime::from_nanos(m.cfg.tree.core_packet_ns);
     per_hop * (2 * stages)
 }
 
@@ -315,12 +324,20 @@ mod tests {
         // Paper: "benefits across the different messages but the algorithm
         // is mostly useful for large messages."
         let small_gain = {
-            let n = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 * 1024);
+            let n = throughput_mb(
+                &mut quad(),
+                AllreduceAlgorithm::ShaddrSpecialized,
+                16 * 1024,
+            );
             let c = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, 16 * 1024);
             n / c
         };
         let large_gain = {
-            let n = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 512 * 1024);
+            let n = throughput_mb(
+                &mut quad(),
+                AllreduceAlgorithm::ShaddrSpecialized,
+                512 * 1024,
+            );
             let c = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, 512 * 1024);
             n / c
         };
@@ -328,14 +345,28 @@ mod tests {
             large_gain > small_gain * 0.95,
             "gain should not shrink with size: small={small_gain:.2} large={large_gain:.2}"
         );
-        assert!(small_gain > 1.0, "new must win at 16K doubles too: {small_gain:.2}");
+        assert!(
+            small_gain > 1.0,
+            "new must win at 16K doubles too: {small_gain:.2}"
+        );
     }
 
     #[test]
     fn throughput_grows_with_size_then_saturates() {
-        let t16 = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 * 1024);
-        let t512 = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 512 * 1024);
-        assert!(t512 > t16, "throughput should rise with size: {t16:.0} -> {t512:.0}");
+        let t16 = throughput_mb(
+            &mut quad(),
+            AllreduceAlgorithm::ShaddrSpecialized,
+            16 * 1024,
+        );
+        let t512 = throughput_mb(
+            &mut quad(),
+            AllreduceAlgorithm::ShaddrSpecialized,
+            512 * 1024,
+        );
+        assert!(
+            t512 > t16,
+            "throughput should rise with size: {t16:.0} -> {t512:.0}"
+        );
     }
 
     #[test]

@@ -145,12 +145,18 @@ mod tests {
     use bgp_machine::{MachineConfig, OpMode};
     use bgp_sim::Rate;
 
-    fn bw(m: &mut Machine, f: impl Fn(&mut Machine, NodeId, u64) -> BcastOutcome, bytes: u64) -> f64 {
+    fn bw(
+        m: &mut Machine,
+        f: impl Fn(&mut Machine, NodeId, u64) -> BcastOutcome,
+        bytes: u64,
+    ) -> f64 {
         let out = f(m, NodeId(0), bytes);
         for (i, &d) in out.delivered.iter().enumerate() {
             assert_eq!(d, bytes, "node {i} payload incomplete");
         }
-        Rate::observed(bytes, out.completion).unwrap().as_mb_per_sec()
+        Rate::observed(bytes, out.completion)
+            .unwrap()
+            .as_mb_per_sec()
     }
 
     fn quad() -> Machine {
@@ -203,7 +209,10 @@ mod tests {
         assert!(smp_bw > sh * 0.95, "smp={smp_bw:.0} shaddr={sh:.0}");
         // Shaddr must be close to SMP (paper: within 15% for 64K and
         // essentially matching at large sizes).
-        assert!(sh > smp_bw * 0.80, "Shaddr too far from SMP: {sh:.0} vs {smp_bw:.0}");
+        assert!(
+            sh > smp_bw * 0.80,
+            "Shaddr too far from SMP: {sh:.0} vs {smp_bw:.0}"
+        );
     }
 
     #[test]

@@ -150,7 +150,7 @@ pub fn tree_shaddr(m: &mut Machine, root: NodeId, bytes: u64, caching: bool) -> 
     let peers = m.cfg.ranks_per_node() - 1;
     let map_cost = m.cfg.cnk.map_cost(1);
     let slot = m.cfg.cnk.best_slot_size(1); // smallest slot: 1 MB
-    // Per-node byte offset into the stream (to detect TLB-slot crossings).
+                                            // Per-node byte offset into the stream (to detect TLB-slot crossings).
     let progress: Rc<RefCell<Vec<u64>>> =
         Rc::new(RefCell::new(vec![0; m.cfg.node_count() as usize]));
     let stages = TreeStages {
@@ -250,10 +250,16 @@ mod tests {
     fn figure7_ordering_at_large_sizes() {
         let bytes = 1 << 20;
         let sh = mbps(bytes, tree_shaddr(&mut quad(2048), NodeId(0), bytes, true));
-        let dp = mbps(bytes, tree_dma_direct_put(&mut quad(2048), NodeId(0), bytes));
+        let dp = mbps(
+            bytes,
+            tree_dma_direct_put(&mut quad(2048), NodeId(0), bytes),
+        );
         let fifo = mbps(bytes, tree_dma_fifo(&mut quad(2048), NodeId(0), bytes));
         let smp_bw = mbps(bytes, tree_smp(&mut smp(2048), NodeId(0), bytes));
-        assert!(sh > dp && dp >= fifo, "sh={sh:.0} dp={dp:.0} fifo={fifo:.0}");
+        assert!(
+            sh > dp && dp >= fifo,
+            "sh={sh:.0} dp={dp:.0} fifo={fifo:.0}"
+        );
         assert!(smp_bw >= sh * 0.98, "smp={smp_bw:.0} sh={sh:.0}");
         // Core specialization recovers most of the tree: within 20% of SMP.
         assert!(sh > smp_bw * 0.8, "sh={sh:.0} smp={smp_bw:.0}");
@@ -265,7 +271,10 @@ mod tests {
         // paths are stuck behind one core doing both tree directions).
         let bytes = 128 << 10;
         let sh = mbps(bytes, tree_shaddr(&mut quad(2048), NodeId(0), bytes, true));
-        let dp = mbps(bytes, tree_dma_direct_put(&mut quad(2048), NodeId(0), bytes));
+        let dp = mbps(
+            bytes,
+            tree_dma_direct_put(&mut quad(2048), NodeId(0), bytes),
+        );
         let gain = sh / dp;
         assert!(
             (1.25..2.2).contains(&gain),

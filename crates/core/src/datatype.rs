@@ -12,14 +12,12 @@
 //! falls back to the FIFO (torus) or staged-shmem (tree) algorithms, paying
 //! an explicit pack/unpack cost.
 
-use serde::{Deserialize, Serialize};
-
 use bgp_machine::{MachineConfig, OpMode};
 
 use crate::select::{BcastAlgorithm, SHORT_MSG_BYTES, TREE_TORUS_CROSSOVER_BYTES};
 
 /// A (simplified) MPI datatype layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Datatype {
     /// One contiguous byte run.
     Contiguous,
@@ -41,7 +39,11 @@ impl Datatype {
     pub fn is_contiguous(&self) -> bool {
         match *self {
             Datatype::Contiguous => true,
-            Datatype::Vector { blocklen, stride, count } => count <= 1 || stride == blocklen,
+            Datatype::Vector {
+                blocklen,
+                stride,
+                count,
+            } => count <= 1 || stride == blocklen,
         }
     }
 
@@ -49,7 +51,9 @@ impl Datatype {
     pub fn packed_size(&self, contiguous_equivalent: u64) -> u64 {
         match *self {
             Datatype::Contiguous => contiguous_equivalent,
-            Datatype::Vector { count, blocklen, .. } => u64::from(count) * u64::from(blocklen),
+            Datatype::Vector {
+                count, blocklen, ..
+            } => u64::from(count) * u64::from(blocklen),
         }
     }
 
@@ -57,7 +61,11 @@ impl Datatype {
     pub fn extent(&self, contiguous_equivalent: u64) -> u64 {
         match *self {
             Datatype::Contiguous => contiguous_equivalent,
-            Datatype::Vector { count, blocklen, stride } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 if count == 0 {
                     0
                 } else {
@@ -99,7 +107,11 @@ mod tests {
 
     #[test]
     fn vector_with_gap_is_noncontiguous() {
-        let v = Datatype::Vector { count: 8, blocklen: 64, stride: 256 };
+        let v = Datatype::Vector {
+            count: 8,
+            blocklen: 64,
+            stride: 256,
+        };
         assert!(!v.is_contiguous());
         assert_eq!(v.packed_size(0), 512);
         assert_eq!(v.extent(0), 7 * 256 + 64);
@@ -107,8 +119,18 @@ mod tests {
 
     #[test]
     fn degenerate_vectors_collapse_to_contiguous() {
-        assert!(Datatype::Vector { count: 1, blocklen: 64, stride: 999 }.is_contiguous());
-        assert!(Datatype::Vector { count: 8, blocklen: 64, stride: 64 }.is_contiguous());
+        assert!(Datatype::Vector {
+            count: 1,
+            blocklen: 64,
+            stride: 999
+        }
+        .is_contiguous());
+        assert!(Datatype::Vector {
+            count: 8,
+            blocklen: 64,
+            stride: 64
+        }
+        .is_contiguous());
         assert!(Datatype::Contiguous.is_contiguous());
         assert_eq!(Datatype::Contiguous.packed_size(123), 123);
         assert_eq!(Datatype::Contiguous.extent(123), 123);
@@ -116,7 +138,11 @@ mod tests {
 
     #[test]
     fn zero_count_vector() {
-        let v = Datatype::Vector { count: 0, blocklen: 64, stride: 256 };
+        let v = Datatype::Vector {
+            count: 0,
+            blocklen: 64,
+            stride: 256,
+        };
         assert_eq!(v.packed_size(0), 0);
         assert_eq!(v.extent(0), 0);
     }
@@ -124,7 +150,11 @@ mod tests {
     #[test]
     fn noncontiguous_never_selects_a_counter_path() {
         let cfg = MachineConfig::two_racks_quad();
-        let v = Datatype::Vector { count: 1024, blocklen: 512, stride: 4096 };
+        let v = Datatype::Vector {
+            count: 1024,
+            blocklen: 512,
+            stride: 4096,
+        };
         for bytes in [1024u64, 64 << 10, 4 << 20] {
             let alg = select_bcast_typed(&cfg, bytes, v);
             assert!(

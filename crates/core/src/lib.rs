@@ -30,14 +30,14 @@
 pub mod allgather;
 pub mod allreduce;
 pub mod bcast_torus;
-pub mod datatype;
 pub mod bcast_tree;
+pub mod datatype;
 pub mod mpi;
 pub mod reduce;
 pub mod select;
 
 pub use allgather::AllgatherAlgorithm;
 pub use allreduce::AllreduceAlgorithm;
-pub use mpi::Mpi;
 pub use datatype::{select_bcast_typed, Datatype};
+pub use mpi::Mpi;
 pub use select::{select_bcast, BcastAlgorithm};

@@ -3,7 +3,7 @@
 use bgp_dcmf::Machine;
 use bgp_machine::geometry::NodeId;
 use bgp_machine::{MachineConfig, OpMode};
-use bgp_sim::SimTime;
+use bgp_sim::{Breakdown, Probe, SimTime};
 
 use crate::allgather::{run_allgather, AllgatherAlgorithm};
 use crate::allreduce::{run_allreduce, AllreduceAlgorithm};
@@ -15,6 +15,9 @@ use crate::select::{select_bcast, BcastAlgorithm};
 /// and the bench harness talk to.
 pub struct Mpi {
     machine: Machine,
+    /// Elapsed time of the most recent collective (what the probe's spans
+    /// are measured against).
+    last_elapsed: SimTime,
 }
 
 impl Mpi {
@@ -22,7 +25,36 @@ impl Mpi {
     pub fn new(cfg: MachineConfig) -> Self {
         Mpi {
             machine: Machine::new(cfg),
+            last_elapsed: SimTime::ZERO,
         }
+    }
+
+    /// Turn on span/counter recording for subsequent operations. Recording
+    /// never changes simulated timing — it only observes it.
+    pub fn enable_probe(&mut self) {
+        self.machine.probe.enable();
+    }
+
+    /// Turn recording back off (the default).
+    pub fn disable_probe(&mut self) {
+        self.machine.probe.disable();
+    }
+
+    /// The recorded spans and counters of the most recent operation.
+    pub fn probe(&self) -> &Probe {
+        &self.machine.probe
+    }
+
+    /// Per-phase breakdown of the most recent operation. The exclusive
+    /// times partition `[0, elapsed)` exactly (gaps are attributed to an
+    /// `idle` phase), so they always sum to the end-to-end time.
+    pub fn breakdown(&self) -> Breakdown {
+        self.machine.probe.breakdown(self.last_elapsed)
+    }
+
+    /// The most recent operation as a `chrome://tracing` JSON document.
+    pub fn chrome_trace(&self) -> String {
+        self.machine.probe.chrome_trace()
     }
 
     /// The machine configuration.
@@ -60,8 +92,9 @@ impl Mpi {
             );
         }
         self.machine.reset();
+        self.machine.probe.begin_op("bcast", alg.label());
         let m = &mut self.machine;
-        match alg {
+        let t = match alg {
             BcastAlgorithm::TorusDirectPut => torus_direct_put(m, root, bytes).completion,
             BcastAlgorithm::TorusFifo => torus_fifo(m, root, bytes).completion,
             BcastAlgorithm::TorusShaddr => torus_shaddr(m, root, bytes).completion,
@@ -70,7 +103,9 @@ impl Mpi {
             BcastAlgorithm::TreeDmaFifo => tree_dma_fifo(m, root, bytes),
             BcastAlgorithm::TreeDmaDirectPut => tree_dma_direct_put(m, root, bytes),
             BcastAlgorithm::TreeShaddr { caching } => tree_shaddr(m, root, bytes, caching),
-        }
+        };
+        self.last_elapsed = t;
+        t
     }
 
     /// `MPI_Bcast` with the production selection policy; returns the chosen
@@ -84,26 +119,38 @@ impl Mpi {
     /// `MPI_Allreduce` (sum of doubles) with an explicit algorithm.
     pub fn allreduce(&mut self, alg: AllreduceAlgorithm, doubles: u64) -> SimTime {
         self.machine.reset();
-        run_allreduce(&mut self.machine, alg, doubles * 8)
+        self.machine.probe.begin_op("allreduce", alg.label());
+        let t = run_allreduce(&mut self.machine, alg, doubles * 8);
+        self.last_elapsed = t;
+        t
     }
 
     /// `MPI_Allgather` (the §VII future-work extension) with `block_bytes`
     /// contributed per rank.
     pub fn allgather(&mut self, alg: AllgatherAlgorithm, block_bytes: u64) -> SimTime {
         self.machine.reset();
-        run_allgather(&mut self.machine, alg, block_bytes)
+        self.machine.probe.begin_op("allgather", alg.label());
+        let t = run_allgather(&mut self.machine, alg, block_bytes);
+        self.last_elapsed = t;
+        t
     }
 
     /// `MPI_Reduce` (sum of doubles, result at the root).
     pub fn reduce(&mut self, alg: AllreduceAlgorithm, doubles: u64) -> SimTime {
         self.machine.reset();
-        crate::reduce::run_reduce(&mut self.machine, alg, doubles * 8)
+        self.machine.probe.begin_op("reduce", alg.label());
+        let t = crate::reduce::run_reduce(&mut self.machine, alg, doubles * 8);
+        self.last_elapsed = t;
+        t
     }
 
     /// `MPI_Gather` of `block_bytes` per rank into the root.
     pub fn gather(&mut self, alg: AllreduceAlgorithm, block_bytes: u64) -> SimTime {
         self.machine.reset();
-        crate::reduce::run_gather(&mut self.machine, alg, block_bytes)
+        self.machine.probe.begin_op("gather", alg.label());
+        let t = crate::reduce::run_gather(&mut self.machine, alg, block_bytes);
+        self.last_elapsed = t;
+        t
     }
 
     /// The Figure 5 microbenchmark: `ITERS` iterations of

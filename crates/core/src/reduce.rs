@@ -200,7 +200,10 @@ mod tests {
         // One ring pass instead of two: reduce must beat allreduce for the
         // same payload, for both schemes.
         let bytes = 2u64 << 20;
-        for alg in [AllreduceAlgorithm::ShaddrSpecialized, AllreduceAlgorithm::RingCurrent] {
+        for alg in [
+            AllreduceAlgorithm::ShaddrSpecialized,
+            AllreduceAlgorithm::RingCurrent,
+        ] {
             let red = run_reduce(&mut quad(), alg, bytes);
             let all = crate::allreduce::run_allreduce(&mut quad(), alg, bytes);
             assert!(red < all, "{alg:?}: reduce {red} vs allreduce {all}");
@@ -233,12 +236,16 @@ mod tests {
         // The metric counts all gathered bytes including the root's own
         // local blocks, which never cross a link — hence the 64/63 factor
         // above the 6-link wire limit on the 64-node machine.
-        assert!(bw > 1200.0 && bw <= 2550.0 * (64.0 / 63.0) * 1.01, "{bw:.0}");
+        assert!(
+            bw > 1200.0 && bw <= 2550.0 * (64.0 / 63.0) * 1.01,
+            "{bw:.0}"
+        );
     }
 
     #[test]
     fn gather_new_wins_on_source_prep() {
-        let new = gather_throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 << 10);
+        let new =
+            gather_throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 16 << 10);
         let cur = gather_throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, 16 << 10);
         assert!(new >= cur, "new={new:.0} cur={cur:.0}");
     }

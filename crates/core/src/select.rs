@@ -8,10 +8,9 @@
 //! algorithms perform optimally."
 
 use bgp_machine::{MachineConfig, OpMode};
-use serde::{Deserialize, Serialize};
 
 /// Every broadcast algorithm the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BcastAlgorithm {
     /// Torus multi-color broadcast, DMA Direct Put intra-node (baseline).
     TorusDirectPut,

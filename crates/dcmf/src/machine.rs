@@ -3,7 +3,7 @@
 use bgp_machine::geometry::{Coord, Direction, NodeId};
 use bgp_machine::tree::TreeTopology;
 use bgp_machine::MachineConfig;
-use bgp_sim::{Engine, ServerId, ServerPool, SimTime};
+use bgp_sim::{Engine, Probe, ServerId, ServerPool, SimTime};
 
 /// The simulation engine type used throughout the reproduction.
 pub type Sim = Engine<Machine>;
@@ -38,6 +38,9 @@ pub struct Machine {
     pub tree: TreeTopology,
     /// All bandwidth servers.
     pub pool: ServerPool,
+    /// Per-phase span/counter recorder (disabled by default; recording
+    /// never affects timing — see `bgp_sim::probe`).
+    pub probe: Probe,
     nodes: Vec<NodeServers>,
 }
 
@@ -49,9 +52,8 @@ impl Machine {
         let mut pool = ServerPool::new();
         let mut nodes = Vec::with_capacity(n as usize);
         for id in 0..n {
-            let links = core::array::from_fn(|d| {
-                pool.alloc(format!("n{id}.link.{}", Direction::ALL[d]))
-            });
+            let links =
+                core::array::from_fn(|d| pool.alloc(format!("n{id}.link.{}", Direction::ALL[d])));
             let dma = pool.alloc(format!("n{id}.dma"));
             let mem = pool.alloc(format!("n{id}.mem"));
             let cores = core::array::from_fn(|c| pool.alloc(format!("n{id}.core{c}")));
@@ -70,6 +72,7 @@ impl Machine {
             cfg,
             tree,
             pool,
+            probe: Probe::new(),
             nodes,
         }
     }
@@ -122,7 +125,8 @@ impl Machine {
         self.cfg.dims.id_of(c)
     }
 
-    /// Reset all servers to idle (between timed iterations).
+    /// Reset all servers to idle (between timed iterations). The probe is
+    /// left alone: operation entry points scope it via `Probe::begin_op`.
     pub fn reset(&mut self) {
         self.pool.reset();
     }
@@ -152,10 +156,7 @@ impl Machine {
     /// the per-core copy rate), given the working set.
     #[inline]
     pub fn core_copy_time(&self, payload: u64, working_set: u64) -> SimTime {
-        self.cfg
-            .mem
-            .core_copy_rate(working_set)
-            .time_for(payload)
+        self.cfg.mem.core_copy_rate(working_set).time_for(payload)
     }
 
     /// DMA service time for `traffic_bytes` of engine traffic.
@@ -198,8 +199,14 @@ mod tests {
         assert_ne!(m.dma(a), m.dma(b));
         assert_ne!(m.mem(a), m.mem(b));
         assert_ne!(m.core(a, 0), m.core(a, 1));
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
-        let xm = Direction { axis: Axis::X, sign: Sign::Minus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
+        let xm = Direction {
+            axis: Axis::X,
+            sign: Sign::Minus,
+        };
         assert_ne!(m.link(a, xp), m.link(a, xm));
     }
 
@@ -207,7 +214,10 @@ mod tests {
     fn names_are_diagnostic() {
         let m = Machine::new(MachineConfig::test_small(OpMode::Quad));
         assert_eq!(m.pool.name(m.dma(NodeId(3))), "n3.dma");
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
         assert_eq!(m.pool.name(m.link(NodeId(0), xp)), "n0.link.X+");
     }
 

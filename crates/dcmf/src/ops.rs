@@ -14,6 +14,12 @@
 //!   memory at either the full read+write factor or the shared-read
 //!   discount (source just produced on-node and L2-resident).
 
+//!
+//! Every primitive also reports a span to the machine's [`bgp_sim::Probe`]
+//! (phase names like `"dma_inject"`, `"core_copy"`, `"tree_inject"`), so an
+//! enabled probe can attribute an operation's makespan per phase. With the
+//! probe disabled (the default) each report is a single predicted branch.
+
 use bgp_machine::geometry::{Direction, NodeId};
 use bgp_machine::routing::LineBcast;
 use bgp_sim::SimTime;
@@ -24,13 +30,17 @@ use crate::machine::Machine;
 pub fn descriptor_post(m: &mut Machine, now: SimTime, node: NodeId, core: u32) -> SimTime {
     let d = m.cfg.dma.descriptor_cost();
     let core = m.core(node, core);
-    m.pool.reserve(core, now, d)
+    let fin = m.pool.reserve(core, now, d);
+    m.probe.record("descriptor_post", node.0, now, fin);
+    fin
 }
 
 /// Charge `core` of `node` for `dur` of protocol/bookkeeping work.
 pub fn core_busy(m: &mut Machine, now: SimTime, node: NodeId, core: u32, dur: SimTime) -> SimTime {
     let core = m.core(node, core);
-    m.pool.reserve(core, now, dur)
+    let fin = m.pool.reserve(core, now, dur);
+    m.probe.record("protocol", node.0, now, fin);
+    fin
 }
 
 /// Result of a deposit-bit line transfer.
@@ -50,12 +60,20 @@ pub struct LineDelivery {
 /// Charge `node`'s DMA + memory for receiving `bytes` off the torus into
 /// the destination buffer. Call this at the wire-delivery time; returns
 /// when the data is in memory.
-pub fn dma_recv(m: &mut Machine, now: SimTime, node: NodeId, bytes: u64, working_set: u64) -> SimTime {
+pub fn dma_recv(
+    m: &mut Machine,
+    now: SimTime,
+    node: NodeId,
+    bytes: u64,
+    working_set: u64,
+) -> SimTime {
     let dma_t = m.dma_time(m.cfg.dma.network_traffic(bytes));
     let mem_t = m.mem_time(bytes, working_set);
     let dma = m.dma(node);
     let mem = m.mem(node);
-    m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now)
+    let fin = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    m.probe.record("dma_recv", node.0, now, fin);
+    fin
 }
 
 /// A deposit-bit line broadcast of one chunk: `lb.from` injects `bytes`
@@ -95,6 +113,8 @@ pub fn line_transfer(
     let inj_done = m
         .pool
         .reserve_coupled(src_dma, dma_t, &[(src_mem, mem_t)], now);
+    m.probe.record("dma_inject", src.0, now, inj_done);
+    m.probe.count("line_chunks", 1);
 
     let mut out = Vec::new();
     let mut cur = lb.from;
@@ -113,6 +133,7 @@ pub fn line_transfer(
         let link = m.link(m.node_at(upstream), charge_dir);
         let head = now + m.cfg.torus.hop_latency(hop);
         let fin = m.pool.reserve(link, head, link_t);
+        m.probe.record("link_transfer", dst.0, head, fin);
         // The wire has delivered once the link finished serializing and the
         // injection side is done; the destination charges its reception
         // (dma_recv) in its own event at this time.
@@ -146,8 +167,14 @@ pub fn hop_transfer(
     let inj_done = m
         .pool
         .reserve_coupled(src_dma, dma_t, &[(src_mem, mem_t)], now);
+    m.probe.record("dma_inject", from.0, now, inj_done);
     let link = m.link(from, dir);
-    let fin = m.pool.reserve(link, now + m.cfg.torus.hop_latency(1), m.link_time(bytes));
+    let head = now + m.cfg.torus.hop_latency(1);
+    let fin = m.pool.reserve(link, head, m.link_time(bytes));
+    if m.probe.is_enabled() {
+        let dst = m.node_at(m.cfg.dims.neighbor(m.coord(from), dir));
+        m.probe.record("link_transfer", dst.0, head, fin);
+    }
     (inj_done, fin.max(inj_done))
 }
 
@@ -170,16 +197,21 @@ pub fn direct_put(
     let inj = m
         .pool
         .reserve_coupled(src_dma, dma_t, &[(src_mem, mem_t)], now);
+    m.probe.record("dma_inject", src.0, now, inj);
     // Flow-level path model: charge serialization once (the bottleneck link
     // along a minimal route is the source's first link for our patterns)
     // plus per-hop latency.
     let wire = inj + m.link_time(bytes) + m.cfg.torus.hop_latency(hops);
+    m.probe.record("link_transfer", dst.0, inj, wire);
     let dst_dma = m.dma(dst);
     let dst_mem = m.mem(dst);
     let mem_t2 = m.mem_time(bytes, working_set);
     let dma_t2 = m.dma_time(m.cfg.dma.network_traffic(bytes));
-    m.pool
-        .reserve_coupled(dst_dma, dma_t2, &[(dst_mem, mem_t2)], wire)
+    let fin = m
+        .pool
+        .reserve_coupled(dst_dma, dma_t2, &[(dst_mem, mem_t2)], wire);
+    m.probe.record("dma_recv", dst.0, wire, fin);
+    fin
 }
 
 /// DMA local distribution: the engine copies `bytes` to each of `n_copies`
@@ -201,7 +233,9 @@ pub fn dma_local_distribute(
     let mem_t = m.mem_time(m.cfg.mem.copy_traffic(payload), working_set);
     let dma = m.dma(node);
     let mem = m.mem(node);
-    m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now)
+    let fin = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    m.probe.record("dma_local_copy", node.0, now, fin);
+    fin
 }
 
 /// A core memcpy of `bytes` on `node` by `core`. `shared_source` selects the
@@ -229,7 +263,10 @@ pub fn core_copy(
     let mem_t = m.mem_time(traffic, working_set);
     let core = m.core(node, core);
     let mem = m.mem(node);
-    m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now)
+    let fin = m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now);
+    m.probe.record("core_copy", node.0, now, fin);
+    m.probe.count("core_copy_chunks", 1);
+    fin
 }
 
 /// A core reduction: read `n_inputs` streams of `bytes_out` each, produce
@@ -251,7 +288,9 @@ pub fn core_reduce(
     let mem_t = m.mem_time(traffic, working_set);
     let core = m.core(node, core);
     let mem = m.mem(node);
-    m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now)
+    let fin = m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now);
+    m.probe.record("core_reduce", node.0, now, fin);
+    fin
 }
 
 /// Inject `bytes` into the collective network from `node` by `core`:
@@ -272,15 +311,16 @@ pub fn tree_inject(
     let tree_t = m.tree_time(bytes);
     let core = m.core(node, core);
     let up = m.tree_up(node);
-    if payload {
+    let fin = if payload {
         let mem_t = m.mem_time(bytes, working_set);
         let mem = m.mem(node);
         m.pool
             .reserve_coupled(core, core_t, &[(up, tree_t), (mem, mem_t)], now)
     } else {
-        m.pool
-            .reserve_coupled(core, core_t, &[(up, tree_t)], now)
-    }
+        m.pool.reserve_coupled(core, core_t, &[(up, tree_t)], now)
+    };
+    m.probe.record("tree_inject", node.0, now, fin);
+    fin
 }
 
 /// The tree hardware delivers `bytes` on `node`'s downlink (replication is
@@ -288,7 +328,9 @@ pub fn tree_inject(
 pub fn tree_down_transfer(m: &mut Machine, now: SimTime, node: NodeId, bytes: u64) -> SimTime {
     let t = m.tree_time(bytes);
     let down = m.tree_down(node);
-    m.pool.reserve(down, now, t)
+    let fin = m.pool.reserve(down, now, t);
+    m.probe.record("tree_down", node.0, now, fin);
+    fin
 }
 
 /// Receive `bytes` from the collective network on `node` by `core`:
@@ -305,15 +347,25 @@ pub fn tree_recv(
     let mem_t = m.mem_time(bytes, working_set);
     let core = m.core(node, core);
     let mem = m.mem(node);
-    m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now)
+    let fin = m.pool.reserve_coupled(core, core_t, &[(mem, mem_t)], now);
+    m.probe.record("tree_recv", node.0, now, fin);
+    fin
 }
 
 /// Drain `bytes` of DMA memory-FIFO packets on `core` (the reception path
 /// of the `CollectiveNetwork + DMA FIFO` baseline).
-pub fn memfifo_drain(m: &mut Machine, now: SimTime, node: NodeId, core: u32, bytes: u64) -> SimTime {
+pub fn memfifo_drain(
+    m: &mut Machine,
+    now: SimTime,
+    node: NodeId,
+    core: u32,
+    bytes: u64,
+) -> SimTime {
     let t = m.cfg.dma.memfifo_drain_cost(bytes);
     let core = m.core(node, core);
-    m.pool.reserve(core, now, t)
+    let fin = m.pool.reserve(core, now, t);
+    m.probe.record("memfifo_drain", node.0, now, fin);
+    fin
 }
 
 #[cfg(test)]
@@ -330,16 +382,22 @@ mod tests {
     const WS: u64 = 1 << 20;
 
     fn xp() -> Direction {
-        Direction { axis: Axis::X, sign: Sign::Plus }
+        Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        }
     }
 
     #[test]
     fn line_transfer_covers_the_line_in_hop_order() {
         let mut m = machine();
-        let lb = LineBcast { from: Coord::new(0, 0, 0), dir: xp() };
+        let lb = LineBcast {
+            from: Coord::new(0, 0, 0),
+            dir: xp(),
+        };
         let arr = line_transfer(&mut m, SimTime::ZERO, lb, xp(), 16 * 1024, WS).arrivals;
         assert_eq!(arr.len(), 3); // extent 4, three destinations
-        // Arrivals strictly increase with hop count.
+                                  // Arrivals strictly increase with hop count.
         for w in arr.windows(2) {
             assert!(w[0].1 < w[1].1, "arrival order violated");
         }
@@ -354,7 +412,10 @@ mod tests {
         // the last node must equal the link serialization time.
         let mut m = machine();
         let bytes = 64 * 1024u64;
-        let lb = LineBcast { from: Coord::new(0, 0, 0), dir: xp() };
+        let lb = LineBcast {
+            from: Coord::new(0, 0, 0),
+            dir: xp(),
+        };
         let mut last_arrivals = Vec::new();
         let mut now = SimTime::ZERO;
         for _ in 0..20 {
@@ -378,7 +439,10 @@ mod tests {
         // not 3 * serialization.
         let mut m = machine();
         let bytes = 1 << 20;
-        let lb = LineBcast { from: Coord::new(0, 0, 0), dir: xp() };
+        let lb = LineBcast {
+            from: Coord::new(0, 0, 0),
+            dir: xp(),
+        };
         let arr = line_transfer(&mut m, SimTime::ZERO, lb, xp(), bytes, WS).arrivals;
         let last = arr.last().unwrap().1;
         let ser = m.link_time(bytes).as_nanos();
@@ -503,7 +567,13 @@ mod tests {
     fn descriptor_and_busy_charge_the_named_core() {
         let mut m = machine();
         descriptor_post(&mut m, SimTime::ZERO, NodeId(0), 3);
-        core_busy(&mut m, SimTime::ZERO, NodeId(0), 3, SimTime::from_nanos(100));
+        core_busy(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            3,
+            SimTime::from_nanos(100),
+        );
         let busy = m.pool.get(m.core(NodeId(0), 3)).busy_time();
         assert_eq!(busy.as_nanos(), m.cfg.dma.descriptor_cost_ns + 100);
         assert_eq!(m.pool.get(m.core(NodeId(0), 0)).busy_time(), SimTime::ZERO);

@@ -33,6 +33,7 @@ fn control_latency(m: &Machine, src: NodeId, dst: NodeId) -> SimTime {
 
 /// Eager send of `bytes` from `(src, src_core)` to `(dst, dst_core)`.
 /// Returns the receive-complete time.
+#[allow(clippy::too_many_arguments)]
 pub fn eager_send(
     m: &mut Machine,
     now: SimTime,
@@ -128,33 +129,104 @@ mod tests {
         let small = 256u64;
         let large = 256 << 10;
         let mut m = machine();
-        let e_small = eager_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, small, 4096);
+        let e_small = eager_send(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            small,
+            4096,
+        );
         let mut m = machine();
-        let r_small =
-            rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, small, 4096);
+        let r_small = rendezvous_send(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            small,
+            4096,
+        );
         assert!(e_small < r_small, "eager small: {e_small} vs {r_small}");
 
         let mut m = machine();
-        let e_large =
-            eager_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, large, large * 2);
+        let e_large = eager_send(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            large,
+            large * 2,
+        );
         let mut m = machine();
-        let r_large =
-            rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, large, large * 2);
-        assert!(r_large < e_large, "rendezvous large: {r_large} vs {e_large}");
+        let r_large = rendezvous_send(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            large,
+            large * 2,
+        );
+        assert!(
+            r_large < e_large,
+            "rendezvous large: {r_large} vs {e_large}"
+        );
     }
 
     #[test]
     fn protocol_switch_at_eager_limit() {
         let mut m1 = machine();
-        let below = send(&mut m1, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT, 4096);
+        let below = send(
+            &mut m1,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            EAGER_LIMIT,
+            4096,
+        );
         let mut m2 = machine();
-        let eager = eager_send(&mut m2, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT, 4096);
+        let eager = eager_send(
+            &mut m2,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            EAGER_LIMIT,
+            4096,
+        );
         assert_eq!(below, eager);
         let mut m3 = machine();
-        let above = send(&mut m3, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT + 1, 4096);
+        let above = send(
+            &mut m3,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            EAGER_LIMIT + 1,
+            4096,
+        );
         let mut m4 = machine();
-        let rndv =
-            rendezvous_send(&mut m4, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, EAGER_LIMIT + 1, 4096);
+        let rndv = rendezvous_send(
+            &mut m4,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            EAGER_LIMIT + 1,
+            4096,
+        );
         assert_eq!(above, rndv);
     }
 
@@ -163,7 +235,16 @@ mod tests {
         // A single pt2pt stream is bounded by one 425 MB/s link.
         let bytes = 4u64 << 20;
         let mut m = machine();
-        let t = rendezvous_send(&mut m, SimTime::ZERO, NodeId(0), 0, NodeId(1), 0, bytes, 8 << 20);
+        let t = rendezvous_send(
+            &mut m,
+            SimTime::ZERO,
+            NodeId(0),
+            0,
+            NodeId(1),
+            0,
+            bytes,
+            8 << 20,
+        );
         let bw = Rate::observed(bytes, t).unwrap().as_mb_per_sec();
         assert!(bw > 300.0 && bw <= 425.0, "pt2pt bandwidth {bw:.0}");
     }
@@ -172,7 +253,10 @@ mod tests {
     fn pingpong_latency_is_microseconds() {
         let mut m = machine();
         let half = pingpong_half_rtt(&mut m, 0);
-        assert!(half.as_micros_f64() > 1.0 && half.as_micros_f64() < 20.0, "{half}");
+        assert!(
+            half.as_micros_f64() > 1.0 && half.as_micros_f64() < 20.0,
+            "{half}"
+        );
     }
 
     #[test]

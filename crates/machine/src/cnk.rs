@@ -15,13 +15,12 @@
 //! granularity, eviction when a peer's single slot is re-targeted, and the
 //! "buffer spans a slot boundary → more than one mapping" corner case.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use bgp_sim::SimTime;
 
 /// Calibrated process-window constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WindowConfig {
     /// TLB slots reserved for process windows (`N`, default 3).
     pub tlb_slots: u32,

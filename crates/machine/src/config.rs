@@ -5,8 +5,6 @@
 //! algorithm, so that cross-algorithm comparisons measure the algorithms and
 //! not per-algorithm tuning.
 
-use serde::{Deserialize, Serialize};
-
 use bgp_sim::{Rate, SimTime};
 
 use crate::cnk::WindowConfig;
@@ -17,7 +15,7 @@ use crate::tree::TreeConfig;
 
 /// BG/P node operating modes (paper §III): how many MPI processes share the
 /// four cores of a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpMode {
     /// One process per node (with up to four threads).
     Smp,
@@ -40,7 +38,7 @@ impl OpMode {
 }
 
 /// Torus network constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TorusConfig {
     /// Raw throughput of one link direction, MB/s (paper: 425).
     pub link_mb: f64,
@@ -77,7 +75,7 @@ impl TorusConfig {
 /// Calibrated software costs: the messaging-stack overheads that dominate
 /// short-message latency and the per-chunk synchronization costs that bound
 /// pipelining.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SoftwareCosts {
     /// Fixed per-collective software overhead (MPI + CCMI dispatch) on every
     /// participating rank.
@@ -156,7 +154,7 @@ impl SoftwareCosts {
 }
 
 /// The complete machine description used by the simulator and harness.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Torus extents of the partition.
     pub dims: Dims,
@@ -283,10 +281,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn clone_round_trip() {
         let cfg = MachineConfig::two_racks_quad();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        let back = cfg.clone();
         assert_eq!(back.node_count(), cfg.node_count());
         assert_eq!(back.sw.pwidth, cfg.sw.pwidth);
     }

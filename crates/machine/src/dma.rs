@@ -15,12 +15,10 @@
 //!   software message counters of the paper (in `bgp-shmem`) deliberately
 //!   mirror this design at user level.
 
-use serde::{Deserialize, Serialize};
-
 use bgp_sim::{Rate, SimTime};
 
 /// Calibrated DMA constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DmaConfig {
     /// Aggregate engine bandwidth across injection + reception + local
     /// copies, MB/s. 6 links × 425 MB/s in + out is 5.1 GB/s; the engine has

@@ -6,11 +6,10 @@
 //! a hardware line broadcast — which is the primitive under the multi-color
 //! spanning-tree algorithms in [`crate::routing`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the three torus axes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Axis {
     X,
     Y,
@@ -43,7 +42,7 @@ impl fmt::Display for Axis {
 }
 
 /// Link polarity along an axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sign {
     Plus,
     Minus,
@@ -64,7 +63,7 @@ impl Sign {
 }
 
 /// One of the six torus link directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Direction {
     pub axis: Axis,
     pub sign: Sign,
@@ -73,12 +72,30 @@ pub struct Direction {
 impl Direction {
     /// All six directions in canonical order `X+ X- Y+ Y- Z+ Z-`.
     pub const ALL: [Direction; 6] = [
-        Direction { axis: Axis::X, sign: Sign::Plus },
-        Direction { axis: Axis::X, sign: Sign::Minus },
-        Direction { axis: Axis::Y, sign: Sign::Plus },
-        Direction { axis: Axis::Y, sign: Sign::Minus },
-        Direction { axis: Axis::Z, sign: Sign::Plus },
-        Direction { axis: Axis::Z, sign: Sign::Minus },
+        Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        },
+        Direction {
+            axis: Axis::X,
+            sign: Sign::Minus,
+        },
+        Direction {
+            axis: Axis::Y,
+            sign: Sign::Plus,
+        },
+        Direction {
+            axis: Axis::Y,
+            sign: Sign::Minus,
+        },
+        Direction {
+            axis: Axis::Z,
+            sign: Sign::Plus,
+        },
+        Direction {
+            axis: Axis::Z,
+            sign: Sign::Minus,
+        },
     ];
 
     /// Dense index 0..6 matching [`Direction::ALL`].
@@ -106,7 +123,7 @@ impl fmt::Display for Direction {
 
 /// Torus extents. Every axis must be at least 1; an axis of extent 1 has no
 /// links (degenerate but allowed for unit tests on small meshes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dims {
     pub x: u32,
     pub y: u32,
@@ -215,7 +232,7 @@ impl Dims {
 }
 
 /// A node's 3D coordinate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     pub x: u32,
     pub y: u32,
@@ -249,7 +266,7 @@ impl fmt::Display for Coord {
 }
 
 /// Dense node identifier in `0..Dims::node_count()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -286,8 +303,14 @@ mod tests {
     fn neighbor_wraps_around() {
         let d = Dims::new(4, 4, 4);
         let c = Coord::new(3, 0, 2);
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
-        let ym = Direction { axis: Axis::Y, sign: Sign::Minus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
+        let ym = Direction {
+            axis: Axis::Y,
+            sign: Sign::Minus,
+        };
         assert_eq!(d.neighbor(c, xp), Coord::new(0, 0, 2));
         assert_eq!(d.neighbor(c, ym), Coord::new(3, 3, 2));
     }
@@ -315,13 +338,19 @@ mod tests {
             d.torus_distance(Coord::new(0, 0, 0), Coord::new(4, 4, 4)),
             12
         );
-        assert_eq!(d.torus_distance(Coord::new(1, 2, 3), Coord::new(1, 2, 3)), 0);
+        assert_eq!(
+            d.torus_distance(Coord::new(1, 2, 3), Coord::new(1, 2, 3)),
+            0
+        );
     }
 
     #[test]
     fn line_covers_whole_ring_once() {
         let d = Dims::new(4, 1, 1);
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
         let line = d.line_from(Coord::new(1, 0, 0), xp);
         assert_eq!(
             line,
@@ -336,7 +365,10 @@ mod tests {
     #[test]
     fn line_on_degenerate_axis_is_empty() {
         let d = Dims::new(1, 4, 4);
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
         assert!(d.line_from(Coord::new(0, 1, 1), xp).is_empty());
     }
 
@@ -345,12 +377,24 @@ mod tests {
         let d = Dims::new(5, 1, 1);
         let from = Coord::new(2, 0, 0);
         let plus: Vec<u32> = d
-            .line_from(from, Direction { axis: Axis::X, sign: Sign::Plus })
+            .line_from(
+                from,
+                Direction {
+                    axis: Axis::X,
+                    sign: Sign::Plus,
+                },
+            )
             .iter()
             .map(|c| c.x)
             .collect();
         let minus: Vec<u32> = d
-            .line_from(from, Direction { axis: Axis::X, sign: Sign::Minus })
+            .line_from(
+                from,
+                Direction {
+                    axis: Axis::X,
+                    sign: Sign::Minus,
+                },
+            )
             .iter()
             .map(|c| c.x)
             .collect();
@@ -367,7 +411,10 @@ mod tests {
 
     #[test]
     fn axis_display() {
-        let xp = Direction { axis: Axis::X, sign: Sign::Plus };
+        let xp = Direction {
+            axis: Axis::X,
+            sign: Sign::Plus,
+        };
         assert_eq!(xp.to_string(), "X+");
         assert_eq!(xp.opposite().to_string(), "X-");
     }

@@ -14,12 +14,10 @@
 //!   rate. Past the L2 size, source reads go to DRAM and rates drop — the
 //!   droop at 4 MB in the paper's Figure 10.
 
-use serde::{Deserialize, Serialize};
-
 use bgp_sim::Rate;
 
 /// Calibrated memory-subsystem parameters for one node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryModel {
     /// Shared L2/L3 prefetch-buffer capacity (8 MB on BG/P).
     pub l2_bytes: u64,

@@ -15,17 +15,15 @@
 //! pipelining every node receives on all six links concurrently — the
 //! 6 × 425 MB/s ≈ 2.55 GB/s aggregate the paper quotes as "close to peak".
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::{Axis, Coord, Dims, Direction, Sign};
 
 /// A color index, dense in `0..n_colors`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Color(pub u8);
 
 /// One color's route: the order in which axes are traversed and the link
 /// polarity used on every phase.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColorRoute {
     /// Axis traversal order; only axes with extent > 1 appear.
     pub order: Vec<Axis>,
@@ -35,7 +33,7 @@ pub struct ColorRoute {
 
 /// A single deposit-bit line broadcast: `from` sends one stream along `dir`,
 /// and the hardware deposits a copy at every node of the line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineBcast {
     pub from: Coord,
     pub dir: Direction,
@@ -134,7 +132,7 @@ pub fn phases(dims: Dims, root: Coord, route: &ColorRoute) -> Vec<Vec<LineBcast>
 /// class: the tree has `N-1` edges and the class has `N`, so per-link load
 /// is exactly `M/6` — the edge-disjoint ideal the measured 96%-of-peak
 /// implies.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NrSchedule {
     /// Direction of the root's phase-0 unicast; also the direction class
     /// that carries this color's delivery load.

@@ -9,14 +9,12 @@
 //! why the paper's quad-mode design dedicates two *processes* (the
 //! core-specialization idea).
 
-use serde::{Deserialize, Serialize};
-
 use bgp_sim::{Rate, SimTime};
 
 use crate::geometry::NodeId;
 
 /// Calibrated collective-network constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeConfig {
     /// Raw link throughput, MB/s (paper: 850).
     pub link_mb: f64,

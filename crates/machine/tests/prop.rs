@@ -1,71 +1,96 @@
-//! Property tests for the machine model: geometry, routing, CNK windows.
+//! Property-style tests for the machine model (geometry, routing, CNK
+//! windows), driven by the deterministic [`bgp_sim::Rng`].
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use bgp_machine::cnk::{WindowCache, WindowConfig};
 use bgp_machine::geometry::{Coord, Dims, Direction, NodeId};
 use bgp_machine::routing::{color_routes, nr_schedule};
 use bgp_machine::tree::TreeTopology;
+use bgp_sim::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Node id <-> coordinate is a bijection for arbitrary shapes.
-    #[test]
-    fn id_coord_bijection(x in 1u32..8, y in 1u32..8, z in 1u32..8) {
-        let d = Dims::new(x, y, z);
+/// Node id <-> coordinate is a bijection for arbitrary shapes.
+#[test]
+fn id_coord_bijection() {
+    let mut rng = Rng::new(0xB11);
+    for _ in 0..64 {
+        let d = Dims::new(
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+        );
         let mut seen = HashSet::new();
         for c in d.iter_coords() {
             let id = d.id_of(c);
-            prop_assert!(id.0 < d.node_count());
-            prop_assert!(seen.insert(id));
-            prop_assert_eq!(d.coord_of(id), c);
+            assert!(id.0 < d.node_count());
+            assert!(seen.insert(id));
+            assert_eq!(d.coord_of(id), c);
         }
     }
+}
 
-    /// Walking any direction and back returns to the start; walking the
-    /// full extent wraps to the start.
-    #[test]
-    fn torus_walks(x in 1u32..8, y in 1u32..8, z in 1u32..8, dir_i in 0usize..6) {
-        let d = Dims::new(x, y, z);
-        let dir = Direction::ALL[dir_i];
+/// Walking any direction and back returns to the start; walking the full
+/// extent wraps to the start.
+#[test]
+fn torus_walks() {
+    let mut rng = Rng::new(0x7A1);
+    for _ in 0..64 {
+        let d = Dims::new(
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+        );
+        let dir = Direction::ALL[rng.range_usize(0, 6)];
         for c in d.iter_coords() {
-            prop_assert_eq!(d.neighbor(d.neighbor(c, dir), dir.opposite()), c);
+            assert_eq!(d.neighbor(d.neighbor(c, dir), dir.opposite()), c);
             let mut cur = c;
             for _ in 0..d.extent(dir.axis) {
                 cur = d.neighbor(cur, dir);
             }
-            prop_assert_eq!(cur, c, "full walk must wrap");
+            assert_eq!(cur, c, "full walk must wrap");
         }
     }
+}
 
-    /// Torus distance is a metric (symmetric, identity, triangle
-    /// inequality) bounded by the sum of half-extents.
-    #[test]
-    fn torus_distance_is_a_metric(
-        x in 1u32..8, y in 1u32..8, z in 1u32..8,
-        pts in proptest::collection::vec((0u32..8, 0u32..8, 0u32..8), 3),
-    ) {
+/// Torus distance is a metric (symmetric, identity, triangle inequality)
+/// bounded by the sum of half-extents.
+#[test]
+fn torus_distance_is_a_metric() {
+    let mut rng = Rng::new(0x3E7);
+    for _ in 0..64 {
+        let (x, y, z) = (
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+            rng.range_u32(1, 8),
+        );
         let d = Dims::new(x, y, z);
-        let p: Vec<Coord> = pts.iter().map(|&(a, b, c)| Coord::new(a % x, b % y, c % z)).collect();
-        let (a, b, c) = (p[0], p[1], p[2]);
-        prop_assert_eq!(d.torus_distance(a, a), 0);
-        prop_assert_eq!(d.torus_distance(a, b), d.torus_distance(b, a));
-        prop_assert!(d.torus_distance(a, c) <= d.torus_distance(a, b) + d.torus_distance(b, c));
-        prop_assert!(d.torus_distance(a, b) <= x / 2 + y / 2 + z / 2);
+        let mut pt = || {
+            Coord::new(
+                rng.range_u32(0, x),
+                rng.range_u32(0, y),
+                rng.range_u32(0, z),
+            )
+        };
+        let (a, b, c) = (pt(), pt(), pt());
+        assert_eq!(d.torus_distance(a, a), 0);
+        assert_eq!(d.torus_distance(a, b), d.torus_distance(b, a));
+        assert!(d.torus_distance(a, c) <= d.torus_distance(a, b) + d.torus_distance(b, c));
+        assert!(d.torus_distance(a, b) <= x / 2 + y / 2 + z / 2);
     }
+}
 
-    /// The neighbor-rooted schedules of the full color set deliver to each
-    /// node exactly `n_colors` times in total (once per color), from any
-    /// root.
-    #[test]
-    fn nr_schedules_balance_deliveries(
-        x in 2u32..6, y in 2u32..6, z in 2u32..6,
-        root_seed in 0u32..1000,
-    ) {
-        let d = Dims::new(x, y, z);
-        let root = d.coord_of(NodeId(root_seed % d.node_count()));
+/// The neighbor-rooted schedules of the full color set deliver to each node
+/// exactly `n_colors` times in total (once per color), from any root.
+#[test]
+fn nr_schedules_balance_deliveries() {
+    let mut rng = Rng::new(0xBA1);
+    for _ in 0..64 {
+        let d = Dims::new(
+            rng.range_u32(2, 6),
+            rng.range_u32(2, 6),
+            rng.range_u32(2, 6),
+        );
+        let root = d.coord_of(NodeId(rng.range_u32(0, d.node_count())));
         let routes = color_routes(d, true);
         let mut deliveries = vec![0u32; d.node_count() as usize];
         for route in &routes {
@@ -80,55 +105,70 @@ proptest! {
             }
         }
         for (i, &cnt) in deliveries.iter().enumerate() {
-            prop_assert_eq!(cnt, routes.len() as u32, "node {}", i);
+            assert_eq!(cnt, routes.len() as u32, "node {i}");
         }
     }
+}
 
-    /// Tree parent/child relations are consistent and acyclic for any size
-    /// and arity.
-    #[test]
-    fn tree_is_well_formed(n in 1u32..5000, arity in 1u32..5) {
+/// Tree parent/child relations are consistent and acyclic for any size and
+/// arity.
+#[test]
+fn tree_is_well_formed() {
+    let mut rng = Rng::new(0x72E);
+    for _ in 0..64 {
+        let n = rng.range_u32(1, 5000);
+        let arity = rng.range_u32(1, 5);
         let t = TreeTopology::balanced(n, arity);
         let mut child_count = 0u32;
         for i in 0..n {
             let node = NodeId(i);
             for c in t.children(node) {
-                prop_assert_eq!(t.parent(c), Some(node));
+                assert_eq!(t.parent(c), Some(node));
                 child_count += 1;
             }
-            prop_assert!(t.depth(node) <= n); // terminates (acyclic)
+            assert!(t.depth(node) <= n); // terminates (acyclic)
         }
-        prop_assert_eq!(child_count, n - 1, "every non-root is someone's child");
-        prop_assert!(t.max_depth() <= n);
+        assert_eq!(child_count, n - 1, "every non-root is someone's child");
+        assert!(t.max_depth() <= n);
     }
+}
 
-    /// Window cache: a request within an established slot never misses; a
-    /// request outside always does.
-    #[test]
-    fn window_cache_hit_iff_covered(base in 0u64..(1 << 30), len in 1u64..(1 << 20)) {
+/// Window cache: a request within an established slot never misses; a
+/// request outside always does.
+#[test]
+fn window_cache_hit_iff_covered() {
+    let mut rng = Rng::new(0x4AC);
+    for _ in 0..64 {
+        let base = rng.range_u64(0, 1 << 30);
+        let len = rng.range_u64(1, 1 << 20);
         let cfg = WindowConfig::default();
         let mut cache = WindowCache::new();
         let first = cache.map(&cfg, 1, base, len, true);
-        prop_assert!(!first.cached);
+        assert!(!first.cached);
         // Same request again: always a hit.
         let again = cache.map(&cfg, 1, base, len, true);
-        prop_assert!(again.cached);
+        assert!(again.cached);
         // A request 512MB away: always a miss.
         let far = cache.map(&cfg, 1, base + (512 << 20), len, true);
-        prop_assert!(!far.cached);
+        assert!(!far.cached);
     }
+}
 
-    /// maps_needed is exactly the number of slot-aligned regions touched.
-    #[test]
-    fn maps_needed_matches_span(base in 0u64..(1 << 24), len in 1u64..(1 << 22), slot_i in 0usize..3) {
+/// maps_needed is exactly the number of slot-aligned regions touched.
+#[test]
+fn maps_needed_matches_span() {
+    let mut rng = Rng::new(0x935);
+    for _ in 0..64 {
+        let base = rng.range_u64(0, 1 << 24);
+        let len = rng.range_u64(1, 1 << 22);
         let cfg = WindowConfig::default();
-        let slot = cfg.slot_sizes[slot_i];
+        let slot = cfg.slot_sizes[rng.range_usize(0, 3)];
         let n = cfg.maps_needed(base, len, slot);
         let first = base / slot;
         let last = (base + len - 1) / slot;
-        prop_assert_eq!(n, last - first + 1);
+        assert_eq!(n, last - first + 1);
         // Bounds: at least ceil(len/slot), at most one more.
-        prop_assert!(n >= len.div_ceil(slot));
-        prop_assert!(n <= len.div_ceil(slot) + 1);
+        assert!(n >= len.div_ceil(slot));
+        assert!(n <= len.div_ceil(slot) + 1);
     }
 }

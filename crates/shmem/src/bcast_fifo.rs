@@ -23,7 +23,7 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 
 use crate::spin;
 
@@ -45,6 +45,20 @@ pub struct BcastFifo<T> {
     n_consumers: usize,
     head: CachePadded<AtomicUsize>,
     tail: CachePadded<AtomicUsize>,
+    /// Total per-consumer reads (diagnostic; own line to keep the hot
+    /// head/tail words uncontended).
+    dequeues: CachePadded<AtomicUsize>,
+}
+
+/// Lifetime operation counts of a [`BcastFifo`] (see [`BcastFifo::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Messages ever enqueued.
+    pub enqueued: u64,
+    /// Per-consumer reads, summed over all consumers.
+    pub dequeued: u64,
+    /// Slots fully retired (read by every consumer).
+    pub retired: u64,
 }
 
 // SAFETY: same hand-off discipline as PtpFifo; the payload is only read
@@ -64,9 +78,15 @@ impl<T: Clone> BcastFifo<T> {
     /// streams from multiple connections can be multiplexed into one FIFO.
     /// `capacity` must be at least 2 (single-slot tag collision — see
     /// [`crate::PtpFifo::new`]).
-    pub fn with_consumers(capacity: usize, n_consumers: usize) -> (Arc<Self>, Vec<BcastConsumer<T>>) {
+    pub fn with_consumers(
+        capacity: usize,
+        n_consumers: usize,
+    ) -> (Arc<Self>, Vec<BcastConsumer<T>>) {
         assert!(capacity >= 2, "FIFO capacity must be at least 2");
-        assert!(n_consumers >= 1, "a broadcast FIFO needs at least one consumer");
+        assert!(
+            n_consumers >= 1,
+            "a broadcast FIFO needs at least one consumer"
+        );
         let slots = (0..capacity)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
@@ -80,6 +100,7 @@ impl<T: Clone> BcastFifo<T> {
             n_consumers,
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
+            dequeues: CachePadded::new(AtomicUsize::new(0)),
         });
         let consumers = (0..n_consumers)
             .map(|_| BcastConsumer {
@@ -102,16 +123,39 @@ impl<T: Clone> BcastFifo<T> {
         self.n_consumers
     }
 
-    /// Messages enqueued and not yet fully retired (racy; diagnostic).
+    /// Messages enqueued and not yet fully retired.
+    ///
+    /// Diagnostic only: `head` and `tail` are read as two independent
+    /// relaxed loads, so concurrent enqueues/retirements can be observed
+    /// half-way and the raw difference can transiently exceed the slot
+    /// count (a producer increments `tail` *before* waiting for its slot,
+    /// so `tail - head` reaches `capacity + waiting producers`). The value
+    /// is therefore clamped to `capacity()`; an underflow (head observed
+    /// ahead of tail) reads as 0. The result is exact whenever the FIFO is
+    /// externally quiesced.
     pub fn len(&self) -> usize {
         self.tail
             .load(Ordering::Relaxed)
             .saturating_sub(self.head.load(Ordering::Relaxed))
+            .min(self.cap)
     }
 
-    /// Racy emptiness snapshot.
+    /// Emptiness snapshot, with the same racy-diagnostic contract as
+    /// [`len`](Self::len).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime operation counts `(enqueued, dequeued, retired)`:
+    /// messages ever enqueued, per-consumer reads summed over consumers,
+    /// and slots fully retired (read by every consumer). Relaxed snapshots;
+    /// exact when quiesced.
+    pub fn stats(&self) -> FifoStats {
+        FifoStats {
+            enqueued: self.tail.load(Ordering::Relaxed) as u64,
+            dequeued: self.dequeues.load(Ordering::Relaxed) as u64,
+            retired: self.head.load(Ordering::Relaxed) as u64,
+        }
     }
 
     /// Broadcast `value` to all consumers, spinning while the FIFO is full.
@@ -136,6 +180,7 @@ impl<T: Clone> BcastFifo<T> {
         // SAFETY: published and not yet retired — retirement requires our
         // own decrement below.
         let value = unsafe { (*slot.val.get()).assume_init_ref().clone() };
+        self.dequeues.fetch_add(1, Ordering::Relaxed);
         if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last reader: drop the payload, retire the slot, advance head.
             unsafe { (*slot.val.get()).assume_init_drop() };
@@ -152,6 +197,7 @@ impl<T: Clone> BcastFifo<T> {
             return None;
         }
         let value = unsafe { (*slot.val.get()).assume_init_ref().clone() };
+        self.dequeues.fetch_add(1, Ordering::Relaxed);
         if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
             unsafe { (*slot.val.get()).assume_init_drop() };
             self.head.fetch_add(1, Ordering::Relaxed);
@@ -251,6 +297,30 @@ mod tests {
         fifo.enqueue(8);
         assert_eq!(consumers[0].recv(), 8);
         assert_eq!(consumers[1].recv(), 8);
+    }
+
+    #[test]
+    fn stats_track_enqueues_dequeues_and_retires() {
+        let (fifo, mut consumers) = BcastFifo::with_consumers(4, 2);
+        for i in 0..3u64 {
+            fifo.enqueue(i);
+        }
+        assert_eq!(fifo.len(), 3);
+        for c in consumers.iter_mut() {
+            for _ in 0..3 {
+                c.recv();
+            }
+        }
+        let s = fifo.stats();
+        assert_eq!(
+            s,
+            FifoStats {
+                enqueued: 3,
+                dequeued: 6,
+                retired: 3
+            }
+        );
+        assert!(fifo.is_empty());
     }
 
     #[test]
@@ -386,9 +456,7 @@ mod tests {
         });
         let handles: Vec<_> = consumers
             .drain(..)
-            .map(|mut c| {
-                thread::spawn(move || (0..N).map(|_| c.recv()).sum::<u64>())
-            })
+            .map(|mut c| thread::spawn(move || (0..N).map(|_| c.recv()).sum::<u64>()))
             .collect();
         producer.join().unwrap();
         for h in handles {

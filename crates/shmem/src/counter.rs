@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 
 use crate::spin;
 
@@ -28,6 +28,10 @@ use crate::spin;
 #[derive(Debug)]
 pub struct MessageCounter {
     bytes: CachePadded<AtomicU64>,
+    /// Lifetime consumer polls (reads inside [`wait_for`](Self::wait_for)
+    /// spins). On its own line, and updated once per `wait_for` call rather
+    /// than per spin, so accounting never perturbs the hot path.
+    polls: CachePadded<AtomicU64>,
 }
 
 impl Default for MessageCounter {
@@ -41,6 +45,7 @@ impl MessageCounter {
     pub fn new() -> Self {
         MessageCounter {
             bytes: CachePadded::new(AtomicU64::new(0)),
+            polls: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -62,13 +67,24 @@ impl MessageCounter {
     /// Consumer: spin until at least `target` bytes are valid; returns the
     /// observed count (which may exceed `target`).
     pub fn wait_for(&self, target: u64) -> u64 {
-        loop {
+        let mut local_polls = 0u64;
+        let got = loop {
+            local_polls += 1;
             let v = self.read();
             if v >= target {
-                return v;
+                break v;
             }
             spin();
-        }
+        };
+        self.polls.fetch_add(local_polls, Ordering::Relaxed);
+        got
+    }
+
+    /// Lifetime number of consumer polls spent in
+    /// [`wait_for`](Self::wait_for) (each loop iteration is one poll).
+    /// Relaxed snapshot; survives [`reset`](Self::reset).
+    pub fn poll_count(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
     }
 
     /// Producer only: rearm for the next operation. Must happen-after all
@@ -166,6 +182,19 @@ mod tests {
         c.publish(512);
         assert_eq!(c.wait_for(512), 512);
         assert_eq!(c.wait_for(100), 512);
+    }
+
+    #[test]
+    fn poll_count_accumulates_per_wait() {
+        let c = MessageCounter::new();
+        c.publish(512);
+        assert_eq!(c.poll_count(), 0);
+        c.wait_for(100); // satisfied on the first poll
+        assert_eq!(c.poll_count(), 1);
+        c.wait_for(512);
+        assert_eq!(c.poll_count(), 2);
+        c.reset();
+        assert_eq!(c.poll_count(), 2, "polls survive reset");
     }
 
     #[test]

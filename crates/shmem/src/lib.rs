@@ -35,13 +35,16 @@
 pub mod bcast_fifo;
 pub mod counter;
 pub mod mutex_fifo;
+pub mod pad;
 pub mod ptp_fifo;
 pub mod region;
+pub mod sync;
 pub mod window;
 
-pub use bcast_fifo::{BcastConsumer, BcastFifo};
+pub use bcast_fifo::{BcastConsumer, BcastFifo, FifoStats};
 pub use counter::{CompletionCounter, MessageCounter};
 pub use mutex_fifo::{MutexBcastConsumer, MutexBcastFifo};
+pub use pad::CachePadded;
 pub use ptp_fifo::PtpFifo;
 pub use region::SharedRegion;
 pub use window::{WindowRegistry, WindowStats};

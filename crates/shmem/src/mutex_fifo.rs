@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::spin;
 
@@ -187,9 +187,7 @@ mod tests {
         });
         let handles: Vec<_> = consumers
             .drain(..)
-            .map(|mut c| {
-                thread::spawn(move || (0..200u64).map(|_| c.recv()).sum::<u64>())
-            })
+            .map(|mut c| thread::spawn(move || (0..200u64).map(|_| c.recv()).sum::<u64>()))
             .collect();
         producer.join().unwrap();
         let expect: u64 = (0..200).sum();

@@ -23,7 +23,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use crate::pad::CachePadded;
 
 use crate::spin;
 
@@ -82,14 +82,23 @@ impl<T> PtpFifo<T> {
         self.cap
     }
 
-    /// Messages currently enqueued (racy snapshot — diagnostic only).
+    /// Messages currently enqueued.
+    ///
+    /// Diagnostic only: `head` and `tail` are read as two independent
+    /// relaxed loads. Producers reserve tickets *before* waiting for space
+    /// and blocking consumers reserve tickets *before* a message exists, so
+    /// the raw difference can transiently exceed `capacity()` (extra
+    /// waiting producers) or underflow (waiting consumers). The value is
+    /// clamped to `[0, capacity()]`; it is exact whenever the FIFO is
+    /// externally quiesced.
     pub fn len(&self) -> usize {
         let t = self.tail.load(Ordering::Relaxed);
         let h = self.head.load(Ordering::Relaxed);
-        t.saturating_sub(h)
+        t.saturating_sub(h).min(self.cap)
     }
 
-    /// Racy emptiness snapshot.
+    /// Emptiness snapshot, with the same racy-diagnostic contract as
+    /// [`len`](Self::len).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

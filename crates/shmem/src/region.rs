@@ -101,15 +101,12 @@ impl SharedRegion {
     /// Combines the contracts of [`read`](Self::read) and
     /// [`write`](Self::write); additionally the two regions must not be the
     /// same region with overlapping ranges.
-    pub unsafe fn copy_from(
-        &self,
-        dst_off: usize,
-        src: &SharedRegion,
-        src_off: usize,
-        len: usize,
-    ) {
+    pub unsafe fn copy_from(&self, dst_off: usize, src: &SharedRegion, src_off: usize, len: usize) {
         assert!(src_off + len <= src.len(), "source range out of bounds");
-        assert!(dst_off + len <= self.len(), "destination range out of bounds");
+        assert!(
+            dst_off + len <= self.len(),
+            "destination range out of bounds"
+        );
         if len == 0 {
             return;
         }

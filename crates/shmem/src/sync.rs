@@ -1,0 +1,120 @@
+//! Thin lock wrappers with a `parking_lot`-style API over `std::sync`.
+//!
+//! Two differences from the std types, both load-bearing for this crate:
+//!
+//! * `lock()` / `read()` / `write()` return the guard directly instead of a
+//!   `Result` — lock poisoning is deliberately ignored. A rank thread that
+//!   panicked already fails the whole node operation (the runtime re-panics
+//!   on join); making every other rank *also* panic on a poisoned registry
+//!   lock only obscures the original failure.
+//! * No poison flag means the mutex-strawman FIFO measures pure lock
+//!   hand-off cost, which is the comparison §IV-A actually makes.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Mutual exclusion lock; `lock()` returns the guard directly and ignores
+/// poisoning (see module docs).
+#[derive(Default, Debug)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create the lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking; a poisoned lock is recovered, not
+    /// propagated.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+/// Reader-writer lock; `read()`/`write()` return guards directly and ignore
+/// poisoning (see module docs).
+#[derive(Default, Debug)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create the lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire the exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_and_try() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(m.try_lock().map(|g| *g), Some(2));
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // A poisoned std mutex would error here; ours hands back the guard.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -22,11 +22,16 @@
 //! collectives submit it (in `Pwidth`-sized chunks).
 
 pub mod engine;
+pub mod json;
+pub mod probe;
 pub mod rate;
+pub mod rng;
 pub mod server;
 pub mod time;
 
 pub use engine::Engine;
+pub use probe::{Breakdown, PhaseSlice, Probe, Span, TRACE_SCHEMA};
 pub use rate::Rate;
+pub use rng::Rng;
 pub use server::{Server, ServerId, ServerPool};
 pub use time::SimTime;

@@ -1,18 +1,19 @@
-//! Property tests for the event engine and server model.
+//! Property-style tests for the event engine and server model, driven by
+//! the deterministic [`bgp_sim::Rng`].
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bgp_sim::{Engine, Server, ServerPool, SimTime};
+use bgp_sim::{Engine, Rng, Server, ServerPool, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events always fire in nondecreasing time order, whatever order they
-    /// were scheduled in, and all of them fire.
-    #[test]
-    fn events_fire_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always fire in nondecreasing time order, whatever order they were
+/// scheduled in, and all of them fire.
+#[test]
+fn events_fire_in_order() {
+    let mut rng = Rng::new(0xE117);
+    for _ in 0..64 {
+        let n = rng.range_usize(1, 200);
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000_000)).collect();
         let mut eng: Engine<Vec<u64>> = Engine::new();
         for &t in &times {
             eng.schedule_at(SimTime::from_nanos(t), move |log, e| {
@@ -21,39 +22,48 @@ proptest! {
         }
         let mut log = Vec::new();
         eng.run(&mut log);
-        prop_assert_eq!(log.len(), times.len());
-        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(log.len(), times.len());
+        assert!(log.windows(2).all(|w| w[0] <= w[1]));
         let mut sorted = times.clone();
         sorted.sort();
-        prop_assert_eq!(log, sorted);
+        assert_eq!(log, sorted);
     }
+}
 
-    /// A server's accumulated busy time equals the sum of reserved
-    /// durations, and completions never overlap (pure FIFO).
-    #[test]
-    fn server_conserves_work(reqs in proptest::collection::vec((0u64..10_000, 1u64..1_000), 1..100)) {
+/// A server's accumulated busy time equals the sum of reserved durations,
+/// and completions never overlap (pure FIFO).
+#[test]
+fn server_conserves_work() {
+    let mut rng = Rng::new(0x5E2);
+    for _ in 0..64 {
+        let n = rng.range_usize(1, 100);
+        let reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.range_u64(0, 10_000), rng.range_u64(1, 1_000)))
+            .collect();
         let mut s = Server::new();
         let mut prev_finish = SimTime::ZERO;
         let mut total = 0u64;
         for &(at, dur) in &reqs {
             let fin = s.reserve(SimTime::from_nanos(at), SimTime::from_nanos(dur));
             // FIFO: service never starts before the previous finish.
-            prop_assert!(fin >= prev_finish + SimTime::from_nanos(dur));
+            assert!(fin >= prev_finish + SimTime::from_nanos(dur));
             prev_finish = fin;
             total += dur;
         }
-        prop_assert_eq!(s.busy_time().as_nanos(), total);
-        prop_assert_eq!(s.ops(), reqs.len() as u64);
+        assert_eq!(s.busy_time().as_nanos(), total);
+        assert_eq!(s.ops(), reqs.len() as u64);
     }
+}
 
-    /// Coupled reservations complete no earlier than any participating
-    /// resource's own finish, and the owner is stalled to completion.
-    #[test]
-    fn coupled_completion_dominates(
-        owner_d in 1u64..1000,
-        shared_d in 1u64..1000,
-        backlog in 0u64..2000,
-    ) {
+/// Coupled reservations complete no earlier than any participating
+/// resource's own finish, and the owner is stalled to completion.
+#[test]
+fn coupled_completion_dominates() {
+    let mut rng = Rng::new(0xC0D);
+    for _ in 0..64 {
+        let owner_d = rng.range_u64(1, 1000);
+        let shared_d = rng.range_u64(1, 1000);
+        let backlog = rng.range_u64(0, 2000);
         let mut p = ServerPool::new();
         let own = p.alloc("own");
         let sh = p.alloc("sh");
@@ -64,16 +74,22 @@ proptest! {
             &[(sh, SimTime::from_nanos(shared_d))],
             SimTime::ZERO,
         );
-        prop_assert!(done >= SimTime::from_nanos(owner_d));
-        prop_assert!(done >= SimTime::from_nanos(backlog + shared_d));
-        prop_assert_eq!(p.get(own).free_at(), done);
+        assert!(done >= SimTime::from_nanos(owner_d));
+        assert!(done >= SimTime::from_nanos(backlog + shared_d));
+        assert_eq!(p.get(own).free_at(), done);
     }
+}
 
-    /// Deterministic replay: the same random schedule yields the same
-    /// event trace twice.
-    #[test]
-    fn engine_replay_is_identical(seed_times in proptest::collection::vec(0u64..10_000, 1..100)) {
+/// Deterministic replay: the same random schedule yields the same event
+/// trace twice.
+#[test]
+fn engine_replay_is_identical() {
+    let mut rng = Rng::new(0x2E9);
+    for _ in 0..32 {
+        let n = rng.range_usize(1, 100);
+        let seed_times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 10_000)).collect();
         let run = |times: &[u64]| {
+            #[allow(clippy::type_complexity)]
             let mut eng: Engine<Rc<RefCell<Vec<(u64, usize)>>>> = Engine::new();
             for (i, &t) in times.iter().enumerate() {
                 eng.schedule_at(SimTime::from_nanos(t), move |log, e| {
@@ -86,6 +102,6 @@ proptest! {
             let out = log.borrow().clone();
             out
         };
-        prop_assert_eq!(run(&seed_times), run(&seed_times));
+        assert_eq!(run(&seed_times), run(&seed_times));
     }
 }

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use bgp_shmem::CachePadded;
 
 /// A reusable spinning barrier for a fixed set of `n` participants.
 ///
@@ -116,10 +116,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(
-            phase_sum.load(Ordering::Relaxed),
-            (THREADS * PHASES) as u64
-        );
+        assert_eq!(phase_sum.load(Ordering::Relaxed), (THREADS * PHASES) as u64);
     }
 
     #[test]

@@ -98,7 +98,8 @@ impl RankCtx {
                 // peers read staging only after the counter publish below.
                 unsafe {
                     buf.read(off, &mut tmp[..clen]);
-                    self.staging().write(half * STAGING_HALF_BYTES, &tmp[..clen]);
+                    self.staging()
+                        .write(half * STAGING_HALF_BYTES, &tmp[..clen]);
                 }
                 self.msg_counter(root).publish(clen as u64);
             }
@@ -117,9 +118,7 @@ impl RankCtx {
                 self.msg_counter(root).wait_for((seen + clen) as u64);
                 // SAFETY: the counter acquire ordered us after the root's
                 // staging write; we write a disjoint range of our own buf.
-                unsafe {
-                    buf.copy_from(off, self.staging(), half * STAGING_HALF_BYTES, clen)
-                };
+                unsafe { buf.copy_from(off, self.staging(), half * STAGING_HALF_BYTES, clen) };
                 self.stage_done(half).arrive();
                 seen += clen;
             }
@@ -285,7 +284,8 @@ impl RankCtx {
         for r in 0..n {
             let rlo = r * count / n;
             let rhi = (r + 1) * count / n;
-            self.msg_counter(r).wait_for(((rhi - rlo) * 8).max(1) as u64);
+            self.msg_counter(r)
+                .wait_for(((rhi - rlo) * 8).max(1) as u64);
         }
         // SAFETY: all partition writers published before our acquires above.
         unsafe { output.copy_from(0, &result, 0, count * 8) };
@@ -310,7 +310,13 @@ impl RankCtx {
     /// `recv` buffer at offset `rank * len` — through the shared address
     /// space (each rank writes its own slice of the exposed buffer
     /// directly; the paper's §VII extension applied intra-node).
-    pub fn gather(&mut self, root: usize, send: &Arc<SharedRegion>, recv: &Arc<SharedRegion>, len: usize) {
+    pub fn gather(
+        &mut self,
+        root: usize,
+        send: &Arc<SharedRegion>,
+        recv: &Arc<SharedRegion>,
+        len: usize,
+    ) {
         let n = self.n_ranks();
         assert!(send.len() >= len, "send buffer shorter than block");
         let op = self.next_op();
@@ -327,7 +333,9 @@ impl RankCtx {
             self.registry().unexpose(root as u32, op);
         } else {
             let mut seen = std::mem::take(&mut self.mapped_before);
-            let dst = self.registry().map_auto_blocking(root as u32, op, &mut seen);
+            let dst = self
+                .registry()
+                .map_auto_blocking(root as u32, op, &mut seen);
             self.mapped_before = seen;
             // SAFETY: disjoint slice per rank.
             unsafe { dst.copy_from(me * len, send, 0, len) };
@@ -351,7 +359,9 @@ impl RankCtx {
         self.msg_counter(me).publish(len.max(1) as u64);
         let mut seen = std::mem::take(&mut self.mapped_before);
         for r in 0..n {
-            let src = self.registry().map_auto_blocking(r as u32, 2 * op, &mut seen);
+            let src = self
+                .registry()
+                .map_auto_blocking(r as u32, 2 * op, &mut seen);
             self.msg_counter(r).wait_for(len.max(1) as u64);
             // SAFETY: counter acquire orders us after r's block write (done
             // before the collective per contract); our recv slice is ours.
@@ -413,7 +423,14 @@ mod tests {
 
     #[test]
     fn shmem_bcast_various_sizes() {
-        for len in [0usize, 1, 100, STAGING_HALF_BYTES, STAGING_HALF_BYTES + 1, 500_000] {
+        for len in [
+            0usize,
+            1,
+            100,
+            STAGING_HALF_BYTES,
+            STAGING_HALF_BYTES + 1,
+            500_000,
+        ] {
             check_bcast(4, 0, len, |ctx, root, buf, len| {
                 ctx.bcast_shmem(root, buf, len)
             });
@@ -429,7 +446,14 @@ mod tests {
 
     #[test]
     fn fifo_bcast_various_sizes() {
-        for len in [0usize, 1, FIFO_SLOT_BYTES - 1, FIFO_SLOT_BYTES, 3 * FIFO_SLOT_BYTES + 17, 400_000] {
+        for len in [
+            0usize,
+            1,
+            FIFO_SLOT_BYTES - 1,
+            FIFO_SLOT_BYTES,
+            3 * FIFO_SLOT_BYTES + 17,
+            400_000,
+        ] {
             check_bcast(4, 0, len, |ctx, root, buf, len| {
                 ctx.bcast_fifo(root, buf, len, 0)
             });
@@ -510,7 +534,9 @@ mod tests {
                 let me = ctx.rank();
                 let input = ctx.alloc_buffer((count * 8).max(1));
                 let output = ctx.alloc_buffer((count * 8).max(1));
-                let vals: Vec<f64> = (0..count).map(|i| (i as f64) + (me as f64) * 0.25).collect();
+                let vals: Vec<f64> = (0..count)
+                    .map(|i| (i as f64) + (me as f64) * 0.25)
+                    .collect();
                 write_f64s(&input, 0, &vals);
                 ctx.barrier();
                 ctx.allreduce_f64(&input, &output, count);
@@ -555,7 +581,12 @@ mod tests {
 
     #[test]
     fn gather_assembles_blocks_in_rank_order() {
-        for (n, root, len) in [(4usize, 0usize, 1000usize), (4, 3, 8192), (2, 1, 1), (3, 0, 0)] {
+        for (n, root, len) in [
+            (4usize, 0usize, 1000usize),
+            (4, 3, 8192),
+            (2, 1, 1),
+            (3, 0, 0),
+        ] {
             let results = run_node(n, move |mut ctx| {
                 let me = ctx.rank();
                 let send = ctx.alloc_buffer(len.max(1));
@@ -593,7 +624,9 @@ mod tests {
         for (rank, got) in results.iter().enumerate() {
             for r in 0..4usize {
                 assert!(
-                    got[r * len..(r + 1) * len].iter().all(|&b| b == (r as u8) ^ 0x3C),
+                    got[r * len..(r + 1) * len]
+                        .iter()
+                        .all(|&b| b == (r as u8) ^ 0x3C),
                     "rank {rank} block {r}"
                 );
             }

@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use bgp_shmem::sync::Mutex;
 
 use bgp_shmem::{
     BcastConsumer, BcastFifo, CompletionCounter, MessageCounter, SharedRegion, WindowRegistry,
@@ -52,10 +52,7 @@ impl NodeShared {
     fn new(n: usize) -> Arc<Self> {
         assert!(n >= 1, "a node has at least one rank");
         let (fifo, consumers) = BcastFifo::with_consumers(FIFO_SLOTS, n);
-        let consumer_slots = consumers
-            .into_iter()
-            .map(|c| Mutex::new(Some(c)))
-            .collect();
+        let consumer_slots = consumers.into_iter().map(|c| Mutex::new(Some(c))).collect();
         Arc::new(NodeShared {
             n,
             barrier: SenseBarrier::new(n),

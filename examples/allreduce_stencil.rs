@@ -41,7 +41,10 @@ fn main() {
             assert!((g - expect).abs() < 1e-9, "rank {rank} elem {i}");
         }
     }
-    println!("intra-node allreduce over 4 threads: {} doubles verified\n", COUNT);
+    println!(
+        "intra-node allreduce over 4 threads: {} doubles verified\n",
+        COUNT
+    );
 
     // --- Part 2: simulated per-iteration cost at scale -------------------
     let small = std::env::args().any(|a| a == "--small");

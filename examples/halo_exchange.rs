@@ -44,7 +44,11 @@ fn main() {
         let t = exchange(&mut m, face);
         let elapsed = t - m.cfg.sw.mpi_overhead();
         let agg = 6.0 * face as f64 / elapsed.as_secs_f64() / 1e6;
-        let proto = if face <= pt2pt::EAGER_LIMIT { "eager" } else { "rendezvous" };
+        let proto = if face <= pt2pt::EAGER_LIMIT {
+            "eager"
+        } else {
+            "rendezvous"
+        };
         println!(
             "{:>11}^3 {:>12} {:>14} {:>12.1} {:>12}",
             n,

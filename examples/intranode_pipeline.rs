@@ -35,7 +35,9 @@ const COPY_PASSES: usize = 6;
 /// Number of consumer threads: the paper's quad mode has 3 peers, but on a
 /// small host we leave one core for the producer.
 fn n_consumers() -> usize {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     (cores.saturating_sub(1)).clamp(1, 3)
 }
 
@@ -99,7 +101,9 @@ fn main() {
     println!(
         "reception + {consumers}-way distribution of {} MB ({} cores available)",
         TOTAL >> 20,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0)
     );
     println!("  network time alone:              {network:>10.2?}");
     let seq = run(false, consumers);

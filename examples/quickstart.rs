@@ -34,7 +34,10 @@ fn main() {
         snap.iter().map(|&b| b as u64).sum::<u64>()
     });
     assert!(results.windows(2).all(|w| w[0] == w[1]));
-    println!("   4 ranks agree on {} broadcast bytes (checksum {})\n", LEN, results[0]);
+    println!(
+        "   4 ranks agree on {} broadcast bytes (checksum {})\n",
+        LEN, results[0]
+    );
 
     // --- Part 2: the simulated two-rack BG/P ----------------------------
     println!("== simulated Blue Gene/P: 2048 nodes x 4 ranks (quad mode) ==");

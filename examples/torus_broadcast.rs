@@ -9,8 +9,8 @@
 //! Run: `cargo run --release --example torus_broadcast [-- --small]`
 
 use bgp_collectives::machine::{MachineConfig, OpMode};
-use bgp_collectives::mpi::Mpi;
 use bgp_collectives::mpi::BcastAlgorithm;
+use bgp_collectives::mpi::Mpi;
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
@@ -18,17 +18,32 @@ fn main() {
     let table_bytes: u64 = 2 << 20;
     let timesteps = 1000u64;
 
-    println!("EOS-table broadcast: {} bytes to {} nodes, {} timesteps", table_bytes, nodes, timesteps);
+    println!(
+        "EOS-table broadcast: {} bytes to {} nodes, {} timesteps",
+        table_bytes, nodes, timesteps
+    );
     println!();
 
     let mut quad = Mpi::new(MachineConfig::with_nodes(nodes, OpMode::Quad));
     let mut smp = Mpi::new(MachineConfig::with_nodes(nodes, OpMode::Smp));
 
     let runs = [
-        ("Torus Direct Put (current)", quad.bcast(BcastAlgorithm::TorusDirectPut, table_bytes)),
-        ("Torus + Bcast FIFO (proposed)", quad.bcast(BcastAlgorithm::TorusFifo, table_bytes)),
-        ("Torus + Shaddr (proposed)", quad.bcast(BcastAlgorithm::TorusShaddr, table_bytes)),
-        ("Torus Direct Put (SMP reference)", smp.bcast(BcastAlgorithm::TorusDirectPut, table_bytes)),
+        (
+            "Torus Direct Put (current)",
+            quad.bcast(BcastAlgorithm::TorusDirectPut, table_bytes),
+        ),
+        (
+            "Torus + Bcast FIFO (proposed)",
+            quad.bcast(BcastAlgorithm::TorusFifo, table_bytes),
+        ),
+        (
+            "Torus + Shaddr (proposed)",
+            quad.bcast(BcastAlgorithm::TorusShaddr, table_bytes),
+        ),
+        (
+            "Torus Direct Put (SMP reference)",
+            smp.bcast(BcastAlgorithm::TorusDirectPut, table_bytes),
+        ),
     ];
 
     let baseline = runs[0].1;

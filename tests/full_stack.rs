@@ -17,7 +17,10 @@ fn quad() -> MachineConfig {
 fn every_torus_algorithm_delivers_every_byte_to_every_node() {
     let bytes = 777_777u64; // deliberately not chunk-aligned
     for (name, f) in [
-        ("direct_put", torus_direct_put as fn(&mut Machine, NodeId, u64) -> _),
+        (
+            "direct_put",
+            torus_direct_put as fn(&mut Machine, NodeId, u64) -> _,
+        ),
         ("fifo", torus_fifo),
         ("shaddr", torus_shaddr),
     ] {
@@ -89,13 +92,18 @@ fn selection_beats_or_matches_the_wrong_network_choice() {
 fn paper_headline_ratios_hold_on_the_small_machine() {
     let mut mpi = Mpi::new(quad());
     let bytes = 2u64 << 20;
-    let dp = mpi.bcast(BcastAlgorithm::TorusDirectPut, bytes).as_secs_f64();
+    let dp = mpi
+        .bcast(BcastAlgorithm::TorusDirectPut, bytes)
+        .as_secs_f64();
     let fifo = mpi.bcast(BcastAlgorithm::TorusFifo, bytes).as_secs_f64();
     let sh = mpi.bcast(BcastAlgorithm::TorusShaddr, bytes).as_secs_f64();
     let sh_speedup = dp / sh;
     let fifo_speedup = dp / fifo;
     assert!((2.3..3.5).contains(&sh_speedup), "shaddr {sh_speedup:.2}");
-    assert!((1.15..1.8).contains(&fifo_speedup), "fifo {fifo_speedup:.2}");
+    assert!(
+        (1.15..1.8).contains(&fifo_speedup),
+        "fifo {fifo_speedup:.2}"
+    );
 }
 
 #[test]
@@ -114,9 +122,15 @@ fn allreduce_new_vs_current_headline() {
 
 #[test]
 fn quad_vs_smp_rank_counts() {
-    assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Quad)).size(), 256);
+    assert_eq!(
+        Mpi::new(MachineConfig::test_small(OpMode::Quad)).size(),
+        256
+    );
     assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Smp)).size(), 64);
-    assert_eq!(Mpi::new(MachineConfig::test_small(OpMode::Dual)).size(), 128);
+    assert_eq!(
+        Mpi::new(MachineConfig::test_small(OpMode::Dual)).size(),
+        128
+    );
 }
 
 #[test]

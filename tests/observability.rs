@@ -1,0 +1,141 @@
+//! Integration tests of the probe observability layer.
+//!
+//! Two invariants: (1) the per-phase breakdown accounts for the *entire*
+//! end-to-end operation time — the exclusive phase times (plus the `idle`
+//! row) partition `[0, elapsed)` — and (2) recording never changes
+//! simulated timing, so observability is free to leave on in experiments.
+
+use bgp_collectives::machine::{MachineConfig, OpMode};
+use bgp_collectives::mpi::allreduce::AllreduceAlgorithm;
+use bgp_collectives::mpi::{BcastAlgorithm, Mpi};
+use bgp_collectives::sim::json;
+
+/// The acceptance bound: phase times must sum to within 1% of the measured
+/// end-to-end time. (The exclusive attribution is an exact partition, so
+/// the difference is in fact zero; the assert keeps the contract explicit.)
+fn assert_accounts_for_total(mpi: &Mpi, total_ns: u64) {
+    let b = mpi.breakdown();
+    assert!(!b.phases.is_empty(), "no phases recorded");
+    let sum = b.exclusive_sum().as_nanos();
+    let diff = sum.abs_diff(total_ns);
+    assert!(
+        diff as f64 <= 0.01 * total_ns as f64,
+        "phase sum {sum} ns vs end-to-end {total_ns} ns ({}/{})",
+        b.op,
+        b.alg
+    );
+}
+
+#[test]
+fn bcast_phase_times_sum_to_end_to_end() {
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.enable_probe();
+    // One tree algorithm and one torus algorithm.
+    let t = mpi.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 256 << 10);
+    assert_accounts_for_total(&mpi, t.as_nanos());
+    let t = mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+    assert_accounts_for_total(&mpi, t.as_nanos());
+}
+
+#[test]
+fn allreduce_phase_times_sum_to_end_to_end() {
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.enable_probe();
+    let t = mpi.allreduce(AllreduceAlgorithm::ShaddrSpecialized, 64 * 1024);
+    assert_accounts_for_total(&mpi, t.as_nanos());
+    let t = mpi.allreduce(AllreduceAlgorithm::RingCurrent, 64 * 1024);
+    assert_accounts_for_total(&mpi, t.as_nanos());
+}
+
+#[test]
+fn each_operation_breakdown_is_self_contained() {
+    // begin_op clears the previous op's spans: after two different ops the
+    // breakdown must describe only the latest one.
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.enable_probe();
+    mpi.bcast(BcastAlgorithm::TorusFifo, 1 << 20);
+    mpi.allreduce(AllreduceAlgorithm::ShaddrSpecialized, 16 * 1024);
+    let b = mpi.breakdown();
+    assert_eq!(b.op, "allreduce");
+    assert_eq!(b.alg, "Shaddr specialized");
+}
+
+#[test]
+fn recording_never_changes_simulated_timing() {
+    let algs = [
+        BcastAlgorithm::TreeShmem,
+        BcastAlgorithm::TreeDmaFifo,
+        BcastAlgorithm::TreeShaddr { caching: true },
+        BcastAlgorithm::TorusDirectPut,
+        BcastAlgorithm::TorusShaddr,
+    ];
+    let mut plain = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    let mut probed = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    probed.enable_probe();
+    for alg in algs {
+        for bytes in [64u64, 64 << 10, 2 << 20] {
+            assert_eq!(
+                plain.bcast(alg, bytes),
+                probed.bcast(alg, bytes),
+                "{} at {bytes} B",
+                alg.label()
+            );
+        }
+    }
+    for alg in [
+        AllreduceAlgorithm::ShaddrSpecialized,
+        AllreduceAlgorithm::RingCurrent,
+    ] {
+        assert_eq!(
+            plain.allreduce(alg, 64 * 1024),
+            probed.allreduce(alg, 64 * 1024),
+            "{}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn disabled_probe_records_nothing() {
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+    assert!(mpi.probe().spans().is_empty());
+    assert!(mpi.probe().counters().is_empty());
+}
+
+#[test]
+fn counters_capture_protocol_activity() {
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.enable_probe();
+    mpi.bcast(BcastAlgorithm::TreeShaddr { caching: true }, 256 << 10);
+    assert!(mpi.probe().counter("tree_chunk_injections") > 0);
+    assert!(mpi.probe().counter("tree_chunk_deliveries") > 0);
+    mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+    assert!(mpi.probe().counter("torus_chunks") > 0);
+    assert!(mpi.probe().counter("line_chunks") > 0);
+}
+
+#[test]
+fn breakdown_json_and_chrome_trace_parse() {
+    let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+    mpi.enable_probe();
+    let t = mpi.bcast(BcastAlgorithm::TorusShaddr, 1 << 20);
+
+    let b = json::parse(&mpi.breakdown().to_json()).unwrap();
+    assert_eq!(
+        b.get("schema").unwrap().as_str(),
+        Some(bgp_collectives::sim::TRACE_SCHEMA)
+    );
+    assert_eq!(b.get("op").unwrap().as_str(), Some("bcast"));
+    assert_eq!(
+        b.get("total_ns").unwrap().as_f64(),
+        Some(t.as_nanos() as f64)
+    );
+    assert!(!b.get("phases").unwrap().as_arr().unwrap().is_empty());
+
+    let tr = json::parse(&mpi.chrome_trace()).unwrap();
+    let events = tr.as_arr().unwrap();
+    // Metadata event plus one complete event per recorded span.
+    assert_eq!(events.len(), 1 + mpi.probe().spans().len());
+    assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+}
