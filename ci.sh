@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, the tier-1 verify (release build + tests),
-# and a smoke run of a figure binary checking that its JSON report and its
-# --trace probe artifacts parse.
+# the bgp-check model-checking suites, and a smoke run of a figure binary
+# checking that its JSON report and its --trace probe artifacts parse.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,9 +11,28 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: cargo build --release && cargo test -q"
+echo "== cargo clippy --features model (-D warnings)"
+cargo clippy -p bgp-shmem -p bgp-smp --all-targets --features model -- -D warnings
+
+# BGP_STRESS_FULL=1 restores the full stress-test iteration counts that
+# bgp_shmem::testing::stress_iters would otherwise scale down on small
+# (1-2 core) hosts. CI always runs the full volumes.
+echo "== tier-1: cargo build --release && cargo test -q (full stress volumes)"
 cargo build --release
-cargo test -q
+BGP_STRESS_FULL=1 cargo test -q
+
+echo "== model checker self-tests (bgp-check)"
+cargo test -q -p bgp-check
+
+echo "== model-checked shmem primitives (oracles + mutation self-tests)"
+cargo test -q -p bgp-shmem --features model --test model
+cargo test -q -p bgp-smp --features model --test model
+
+# Seeded-exploration smoke: the unmutated Bcast FIFO over 10,000 random
+# schedules with a pinned seed (deterministic; part of the model suite,
+# re-run here by name so a CI failure points straight at it).
+echo "== seeded exploration smoke (10,000 random schedules)"
+cargo test -q -p bgp-shmem --features model --test model bcast_ten_thousand_random_schedules
 
 echo "== smoke: fig6 --small --json parses"
 cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json

@@ -1,0 +1,84 @@
+//! A race-checked `UnsafeCell`.
+//!
+//! The shmem primitives keep message payloads in `UnsafeCell`s and rely on
+//! the surrounding atomics for ordering. The model cell makes that reliance
+//! checkable: every access records the accessing thread's vector clock, and
+//! an access that is not ordered (by happens-before) with the latest write —
+//! or a write not ordered with outstanding reads — is reported as a data
+//! race *before* the access executes, with both source locations.
+//!
+//! Accesses go through [`UnsafeCell::with`] / [`UnsafeCell::with_mut`]
+//! closures (the `loom` API shape) so the facade can hand out raw pointers
+//! in both std and model builds.
+
+use std::sync::Mutex;
+
+use crate::rt::{cell_read, cell_write, CellState};
+
+/// `std::cell::UnsafeCell` plus happens-before bookkeeping.
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    state: Mutex<CellState>,
+}
+
+// Like the std cell, sharing is sound only under external synchronization —
+// which is exactly what the race checker verifies on every access.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        UnsafeCell {
+            inner: std::cell::UnsafeCell::new(value),
+            state: Mutex::new(CellState::created()),
+        }
+    }
+
+    /// Immutable access.
+    ///
+    /// # Safety
+    ///
+    /// As for dereferencing the raw pointer from `std::cell::UnsafeCell::get`:
+    /// the caller's protocol must order this read after the write that
+    /// produced the value. The model checker verifies exactly that and fails
+    /// the schedule instead of performing a racy read.
+    #[track_caller]
+    pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        cell_read(&self.state);
+        f(self.inner.get())
+    }
+
+    /// Mutable access.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::with`], plus exclusivity: the protocol must order this
+    /// write after every earlier access. Checked in model runs.
+    #[track_caller]
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        cell_write(&self.state);
+        f(self.inner.get())
+    }
+
+    /// Direct access through an exclusive borrow — always race-free.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> From<T> for UnsafeCell<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}

@@ -1,0 +1,72 @@
+//! # bgp-check — deterministic concurrency model checking, vendored
+//!
+//! The paper's contribution is a handful of lock-free shared-memory
+//! protocols (the Bcast FIFO's fetch-and-increment slot reservation with
+//! last-reader retirement, the Pt-to-Pt FIFO, the software message and
+//! completion counters). Their correctness depends on *which* interleaving
+//! the hardware happens to run and on the release/acquire edges the code
+//! declares — exactly the failure modes schedule-blind stress tests miss.
+//!
+//! This crate is a small, dependency-free model checker in the style of
+//! `loom` (which cannot be used here: the workspace builds offline with no
+//! external crates). `bgp-shmem` compiles its primitives against a facade
+//! (`bgp_shmem::sync::atomic`, `bgp_shmem::sync::cell`, `bgp_shmem::spin`)
+//! that is a zero-cost re-export of `std` in normal builds and routes
+//! through this crate under the `model` feature.
+//!
+//! ## How it works
+//!
+//! * **Cooperative serialization.** [`model`]/[`explore`] run a test closure
+//!   on *model threads* (real OS threads, but exactly one runnable at a
+//!   time). Every atomic access is a scheduling point: the running thread
+//!   hands control to the scheduler, which picks the next thread to run.
+//!   An execution is therefore fully determined by the sequence of picks —
+//!   the **schedule** — and can be replayed exactly.
+//! * **Exploration.** [`Config::dfs`] enumerates schedules by bounded
+//!   exhaustive depth-first search over the choice tree (for small runs);
+//!   [`Config::random`] samples seed-derived schedules (for larger ones).
+//!   Both are deterministic: DFS by construction, random via a per-iteration
+//!   SplitMix64 stream.
+//! * **Happens-before tracking.** Threads, atomics, and model
+//!   [`cell::UnsafeCell`]s carry vector clocks. `Release` stores publish the
+//!   writer's clock on the location; `Acquire` loads join it. Accesses to a
+//!   model `UnsafeCell` that are not ordered by happens-before are reported
+//!   as data races *before* the access happens — so a missing `Release` (or
+//!   a payload write hoisted past its publication) is caught even though the
+//!   explored executions themselves are sequentially consistent.
+//! * **Deadlock detection.** [`thread::spin`] marks a thread as parked on a
+//!   spin-wait. A parked thread is not rescheduled until some other thread
+//!   performs a store (spin loops in the shmem primitives are read-only, so
+//!   re-running one before a store cannot make progress). If every live
+//!   thread is parked with no store in sight, the schedule is a deadlock and
+//!   is reported with its trace.
+//!
+//! ## Failure reports and replay
+//!
+//! Any failure — an oracle `assert!` in the test closure, a detected data
+//! race, a deadlock, or a step-budget blowout — aborts the execution and is
+//! reported as a [`Failure`] carrying the full choice trace (and the seed,
+//! in random mode). `Failure::replay_env()` prints the exact environment
+//! variable (`BGP_CHECK_REPLAY=<trace>`) that makes the next run of the same
+//! test deterministically re-execute the failing schedule; [`Config::replay`]
+//! does the same in code.
+//!
+//! ## Mutation self-tests
+//!
+//! A checker is only trustworthy if it *fails* on broken code. `bgp-shmem`
+//! keeps named, compiled-out mutation points in the real primitives (skip
+//! the `readers_left` initialisation, weaken a publication to `Relaxed`,
+//! hoist a publication above the payload write, …). [`Config::mutate`]
+//! activates one by name for a model run; the self-tests in
+//! `crates/shmem/tests/model.rs` assert that every seeded bug is caught
+//! within a bounded schedule budget and that the reported trace replays to
+//! the same failure.
+
+pub mod cell;
+pub mod mutation;
+mod rng;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{explore, model, model_with, Config, Failure, FailureKind, Report};

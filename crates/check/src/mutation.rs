@@ -1,0 +1,17 @@
+//! Named mutation probes — the checker's self-test hook.
+//!
+//! A model checker that never fails proves nothing; it must be shown to
+//! *catch* known bugs. The primitives under test keep named mutation points
+//! in their real code paths (e.g. skip an initialisation, weaken a store's
+//! ordering). Each point asks [`active`] whether its bug is switched on;
+//! the answer is `false` everywhere except in a model run whose
+//! [`crate::Config::mutate`] listed the name, so mutations cost nothing and
+//! change nothing in production builds — even with the `model` feature
+//! compiled in.
+
+use crate::rt;
+
+/// Is the named seeded bug active in the current model run?
+pub fn active(name: &str) -> bool {
+    rt::mutation_active(name)
+}

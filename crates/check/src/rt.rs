@@ -1,0 +1,1053 @@
+//! The model runtime: cooperative scheduler, vector clocks, exploration.
+//!
+//! One execution runs the test closure on *model threads* — real OS threads
+//! serialized so that exactly one runs at a time. Every atomic access (and
+//! every spawn/join/spin) is a scheduling point where the running thread
+//! hands control back and the next runnable thread is picked. The sequence
+//! of picks *is* the schedule; recording it makes every execution exactly
+//! replayable, and enumerating it (DFS) or sampling it (seeded random)
+//! explores the interleaving space.
+//!
+//! Happens-before is tracked with vector clocks: `Release` stores publish
+//! the writer's clock on the location, `Acquire` loads join it, and model
+//! [`crate::cell::UnsafeCell`] accesses are checked for ordering *before*
+//! the access is performed — a race is reported instead of executed.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+use crate::rng::SplitMix64;
+
+/// Hard cap on model threads per execution (the choice trace stores thread
+/// picks as `u16`, and clocks are dense vectors).
+const MAX_THREADS: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A dense vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) const fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self` happened-before-or-equals `other`.
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime state
+// ---------------------------------------------------------------------------
+
+/// Why a model thread cannot currently be picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThState {
+    Runnable,
+    /// Waiting for the given thread id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Th {
+    state: ThState,
+    clock: VClock,
+    /// `Some(store_count)` while the thread sits at a [`spin`] point: it is
+    /// waiting on a read-only condition that only a store can change, so it
+    /// is not rescheduled until the global store counter moves past the
+    /// recorded value.
+    parked_at: Option<u64>,
+    /// The closure's boxed return value, for `JoinHandle::join`.
+    result: Option<Box<dyn Any + Send>>,
+}
+
+impl Th {
+    fn new(clock: VClock) -> Self {
+        Th {
+            state: ThState::Runnable,
+            clock,
+            parked_at: None,
+            result: None,
+        }
+    }
+}
+
+pub(crate) struct Sched {
+    threads: Vec<Th>,
+    current: usize,
+    aborted: bool,
+    complete: bool,
+    failure: Option<Failure>,
+    /// `(chosen, options)` per scheduling point — the schedule.
+    trace: Vec<(u16, u16)>,
+    /// Forced choice prefix (DFS prefix or replay trace).
+    plan: Vec<u16>,
+    /// Random tail chooser (random mode); `None` picks the first eligible.
+    rng: Option<SplitMix64>,
+    /// Total stores this execution; spin parking keys off it.
+    store_count: u64,
+    steps: u64,
+    max_steps: u64,
+    mutations: HashSet<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Rt {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Rt {
+    fn new(cfg: &Config, plan: Vec<u16>, rng: Option<SplitMix64>) -> Self {
+        Rt {
+            sched: Mutex::new(Sched {
+                threads: Vec::new(),
+                current: 0,
+                aborted: false,
+                complete: false,
+                failure: None,
+                trace: Vec::new(),
+                plan,
+                rng,
+                store_count: 0,
+                steps: 0,
+                max_steps: cfg.max_steps,
+                mutations: cfg.mutations.iter().cloned().collect(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Sched {
+    /// Threads that may be picked right now.
+    fn eligible(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThState::Runnable && t.parked_at != Some(self.store_count))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread per plan/rng/first-eligible and record the
+    /// choice. `Err` is a deadlock: live threads exist but none can run.
+    fn pick(&mut self) -> Result<usize, String> {
+        let elig = self.eligible();
+        if elig.is_empty() {
+            let spinning = self
+                .threads
+                .iter()
+                .filter(|t| t.state == ThState::Runnable)
+                .count();
+            let joined = self
+                .threads
+                .iter()
+                .filter(|t| matches!(t.state, ThState::BlockedJoin(_)))
+                .count();
+            return Err(format!(
+                "deadlock: {spinning} thread(s) spin-parked and {joined} blocked on join, \
+                 with no store that could release them"
+            ));
+        }
+        let options = elig.len();
+        let pos = self.trace.len();
+        let chosen = if pos < self.plan.len() {
+            let c = self.plan[pos] as usize;
+            assert!(
+                c < options,
+                "bgp-check: replay/DFS prefix choice {c} out of range {options} at point {pos}; \
+                 the test closure is nondeterministic outside the modeled schedule"
+            );
+            c
+        } else if let Some(rng) = &mut self.rng {
+            rng.below(options)
+        } else {
+            0
+        };
+        self.trace.push((chosen as u16, options as u16));
+        Ok(elig[chosen])
+    }
+
+    fn record_failure(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                trace: self.trace.iter().map(|&(c, _)| c).collect(),
+                schedule: 0,
+                seed: None,
+            });
+        }
+        self.aborted = true;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Rt>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Payload used to unwind model threads when an execution aborts; never a
+/// user-visible failure by itself.
+struct AbortToken;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+/// Silence the default panic printer for model threads: their panics are
+/// captured and re-reported (with schedule and replay info) by the checker.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ctx().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling points
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PointKind {
+    /// A regular operation (atomic access, spawn, join poll).
+    Op,
+    /// A spin-wait hint: the thread parks until someone stores.
+    Spin,
+}
+
+/// The heart of the checker: hand control to the scheduler and wait to be
+/// picked again. No-op outside a model run (callers provide their own
+/// fallback) and during unwinding (so destructors that touch the facade
+/// cannot double-panic mid-abort).
+pub(crate) fn schedule_point(kind: PointKind) {
+    let Some(c) = ctx() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let mut s = c.rt.lock();
+    if s.aborted {
+        drop(s);
+        abort_panic();
+    }
+    s.steps += 1;
+    if s.steps > s.max_steps {
+        let msg = format!(
+            "step budget exceeded ({} scheduling points): likely livelock",
+            s.max_steps
+        );
+        s.record_failure(FailureKind::StepLimit, msg);
+        c.rt.cv.notify_all();
+        drop(s);
+        abort_panic();
+    }
+    s.threads[c.tid].parked_at = match kind {
+        PointKind::Spin => Some(s.store_count),
+        PointKind::Op => None,
+    };
+    match s.pick() {
+        Ok(next) => s.current = next,
+        Err(msg) => {
+            s.record_failure(FailureKind::Deadlock, msg);
+            c.rt.cv.notify_all();
+            drop(s);
+            abort_panic();
+        }
+    }
+    c.rt.cv.notify_all();
+    while s.current != c.tid && !s.aborted {
+        s = c.rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+    }
+    if s.aborted {
+        drop(s);
+        abort_panic();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations (called from `crate::sync::atomic`)
+// ---------------------------------------------------------------------------
+
+pub use std::sync::atomic::Ordering;
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared state of one model atomic.
+pub(crate) struct AtomicData<T> {
+    pub(crate) value: T,
+    /// The release clock of the location: joined into any `Acquire` reader.
+    msg_clock: VClock,
+}
+
+impl<T> AtomicData<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        AtomicData {
+            value,
+            msg_clock: VClock::new(),
+        }
+    }
+}
+
+fn lock_data<T>(d: &Mutex<AtomicData<T>>) -> MutexGuard<'_, AtomicData<T>> {
+    d.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn op_load<T: Copy>(a: &Mutex<AtomicData<T>>, ord: Ordering) -> T {
+    let Some(c) = ctx() else {
+        // Outside a model run: mutex-serialized (sequentially consistent),
+        // strictly stronger than any requested ordering.
+        return lock_data(a).value;
+    };
+    schedule_point(PointKind::Op);
+    let mut s = c.rt.lock();
+    let d = lock_data(a);
+    let th = &mut s.threads[c.tid];
+    th.clock.bump(c.tid);
+    if acquires(ord) {
+        th.clock.join(&d.msg_clock);
+    }
+    d.value
+}
+
+pub(crate) fn op_store<T: Copy>(a: &Mutex<AtomicData<T>>, value: T, ord: Ordering) {
+    let Some(c) = ctx() else {
+        lock_data(a).value = value;
+        return;
+    };
+    schedule_point(PointKind::Op);
+    let mut s = c.rt.lock();
+    let mut d = lock_data(a);
+    let tid = c.tid;
+    s.threads[tid].clock.bump(tid);
+    if releases(ord) {
+        d.msg_clock = s.threads[tid].clock.clone();
+    } else {
+        // A plain store breaks the location's release sequence.
+        d.msg_clock.clear();
+    }
+    d.value = value;
+    s.store_count += 1;
+}
+
+/// Read-modify-write: returns the previous value. A relaxed RMW leaves the
+/// location's release clock untouched (it *continues* the release sequence,
+/// per the C++11 rules the hardware fetch-and-increment relies on).
+pub(crate) fn op_rmw<T: Copy>(
+    a: &Mutex<AtomicData<T>>,
+    ord: Ordering,
+    f: impl FnOnce(T) -> T,
+) -> T {
+    let Some(c) = ctx() else {
+        let mut d = lock_data(a);
+        let prev = d.value;
+        d.value = f(prev);
+        return prev;
+    };
+    schedule_point(PointKind::Op);
+    let mut s = c.rt.lock();
+    let mut d = lock_data(a);
+    let tid = c.tid;
+    s.threads[tid].clock.bump(tid);
+    if acquires(ord) {
+        s.threads[tid].clock.join(&d.msg_clock);
+    }
+    let prev = d.value;
+    d.value = f(prev);
+    if releases(ord) {
+        let clock = s.threads[tid].clock.clone();
+        d.msg_clock.join(&clock);
+    }
+    s.store_count += 1;
+    prev
+}
+
+pub(crate) fn op_cas<T: Copy + PartialEq>(
+    a: &Mutex<AtomicData<T>>,
+    current: T,
+    new: T,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<T, T> {
+    let Some(c) = ctx() else {
+        let mut d = lock_data(a);
+        if d.value == current {
+            d.value = new;
+            return Ok(current);
+        }
+        return Err(d.value);
+    };
+    schedule_point(PointKind::Op);
+    let mut s = c.rt.lock();
+    let mut d = lock_data(a);
+    let tid = c.tid;
+    s.threads[tid].clock.bump(tid);
+    if d.value == current {
+        if acquires(success) {
+            s.threads[tid].clock.join(&d.msg_clock);
+        }
+        if releases(success) {
+            let clock = s.threads[tid].clock.clone();
+            d.msg_clock.join(&clock);
+        }
+        d.value = new;
+        s.store_count += 1;
+        Ok(current)
+    } else {
+        if acquires(failure) {
+            s.threads[tid].clock.join(&d.msg_clock);
+        }
+        Err(d.value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell (non-atomic data) race checking — called from `crate::cell`
+// ---------------------------------------------------------------------------
+
+/// One recorded cell access: who, when (their clock), where in the source.
+pub(crate) struct CellAccess {
+    tid: usize,
+    clock: VClock,
+    loc: &'static std::panic::Location<'static>,
+}
+
+#[derive(Default)]
+pub(crate) struct CellState {
+    last_write: Option<CellAccess>,
+    /// Latest read per thread since the last write.
+    reads: Vec<CellAccess>,
+}
+
+impl CellState {
+    /// Record the creating thread as the initial writer, so construction is
+    /// ordered before every post-spawn access without special cases.
+    #[track_caller]
+    pub(crate) fn created() -> Self {
+        let mut st = CellState::default();
+        if let Some(c) = ctx() {
+            let s = c.rt.lock();
+            st.last_write = Some(CellAccess {
+                tid: c.tid,
+                clock: s.threads[c.tid].clock.clone(),
+                loc: std::panic::Location::caller(),
+            });
+        }
+        st
+    }
+}
+
+fn race_fail(
+    c: &Ctx,
+    what: &str,
+    here: &'static std::panic::Location<'static>,
+    other: &CellAccess,
+) -> ! {
+    let mut s = c.rt.lock();
+    let msg = format!(
+        "data race: {what} at {here} (thread {}) is unordered with access at {} (thread {})",
+        c.tid, other.loc, other.tid
+    );
+    s.record_failure(FailureKind::Race, msg);
+    c.rt.cv.notify_all();
+    drop(s);
+    abort_panic()
+}
+
+#[track_caller]
+pub(crate) fn cell_read(state: &Mutex<CellState>) {
+    let Some(c) = ctx() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let here = std::panic::Location::caller();
+    let mut s = c.rt.lock();
+    s.threads[c.tid].clock.bump(c.tid);
+    let clock = s.threads[c.tid].clock.clone();
+    drop(s);
+    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = &st.last_write {
+        if w.tid != c.tid && !w.clock.leq(&clock) {
+            let other = CellAccess {
+                tid: w.tid,
+                clock: w.clock.clone(),
+                loc: w.loc,
+            };
+            drop(st);
+            race_fail(&c, "read", here, &other);
+        }
+    }
+    match st.reads.iter_mut().find(|r| r.tid == c.tid) {
+        Some(r) => {
+            r.clock = clock;
+            r.loc = here;
+        }
+        None => st.reads.push(CellAccess {
+            tid: c.tid,
+            clock,
+            loc: here,
+        }),
+    }
+}
+
+#[track_caller]
+pub(crate) fn cell_write(state: &Mutex<CellState>) {
+    let Some(c) = ctx() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    let here = std::panic::Location::caller();
+    let mut s = c.rt.lock();
+    s.threads[c.tid].clock.bump(c.tid);
+    let clock = s.threads[c.tid].clock.clone();
+    drop(s);
+    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(w) = &st.last_write {
+        if w.tid != c.tid && !w.clock.leq(&clock) {
+            let other = CellAccess {
+                tid: w.tid,
+                clock: w.clock.clone(),
+                loc: w.loc,
+            };
+            drop(st);
+            race_fail(&c, "write", here, &other);
+        }
+    }
+    if let Some(r) = st
+        .reads
+        .iter()
+        .find(|r| r.tid != c.tid && !r.clock.leq(&clock))
+    {
+        let other = CellAccess {
+            tid: r.tid,
+            clock: r.clock.clone(),
+            loc: r.loc,
+        };
+        drop(st);
+        race_fail(&c, "write", here, &other);
+    }
+    st.reads.clear();
+    st.last_write = Some(CellAccess {
+        tid: c.tid,
+        clock,
+        loc: here,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Threads (called from `crate::thread`)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn mutation_active(name: &str) -> bool {
+    match ctx() {
+        Some(c) => c.rt.lock().mutations.contains(name),
+        None => false,
+    }
+}
+
+type BoxedBody = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+fn run_thread(rt: Arc<Rt>, tid: usize, body: BoxedBody) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            rt: rt.clone(),
+            tid,
+        })
+    });
+    // Wait to be scheduled for the first time.
+    let aborted_early = {
+        let mut s = rt.lock();
+        while s.current != tid && !s.aborted {
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.aborted
+    };
+    let mut result: Option<Box<dyn Any + Send>> = None;
+    let mut panic_msg: Option<String> = None;
+    if !aborted_early {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(v) => result = Some(v),
+            Err(payload) => {
+                if !payload.is::<AbortToken>() {
+                    panic_msg = Some(panic_message(&payload));
+                }
+            }
+        }
+    }
+    let mut s = rt.lock();
+    if let Some(msg) = panic_msg {
+        s.record_failure(FailureKind::Panic, msg);
+    }
+    s.threads[tid].state = ThState::Finished;
+    s.threads[tid].parked_at = None;
+    s.threads[tid].result = result;
+    for th in s.threads.iter_mut() {
+        if th.state == ThState::BlockedJoin(tid) {
+            th.state = ThState::Runnable;
+        }
+    }
+    if s.threads.iter().all(|t| t.state == ThState::Finished) {
+        s.complete = true;
+    } else if !s.aborted && s.current == tid {
+        match s.pick() {
+            Ok(next) => s.current = next,
+            Err(msg) => {
+                s.record_failure(FailureKind::Deadlock, msg);
+            }
+        }
+    }
+    rt.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub(crate) fn spawn_model_thread(body: BoxedBody) -> (Arc<Rt>, usize) {
+    let c = ctx().expect("bgp_check::thread::spawn used outside a model run");
+    schedule_point(PointKind::Op);
+    let child = {
+        let mut s = c.rt.lock();
+        let tid = s.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "too many model threads ({MAX_THREADS} max)"
+        );
+        let parent = &mut s.threads[c.tid];
+        parent.clock.bump(c.tid);
+        let mut clock = parent.clock.clone();
+        clock.bump(tid); // spawn edge: child starts after everything the parent did
+        s.threads.push(Th::new(clock));
+        tid
+    };
+    let rt2 = c.rt.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("bgp-check-{child}"))
+        .spawn(move || run_thread(rt2, child, body))
+        .expect("spawn model thread");
+    c.rt.lock().os_handles.push(handle);
+    (c.rt.clone(), child)
+}
+
+/// Poll-join on a model thread; returns its boxed result and establishes the
+/// join happens-before edge.
+pub(crate) fn join_model_thread(rt: &Arc<Rt>, child: usize) -> Box<dyn Any + Send> {
+    let c = ctx().expect("join outside a model run");
+    assert!(Arc::ptr_eq(rt, &c.rt), "join across model runs");
+    loop {
+        schedule_point(PointKind::Op);
+        let mut s = c.rt.lock();
+        if s.threads[child].state == ThState::Finished {
+            let child_clock = s.threads[child].clock.clone();
+            s.threads[c.tid].clock.join(&child_clock);
+            let result = s.threads[child].result.take();
+            drop(s);
+            return result.unwrap_or_else(|| {
+                // The child panicked (its failure is already recorded);
+                // unwind this thread too.
+                abort_panic()
+            });
+        }
+        // Block until the child finishes.
+        s.threads[c.tid].state = ThState::BlockedJoin(child);
+        match s.pick() {
+            Ok(next) => s.current = next,
+            Err(msg) => {
+                s.record_failure(FailureKind::Deadlock, msg);
+                c.rt.cv.notify_all();
+                drop(s);
+                abort_panic();
+            }
+        }
+        c.rt.cv.notify_all();
+        while s.current != c.tid && !s.aborted {
+            s = c.rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.aborted {
+            drop(s);
+            abort_panic();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// What went wrong on a failing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An assertion (oracle) in the test closure panicked.
+    Panic,
+    /// Two unordered accesses to a model `UnsafeCell`.
+    Race,
+    /// Every live thread was spin-parked or join-blocked.
+    Deadlock,
+    /// The per-execution step budget ran out (livelock or runaway loop).
+    StepLimit,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "oracle panic",
+            FailureKind::Race => "data race",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::StepLimit => "step-budget livelock",
+        })
+    }
+}
+
+/// A failing schedule: what happened plus everything needed to replay it
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// The full choice trace of the failing execution.
+    pub trace: Vec<u16>,
+    /// Which explored schedule failed (0-based).
+    pub schedule: usize,
+    /// The base seed, in random mode.
+    pub seed: Option<u64>,
+}
+
+impl Failure {
+    /// The trace as the comma-separated form `BGP_CHECK_REPLAY` accepts.
+    pub fn trace_csv(&self) -> String {
+        self.trace
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The environment assignment that replays this exact schedule.
+    pub fn replay_env(&self) -> String {
+        format!("BGP_CHECK_REPLAY={}", self.trace_csv())
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(f, "  failing schedule #{}", self.schedule)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "  random mode base seed: {seed}")?;
+        }
+        writeln!(f, "  trace: [{}]", self.trace_csv())?;
+        write!(
+            f,
+            "  replay deterministically with {} or Config::replay(&[...])",
+            self.replay_env()
+        )
+    }
+}
+
+/// Exploration strategy and budgets for one [`explore`]/[`model_with`] call.
+#[derive(Debug, Clone)]
+pub struct Config {
+    mode: Mode,
+    max_steps: u64,
+    mutations: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Dfs { max_schedules: usize },
+    Random { seed: u64, iterations: usize },
+    Replay { trace: Vec<u16> },
+}
+
+impl Config {
+    /// Bounded exhaustive depth-first search over the schedule tree,
+    /// stopping after `max_schedules` executions if the tree is larger.
+    pub fn dfs(max_schedules: usize) -> Self {
+        Config {
+            mode: Mode::Dfs { max_schedules },
+            max_steps: 50_000,
+            mutations: Vec::new(),
+        }
+    }
+
+    /// `iterations` independent schedules sampled from a deterministic
+    /// seed-derived stream; any failure reports a trace that replays.
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Config {
+            mode: Mode::Random { seed, iterations },
+            max_steps: 50_000,
+            mutations: Vec::new(),
+        }
+    }
+
+    /// Re-run exactly one schedule from a recorded choice trace.
+    pub fn replay(trace: &[u16]) -> Self {
+        Config {
+            mode: Mode::Replay {
+                trace: trace.to_vec(),
+            },
+            max_steps: 50_000,
+            mutations: Vec::new(),
+        }
+    }
+
+    /// Override the per-execution scheduling-point budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Activate a named seeded bug (see `bgp_shmem`'s mutation points) for
+    /// every execution of this run — the checker's self-test hook.
+    pub fn mutate(mut self, name: &str) -> Self {
+        self.mutations.push(name.to_string());
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::dfs(4096)
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub schedules: usize,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+fn run_once(
+    cfg: &Config,
+    plan: Vec<u16>,
+    rng: Option<SplitMix64>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<(u16, u16)>, Option<Failure>) {
+    let rt = Arc::new(Rt::new(cfg, plan, rng));
+    rt.lock().threads.push(Th::new({
+        let mut c = VClock::new();
+        c.bump(0);
+        c
+    }));
+    let rt2 = rt.clone();
+    let fc = f.clone();
+    let body: BoxedBody = Box::new(move || {
+        fc();
+        Box::new(()) as Box<dyn Any + Send>
+    });
+    let handle = std::thread::Builder::new()
+        .name("bgp-check-0".to_string())
+        .spawn(move || run_thread(rt2, 0, body))
+        .expect("spawn model root thread");
+    let (handles, trace, failure) = {
+        let mut s = rt.lock();
+        s.os_handles.push(handle);
+        while !s.complete {
+            s = rt.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        (
+            std::mem::take(&mut s.os_handles),
+            std::mem::take(&mut s.trace),
+            s.failure.take(),
+        )
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    (trace, failure)
+}
+
+/// Explore schedules of `f` under `cfg` and report the first failure (or
+/// none). Setting `BGP_CHECK_REPLAY=<c,c,...>` in the environment overrides
+/// `cfg` with a single-schedule replay — paste the trace from a failure
+/// report to re-run it under a debugger or with extra logging.
+pub fn explore<F>(cfg: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let mode = match std::env::var("BGP_CHECK_REPLAY") {
+        Ok(csv) if !csv.is_empty() => Mode::Replay {
+            trace: csv
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u16>()
+                        .expect("BGP_CHECK_REPLAY: bad trace")
+                })
+                .collect(),
+        },
+        _ => cfg.mode.clone(),
+    };
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    match mode {
+        Mode::Dfs { max_schedules } => {
+            // `stack` is the DFS frontier: the (chosen, options) prefix of
+            // the last execution, advanced odometer-style from the deepest
+            // branch point that still has untried choices.
+            let mut stack: Vec<(u16, u16)> = Vec::new();
+            let mut schedules = 0usize;
+            loop {
+                let plan: Vec<u16> = stack.iter().map(|&(c, _)| c).collect();
+                let (trace, failure) = run_once(&cfg, plan, None, &f);
+                schedules += 1;
+                if let Some(mut fl) = failure {
+                    fl.schedule = schedules - 1;
+                    return Report {
+                        schedules,
+                        failure: Some(fl),
+                    };
+                }
+                if schedules >= max_schedules {
+                    return Report {
+                        schedules,
+                        failure: None,
+                    };
+                }
+                stack = trace;
+                loop {
+                    match stack.last_mut() {
+                        None => {
+                            return Report {
+                                schedules,
+                                failure: None,
+                            }
+                        }
+                        Some(last) => {
+                            if last.0 + 1 < last.1 {
+                                last.0 += 1;
+                                break;
+                            }
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+        Mode::Random { seed, iterations } => {
+            for i in 0..iterations {
+                let rng = SplitMix64::new(
+                    seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                let (_, failure) = run_once(&cfg, Vec::new(), Some(rng), &f);
+                if let Some(mut fl) = failure {
+                    fl.schedule = i;
+                    fl.seed = Some(seed);
+                    return Report {
+                        schedules: i + 1,
+                        failure: Some(fl),
+                    };
+                }
+            }
+            Report {
+                schedules: iterations,
+                failure: None,
+            }
+        }
+        Mode::Replay { trace } => {
+            let (_, failure) = run_once(&cfg, trace, None, &f);
+            Report {
+                schedules: 1,
+                failure,
+            }
+        }
+    }
+}
+
+/// [`explore`] with [`Config::default`] (bounded DFS), panicking on the
+/// first failing schedule with its full replay information — the loom-style
+/// entry point for model tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// [`model`] with an explicit [`Config`].
+pub fn model_with<F>(cfg: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(cfg, f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model check failed after exploring {} schedule(s)\n{}",
+            report.schedules, failure
+        );
+    }
+}

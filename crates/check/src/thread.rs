@@ -1,0 +1,70 @@
+//! Model threads: spawn/join plus the two scheduling hints.
+//!
+//! Model threads are real OS threads serialized by the runtime, so
+//! thread-local state, panics, and `Send` bounds behave exactly as in
+//! production code. `spawn` and `join` also carry the usual happens-before
+//! edges (everything before `spawn` is visible to the child; everything the
+//! child did is visible after `join`).
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    rt: Arc<rt::Rt>,
+    tid: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    /// Wait for the thread and take its result. If the thread panicked, its
+    /// failure is already recorded by the checker and this unwinds too.
+    pub fn join(self) -> T {
+        let boxed = rt::join_model_thread(&self.rt, self.tid);
+        *boxed
+            .downcast::<T>()
+            .expect("model thread result type mismatch")
+    }
+}
+
+/// Spawn a model thread. Panics outside a model run: production code never
+/// calls this (only model tests do), and silently falling back to free-running
+/// OS threads would defeat the checker.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, tid) = rt::spawn_model_thread(Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+    JoinHandle {
+        rt,
+        tid,
+        _marker: PhantomData,
+    }
+}
+
+/// A plain scheduling point: lets the scheduler switch threads without
+/// claiming the current thread is stuck.
+pub fn yield_now() {
+    if rt::ctx().is_some() {
+        rt::schedule_point(rt::PointKind::Op);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A spin-wait scheduling point: tells the scheduler this thread is in a
+/// read-only wait loop and need not be rescheduled until some other thread
+/// performs a store. This is what makes bounded exhaustive exploration of
+/// spin-based protocols terminate, and what turns a wait that no store can
+/// satisfy into a reported deadlock instead of a hang.
+pub fn spin() {
+    if rt::ctx().is_some() {
+        rt::schedule_point(rt::PointKind::Spin);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,230 @@
+//! bgp-check self-tests on textbook scenarios: the checker must pass
+//! correct protocols, catch broken ones, detect deadlock and livelock, and
+//! replay any failure deterministically from its reported trace.
+
+use std::sync::Arc;
+
+use bgp_check::cell::UnsafeCell;
+use bgp_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use bgp_check::thread;
+use bgp_check::{explore, model, Config, FailureKind};
+
+/// Release/acquire message passing is race-free under full DFS.
+#[test]
+fn correct_message_passing_passes() {
+    model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            unsafe { c2.with_mut(|p| *p = 42) };
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            unsafe { cell.with(|p| assert_eq!(*p, 42)) };
+        }
+        t.join();
+    });
+}
+
+/// The same protocol with the publication weakened to `Relaxed` must be
+/// reported as a data race on the payload cell.
+#[test]
+fn relaxed_publication_is_a_race() {
+    let report = explore(Config::dfs(2_000), || {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            unsafe { c2.with_mut(|p| *p = 42) };
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            unsafe { cell.with(|p| assert_eq!(*p, 42)) };
+        }
+        t.join();
+    });
+    let failure = report.failure.expect("DFS must find the race");
+    assert_eq!(failure.kind, FailureKind::Race, "{failure}");
+    assert!(failure.message.contains("data race"), "{failure}");
+}
+
+/// A non-atomic read-modify-write (load; add; store) loses updates under
+/// some interleaving; DFS must find the one that breaks the oracle.
+#[test]
+fn lost_update_is_found_by_dfs() {
+    let report = explore(Config::dfs(2_000), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.load(Ordering::Acquire);
+                    n.store(v + 1, Ordering::Release);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 2, "lost update");
+    });
+    let failure = report.failure.expect("DFS must find the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic, "{failure}");
+    assert!(failure.message.contains("lost update"), "{failure}");
+}
+
+/// The atomic version of the same counter is correct under full DFS.
+#[test]
+fn fetch_add_counter_passes() {
+    model(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    });
+}
+
+/// A spin-wait no store can ever satisfy is reported as deadlock (with the
+/// schedule), not run forever.
+#[test]
+fn hopeless_spin_is_deadlock() {
+    let report = explore(Config::dfs(16), || {
+        let flag = AtomicUsize::new(0);
+        while flag.load(Ordering::Acquire) == 0 {
+            thread::spin();
+        }
+    });
+    let failure = report.failure.expect("must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+}
+
+/// A loop that keeps making scheduling points without parking burns the
+/// step budget and is reported as livelock.
+#[test]
+fn runaway_loop_hits_step_limit() {
+    let report = explore(Config::dfs(4).max_steps(200), || loop {
+        thread::yield_now();
+    });
+    let failure = report.failure.expect("must hit the step budget");
+    assert_eq!(failure.kind, FailureKind::StepLimit, "{failure}");
+}
+
+/// The trace in a failure report replays to the same failure, and the
+/// failing execution is the first (and only) schedule of the replay run.
+#[test]
+fn failure_trace_replays_deterministically() {
+    let scenario = || {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (cell.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            unsafe { c2.with_mut(|p| *p = 7) };
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            unsafe { cell.with(|p| assert_eq!(*p, 7)) };
+        }
+        t.join();
+    };
+    let first = explore(Config::dfs(2_000), scenario)
+        .failure
+        .expect("race expected");
+    let replay = explore(Config::replay(&first.trace), scenario);
+    assert_eq!(replay.schedules, 1);
+    let second = replay.failure.expect("replay must reproduce the failure");
+    assert_eq!(second.kind, first.kind);
+    assert_eq!(second.trace, first.trace);
+}
+
+/// Random exploration is a pure function of the seed: same seed, same
+/// failing schedule; and the failure report carries the seed.
+#[test]
+fn random_mode_is_seed_deterministic() {
+    let scenario = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.load(Ordering::Acquire);
+                    n.store(v + 1, Ordering::Release);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    };
+    let a = explore(Config::random(0xB1_4E, 500), scenario)
+        .failure
+        .expect("random mode must find the lost update");
+    let b = explore(Config::random(0xB1_4E, 500), scenario)
+        .failure
+        .expect("same seed, same result");
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.seed, Some(0xB1_4E));
+    // And the reported trace replays on its own.
+    let replayed = explore(Config::replay(&a.trace), scenario)
+        .failure
+        .expect("replay of a random-mode failure");
+    assert_eq!(replayed.trace, a.trace);
+}
+
+/// compare_exchange: exactly one of two racing CAS attempts wins under
+/// every schedule.
+#[test]
+fn cas_single_winner() {
+    model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (n, wins) = (n.clone(), wins.clone());
+                thread::spawn(move || {
+                    if n.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, Ordering::AcqRel);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(wins.load(Ordering::Acquire), 1);
+        assert_eq!(n.load(Ordering::Acquire), 1);
+    });
+}
+
+/// Model atomics fall back to plain (mutex-serialized) behavior outside a
+/// model run, so `model`-feature builds still work under ordinary tests.
+#[test]
+fn atomics_work_outside_model_runs() {
+    let n = AtomicU64::new(5);
+    assert_eq!(n.fetch_add(3, Ordering::AcqRel), 5);
+    assert_eq!(n.load(Ordering::Acquire), 8);
+    assert_eq!(
+        n.compare_exchange(8, 1, Ordering::AcqRel, Ordering::Acquire),
+        Ok(8)
+    );
+    let cell = UnsafeCell::new(11u32);
+    unsafe {
+        cell.with_mut(|p| *p += 1);
+        assert_eq!(cell.with(|p| *p), 12);
+    }
+    thread::spin();
+    thread::yield_now();
+}

@@ -1,0 +1,48 @@
+//! The `BGP_CHECK_REPLAY` environment override, end to end.
+//!
+//! Kept in its own test binary with a single test: the override is
+//! process-global, so it must not run concurrently with other
+//! explorations.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bgp_check::sync::atomic::AtomicU64;
+use bgp_check::{explore, thread, Config, FailureKind};
+
+fn racy_scenario() {
+    let flag = Arc::new(AtomicU64::new(0));
+    let data = Arc::new(bgp_check::cell::UnsafeCell::new(0u64));
+    let producer = {
+        let (flag, data) = (flag.clone(), data.clone());
+        thread::spawn(move || {
+            unsafe { data.with_mut(|p| *p = 1) };
+            // BUG (deliberate): relaxed publication.
+            flag.store(1, Ordering::Relaxed);
+        })
+    };
+    if flag.load(Ordering::Acquire) == 1 {
+        unsafe { data.with(|p| assert_eq!(*p, 1)) };
+    }
+    producer.join();
+}
+
+#[test]
+fn replay_env_var_overrides_exploration() {
+    // First find a failing schedule normally.
+    let report = explore(Config::dfs(1_000), racy_scenario);
+    let failure = report.failure.expect("the race must be found");
+    assert_eq!(failure.kind, FailureKind::Race);
+
+    // Then replay it the way the failure report tells a human to: via the
+    // environment variable, with an arbitrary (here: DFS) config that the
+    // override must win over.
+    std::env::set_var("BGP_CHECK_REPLAY", failure.trace_csv());
+    let replayed = explore(Config::dfs(1_000), racy_scenario);
+    std::env::remove_var("BGP_CHECK_REPLAY");
+
+    assert_eq!(replayed.schedules, 1, "override must run exactly one plan");
+    let f = replayed.failure.expect("replay reproduces the race");
+    assert_eq!(f.kind, failure.kind);
+    assert_eq!(f.trace, failure.trace);
+}

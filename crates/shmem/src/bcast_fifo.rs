@@ -18,13 +18,14 @@
 //! the paper's portability argument — and here it runs on real hardware
 //! atomics rather than simulated ones.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
 
+use crate::model_support;
 use crate::spin;
 
 struct Slot<T> {
@@ -45,6 +46,10 @@ pub struct BcastFifo<T> {
     n_consumers: usize,
     head: CachePadded<AtomicUsize>,
     tail: CachePadded<AtomicUsize>,
+    /// Messages actually published (diagnostic). Distinct from `tail`:
+    /// a producer increments `tail` to *reserve* a ticket and may then spin
+    /// for space, so `tail` counts reservations, not completed enqueues.
+    published: CachePadded<AtomicUsize>,
     /// Total per-consumer reads (diagnostic; own line to keep the hot
     /// head/tail words uncontended).
     dequeues: CachePadded<AtomicUsize>,
@@ -100,6 +105,7 @@ impl<T: Clone> BcastFifo<T> {
             n_consumers,
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
+            published: CachePadded::new(AtomicUsize::new(0)),
             dequeues: CachePadded::new(AtomicUsize::new(0)),
         });
         let consumers = (0..n_consumers)
@@ -150,9 +156,14 @@ impl<T: Clone> BcastFifo<T> {
     /// messages ever enqueued, per-consumer reads summed over consumers,
     /// and slots fully retired (read by every consumer). Relaxed snapshots;
     /// exact when quiesced.
+    ///
+    /// `enqueued` counts *publications*, not ticket reservations: a
+    /// producer spinning for space in a full FIFO has already incremented
+    /// `tail` but has not enqueued anything yet, so `tail` would overcount
+    /// by the number of waiting producers.
     pub fn stats(&self) -> FifoStats {
         FifoStats {
-            enqueued: self.tail.load(Ordering::Relaxed) as u64,
+            enqueued: self.published.load(Ordering::Relaxed) as u64,
             dequeued: self.dequeues.load(Ordering::Relaxed) as u64,
             retired: self.head.load(Ordering::Relaxed) as u64,
         }
@@ -165,10 +176,29 @@ impl<T: Clone> BcastFifo<T> {
         while slot.seq.load(Ordering::Acquire) != ticket {
             spin();
         }
+        // Seeded bug for the model checker: publish before the payload is
+        // written (callers can then read uninitialised/stale payload).
+        if model_support::seeded("bcast_publish_before_write") {
+            slot.readers_left.store(self.n_consumers, Ordering::Relaxed);
+            slot.seq.store(ticket + 1, Ordering::Release);
+            unsafe { slot.val.with_mut(|p| (*p).write(value)) };
+            self.published.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         // SAFETY: unique ticket holder for this cycle.
-        unsafe { (*slot.val.get()).write(value) };
-        slot.readers_left.store(self.n_consumers, Ordering::Relaxed);
-        slot.seq.store(ticket + 1, Ordering::Release);
+        unsafe { slot.val.with_mut(|p| (*p).write(value)) };
+        // Seeded bug: leave `readers_left` at its retired value of 0, so the
+        // slot can never retire again (every reader underflows the count).
+        if !model_support::seeded("bcast_skip_readers_init") {
+            slot.readers_left.store(self.n_consumers, Ordering::Relaxed);
+        }
+        slot.seq.store(
+            ticket + 1,
+            // Seeded bug: weaken the publication so payload visibility is
+            // no longer ordered before the seq flip.
+            model_support::relaxed_if("bcast_publish_relaxed", Ordering::Release),
+        );
+        self.published.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Internal: consumer `cursor` reads its next message.
@@ -179,11 +209,14 @@ impl<T: Clone> BcastFifo<T> {
         }
         // SAFETY: published and not yet retired — retirement requires our
         // own decrement below.
-        let value = unsafe { (*slot.val.get()).assume_init_ref().clone() };
+        let value = unsafe { slot.val.with(|p| (*p).assume_init_ref().clone()) };
         self.dequeues.fetch_add(1, Ordering::Relaxed);
-        if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Seeded bug: a relaxed decrement severs the happens-before chain
+        // from earlier readers to the last reader's payload drop.
+        let dec_order = model_support::relaxed_if("bcast_retire_relaxed", Ordering::AcqRel);
+        if slot.readers_left.fetch_sub(1, dec_order) == 1 {
             // Last reader: drop the payload, retire the slot, advance head.
-            unsafe { (*slot.val.get()).assume_init_drop() };
+            unsafe { slot.val.with_mut(|p| (*p).assume_init_drop()) };
             self.head.fetch_add(1, Ordering::Relaxed);
             slot.seq.store(cursor + self.cap, Ordering::Release);
         }
@@ -196,10 +229,11 @@ impl<T: Clone> BcastFifo<T> {
         if slot.seq.load(Ordering::Acquire) != cursor + 1 {
             return None;
         }
-        let value = unsafe { (*slot.val.get()).assume_init_ref().clone() };
+        let value = unsafe { slot.val.with(|p| (*p).assume_init_ref().clone()) };
         self.dequeues.fetch_add(1, Ordering::Relaxed);
-        if slot.readers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
-            unsafe { (*slot.val.get()).assume_init_drop() };
+        let dec_order = model_support::relaxed_if("bcast_retire_relaxed", Ordering::AcqRel);
+        if slot.readers_left.fetch_sub(1, dec_order) == 1 {
+            unsafe { slot.val.with_mut(|p| (*p).assume_init_drop()) };
             self.head.fetch_add(1, Ordering::Relaxed);
             slot.seq.store(cursor + self.cap, Ordering::Release);
         }
@@ -213,9 +247,10 @@ impl<T> Drop for BcastFifo<T> {
         let head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
         for ticket in head..tail {
-            let slot = &mut self.slots[ticket % self.cap];
+            let cap = self.cap;
+            let slot = &mut self.slots[ticket % cap];
             if *slot.seq.get_mut() == ticket + 1 {
-                unsafe { (*slot.val.get()).assume_init_drop() };
+                unsafe { slot.val.get_mut().assume_init_drop() };
             }
         }
     }
@@ -256,13 +291,15 @@ impl<T: Clone> BcastConsumer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::stress_iters;
     use std::thread;
 
     #[test]
     fn every_consumer_sees_every_message_in_order() {
+        let n = stress_iters(1_000) as u64;
         let (fifo, mut consumers) = BcastFifo::with_consumers(4, 3);
         let producer = thread::spawn(move || {
-            for i in 0..1000u64 {
+            for i in 0..n {
                 fifo.enqueue(i);
             }
         });
@@ -270,7 +307,7 @@ mod tests {
             .drain(..)
             .map(|mut c| {
                 thread::spawn(move || {
-                    for i in 0..1000u64 {
+                    for i in 0..n {
                         assert_eq!(c.recv(), i);
                     }
                     c.received()
@@ -279,7 +316,7 @@ mod tests {
             .collect();
         producer.join().unwrap();
         for h in handles {
-            assert_eq!(h.join().unwrap(), 1000);
+            assert_eq!(h.join().unwrap(), n as usize);
         }
     }
 
@@ -330,6 +367,37 @@ mod tests {
     }
 
     #[test]
+    fn stats_enqueued_counts_publications_not_reservations() {
+        // Regression: `enqueued` used to read `tail`, which a blocked
+        // producer has already incremented while spinning for space — so a
+        // full FIFO with a waiting producer overcounted. The publication
+        // counter must not move until the message is actually in a slot.
+        // (The racing variant of this property is model-checked in
+        // tests/model.rs, where the checker can halt the producer exactly
+        // between reservation and publication.)
+        let (fifo, mut consumers) = BcastFifo::with_consumers(2, 1);
+        fifo.enqueue(1u32);
+        fifo.enqueue(2);
+        assert_eq!(fifo.stats().enqueued, 2);
+        let blocked = {
+            let fifo = fifo.clone();
+            thread::spawn(move || fifo.enqueue(3))
+        };
+        // The blocked producer may reserve its ticket at any time, but can
+        // publish only after a slot retires; until we consume, `enqueued`
+        // must stay at 2 no matter how long it has been spinning.
+        for _ in 0..100 {
+            assert!(fifo.stats().enqueued <= 2);
+            std::thread::yield_now();
+        }
+        for expect in 1..=3u32 {
+            assert_eq!(consumers[0].recv(), expect);
+        }
+        blocked.join().unwrap();
+        assert_eq!(fifo.stats().enqueued, 3);
+    }
+
+    #[test]
     fn try_recv_none_until_published() {
         let (fifo, mut consumers) = BcastFifo::with_consumers(2, 1);
         assert_eq!(consumers[0].try_recv(), None);
@@ -344,16 +412,16 @@ mod tests {
         // the fast consumer must both be throttled by the slow one, and no
         // message may be lost or reordered.
         let (fifo, mut consumers) = BcastFifo::with_consumers(2, 2);
-        const N: u64 = 5_000;
+        let n = stress_iters(5_000) as u64;
         let producer = thread::spawn(move || {
-            for i in 0..N {
+            for i in 0..n {
                 fifo.enqueue(i);
             }
         });
         let fast = {
             let mut c = consumers.remove(0);
             thread::spawn(move || {
-                for i in 0..N {
+                for i in 0..n {
                     assert_eq!(c.recv(), i);
                 }
             })
@@ -361,7 +429,7 @@ mod tests {
         let slow = {
             let mut c = consumers.remove(0);
             thread::spawn(move || {
-                for i in 0..N {
+                for i in 0..n {
                     if i % 64 == 0 {
                         std::thread::yield_now();
                     }
@@ -381,12 +449,12 @@ mod tests {
         // id. Two producers, three consumers; each consumer must see every
         // message of each connection in that connection's order.
         let (fifo, mut consumers) = BcastFifo::with_consumers(8, 3);
-        const PER: u64 = 2_000;
+        let per = stress_iters(2_000) as u64;
         let producers: Vec<_> = (0..2u64)
             .map(|conn| {
                 let fifo = fifo.clone();
                 thread::spawn(move || {
-                    for i in 0..PER {
+                    for i in 0..per {
                         fifo.enqueue((conn, i));
                     }
                 })
@@ -397,7 +465,7 @@ mod tests {
             .map(|mut c| {
                 thread::spawn(move || {
                     let mut next = [0u64; 2];
-                    for _ in 0..(2 * PER) {
+                    for _ in 0..(2 * per) {
                         let (conn, i) = c.recv();
                         assert_eq!(i, next[conn as usize], "conn {conn} reordered");
                         next[conn as usize] += 1;
@@ -447,16 +515,16 @@ mod tests {
         // 1 producer, 3 consumers (the quad-mode shape), small FIFO, many
         // messages with a checksum over payloads.
         let (fifo, mut consumers) = BcastFifo::with_consumers(4, 3);
-        const N: u64 = 20_000;
-        let expect: u64 = (0..N).sum();
+        let n = stress_iters(20_000) as u64;
+        let expect: u64 = (0..n).sum();
         let producer = thread::spawn(move || {
-            for i in 0..N {
+            for i in 0..n {
                 fifo.enqueue(i);
             }
         });
         let handles: Vec<_> = consumers
             .drain(..)
-            .map(|mut c| thread::spawn(move || (0..N).map(|_| c.recv()).sum::<u64>()))
+            .map(|mut c| thread::spawn(move || (0..n).map(|_| c.recv()).sum::<u64>()))
             .collect();
         producer.join().unwrap();
         for h in handles {

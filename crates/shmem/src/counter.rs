@@ -9,10 +9,10 @@
 //! "all n-1 peers are done" count the master needs before it may reuse or
 //! overwrite its buffer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicU64, Ordering};
 
+use crate::model_support;
 use crate::spin;
 
 /// A monotone byte counter published by one producer, polled by any number
@@ -22,9 +22,29 @@ use crate::spin;
 /// the producer's buffer. `publish` uses `Release` so a consumer that
 /// `Acquire`-reads the new value also observes the buffer bytes it covers.
 ///
-/// The counter is reusable across operations via [`MessageCounter::reset`],
-/// which only the producer may call, and only once all consumers of the
-/// previous operation are known to be done (use a [`CompletionCounter`]).
+/// # Reset protocol
+///
+/// The counter is reusable across operations via [`reset`](Self::reset),
+/// but `reset` itself carries **no** synchronization for consumers: a
+/// consumer still inside [`wait_for`](Self::wait_for) when the count drops
+/// to zero would wait for a target the *previous* operation already
+/// satisfied, and a consumer that read a pre-reset value could copy bytes
+/// the producer is already overwriting. The documented protocol is
+/// therefore:
+///
+/// 1. every consumer finishes its copies, then announces via a
+///    [`CompletionCounter`] ([`CompletionCounter::arrive`], release);
+/// 2. the producer waits for completion ([`CompletionCounter::wait`],
+///    acquire) — this is the happens-before edge that orders every
+///    consumer's last read before the reset;
+/// 3. only then does the producer call `reset` and start the next
+///    operation.
+///
+/// In debug builds, `reset` additionally checks that no consumer is
+/// currently inside `wait_for` and panics if one is — the misuse the
+/// protocol exists to prevent. The model tests in `tests/model.rs` check
+/// the full protocol (and that the guard fires on the broken variant)
+/// schedule-exhaustively.
 #[derive(Debug)]
 pub struct MessageCounter {
     bytes: CachePadded<AtomicU64>,
@@ -32,6 +52,11 @@ pub struct MessageCounter {
     /// spins). On its own line, and updated once per `wait_for` call rather
     /// than per spin, so accounting never perturbs the hot path.
     polls: CachePadded<AtomicU64>,
+    /// Consumers currently inside [`wait_for`](Self::wait_for); feeds the
+    /// debug-mode reset guard.
+    waiters: CachePadded<AtomicU64>,
+    /// Operations completed, i.e. times [`reset`](Self::reset) ran.
+    resets: CachePadded<AtomicU64>,
 }
 
 impl Default for MessageCounter {
@@ -46,6 +71,8 @@ impl MessageCounter {
         MessageCounter {
             bytes: CachePadded::new(AtomicU64::new(0)),
             polls: CachePadded::new(AtomicU64::new(0)),
+            waiters: CachePadded::new(AtomicU64::new(0)),
+            resets: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -54,7 +81,10 @@ impl MessageCounter {
     /// Returns the new total.
     #[inline]
     pub fn publish(&self, delta: u64) -> u64 {
-        self.bytes.fetch_add(delta, Ordering::Release) + delta
+        // Seeded bug: a relaxed publication no longer makes the buffer
+        // bytes visible to the consumer that observes the new count.
+        let order = model_support::relaxed_if("counter_publish_relaxed", Ordering::Release);
+        self.bytes.fetch_add(delta, order) + delta
     }
 
     /// Consumer: the currently valid byte count (acquire: pairs with
@@ -67,6 +97,7 @@ impl MessageCounter {
     /// Consumer: spin until at least `target` bytes are valid; returns the
     /// observed count (which may exceed `target`).
     pub fn wait_for(&self, target: u64) -> u64 {
+        self.waiters.fetch_add(1, Ordering::AcqRel);
         let mut local_polls = 0u64;
         let got = loop {
             local_polls += 1;
@@ -77,6 +108,7 @@ impl MessageCounter {
             spin();
         };
         self.polls.fetch_add(local_polls, Ordering::Relaxed);
+        self.waiters.fetch_sub(1, Ordering::AcqRel);
         got
     }
 
@@ -87,9 +119,32 @@ impl MessageCounter {
         self.polls.load(Ordering::Relaxed)
     }
 
-    /// Producer only: rearm for the next operation. Must happen-after all
-    /// consumers finished with the previous one.
+    /// Consumers currently inside [`wait_for`](Self::wait_for). Diagnostic
+    /// snapshot; exact only when externally quiesced.
+    pub fn active_waiters(&self) -> u64 {
+        self.waiters.load(Ordering::Acquire)
+    }
+
+    /// Times this counter has been [`reset`](Self::reset) — i.e. completed
+    /// operations. Relaxed snapshot.
+    pub fn reset_count(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// Producer only: rearm for the next operation.
+    ///
+    /// Must happen-after all consumers finished with the previous operation
+    /// — see the reset protocol in the type docs. Debug builds panic if a
+    /// consumer is still inside [`wait_for`](Self::wait_for).
     pub fn reset(&self) {
+        debug_assert_eq!(
+            self.waiters.load(Ordering::Acquire),
+            0,
+            "MessageCounter::reset while a consumer is inside wait_for: \
+             the producer must wait for all consumers (e.g. via a \
+             CompletionCounter) before rearming"
+        );
+        self.resets.fetch_add(1, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Release);
     }
 }
@@ -98,22 +153,38 @@ impl MessageCounter {
 /// every peer increments once when it has finished copying; when the count
 /// reaches `n-1` the master may reuse its buffer.
 ///
-/// Reusable across operations through an internal epoch: [`reset`] begins a
-/// new operation. (On BG/P this is a plain shared word; the epoch only
-/// protects against the programming error of arriving into a completed,
-/// un-reset counter, which the paper's flow structure makes impossible but a
-/// library should check.)
+/// Reusable across operations through an internal epoch: arrivals and the
+/// epoch number are packed into one atomic word (arrivals in the low 32
+/// bits, epoch in the high 32), and [`reset`](Self::reset) begins a new
+/// epoch with the arrival count back at zero. Arriving into an
+/// already-complete, un-reset counter is a protocol violation — the arrival
+/// would be credited to a *finished* operation and silently lost to the
+/// next one — so [`arrive`](Self::arrive) checks for it in **all** builds
+/// and panics, naming the epoch. (On BG/P this is a plain shared word; the
+/// paper's flow structure makes the misuse impossible, but a library should
+/// check.)
 #[derive(Debug)]
 pub struct CompletionCounter {
-    arrived: CachePadded<AtomicU64>,
+    /// Low 32 bits: arrivals this epoch. High 32 bits: epoch number.
+    state: CachePadded<AtomicU64>,
     expected: u64,
 }
+
+/// Mask selecting the arrival count from the packed state word.
+const ARRIVALS_MASK: u64 = u32::MAX as u64;
+/// Shift selecting the epoch from the packed state word.
+const EPOCH_SHIFT: u32 = 32;
 
 impl CompletionCounter {
     /// A counter expecting `expected` arrivals (use `n-1` for n ranks).
     pub fn new(expected: u64) -> Self {
+        assert!(
+            expected < ARRIVALS_MASK,
+            "completion counter supports at most {} arrivals per epoch",
+            ARRIVALS_MASK - 1
+        );
         CompletionCounter {
-            arrived: CachePadded::new(AtomicU64::new(0)),
+            state: CachePadded::new(AtomicU64::new(0)),
             expected,
         }
     }
@@ -124,26 +195,44 @@ impl CompletionCounter {
         self.expected
     }
 
+    /// The current epoch (0 before the first [`reset`](Self::reset)).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.state.load(Ordering::Relaxed) >> EPOCH_SHIFT
+    }
+
     /// A peer announces it is done. Returns `true` if this was the final
     /// arrival. Release ordering: the master's acquire in
     /// [`is_complete`](Self::is_complete)/[`wait`](Self::wait) then
     /// happens-after every peer's copies.
+    ///
+    /// # Panics
+    ///
+    /// In all builds, if the current epoch was already complete: the caller
+    /// skipped the [`reset`](Self::reset) that separates operations, and
+    /// its arrival would otherwise leak into the next epoch's count.
     #[inline]
     pub fn arrive(&self) -> bool {
-        let prev = self.arrived.fetch_add(1, Ordering::Release);
-        debug_assert!(
-            prev < self.expected,
-            "completion counter overflow: arrival {} of {}",
-            prev + 1,
+        // Seeded bug: a relaxed arrival breaks the peers' copies → master's
+        // buffer-reuse happens-before chain.
+        let order = model_support::relaxed_if("completion_arrive_relaxed", Ordering::Release);
+        let prev = self.state.fetch_add(1, order);
+        let arrivals = prev & ARRIVALS_MASK;
+        assert!(
+            arrivals < self.expected,
+            "completion counter overflow in epoch {}: arrival {} of {} — \
+             reset() must separate operations",
+            prev >> EPOCH_SHIFT,
+            arrivals + 1,
             self.expected
         );
-        prev + 1 == self.expected
+        arrivals + 1 == self.expected
     }
 
     /// Master: have all peers arrived?
     #[inline]
     pub fn is_complete(&self) -> bool {
-        self.arrived.load(Ordering::Acquire) >= self.expected
+        (self.state.load(Ordering::Acquire) & ARRIVALS_MASK) >= self.expected
     }
 
     /// Master: spin until all peers arrived.
@@ -153,9 +242,16 @@ impl CompletionCounter {
         }
     }
 
-    /// Master only, after completion: rearm for the next operation.
+    /// Master only, after completion: rearm for the next operation by
+    /// starting a fresh epoch with zero arrivals.
     pub fn reset(&self) {
-        self.arrived.store(0, Ordering::Release);
+        // Not an RMW: per the contract no peer may be arriving concurrently
+        // (the master only resets after completion), so a computed store is
+        // race-free — and keeps reset() a single release publication, like
+        // the plain shared word on BG/P.
+        let epoch = self.state.load(Ordering::Relaxed) >> EPOCH_SHIFT;
+        self.state
+            .store((epoch + 1) << EPOCH_SHIFT, Ordering::Release);
     }
 }
 
@@ -174,6 +270,7 @@ mod tests {
         assert_eq!(c.read(), 128);
         c.reset();
         assert_eq!(c.read(), 0);
+        assert_eq!(c.reset_count(), 1);
     }
 
     #[test]
@@ -182,6 +279,7 @@ mod tests {
         c.publish(512);
         assert_eq!(c.wait_for(512), 512);
         assert_eq!(c.wait_for(100), 512);
+        assert_eq!(c.active_waiters(), 0);
     }
 
     #[test]
@@ -198,14 +296,35 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    fn reset_with_active_waiter_is_caught() {
+        // The misuse the reset protocol forbids: rearming while a consumer
+        // is still blocked in wait_for. The debug guard must fire. (The
+        // schedule-exhaustive version of this check is in tests/model.rs.)
+        let c = Arc::new(MessageCounter::new());
+        let waiter = {
+            let c = c.clone();
+            thread::spawn(move || c.wait_for(1))
+        };
+        while c.active_waiters() == 0 {
+            std::thread::yield_now();
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.reset()));
+        assert!(outcome.is_err(), "reset with an active waiter must panic");
+        // Release the waiter so the thread can be joined.
+        c.publish(1);
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+
+    #[test]
     fn counter_chase_across_threads() {
         // A producer publishes a buffer chunk by chunk; a consumer chases
         // the counter and must observe every published byte correctly.
         // This is the §V-A broadcast data path in miniature.
         const CHUNK: usize = 1024;
-        const CHUNKS: usize = 64;
+        let chunks = crate::testing::stress_iters(64);
         let buf: Arc<Vec<std::sync::atomic::AtomicU8>> = Arc::new(
-            (0..CHUNK * CHUNKS)
+            (0..CHUNK * chunks)
                 .map(|_| std::sync::atomic::AtomicU8::new(0))
                 .collect(),
         );
@@ -215,7 +334,7 @@ mod tests {
             let buf = buf.clone();
             let ctr = ctr.clone();
             thread::spawn(move || {
-                for k in 0..CHUNKS {
+                for k in 0..chunks {
                     for i in 0..CHUNK {
                         buf[k * CHUNK + i].store((k % 251) as u8, Ordering::Relaxed);
                     }
@@ -228,7 +347,7 @@ mod tests {
             let ctr = ctr.clone();
             thread::spawn(move || {
                 let mut seen = 0u64;
-                while seen < (CHUNK * CHUNKS) as u64 {
+                while seen < (CHUNK * chunks) as u64 {
                     let avail = ctr.wait_for(seen + 1);
                     for i in seen..avail {
                         let k = (i as usize) / CHUNK;
@@ -260,6 +379,31 @@ mod tests {
         let c = CompletionCounter::new(0);
         assert!(c.is_complete());
         c.wait();
+    }
+
+    #[test]
+    fn epoch_advances_across_resets() {
+        let c = CompletionCounter::new(2);
+        assert_eq!(c.epoch(), 0);
+        for round in 1..=3u64 {
+            assert!(!c.arrive());
+            assert!(c.arrive());
+            assert!(c.is_complete());
+            c.reset();
+            assert_eq!(c.epoch(), round);
+            assert!(!c.is_complete(), "reset must clear the arrival count");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "completion counter overflow")]
+    fn arrival_into_complete_epoch_is_caught() {
+        // Regression: this used to be a debug_assert!, letting release
+        // builds silently credit the arrival to a finished operation. The
+        // guard is now unconditional.
+        let c = CompletionCounter::new(1);
+        assert!(c.arrive());
+        let _ = c.arrive(); // must panic: epoch 0 was already complete
     }
 
     #[test]

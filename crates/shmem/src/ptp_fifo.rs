@@ -19,12 +19,13 @@
 //! `(myslot - head) < fifoSize` space check alone would allow that; the
 //! per-slot sequence closes the hole while keeping the same FIFO discipline).
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
 
+use crate::model_support;
 use crate::spin;
 
 struct Slot<T> {
@@ -114,9 +115,14 @@ impl<T> PtpFifo<T> {
             spin();
         }
         // SAFETY: we hold the unique ticket for this slot cycle.
-        unsafe { (*slot.val.get()).write(value) };
-        // "Write completion step": publish.
-        slot.seq.store(ticket + 1, Ordering::Release);
+        unsafe { slot.val.with_mut(|p| (*p).write(value)) };
+        // "Write completion step": publish. (The seeded `ptp_publish_relaxed`
+        // bug weakens this so the payload write is no longer ordered before
+        // the consumer's acquire of `seq`.)
+        slot.seq.store(
+            ticket + 1,
+            model_support::relaxed_if("ptp_publish_relaxed", Ordering::Release),
+        );
     }
 
     /// Dequeue, spinning while the FIFO is empty.
@@ -127,9 +133,14 @@ impl<T> PtpFifo<T> {
             spin();
         }
         // SAFETY: publication observed; we are the unique consumer ticket.
-        let value = unsafe { (*slot.val.get()).assume_init_read() };
-        // Free the slot for the producer `cap` tickets later.
-        slot.seq.store(ticket + self.cap, Ordering::Release);
+        let value = unsafe { slot.val.with(|p| (*p).assume_init_read()) };
+        // Free the slot for the producer `cap` tickets later. (The seeded
+        // `ptp_free_relaxed` bug weakens this so the next-cycle producer's
+        // payload write is no longer ordered after our read.)
+        slot.seq.store(
+            ticket + self.cap,
+            model_support::relaxed_if("ptp_free_relaxed", Ordering::Release),
+        );
         value
     }
 
@@ -148,8 +159,11 @@ impl<T> PtpFifo<T> {
                 .compare_exchange_weak(ticket, ticket + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
-                let value = unsafe { (*slot.val.get()).assume_init_read() };
-                slot.seq.store(ticket + self.cap, Ordering::Release);
+                let value = unsafe { slot.val.with(|p| (*p).assume_init_read()) };
+                slot.seq.store(
+                    ticket + self.cap,
+                    model_support::relaxed_if("ptp_free_relaxed", Ordering::Release),
+                );
                 return Some(value);
             }
         }
@@ -230,7 +244,7 @@ mod tests {
     fn spsc_blocking_backpressure() {
         // Producer is far ahead of consumer; capacity 4 forces it to wait.
         let q = Arc::new(PtpFifo::new(4));
-        let n = 10_000u64;
+        let n = crate::testing::stress_iters(10_000) as u64;
         let p = {
             let q = q.clone();
             thread::spawn(move || {
@@ -255,18 +269,18 @@ mod tests {
     fn mpmc_no_loss_no_duplication() {
         const PRODUCERS: u64 = 4;
         const CONSUMERS: usize = 3;
-        const PER: u64 = 2_000;
+        let per = crate::testing::stress_iters(2_000) as u64;
         let q = Arc::new(PtpFifo::new(8));
         let mut handles = Vec::new();
         for p in 0..PRODUCERS {
             let q = q.clone();
             handles.push(thread::spawn(move || {
-                for i in 0..PER {
-                    q.enqueue(p * PER + i);
+                for i in 0..per {
+                    q.enqueue(p * per + i);
                 }
             }));
         }
-        let total = PRODUCERS * PER;
+        let total = PRODUCERS * per;
         let per_consumer = total / CONSUMERS as u64;
         let remainder = total % CONSUMERS as u64;
         let mut consumers = Vec::new();
@@ -298,7 +312,7 @@ mod tests {
         // With a single consumer, each producer's messages arrive in its
         // own program order (FIFO per reservation order).
         let q = Arc::new(PtpFifo::new(16));
-        let n = 5_000u64;
+        let n = crate::testing::stress_iters(5_000) as u64;
         let p1 = {
             let q = q.clone();
             thread::spawn(move || {

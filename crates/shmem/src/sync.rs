@@ -1,6 +1,19 @@
-//! Thin lock wrappers with a `parking_lot`-style API over `std::sync`.
+//! Synchronization facade: locks, atomics, and the unsafe cell the
+//! lock-free primitives are written against.
 //!
-//! Two differences from the std types, both load-bearing for this crate:
+//! The [`atomic`] and [`cell`] modules (and [`crate::spin`]) exist so the
+//! primitives can be compiled in two ways from one source:
+//!
+//! * **Default:** zero-cost re-exports of `std::sync::atomic` and a
+//!   `#[repr(transparent)]` wrapper over `std::cell::UnsafeCell` — the
+//!   production build, identical codegen to using `std` directly.
+//! * **`model` feature:** the same names resolve to `bgp-check`'s model
+//!   types, which turn every access into a deterministic-scheduler choice
+//!   point and check the release/acquire protocol with vector clocks. See
+//!   `tests/model.rs`.
+//!
+//! The lock wrappers are thin `parking_lot`-style types over `std::sync`,
+//! with two differences from std, both load-bearing for this crate:
 //!
 //! * `lock()` / `read()` / `write()` return the guard directly instead of a
 //!   `Result` — lock poisoning is deliberately ignored. A rank thread that
@@ -9,10 +22,87 @@
 //!   lock only obscures the original failure.
 //! * No poison flag means the mutex-strawman FIFO measures pure lock
 //!   hand-off cost, which is the comparison §IV-A actually makes.
+//!
+//! (The locks are *not* modeled: the mutex-strawman FIFO is a baseline, not
+//! a protocol under verification, and a `std` mutex is invisible to the
+//! model scheduler. Model tests only exercise the lock-free primitives.)
 
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+
+/// Atomic types the primitives use, switched by the `model` feature.
+/// `Ordering` is always `std`'s.
+pub mod atomic {
+    #[cfg(feature = "model")]
+    pub use bgp_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    #[cfg(not(feature = "model"))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+/// The `UnsafeCell` the primitives keep payloads in, switched by the
+/// `model` feature. Accesses go through `with`/`with_mut` closures (the
+/// `loom` API shape) so the model build can interpose its race checker.
+pub mod cell {
+    #[cfg(feature = "model")]
+    pub use bgp_check::cell::UnsafeCell;
+
+    /// Transparent wrapper over [`std::cell::UnsafeCell`] exposing the
+    /// model cell's API at zero cost.
+    #[cfg(not(feature = "model"))]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(not(feature = "model"))]
+    impl<T> UnsafeCell<T> {
+        pub const fn new(value: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Immutable access to the contents.
+        ///
+        /// # Safety
+        ///
+        /// As for dereferencing [`std::cell::UnsafeCell::get`]: the caller's
+        /// protocol must order this read after the write that produced the
+        /// value (and the model build verifies exactly that).
+        #[inline(always)]
+        pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Mutable access to the contents.
+        ///
+        /// # Safety
+        ///
+        /// As for [`Self::with`], plus exclusivity: the protocol must order
+        /// this write after every earlier access.
+        #[inline(always)]
+        pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Access through an exclusive borrow — always race-free.
+        #[inline(always)]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    // SAFETY: sharing is sound only under the external synchronization the
+    // containing primitive provides — the same contract as the std cell (and
+    // what the model build actually checks).
+    #[cfg(not(feature = "model"))]
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    #[cfg(not(feature = "model"))]
+    unsafe impl<T: Send + Sync> Sync for UnsafeCell<T> {}
+}
 
 /// Mutual exclusion lock; `lock()` returns the guard directly and ignores
 /// poisoning (see module docs).

@@ -216,6 +216,25 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Copy the maximal run of unescaped bytes in one step. The two
+            // delimiters are ASCII, so continuation bytes of multi-byte
+            // characters pass straight through and both ends of the run sit
+            // on UTF-8 boundaries (the input is a `&str`). Validating only
+            // the run keeps parsing O(document); the previous char-at-a-time
+            // loop re-validated the whole remaining input per character,
+            // which made multi-megabyte documents (Chrome traces) quadratic.
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?,
+                );
+            }
             match self.peek() {
                 None => return Err("unterminated string".into()),
                 Some(b'"') => {
@@ -252,18 +271,8 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid).
-                    let s = &self.bytes[self.pos..];
-                    let ch = std::str::from_utf8(s)
-                        .map_err(|e| e.to_string())?
-                        .chars()
-                        .next()
-                        .unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
+                // The run loop above consumed every other byte.
+                Some(_) => unreachable!("string run loop stops only at '\"' or '\\'"),
             }
         }
     }

@@ -7,9 +7,10 @@
 //! charges separately). `std::sync::Barrier` would also work but parks
 //! threads; collectives want the spin behaviour of the real thing.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
+use bgp_shmem::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use bgp_shmem::CachePadded;
+
+use bgp_shmem::model_support;
 
 /// A reusable spinning barrier for a fixed set of `n` participants.
 ///
@@ -57,11 +58,17 @@ impl SenseBarrier {
         // barrier; the release below publishes the episode flip.
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.arrived.store(0, Ordering::Relaxed);
-            self.sense.store(my_sense, Ordering::Release);
+            // Seeded bug for the model checker: a relaxed episode flip no
+            // longer publishes the pre-barrier writes of earlier arrivers
+            // to the waiters it releases.
+            self.sense.store(
+                my_sense,
+                model_support::relaxed_if("barrier_release_relaxed", Ordering::Release),
+            );
             true
         } else {
             while self.sense.load(Ordering::Acquire) != my_sense {
-                std::thread::yield_now();
+                bgp_shmem::spin();
             }
             false
         }

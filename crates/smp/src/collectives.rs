@@ -392,6 +392,7 @@ impl RankCtx {
 mod tests {
     use super::*;
     use crate::runtime::run_node;
+    use bgp_shmem::testing::stress_iters;
 
     fn pattern(len: usize, salt: u8) -> Vec<u8> {
         (0..len).map(|i| (i as u8) ^ salt).collect()
@@ -429,7 +430,7 @@ mod tests {
             100,
             STAGING_HALF_BYTES,
             STAGING_HALF_BYTES + 1,
-            500_000,
+            stress_iters(500_000),
         ] {
             check_bcast(4, 0, len, |ctx, root, buf, len| {
                 ctx.bcast_shmem(root, buf, len)
@@ -439,7 +440,7 @@ mod tests {
 
     #[test]
     fn shmem_bcast_nonzero_root() {
-        check_bcast(4, 2, 200_000, |ctx, root, buf, len| {
+        check_bcast(4, 2, stress_iters(200_000), |ctx, root, buf, len| {
             ctx.bcast_shmem(root, buf, len)
         });
     }
@@ -452,7 +453,7 @@ mod tests {
             FIFO_SLOT_BYTES - 1,
             FIFO_SLOT_BYTES,
             3 * FIFO_SLOT_BYTES + 17,
-            400_000,
+            stress_iters(400_000),
         ] {
             check_bcast(4, 0, len, |ctx, root, buf, len| {
                 ctx.bcast_fifo(root, buf, len, 0)
@@ -490,7 +491,7 @@ mod tests {
             (1, 4096),
             (65_536, 1024),
             (65_536, 65_536),
-            (300_001, 16 * 1024),
+            (stress_iters(300_000) + 1, 16 * 1024),
         ] {
             check_bcast(4, 0, len, move |ctx, root, buf, len| {
                 ctx.bcast_shaddr(root, buf, len, pw)
@@ -500,7 +501,7 @@ mod tests {
 
     #[test]
     fn shaddr_bcast_two_ranks() {
-        check_bcast(2, 1, 100_000, |ctx, root, buf, len| {
+        check_bcast(2, 1, stress_iters(100_000), |ctx, root, buf, len| {
             ctx.bcast_shaddr(root, buf, len, 8192)
         });
     }
@@ -529,7 +530,7 @@ mod tests {
 
     #[test]
     fn allreduce_matches_sequential_sum() {
-        for count in [0usize, 1, 7, 1024, 10_000] {
+        for count in [0usize, 1, 7, 1024, stress_iters(10_000)] {
             let results = run_node(4, move |mut ctx| {
                 let me = ctx.rank();
                 let input = ctx.alloc_buffer((count * 8).max(1));
@@ -657,7 +658,7 @@ mod tests {
     fn mixed_collectives_in_sequence() {
         // Interleave all three broadcast paths and the allreduce in one
         // program, ensuring shared structures rearm correctly between ops.
-        let len = 150_000;
+        let len = stress_iters(150_000);
         let results = run_node(4, move |mut ctx| {
             let buf = ctx.alloc_buffer(len);
             if ctx.rank() == 3 {

@@ -1,0 +1,116 @@
+//! Model-checked verification of the SMP sense-reversing barrier.
+//!
+//! Compiled only with `--features model` (which forwards to
+//! `bgp-shmem/model` and routes the barrier's atomics and spin loop
+//! through the `bgp-check` deterministic scheduler):
+//!
+//! ```text
+//! cargo test -p bgp-smp --features model --test model
+//! ```
+
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use bgp_check::thread;
+use bgp_check::{explore, model_with, Config, FailureKind};
+use bgp_shmem::sync::cell::UnsafeCell;
+use bgp_smp::barrier::SenseBarrier;
+
+/// Two threads, each writing its own cell before the barrier and reading
+/// the other's after it.
+fn cross_visibility_scenario() {
+    let cells: Arc<Vec<UnsafeCell<u64>>> = Arc::new((0..2).map(|_| UnsafeCell::new(0)).collect());
+    let barrier = Arc::new(SenseBarrier::new(2));
+    let peer = {
+        let (cells, barrier) = (cells.clone(), barrier.clone());
+        thread::spawn(move || {
+            let mut token = barrier.token();
+            unsafe { cells[1].with_mut(|p| *p = 11) };
+            barrier.wait(&mut token);
+            unsafe { cells[0].with(|p| assert_eq!(*p, 10, "peer missed main's write")) };
+        })
+    };
+    let mut token = barrier.token();
+    unsafe { cells[0].with_mut(|p| *p = 10) };
+    barrier.wait(&mut token);
+    unsafe { cells[1].with(|p| assert_eq!(*p, 11, "main missed peer's write")) };
+    peer.join();
+}
+
+/// §V: crossing the barrier makes every participant's pre-barrier writes
+/// visible to every other participant — under every explored schedule,
+/// whichever thread ends up being the releaser.
+#[test]
+fn barrier_publishes_pre_barrier_writes() {
+    model_with(Config::dfs(5_000), cross_visibility_scenario);
+}
+
+/// Two back-to-back episodes with three participants: exactly one releaser
+/// per episode and no thread leaks past a barrier early.
+#[test]
+fn barrier_has_one_releaser_and_separates_phases() {
+    model_with(Config::dfs(5_000), || {
+        let barrier = Arc::new(SenseBarrier::new(3));
+        let phase = Arc::new(UnsafeCell::new(0u64));
+        // The designated writer bumps the phase between barriers; everyone
+        // else only reads, so any leak is a data race or a wrong value.
+        let writer = {
+            let (barrier, phase) = (barrier.clone(), phase.clone());
+            thread::spawn(move || {
+                let mut token = barrier.token();
+                let mut releases = 0u32;
+                unsafe { phase.with_mut(|p| *p = 1) };
+                releases += u32::from(barrier.wait(&mut token));
+                releases += u32::from(barrier.wait(&mut token));
+                unsafe { phase.with_mut(|p| *p = 2) };
+                releases += u32::from(barrier.wait(&mut token));
+                releases
+            })
+        };
+        let reader = {
+            let (barrier, phase) = (barrier.clone(), phase.clone());
+            thread::spawn(move || {
+                let mut token = barrier.token();
+                let mut releases = 0u32;
+                releases += u32::from(barrier.wait(&mut token));
+                unsafe { phase.with(|p| assert_eq!(*p, 1)) };
+                releases += u32::from(barrier.wait(&mut token));
+                releases += u32::from(barrier.wait(&mut token));
+                unsafe { phase.with(|p| assert_eq!(*p, 2)) };
+                releases
+            })
+        };
+        let mut token = barrier.token();
+        let mut releases = 0u32;
+        releases += u32::from(barrier.wait(&mut token));
+        unsafe { phase.with(|p| assert_eq!(*p, 1)) };
+        releases += u32::from(barrier.wait(&mut token));
+        releases += u32::from(barrier.wait(&mut token));
+        releases += writer.join() + reader.join();
+        assert_eq!(releases, 3, "exactly one releaser per episode");
+    });
+}
+
+/// Seeded bug: the episode flip weakened to `Relaxed` — the releaser's
+/// store no longer publishes the arrivers' pre-barrier writes to the
+/// waiters it wakes. The checker must report a data race on the payload
+/// cells, and the trace must replay to the same failure.
+#[test]
+fn mutation_barrier_release_relaxed_is_caught() {
+    let report = explore(
+        Config::dfs(5_000).mutate("barrier_release_relaxed"),
+        cross_visibility_scenario,
+    );
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("seeded bug `barrier_release_relaxed` was NOT caught"));
+    assert_eq!(failure.kind, FailureKind::Race, "{failure}");
+    let replay = explore(
+        Config::replay(&failure.trace).mutate("barrier_release_relaxed"),
+        cross_visibility_scenario,
+    );
+    let replayed = replay.failure.expect("replay reproduces the race");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.trace, failure.trace);
+}

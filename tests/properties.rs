@@ -192,8 +192,9 @@ fn select_bcast_is_monotone_and_mode_correct() {
 #[test]
 fn threaded_bcast_payload_integrity() {
     let mut rng = Rng::new(0xF00D);
+    let max_len = bgp_collectives::shmem::testing::stress_iters(200_000);
     for case in 0..8 {
-        let len = rng.range_usize(1, 200_000);
+        let len = rng.range_usize(1, max_len);
         let seed = rng.range_u64(0, 255) as u8;
         let path = case % 3;
         let results = run_node(4, move |mut ctx| {
@@ -222,8 +223,9 @@ fn threaded_bcast_payload_integrity() {
 #[test]
 fn threaded_allreduce_matches_sequential() {
     let mut rng = Rng::new(0xA11);
+    let max_count = bgp_collectives::shmem::testing::stress_iters(5_000);
     for _ in 0..8 {
-        let count = rng.range_usize(1, 5_000);
+        let count = rng.range_usize(1, max_count);
         let scale = rng.range_f64(-100.0, 100.0);
         let results = run_node(4, move |mut ctx| {
             let me = ctx.rank();
