@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, the tier-1 verify (release build + tests),
-# the bgp-check model-checking suites, and a smoke run of a figure binary
-# checking that its JSON report and its --trace probe artifacts parse.
+# the bgp-check model-checking suites, a smoke run of a figure binary
+# checking that its JSON report and its --trace probe artifacts parse, and
+# the performance-regression gate (bench_gate) against the committed
+# baseline.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Every smoke artifact is removed on exit — success, failure, or ^C — so a
+# failing step can no longer leak ci_*.json/BENCH_*.json into the tree
+# (the committed BENCH_baseline.json is not a smoke artifact and stays).
+cleanup() {
+  rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json
+}
+trap cleanup EXIT
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -37,12 +47,21 @@ cargo test -q -p bgp-shmem --features model --test model bcast_ten_thousand_rand
 echo "== smoke: fig6 --small --json parses"
 cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json
 python3 -m json.tool ci_fig6.json >/dev/null
-rm -f ci_fig6.json
 
 echo "== smoke: fig6 --small --trace artifacts parse"
 cargo run --release -p bgp-bench --bin fig6 -- --small --trace >/dev/null
 python3 -m json.tool BENCH_fig6_phases.json >/dev/null
 python3 -m json.tool BENCH_fig6_trace.json >/dev/null
-rm -f BENCH_fig6_phases.json BENCH_fig6_trace.json
+
+# The perf gate: the pinned suite at the small deterministic shape must
+# match the committed BENCH_baseline.json within tolerance, its report
+# must be valid JSON, and the gate must prove it *can* fail by flagging an
+# injected 20% slowdown.
+echo "== perf gate: bench_gate --small --check vs BENCH_baseline.json"
+cargo run --release -p bgp-bench --bin bench_gate -- --small --check --label ci
+python3 -m json.tool BENCH_ci.json >/dev/null
+
+echo "== perf gate self-test: injected 20% slowdown is flagged"
+cargo run --release -p bgp-bench --bin bench_gate -- --small --selftest
 
 echo "CI OK"

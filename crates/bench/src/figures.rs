@@ -405,19 +405,23 @@ pub fn ext_allgather(scale: Scale) -> Figure {
 /// `select_bcast`'s thresholds.
 pub fn crossover(scale: Scale) -> Figure {
     let sizes = pow2_sizes(64, 4 << 20);
-    let mut q = quad(scale);
+    let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
     let algs = [
         BcastAlgorithm::TreeShmem,
         BcastAlgorithm::TreeShaddr { caching: true },
         BcastAlgorithm::TorusShaddr,
     ];
-    let rows = sizes
+    // Per-path columns come from the shared sweep engine (the same
+    // measurements the autotuner consumes); the "selected" column replays
+    // the production tuned path.
+    let sweep = bgp_tune::sweep::sweep_bcast(&cfg, &algs, &sizes);
+    let mut q = quad(scale);
+    let rows = sweep
+        .sizes
         .iter()
-        .map(|&b| {
-            let mut values: Vec<f64> = algs
-                .iter()
-                .map(|&a| q.bcast(a, b).as_micros_f64())
-                .collect();
+        .zip(&sweep.micros)
+        .map(|(&b, row)| {
+            let mut values = row.clone();
             let (picked, t) = q.bcast_auto(b);
             values.push(t.as_micros_f64());
             // Encode the picked algorithm as an index for the JSON side.

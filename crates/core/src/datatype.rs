@@ -12,9 +12,9 @@
 //! falls back to the FIFO (torus) or staged-shmem (tree) algorithms, paying
 //! an explicit pack/unpack cost.
 
-use bgp_machine::{MachineConfig, OpMode};
+use bgp_machine::MachineConfig;
 
-use crate::select::{BcastAlgorithm, SHORT_MSG_BYTES, TREE_TORUS_CROSSOVER_BYTES};
+use crate::select::{select_bcast, BcastAlgorithm};
 
 /// A (simplified) MPI datatype layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,28 +76,41 @@ impl Datatype {
     }
 }
 
-/// Datatype-aware broadcast algorithm selection.
+/// Demote a contiguous-policy pick to its §IV-C-safe equivalent for
+/// non-contiguous layouts.
 ///
-/// Contiguous layouts follow the ordinary policy; non-contiguous ones are
-/// barred from the counter-based `Shaddr` paths (§IV-C) and take the FIFO
-/// (large) or staged (small) algorithms, whose slot/staging copies double
-/// as pack/unpack.
+/// The counter-based `Shaddr` paths rely on connection-ordered contiguous
+/// data flow and are barred outright; their replacements keep the same
+/// network (tree → DMA Direct Put, whose descriptors handle typed buffers;
+/// torus → Bcast FIFO, whose slot copies double as pack/unpack). `TreeSmp`
+/// has no intra-node stage at all, so a typed buffer takes the torus path,
+/// which packs at the root. Every other algorithm already stages or
+/// packetizes and passes through unchanged.
+///
+/// This demotion is applied *after* any tuning-table lookup — a table can
+/// move the region boundaries but can never tune a non-contiguous broadcast
+/// onto a counter path (see `crate::tune::SelectionPolicy`).
+pub fn demote_noncontiguous(alg: BcastAlgorithm) -> BcastAlgorithm {
+    match alg {
+        BcastAlgorithm::TreeShaddr { .. } => BcastAlgorithm::TreeDmaDirectPut,
+        BcastAlgorithm::TorusShaddr => BcastAlgorithm::TorusFifo,
+        BcastAlgorithm::TreeSmp => BcastAlgorithm::TorusDirectPut,
+        other => other,
+    }
+}
+
+/// Datatype-aware broadcast algorithm selection (static thresholds).
+///
+/// Contiguous layouts follow the ordinary policy; non-contiguous ones take
+/// the same policy demoted by [`demote_noncontiguous`], whose slot/staging
+/// copies double as pack/unpack. The table-driven equivalent is
+/// `crate::tune::SelectionPolicy::select_bcast_typed`.
 pub fn select_bcast_typed(cfg: &MachineConfig, bytes: u64, dtype: Datatype) -> BcastAlgorithm {
+    let alg = select_bcast(cfg, bytes);
     if dtype.is_contiguous() {
-        return crate::select::select_bcast(cfg, bytes);
-    }
-    if cfg.mode == OpMode::Smp {
-        // SMP mode: no intra-node stage; the torus path packs at the root.
-        return BcastAlgorithm::TorusDirectPut;
-    }
-    if bytes <= SHORT_MSG_BYTES {
-        BcastAlgorithm::TreeShmem
-    } else if bytes <= TREE_TORUS_CROSSOVER_BYTES {
-        // The tree Shaddr path also needs contiguous counter flow; the DMA
-        // Direct Put baseline handles typed buffers via descriptors.
-        BcastAlgorithm::TreeDmaDirectPut
+        alg
     } else {
-        BcastAlgorithm::TorusFifo
+        demote_noncontiguous(alg)
     }
 }
 

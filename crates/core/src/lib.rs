@@ -35,9 +35,11 @@ pub mod datatype;
 pub mod mpi;
 pub mod reduce;
 pub mod select;
+pub mod tune;
 
 pub use allgather::AllgatherAlgorithm;
 pub use allreduce::AllreduceAlgorithm;
-pub use datatype::{select_bcast_typed, Datatype};
+pub use datatype::{demote_noncontiguous, select_bcast_typed, Datatype};
 pub use mpi::Mpi;
 pub use select::{select_bcast, BcastAlgorithm};
+pub use tune::{SelectionPolicy, TuningTable};

@@ -9,7 +9,9 @@ use crate::allgather::{run_allgather, AllgatherAlgorithm};
 use crate::allreduce::{run_allreduce, AllreduceAlgorithm};
 use crate::bcast_torus::{torus_direct_put, torus_fifo, torus_shaddr};
 use crate::bcast_tree::{tree_dma_direct_put, tree_dma_fifo, tree_shaddr, tree_shmem, tree_smp};
-use crate::select::{select_bcast, BcastAlgorithm};
+use crate::datatype::Datatype;
+use crate::select::BcastAlgorithm;
+use crate::tune::SelectionPolicy;
 
 /// An MPI "process set" over a simulated machine: the object the examples
 /// and the bench harness talk to.
@@ -18,15 +20,39 @@ pub struct Mpi {
     /// Elapsed time of the most recent collective (what the probe's spans
     /// are measured against).
     last_elapsed: SimTime,
+    /// The algorithm-selection policy, resolved once at construction
+    /// (tuning table when available, static thresholds otherwise).
+    policy: SelectionPolicy,
 }
 
 impl Mpi {
-    /// Boot the partition described by `cfg`.
+    /// Boot the partition described by `cfg`. The selection policy is
+    /// resolved here, once: `BGP_TUNE_TABLE` override, else the builtin
+    /// `tuning/default.json`, else the static thresholds (see
+    /// [`crate::tune`] for the fallback rules).
     pub fn new(cfg: MachineConfig) -> Self {
+        Self::with_policy(cfg, SelectionPolicy::from_env())
+    }
+
+    /// Boot with an explicit selection policy (tests, the autotuner, and
+    /// anything that must not consult the environment).
+    pub fn with_policy(cfg: MachineConfig, policy: SelectionPolicy) -> Self {
         Mpi {
             machine: Machine::new(cfg),
             last_elapsed: SimTime::ZERO,
+            policy,
         }
+    }
+
+    /// The active selection policy.
+    pub fn policy(&self) -> &SelectionPolicy {
+        &self.policy
+    }
+
+    /// The policy's load-time warning, if it had to fall back to the
+    /// static thresholds (missing/corrupt/stale table).
+    pub fn tune_warning(&self) -> Option<&str> {
+        self.policy.warning()
     }
 
     /// Turn on span/counter recording for subsequent operations. Recording
@@ -110,9 +136,33 @@ impl Mpi {
 
     /// `MPI_Bcast` with the production selection policy; returns the chosen
     /// algorithm and the elapsed time.
+    ///
+    /// When the probe is enabled, each auto-selected operation records one
+    /// of two counters: `tune.table` (a tuning-table region answered) or
+    /// `tune.fallback` (the static thresholds answered — either no table
+    /// survived loading or the table has no entry for this mode).
     pub fn bcast_auto(&mut self, bytes: u64) -> (BcastAlgorithm, SimTime) {
-        let alg = select_bcast(&self.machine.cfg, bytes);
+        let (alg, tuned) = self.policy.select_bcast_info(&self.machine.cfg, bytes);
         let t = self.bcast(alg, bytes);
+        self.machine
+            .probe
+            .count(if tuned { "tune.table" } else { "tune.fallback" }, 1);
+        (alg, t)
+    }
+
+    /// Datatype-aware [`Self::bcast_auto`]: non-contiguous layouts are
+    /// demoted off the counter paths (§IV-C) after the policy lookup, so a
+    /// tuning table can move crossovers but never force a counter path onto
+    /// typed data. Broadcasts the packed size.
+    pub fn bcast_auto_typed(&mut self, bytes: u64, dtype: Datatype) -> (BcastAlgorithm, SimTime) {
+        let alg = self
+            .policy
+            .select_bcast_typed(&self.machine.cfg, bytes, dtype);
+        let (_, tuned) = self.policy.select_bcast_info(&self.machine.cfg, bytes);
+        let t = self.bcast(alg, dtype.packed_size(bytes));
+        self.machine
+            .probe
+            .count(if tuned { "tune.table" } else { "tune.fallback" }, 1);
         (alg, t)
     }
 

@@ -6,6 +6,12 @@
 //! links out-run the single 850 MB/s tree channel). Paper §V: "depending on
 //! the message size, either the Torus or the Collective network based
 //! algorithms perform optimally."
+//!
+//! The constants here are the *static* policy: the paper's reported
+//! crossovers, frozen. Production selection ([`crate::Mpi::bcast_auto`])
+//! goes through [`crate::tune::SelectionPolicy`], which serves measured
+//! crossovers from a checked-in tuning table and falls back to these
+//! thresholds when no valid table is available.
 
 use bgp_machine::{MachineConfig, OpMode};
 

@@ -1,0 +1,69 @@
+//! Regenerate the checked-in tuning table.
+//!
+//! ```text
+//! cargo run --release -p bgp-tune --bin tune_table              # full grid -> tuning/default.json
+//! cargo run --release -p bgp-tune --bin tune_table -- --quick   # 64-node quad only (tests)
+//! cargo run --release -p bgp-tune --bin tune_table -- --out t.json
+//! cargo run --release -p bgp-tune --bin tune_table -- --print   # stdout only
+//! ```
+//!
+//! The sweep is fully deterministic, so rerunning on an unchanged tree
+//! reproduces `tuning/default.json` byte for byte; a diff after a cost-model
+//! or executor change is the measured effect of that change on selection.
+
+use std::process::ExitCode;
+
+use bgp_tune::{autotune, AutotuneOpts};
+
+fn main() -> ExitCode {
+    let mut opts = AutotuneOpts::paper();
+    let mut out: Option<String> = Some("tuning/default.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts = AutotuneOpts::quick(),
+            "--print" => out = None,
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; flags: --quick --print --out <path>");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let table = autotune(&opts);
+    let json = table.to_json();
+    for e in &table.entries {
+        let regions = e
+            .regions
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}<= {} ({:.0}%)",
+                    bgp_mpi::tune::alg_id(r.alg),
+                    r.upto.map_or("inf".to_string(), |b| b.to_string()),
+                    r.confidence * 100.0
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!("{:?} x {} nodes: {regions}", e.mode, e.nodes);
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

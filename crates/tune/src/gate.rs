@@ -1,0 +1,674 @@
+//! The performance-regression gate: a pinned suite + baseline comparison.
+//!
+//! [`run_suite`] replays a fixed set of the paper's key measurement points
+//! — fig6 short-message latency, fig7 tree bandwidth, fig10 torus
+//! bandwidth, Table I allreduce throughput, the tuned-selection path, and
+//! (optionally) the real-thread intra-node collectives — and returns a
+//! [`GateReport`] that serializes to `BENCH_<label>.json`.
+//!
+//! The simulated entries are **bit-deterministic**: the same source tree
+//! produces the same sim-time values on every host, debug or release, so
+//! the checked-in `BENCH_baseline.json` gates exactly and any drift is a
+//! real behavior change. The real-thread entries are host wall time; they
+//! are recorded for trend-reading but never gated (`"gated": false`).
+//!
+//! [`compare`] diffs a current report against a baseline with a slowdown
+//! tolerance; a gated entry that got worse by more than the tolerance — or
+//! a gated baseline entry that vanished — fails the gate. `bench_gate
+//! --selftest` (and a unit test here) proves the gate actually fires by
+//! injecting an artificial 20% slowdown and requiring a failure.
+
+use std::time::Instant;
+
+use bgp_dcmf::Machine;
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_mpi::allreduce::{throughput_mb, AllreduceAlgorithm};
+use bgp_mpi::{BcastAlgorithm, Mpi};
+use bgp_sim::json::{self, Json};
+
+/// Schema identifier of `BENCH_*.json` gate reports.
+pub const GATE_SCHEMA: &str = "bgp-bench-gate-v1";
+
+/// Default slowdown tolerance, percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
+
+/// Which direction is good for an entry's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Latency-like: smaller is better.
+    Lower,
+    /// Bandwidth-like: larger is better.
+    Higher,
+}
+
+impl Better {
+    fn id(self) -> &'static str {
+        match self {
+            Better::Lower => "lower",
+            Better::Higher => "higher",
+        }
+    }
+}
+
+/// One measured point of the suite.
+#[derive(Debug, Clone)]
+pub struct GateEntry {
+    /// Stable identifier, e.g. `fig10/torus_shaddr/2M`.
+    pub id: String,
+    /// Unit label (`us`, `MB/s`).
+    pub unit: String,
+    /// Good direction.
+    pub better: Better,
+    /// Whether the entry participates in pass/fail (sim entries do; wall
+    /// time entries do not).
+    pub gated: bool,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// A full suite run, serializable to/from `BENCH_<label>.json`.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Report label (`baseline`, `ci`, …).
+    pub label: String,
+    /// Suite scale (`small` / `paper`).
+    pub scale: String,
+    /// The measurements.
+    pub entries: Vec<GateEntry>,
+}
+
+impl GateReport {
+    /// Serialize in the `BENCH_*.json` layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::escape(GATE_SCHEMA)));
+        out.push_str(&format!("  \"label\": {},\n", json::escape(&self.label)));
+        out.push_str(&format!("  \"scale\": {},\n", json::escape(&self.scale)));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"unit\": {}, \"better\": {}, \"gated\": {}, \"value\": {}}}{}\n",
+                json::escape(&e.id),
+                json::escape(&e.unit),
+                json::escape(e.better.id()),
+                e.gated,
+                json::fmt_f64(e.value),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse and validate a report document.
+    pub fn parse(text: &str) -> Result<GateReport, String> {
+        let doc = json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != GATE_SCHEMA {
+            return Err(format!(
+                "stale report schema {schema:?} (expected {GATE_SCHEMA:?})"
+            ));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing entries")?
+            .iter()
+            .map(|e| {
+                let id = e
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("entry missing id")?
+                    .to_string();
+                let unit = e
+                    .get("unit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let better = match e.get("better").and_then(Json::as_str) {
+                    Some("lower") => Better::Lower,
+                    Some("higher") => Better::Higher,
+                    other => return Err(format!("bad better {other:?} in {id}")),
+                };
+                let gated = matches!(e.get("gated"), Some(Json::Bool(true)));
+                let value = e
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| format!("bad value in {id}"))?;
+                Ok(GateEntry {
+                    id,
+                    unit,
+                    better,
+                    gated,
+                    value,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if entries.is_empty() {
+            return Err("report has no entries".into());
+        }
+        Ok(GateReport {
+            label: doc
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            scale: doc
+                .get("scale")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            entries,
+        })
+    }
+}
+
+/// Suite scale (mirrors `bgp_bench::Scale` without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateScale {
+    /// 64 nodes — the deterministic CI mode.
+    Small,
+    /// The paper's two racks.
+    Paper,
+}
+
+impl GateScale {
+    fn nodes(self) -> u32 {
+        match self {
+            GateScale::Small => 64,
+            GateScale::Paper => 2048,
+        }
+    }
+
+    fn id(self) -> &'static str {
+        match self {
+            GateScale::Small => "small",
+            GateScale::Paper => "paper",
+        }
+    }
+}
+
+fn mbps(bytes: u64, t: bgp_sim::SimTime) -> f64 {
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+/// Run the pinned suite. `with_real` adds the (ungated) real-thread
+/// intra-node entries; leave it off for fully deterministic output.
+pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
+    let mut entries = Vec::new();
+    let mut sim_us = |id: &str, t: bgp_sim::SimTime| {
+        entries.push(GateEntry {
+            id: id.into(),
+            unit: "us".into(),
+            better: Better::Lower,
+            gated: true,
+            value: t.as_micros_f64(),
+        });
+    };
+
+    let mut quad = Mpi::new(MachineConfig::with_nodes(scale.nodes(), OpMode::Quad));
+    let mut smp = Mpi::new(MachineConfig::with_nodes(scale.nodes(), OpMode::Smp));
+
+    // fig6: short-message latency over the collective network.
+    sim_us(
+        "fig6/tree_shmem/1K",
+        quad.bcast(BcastAlgorithm::TreeShmem, 1024),
+    );
+    sim_us(
+        "fig6/tree_dma_fifo/1K",
+        quad.bcast(BcastAlgorithm::TreeDmaFifo, 1024),
+    );
+    sim_us("fig6/tree_smp/1K", smp.bcast(BcastAlgorithm::TreeSmp, 1024));
+
+    // fig7: medium-message tree bandwidth (the paper's 128K headline point).
+    let bw = |entries: &mut Vec<GateEntry>, id: &str, v: f64| {
+        entries.push(GateEntry {
+            id: id.into(),
+            unit: "MB/s".into(),
+            better: Better::Higher,
+            gated: true,
+            value: v,
+        });
+    };
+    let b = 128 << 10;
+    bw(
+        &mut entries,
+        "fig7/tree_shaddr_caching/128K",
+        mbps(
+            b,
+            quad.bcast(BcastAlgorithm::TreeShaddr { caching: true }, b),
+        ),
+    );
+    bw(
+        &mut entries,
+        "fig7/tree_dma_direct_put/128K",
+        mbps(b, quad.bcast(BcastAlgorithm::TreeDmaDirectPut, b)),
+    );
+
+    // fig10: large-message torus bandwidth at 2M.
+    let b = 2 << 20;
+    bw(
+        &mut entries,
+        "fig10/torus_shaddr/2M",
+        mbps(b, quad.bcast(BcastAlgorithm::TorusShaddr, b)),
+    );
+    bw(
+        &mut entries,
+        "fig10/torus_fifo/2M",
+        mbps(b, quad.bcast(BcastAlgorithm::TorusFifo, b)),
+    );
+    bw(
+        &mut entries,
+        "fig10/torus_direct_put/2M",
+        mbps(b, quad.bcast(BcastAlgorithm::TorusDirectPut, b)),
+    );
+
+    // Table I: allreduce throughput at the paper's headline 512K doubles.
+    let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
+    let mut m1 = Machine::new(cfg.clone());
+    let mut m2 = Machine::new(cfg);
+    bw(
+        &mut entries,
+        "table1/shaddr_specialized/512K",
+        throughput_mb(&mut m1, AllreduceAlgorithm::ShaddrSpecialized, 512 << 10),
+    );
+    bw(
+        &mut entries,
+        "table1/ring_current/512K",
+        throughput_mb(&mut m2, AllreduceAlgorithm::RingCurrent, 512 << 10),
+    );
+
+    // The production tuned-selection path end to end: whatever the table
+    // picks must stay fast. A selection-policy change that lands on a
+    // slower path shows up here even if every executor is unchanged.
+    let mut sim_us = |id: &str, t: bgp_sim::SimTime| {
+        entries.push(GateEntry {
+            id: id.into(),
+            unit: "us".into(),
+            better: Better::Lower,
+            gated: true,
+            value: t.as_micros_f64(),
+        });
+    };
+    sim_us("tuned/bcast_auto/1K", quad.bcast_auto(1024).1);
+    sim_us("tuned/bcast_auto/64K", quad.bcast_auto(64 << 10).1);
+    sim_us("tuned/bcast_auto/2M", quad.bcast_auto(2 << 20).1);
+
+    if with_real {
+        entries.extend(real_entries());
+    }
+
+    GateReport {
+        label: String::new(),
+        scale: scale.id().into(),
+        entries,
+    }
+}
+
+/// Median wall time of `f` over `samples` runs (after one warmup), µs.
+fn median_wall_us(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// The real-thread intra-node broadcast paths (4 rank-threads moving real
+/// bytes through `bgp-shmem`). Host wall time — recorded, never gated.
+pub fn real_entries() -> Vec<GateEntry> {
+    use bgp_smp::run_node;
+    const LEN: usize = 256 * 1024;
+    const RANKS: usize = 4;
+    let mut out = Vec::new();
+    let mut case = |id: &str, us: f64| {
+        out.push(GateEntry {
+            id: id.into(),
+            unit: "us".into(),
+            better: Better::Lower,
+            gated: false,
+            value: us,
+        });
+    };
+    case(
+        "intranode/bcast_shmem/256K",
+        median_wall_us(5, || {
+            run_node(RANKS, |mut ctx| {
+                let buf = ctx.alloc_buffer(LEN);
+                if ctx.rank() == 0 {
+                    unsafe { buf.write(0, &[7u8; LEN]) };
+                }
+                ctx.barrier();
+                ctx.bcast_shmem(0, &buf, LEN);
+            });
+        }),
+    );
+    case(
+        "intranode/bcast_fifo/256K",
+        median_wall_us(5, || {
+            run_node(RANKS, |mut ctx| {
+                let buf = ctx.alloc_buffer(LEN);
+                if ctx.rank() == 0 {
+                    unsafe { buf.write(0, &[7u8; LEN]) };
+                }
+                ctx.barrier();
+                ctx.bcast_fifo(0, &buf, LEN, 0);
+            });
+        }),
+    );
+    case(
+        "intranode/bcast_shaddr/256K",
+        median_wall_us(5, || {
+            run_node(RANKS, |mut ctx| {
+                let buf = ctx.alloc_buffer(LEN);
+                if ctx.rank() == 0 {
+                    unsafe { buf.write(0, &[7u8; LEN]) };
+                }
+                ctx.barrier();
+                ctx.bcast_shaddr(0, &buf, LEN, 16 * 1024);
+            });
+        }),
+    );
+    out
+}
+
+/// Status of one compared entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineStatus {
+    /// Within tolerance.
+    Ok,
+    /// Better than baseline by more than the tolerance.
+    Improved,
+    /// Worse than baseline by more than the tolerance — fails the gate.
+    Regression,
+    /// Ungated entry (informational).
+    Ungated,
+    /// Present now, absent in the baseline (informational; refresh the
+    /// baseline to start gating it).
+    New,
+    /// Gated in the baseline, absent now — fails the gate (the suite
+    /// silently shrank).
+    Missing,
+}
+
+/// One row of the comparison report.
+#[derive(Debug, Clone)]
+pub struct CompareLine {
+    /// Entry id.
+    pub id: String,
+    /// Outcome.
+    pub status: LineStatus,
+    /// Baseline value (0 for `New`).
+    pub base: f64,
+    /// Current value (0 for `Missing`).
+    pub cur: f64,
+    /// Signed change in the entry's unit, percent (positive = value grew).
+    pub delta_pct: f64,
+}
+
+/// The full comparison: per-series lines plus the verdict.
+#[derive(Debug, Clone)]
+pub struct CompareOutcome {
+    /// Per-entry rows, in current-report order (then missing ones).
+    pub lines: Vec<CompareLine>,
+    /// The tolerance used, percent.
+    pub tolerance_pct: f64,
+}
+
+impl CompareOutcome {
+    /// Gated regressions + missing gated entries.
+    pub fn failures(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l.status, LineStatus::Regression | LineStatus::Missing))
+            .count()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures() == 0
+    }
+
+    /// Render the per-series report as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12} {:>9}  status\n",
+            "series", "baseline", "current", "delta"
+        ));
+        for l in &self.lines {
+            let status = match l.status {
+                LineStatus::Ok => "ok",
+                LineStatus::Improved => "IMPROVED",
+                LineStatus::Regression => "REGRESSION",
+                LineStatus::Ungated => "ungated",
+                LineStatus::New => "new",
+                LineStatus::Missing => "MISSING",
+            };
+            out.push_str(&format!(
+                "{:<36} {:>12.2} {:>12.2} {:>+8.2}%  {status}\n",
+                l.id, l.base, l.cur, l.delta_pct
+            ));
+        }
+        let f = self.failures();
+        out.push_str(&format!(
+            "gate: {} (tolerance {}%, {} series, {} failure{})\n",
+            if f == 0 { "PASS" } else { "FAIL" },
+            self.tolerance_pct,
+            self.lines.len(),
+            f,
+            if f == 1 { "" } else { "s" }
+        ));
+        out
+    }
+}
+
+/// Compare `current` against `baseline` with a slowdown tolerance.
+pub fn compare(current: &GateReport, baseline: &GateReport, tolerance_pct: f64) -> CompareOutcome {
+    let mut lines = Vec::new();
+    for e in &current.entries {
+        let Some(b) = baseline.entries.iter().find(|b| b.id == e.id) else {
+            lines.push(CompareLine {
+                id: e.id.clone(),
+                status: if e.gated {
+                    LineStatus::New
+                } else {
+                    LineStatus::Ungated
+                },
+                base: 0.0,
+                cur: e.value,
+                delta_pct: 0.0,
+            });
+            continue;
+        };
+        let delta_pct = (e.value - b.value) / b.value * 100.0;
+        let status = if !e.gated || !b.gated {
+            LineStatus::Ungated
+        } else {
+            // "Worse" follows the entry's good direction.
+            let worse = match e.better {
+                Better::Lower => delta_pct > tolerance_pct,
+                Better::Higher => delta_pct < -tolerance_pct,
+            };
+            let better = match e.better {
+                Better::Lower => delta_pct < -tolerance_pct,
+                Better::Higher => delta_pct > tolerance_pct,
+            };
+            if worse {
+                LineStatus::Regression
+            } else if better {
+                LineStatus::Improved
+            } else {
+                LineStatus::Ok
+            }
+        };
+        lines.push(CompareLine {
+            id: e.id.clone(),
+            status,
+            base: b.value,
+            cur: e.value,
+            delta_pct,
+        });
+    }
+    for b in &baseline.entries {
+        if b.gated && !current.entries.iter().any(|e| e.id == b.id) {
+            lines.push(CompareLine {
+                id: b.id.clone(),
+                status: LineStatus::Missing,
+                base: b.value,
+                cur: 0.0,
+                delta_pct: 0.0,
+            });
+        }
+    }
+    CompareOutcome {
+        lines,
+        tolerance_pct,
+    }
+}
+
+/// Worsen every gated entry of `report` by `pct` percent (latency up,
+/// bandwidth down) — the self-test's artificial regression.
+pub fn inject_slowdown(report: &mut GateReport, pct: f64) {
+    let f = pct / 100.0;
+    for e in report.entries.iter_mut().filter(|e| e.gated) {
+        match e.better {
+            Better::Lower => e.value *= 1.0 + f,
+            Better::Higher => e.value /= 1.0 + f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> GateReport {
+        GateReport {
+            label: "t".into(),
+            scale: "small".into(),
+            entries: vec![
+                GateEntry {
+                    id: "a/latency".into(),
+                    unit: "us".into(),
+                    better: Better::Lower,
+                    gated: true,
+                    value: 100.0,
+                },
+                GateEntry {
+                    id: "b/bandwidth".into(),
+                    unit: "MB/s".into(),
+                    better: Better::Higher,
+                    gated: true,
+                    value: 500.0,
+                },
+                GateEntry {
+                    id: "c/wall".into(),
+                    unit: "us".into(),
+                    better: Better::Lower,
+                    gated: false,
+                    value: 42.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = synthetic();
+        let parsed = GateReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.entries.len(), 3);
+        assert_eq!(parsed.entries[0].id, "a/latency");
+        assert_eq!(parsed.entries[1].better, Better::Higher);
+        assert!(!parsed.entries[2].gated);
+        assert_eq!(parsed.scale, "small");
+    }
+
+    #[test]
+    fn bad_reports_are_rejected() {
+        assert!(GateReport::parse("{}").is_err());
+        let stale = synthetic()
+            .to_json()
+            .replace(GATE_SCHEMA, "bgp-bench-gate-v0");
+        assert!(GateReport::parse(&stale).unwrap_err().contains("stale"));
+        let negative = synthetic().to_json().replace("100", "-100");
+        assert!(GateReport::parse(&negative).is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let out = compare(&synthetic(), &synthetic(), 10.0);
+        assert!(out.passed());
+        assert!(out
+            .lines
+            .iter()
+            .all(|l| matches!(l.status, LineStatus::Ok | LineStatus::Ungated)));
+    }
+
+    #[test]
+    fn injected_20pct_slowdown_is_flagged() {
+        let base = synthetic();
+        let mut cur = synthetic();
+        inject_slowdown(&mut cur, 20.0);
+        let out = compare(&cur, &base, 10.0);
+        assert!(!out.passed());
+        // Both gated series regressed (latency up 20%, bandwidth down);
+        // the ungated wall-time series never fails the gate.
+        assert_eq!(out.failures(), 2);
+        assert!(out.render().contains("REGRESSION"));
+        assert!(out.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn improvements_and_tolerance_do_not_fail() {
+        let base = synthetic();
+        let mut cur = synthetic();
+        cur.entries[0].value = 50.0; // latency halved: improved
+        cur.entries[1].value = 520.0; // +4% within tolerance
+        let out = compare(&cur, &base, 10.0);
+        assert!(out.passed());
+        assert_eq!(out.lines[0].status, LineStatus::Improved);
+        assert_eq!(out.lines[1].status, LineStatus::Ok);
+    }
+
+    #[test]
+    fn shrunken_suite_fails_new_entries_do_not() {
+        let base = synthetic();
+        let mut cur = synthetic();
+        cur.entries.remove(0);
+        cur.entries.push(GateEntry {
+            id: "d/fresh".into(),
+            unit: "us".into(),
+            better: Better::Lower,
+            gated: true,
+            value: 1.0,
+        });
+        let out = compare(&cur, &base, 10.0);
+        assert_eq!(out.failures(), 1, "the vanished gated series must fail");
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.id == "a/latency" && l.status == LineStatus::Missing));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.id == "d/fresh" && l.status == LineStatus::New));
+    }
+
+    #[test]
+    fn small_suite_runs_and_is_deterministic() {
+        let a = run_suite(GateScale::Small, false);
+        let b = run_suite(GateScale::Small, false);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.entries.iter().all(|e| e.value > 0.0 && e.gated));
+        assert!(a.entries.iter().any(|e| e.id.starts_with("fig6/")));
+        assert!(a.entries.iter().any(|e| e.id.starts_with("table1/")));
+        assert!(a.entries.iter().any(|e| e.id.starts_with("tuned/")));
+    }
+}

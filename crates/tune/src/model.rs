@@ -1,0 +1,154 @@
+//! Per-algorithm piecewise cost-model fits.
+//!
+//! Each broadcast path is summarized as a two-piece Hockney model
+//! `t(bytes) = α + β·bytes`: one piece for the latency regime, one for the
+//! bandwidth regime, with the split chosen by exhaustive search over the
+//! grid. The fit minimizes *relative* squared error (weights `1/t²`), so
+//! the microsecond-scale small-message points are not drowned out by the
+//! millisecond-scale large ones — a plain least-squares line through a
+//! 64 B..4 MB sweep would describe only the top octaves.
+//!
+//! The fitted models are table metadata: selection uses the measured
+//! crossover regions, while reports (the `crossover` exhibit's
+//! tuned-vs-static deltas, EXPERIMENTS.md) use the models to interpolate
+//! between grid points.
+
+use bgp_mpi::tune::{CostModel, CostPiece};
+
+/// Weighted least-squares line through `(bytes, µs)` points with weights
+/// `1/y²` (relative error). Falls back to a flat line through the mean for
+/// degenerate inputs (fewer than two distinct x, or zero/negative times).
+fn fit_line(points: &[(u64, f64)]) -> CostPiece {
+    let mut sw = 0.0;
+    let mut swx = 0.0;
+    let mut swy = 0.0;
+    let mut swxx = 0.0;
+    let mut swxy = 0.0;
+    for &(xb, y) in points {
+        if y <= 0.0 {
+            continue;
+        }
+        let x = xb as f64;
+        let w = 1.0 / (y * y);
+        sw += w;
+        swx += w * x;
+        swy += w * y;
+        swxx += w * x * x;
+        swxy += w * x * y;
+    }
+    let det = sw * swxx - swx * swx;
+    if sw <= 0.0 || det.abs() < f64::EPSILON * sw * swxx.max(1.0) {
+        let mean = if points.is_empty() {
+            0.0
+        } else {
+            points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64
+        };
+        return CostPiece {
+            alpha_us: mean,
+            beta_us_per_byte: 0.0,
+        };
+    }
+    let beta = (sw * swxy - swx * swy) / det;
+    let alpha = (swy - beta * swx) / sw;
+    CostPiece {
+        alpha_us: alpha,
+        beta_us_per_byte: beta,
+    }
+}
+
+/// Relative squared error of `piece` over `points`.
+fn rel_sse(piece: &CostPiece, points: &[(u64, f64)]) -> f64 {
+    points
+        .iter()
+        .filter(|&&(_, y)| y > 0.0)
+        .map(|&(x, y)| {
+            let r = (piece.predict_us(x) - y) / y;
+            r * r
+        })
+        .sum()
+}
+
+/// Fit a two-piece model to a `(bytes, µs)` series, trying every interior
+/// split on the grid (each piece keeps at least two points) and keeping the
+/// split with the lowest total relative error.
+pub fn fit_piecewise(points: &[(u64, f64)]) -> CostModel {
+    assert!(!points.is_empty(), "cannot fit an empty series");
+    let whole = fit_line(points);
+    let mut best = CostModel {
+        split_bytes: points.last().unwrap().0,
+        lo: whole,
+        hi: whole,
+    };
+    let mut best_err = rel_sse(&whole, points);
+    // Split after index i: lo = points[..=i], hi = points[i+1..].
+    for i in 1..points.len().saturating_sub(2) {
+        let lo = fit_line(&points[..=i]);
+        let hi = fit_line(&points[i + 1..]);
+        let err = rel_sse(&lo, &points[..=i]) + rel_sse(&hi, &points[i + 1..]);
+        if err < best_err {
+            best_err = err;
+            best = CostModel {
+                split_bytes: points[i].0,
+                lo,
+                hi,
+            };
+        }
+    }
+    best
+}
+
+/// Mean relative prediction error of `model` over `points` (a fit-quality
+/// diagnostic the autotuner asserts on).
+pub fn mean_rel_error(model: &CostModel, points: &[(u64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points
+        .iter()
+        .map(|&(x, y)| ((model.predict_us(x) - y) / y).abs())
+        .sum::<f64>()
+        / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(u64, f64)> = (0..10)
+            .map(|i| (1u64 << i, 5.0 + 0.01 * (1 << i) as f64))
+            .collect();
+        let m = fit_piecewise(&pts);
+        assert!(mean_rel_error(&m, &pts) < 1e-9, "{m:?}");
+        assert!((m.lo.alpha_us - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kinked_series_gets_a_split() {
+        // Flat 10 µs to 1K, then steeply linear: the split must land at the
+        // kink and both pieces must fit well.
+        let mut pts: Vec<(u64, f64)> = Vec::new();
+        for i in 4..=10 {
+            pts.push((1 << i, 10.0));
+        }
+        for i in 11..=20 {
+            pts.push((1 << i, 0.05 * (1u64 << i) as f64));
+        }
+        let m = fit_piecewise(&pts);
+        assert!(
+            (512..=4096).contains(&m.split_bytes),
+            "split at {}",
+            m.split_bytes
+        );
+        assert!(mean_rel_error(&m, &pts) < 0.05, "{m:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let m = fit_piecewise(&[(1024, 3.0)]);
+        assert!((m.predict_us(1024) - 3.0).abs() < 1e-9);
+        let m = fit_piecewise(&[(1024, 3.0), (1024, 5.0)]);
+        assert!(m.predict_us(1024).is_finite());
+    }
+}

@@ -1,0 +1,144 @@
+//! The shared sweep engine: one calibrated measurement grid, many callers.
+//!
+//! Everything in this crate (and the `crossover` exhibit in `bgp-bench`)
+//! measures through this module so that autotuning, crossover reporting,
+//! and the regression gate all observe the *same* protocol: one `Mpi` per
+//! swept configuration, a quiet machine per point (each `bcast` resets the
+//! simulated machine — the Figure 5 microbenchmark's leading barrier), and
+//! sim-time microseconds as the unit.
+
+use bgp_machine::MachineConfig;
+use bgp_mpi::tune::SelectionPolicy;
+use bgp_mpi::{BcastAlgorithm, Mpi};
+
+/// Power-of-two sizes from `from` to `to` inclusive.
+pub fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = from.max(1);
+    while s <= to {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Measured latencies of a set of algorithms over a size grid on one
+/// machine configuration.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The swept configuration.
+    pub cfg: MachineConfig,
+    /// Algorithms, in column order.
+    pub algs: Vec<BcastAlgorithm>,
+    /// Message sizes, in row order.
+    pub sizes: Vec<u64>,
+    /// `micros[size_idx][alg_idx]` — simulated latency in µs.
+    pub micros: Vec<Vec<f64>>,
+}
+
+impl Sweep {
+    /// The latency column of `alg` as `(bytes, µs)` pairs.
+    pub fn series(&self, alg: BcastAlgorithm) -> Option<Vec<(u64, f64)>> {
+        let col = self.algs.iter().position(|&a| a == alg)?;
+        Some(
+            self.sizes
+                .iter()
+                .zip(&self.micros)
+                .map(|(&s, row)| (s, row[col]))
+                .collect(),
+        )
+    }
+
+    /// Column index of the measured-fastest algorithm at size row `i`.
+    pub fn winner_at(&self, i: usize) -> usize {
+        let row = &self.micros[i];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v < row[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// The largest size at which `earlier` measures at or below `later`
+    /// (`None` if `later` wins everywhere). This is the measured pairwise
+    /// crossover: above the returned size, `later` wins every grid point.
+    pub fn last_win(&self, earlier: BcastAlgorithm, later: BcastAlgorithm) -> Option<u64> {
+        let e = self.algs.iter().position(|&a| a == earlier)?;
+        let l = self.algs.iter().position(|&a| a == later)?;
+        self.sizes
+            .iter()
+            .zip(&self.micros)
+            .filter(|(_, row)| row[e] <= row[l])
+            .map(|(&s, _)| s)
+            .max()
+    }
+}
+
+/// Measure every `(alg, size)` point on a fresh machine built from `cfg`.
+///
+/// The `Mpi` carries the static policy so sweeping never recursively
+/// consults a tuning table (the sweep is what *produces* tables).
+pub fn sweep_bcast(cfg: &MachineConfig, algs: &[BcastAlgorithm], sizes: &[u64]) -> Sweep {
+    let mut mpi = Mpi::with_policy(cfg.clone(), SelectionPolicy::static_policy());
+    let micros = sizes
+        .iter()
+        .map(|&bytes| {
+            algs.iter()
+                .map(|&alg| mpi.bcast(alg, bytes).as_micros_f64())
+                .collect()
+        })
+        .collect();
+    Sweep {
+        cfg: cfg.clone(),
+        algs: algs.to_vec(),
+        sizes: sizes.to_vec(),
+        micros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::OpMode;
+
+    #[test]
+    fn pow2_grid() {
+        assert_eq!(pow2_sizes(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(pow2_sizes(0, 2), vec![1, 2]);
+        assert!(pow2_sizes(8, 4).is_empty());
+    }
+
+    #[test]
+    fn sweep_measures_every_point() {
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        let algs = [BcastAlgorithm::TreeShmem, BcastAlgorithm::TorusShaddr];
+        let sizes = pow2_sizes(1 << 10, 8 << 10);
+        let s = sweep_bcast(&cfg, &algs, &sizes);
+        assert_eq!(s.micros.len(), sizes.len());
+        assert!(s
+            .micros
+            .iter()
+            .all(|row| row.len() == 2 && row.iter().all(|&v| v > 0.0)));
+        let shmem = s.series(BcastAlgorithm::TreeShmem).unwrap();
+        assert_eq!(shmem.len(), sizes.len());
+        // Latency grows with size.
+        assert!(shmem.last().unwrap().1 > shmem[0].1);
+        assert!(s.series(BcastAlgorithm::TreeSmp).is_none());
+    }
+
+    #[test]
+    fn last_win_finds_the_crossover() {
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        let algs = [BcastAlgorithm::TreeShmem, BcastAlgorithm::TorusShaddr];
+        let sizes = pow2_sizes(64, 4 << 20);
+        let s = sweep_bcast(&cfg, &algs, &sizes);
+        // The staged tree path must lose to the torus for large messages on
+        // any shape, so the crossover exists and is below the top size.
+        let b = s
+            .last_win(BcastAlgorithm::TreeShmem, BcastAlgorithm::TorusShaddr)
+            .expect("shmem must win somewhere");
+        assert!(b < 4 << 20, "crossover at {b}");
+    }
+}

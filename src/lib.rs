@@ -20,6 +20,7 @@
 //! | [`dcmf`] | `bgp-dcmf` | messaging layer: pt2pt, direct put/get, line bcast, tree channel |
 //! | [`ccmi`] | `bgp-ccmi` | collective framework: color schedules, executors, pipelining |
 //! | [`mpi`] | `bgp-mpi` | MPI-like API + every algorithm and baseline from the paper |
+//! | [`tune`] | `bgp-tune` | measurement-driven autotuner + perf-regression gate |
 
 pub use bgp_ccmi as ccmi;
 pub use bgp_dcmf as dcmf;
@@ -28,3 +29,4 @@ pub use bgp_mpi as mpi;
 pub use bgp_shmem as shmem;
 pub use bgp_sim as sim;
 pub use bgp_smp as smp;
+pub use bgp_tune as tune;
