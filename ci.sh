@@ -44,6 +44,16 @@ cargo test -q -p bgp-smp --features model --test model
 echo "== seeded exploration smoke (10,000 random schedules)"
 cargo test -q -p bgp-shmem --features model --test model bcast_ten_thousand_random_schedules
 
+# The real-thread cluster runtime: 2 nodes x 2 ranks on every run (checked
+# payloads + persistent-beats-spawn assertion); the full 2 x 4 acceptance
+# shape when the stress budget is on.
+echo "== smoke: cluster_real --small --check (2 nodes x 2 ranks)"
+cargo run --release -p bgp-bench --bin cluster_real -- --small --check
+if [ "${BGP_STRESS_FULL:-}" = "1" ]; then
+  echo "== cluster_real --check (full 2 x 4 shape)"
+  cargo run --release -p bgp-bench --bin cluster_real -- --check
+fi
+
 echo "== smoke: fig6 --small --json parses"
 cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json
 python3 -m json.tool ci_fig6.json >/dev/null

@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 use bgp_bench::harness::bench_case;
 use bgp_smp::collectives::{read_f64s, write_f64s};
-use bgp_smp::run_node;
+use bgp_smp::NodeRuntime;
 
 const LEN: usize = 256 * 1024;
 const RANKS: usize = 4;
@@ -20,10 +20,13 @@ const RANKS: usize = 4;
 fn main() {
     println!("intranode_real: wall-time of the threaded intra-node collectives");
 
-    // The three broadcast data paths. Each closure allocates inside
-    // run_node, so the shared buffer is created per rank-team.
+    // One persistent rank-team for the whole bench: iterations measure the
+    // collectives, not thread spawn + node construction.
+    let rt = NodeRuntime::new(RANKS);
+
+    // The three broadcast data paths.
     bench_case("bcast/shmem_staged_256K", 10, || {
-        run_node(RANKS, |mut ctx| {
+        rt.run(|ctx| {
             let buf = ctx.alloc_buffer(LEN);
             if ctx.rank() == 0 {
                 unsafe { buf.write(0, &[7u8; LEN]) };
@@ -34,7 +37,7 @@ fn main() {
         });
     });
     bench_case("bcast/bcast_fifo_256K", 10, || {
-        run_node(RANKS, |mut ctx| {
+        rt.run(|ctx| {
             let buf = ctx.alloc_buffer(LEN);
             if ctx.rank() == 0 {
                 unsafe { buf.write(0, &[7u8; LEN]) };
@@ -45,7 +48,7 @@ fn main() {
         });
     });
     bench_case("bcast/shaddr_counters_256K", 10, || {
-        run_node(RANKS, |mut ctx| {
+        rt.run(|ctx| {
             let buf = ctx.alloc_buffer(LEN);
             if ctx.rank() == 0 {
                 unsafe { buf.write(0, &[7u8; LEN]) };
@@ -104,7 +107,7 @@ fn main() {
     {
         const COUNT: usize = 16 * 1024;
         bench_case("allreduce/allreduce_f64_16K", 10, || {
-            let out = run_node(RANKS, |mut ctx| {
+            let out = rt.run(|ctx| {
                 let input = ctx.alloc_buffer(COUNT * 8);
                 let output = ctx.alloc_buffer(COUNT * 8);
                 write_f64s(&input, 0, &vec![ctx.rank() as f64; COUNT]);

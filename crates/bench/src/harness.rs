@@ -8,7 +8,13 @@ use std::time::Instant;
 
 /// Run `f` `samples` times (after `samples/4 + 1` warmup runs) and print
 /// `name: median [min .. max]` in microseconds.
-pub fn bench_case(name: &str, samples: usize, mut f: impl FnMut()) {
+pub fn bench_case(name: &str, samples: usize, f: impl FnMut()) {
+    bench_case_median(name, samples, f);
+}
+
+/// Like [`bench_case`], but also returns the median (µs) for callers that
+/// compare cases (e.g. `cluster_real --check`).
+pub fn bench_case_median(name: &str, samples: usize, mut f: impl FnMut()) -> f64 {
     for _ in 0..samples / 4 + 1 {
         f();
     }
@@ -26,4 +32,5 @@ pub fn bench_case(name: &str, samples: usize, mut f: impl FnMut()) {
         times_us.first().unwrap(),
         times_us.last().unwrap()
     );
+    median
 }

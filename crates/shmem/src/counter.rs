@@ -45,6 +45,21 @@ use crate::spin;
 /// protocol exists to prevent. The model tests in `tests/model.rs` check
 /// the full protocol (and that the guard fires on the broken variant)
 /// schedule-exhaustively.
+///
+/// # Cumulative reuse (no reset)
+///
+/// The reset protocol costs a completion round per operation. A persistent
+/// runtime that performs back-to-back operations can skip it entirely by
+/// treating the counter as **cumulative**: nobody ever resets, each
+/// participant records the counter value at the start of the operation (its
+/// *base*) and waits for `base + k` instead of `k`. The base read is safe
+/// whenever it is separated from the producer's next publish by any
+/// happens-before edge — in practice a barrier at operation start: every
+/// participant reads the base (stable, because the previous operation ended
+/// with a barrier after the last publish), then the barrier, then the
+/// producer publishes. [`wait_past`](Self::wait_past) packages the
+/// base-relative wait. The multi-node cluster runtime in `bgp-smp` uses
+/// this scheme exclusively.
 #[derive(Debug)]
 pub struct MessageCounter {
     bytes: CachePadded<AtomicU64>,
@@ -110,6 +125,16 @@ impl MessageCounter {
         self.polls.fetch_add(local_polls, Ordering::Relaxed);
         self.waiters.fetch_sub(1, Ordering::AcqRel);
         got
+    }
+
+    /// Consumer, cumulative-reuse scheme: spin until at least `delta` bytes
+    /// past `base` are valid; returns the observed count *relative to
+    /// `base`* (≥ `delta`). `base` is the value [`read`](Self::read)
+    /// returned at operation start — see *Cumulative reuse* in the type
+    /// docs for when that read is safe.
+    #[inline]
+    pub fn wait_past(&self, base: u64, delta: u64) -> u64 {
+        self.wait_for(base + delta) - base
     }
 
     /// Lifetime number of consumer polls spent in
@@ -271,6 +296,22 @@ mod tests {
         c.reset();
         assert_eq!(c.read(), 0);
         assert_eq!(c.reset_count(), 1);
+    }
+
+    #[test]
+    fn wait_past_is_base_relative() {
+        // Two "operations" with no reset in between: the second op's
+        // consumers wait relative to the base they read at its start.
+        let c = MessageCounter::new();
+        c.publish(300); // op 1
+        assert_eq!(c.wait_past(0, 300), 300);
+        let base = c.read();
+        assert_eq!(base, 300);
+        c.publish(128); // op 2, chunk 1
+        c.publish(72); // op 2, chunk 2
+        assert_eq!(c.wait_past(base, 128), 200);
+        assert_eq!(c.wait_past(base, 200), 200);
+        assert_eq!(c.reset_count(), 0, "cumulative reuse never resets");
     }
 
     #[test]

@@ -1,0 +1,1031 @@
+//! The multi-node cluster runtime: M nodes × n ranks, all real threads.
+//!
+//! A [`Cluster`] is the real-thread counterpart of the simulator's machine:
+//! each node is a [`NodeShared`] exactly as in the single-node runtime, and
+//! nodes are connected by a [`Fabric`](crate::transport::Fabric) of paced
+//! byte-chunk channels (tree + ring links). The rank threads are
+//! **persistent**: spawned once, parked on a job queue between operations,
+//! so back-to-back collectives pay neither thread spawn nor `NodeShared`
+//! construction — and per-rank hot-path state (window cache, reduce
+//! accumulator, FIFO buffer pool) survives across operations.
+//!
+//! Two integrated protocols from the paper run end-to-end here:
+//!
+//! * [`ClusterCtx::bcast`] — the §V-A/V-B core-specialized broadcast. On
+//!   the root node, rank 0 injects chunks from its application buffer into
+//!   the tree ports. On every other node, one rank receives network chunks
+//!   directly into *its* application buffer and publishes a cumulative
+//!   [`MessageCounter`](bgp_shmem::MessageCounter); rank 0 (the network
+//!   core) chases the counter to forward chunks down the tree; the
+//!   remaining ranks chase it to copy out — one of them back-filling
+//!   rank 0's buffer — so network reception, forwarding, and intra-node
+//!   copies all overlap.
+//! * [`ClusterCtx::allreduce_f64`] — the §V-C multi-color ring allreduce.
+//!   Every non-network rank owns a color: it locally reduces its partition
+//!   across the node's inputs into a color buffer, publishing chunk by
+//!   chunk. Rank 0 — the network core — drives *all* colors through the
+//!   ring concurrently (partials accumulate hop by hop in one direction,
+//!   fully-reduced chunks circulate back), and every rank copies finished
+//!   chunks out as result counters advance. Even colors ride the `+` ring
+//!   direction, odd colors the `-` direction, standing in for the paper's
+//!   torus-link parallelism.
+//!
+//! Synchronization discipline: the cluster protocols never reset counters —
+//! they use the cumulative-reuse scheme (base read at operation start,
+//! separated from the first publish by the node barrier; see
+//! `MessageCounter`'s docs) on a dedicated counter bank, so they compose
+//! with the reset-style intra-node collectives on the same node.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use bgp_shmem::sync::Mutex;
+use bgp_shmem::SharedRegion;
+
+use crate::collectives::{
+    accumulate_f64s, add_bytes_f64, f64s_to_bytes, read_f64s_into, write_f64s,
+};
+use crate::runtime::{NodeShared, RankCtx};
+use crate::transport::{Fabric, RingDir};
+
+/// Default link chunk size (the packetization granularity).
+pub const DEFAULT_CHUNK_BYTES: usize = 16 * 1024;
+/// Default link window (chunks in flight per link before the sender blocks).
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// State shared by every rank of every node.
+struct ClusterShared {
+    m: usize,
+    n: usize,
+    nodes: Vec<Arc<NodeShared>>,
+    fabric: Fabric,
+}
+
+/// One rank's view of the cluster: its node-local [`RankCtx`] plus the
+/// node id and the fabric.
+pub struct ClusterCtx {
+    node: usize,
+    shared: Arc<ClusterShared>,
+    ctx: RankCtx,
+}
+
+/// Aggregated cluster probe counters (summed over nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Broadcast receptions (one per non-root node per broadcast).
+    pub bcast_recv_ops: u64,
+    /// Copy-out ranks whose first copy began while the producer stream was
+    /// still in flight — the §V-B overlap evidence.
+    pub copyout_overlapped: u64,
+}
+
+type Job = Box<dyn FnOnce(&mut ClusterCtx) -> Box<dyn Any + Send> + Send>;
+
+struct Worker {
+    job_tx: Option<mpsc::Sender<Job>>,
+    res_rx: mpsc::Receiver<std::thread::Result<Box<dyn Any + Send>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent real-thread cluster of `m` nodes × `n` ranks.
+///
+/// Workers are spawned by [`new`](Self::new) and parked on job queues;
+/// [`run`](Self::run) dispatches one SPMD body to all of them and collects
+/// the results node-major. Dropping the cluster joins the workers.
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+    /// Node-major: worker `node * n + rank`.
+    workers: Vec<Worker>,
+    /// Set when any rank panicked inside a job: the shared state (barrier,
+    /// FIFO cursors) may be torn, so further runs are refused.
+    poisoned: Cell<bool>,
+}
+
+impl Cluster {
+    /// Spawn a cluster with the default link geometry.
+    pub fn new(m: usize, n: usize) -> Self {
+        Self::with_geometry(m, n, DEFAULT_CHUNK_BYTES, DEFAULT_WINDOW)
+    }
+
+    /// Spawn a cluster with explicit link geometry: `chunk_bytes` per chunk
+    /// (must be a positive multiple of 8 so f64 reductions packetize
+    /// cleanly) and a `window`-chunk pacing window per link.
+    pub fn with_geometry(m: usize, n: usize, chunk_bytes: usize, window: usize) -> Self {
+        assert!(m >= 1, "a cluster has at least one node");
+        assert!(n >= 1, "a node has at least one rank");
+        assert!(
+            chunk_bytes >= 8 && chunk_bytes.is_multiple_of(8),
+            "chunk size must be a positive multiple of 8"
+        );
+        assert!(window >= 2, "the link window needs at least two chunks");
+        let shared = Arc::new(ClusterShared {
+            m,
+            n,
+            nodes: (0..m).map(|_| NodeShared::new(n)).collect(),
+            fabric: Fabric::new(m, chunk_bytes, window),
+        });
+        let workers = (0..m * n)
+            .map(|i| {
+                let (node, rank) = (i / n, i % n);
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (res_tx, res_rx) = mpsc::channel();
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("bgp-node{node}-rank{rank}"))
+                    .spawn(move || {
+                        let mut cctx = ClusterCtx {
+                            node,
+                            ctx: RankCtx::new(shared.nodes[node].clone(), rank),
+                            shared,
+                        };
+                        while let Ok(job) = job_rx.recv() {
+                            let res = catch_unwind(AssertUnwindSafe(|| job(&mut cctx)));
+                            if res_tx.send(res).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn rank thread");
+                Worker {
+                    job_tx: Some(job_tx),
+                    res_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Cluster {
+            shared,
+            workers,
+            poisoned: Cell::new(false),
+        }
+    }
+
+    /// Nodes in the cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.shared.m
+    }
+
+    /// Ranks per node.
+    pub fn n_ranks(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Aggregated probe counters, summed over nodes.
+    pub fn stats(&self) -> ClusterStats {
+        let mut s = ClusterStats {
+            bcast_recv_ops: 0,
+            copyout_overlapped: 0,
+        };
+        for node in &self.shared.nodes {
+            let cs = node.cluster_stats();
+            s.bcast_recv_ops += cs.bcast_recv_ops.load(Ordering::Relaxed);
+            s.copyout_overlapped += cs.copyout_overlapped.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Run `body` SPMD-style on every rank of every node. Returns results
+    /// indexed `[node][rank]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `"rank thread panicked"` if any rank's body panicked
+    /// (after all ranks finished or panicked), and on any later call once
+    /// that has happened.
+    pub fn run<R, F>(&self, body: F) -> Vec<Vec<R>>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ClusterCtx) -> R + Send + Sync + 'static,
+    {
+        self.check_usable();
+        let body = Arc::new(body);
+        for w in &self.workers {
+            let b = body.clone();
+            let job: Job = Box::new(move |cctx| Box::new(b(cctx)) as Box<dyn Any + Send>);
+            w.job_tx
+                .as_ref()
+                .expect("cluster is live")
+                .send(job)
+                .expect("rank thread exited prematurely");
+        }
+        let flat: Vec<R> = self
+            .collect_acks()
+            .into_iter()
+            .map(|b| *b.downcast::<R>().expect("result type"))
+            .collect();
+        self.shape(flat)
+    }
+
+    /// `run` for non-`'static` bodies and results — the engine behind
+    /// [`crate::run_node`]. The borrows are erased to ship through the
+    /// `'static` job queue; this is sound because the call does not return
+    /// (normally or by unwind) before **every** worker has acknowledged its
+    /// job, so no erased reference outlives the frame.
+    pub(crate) fn run_borrowed<R, F>(&self, body: &F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&mut ClusterCtx) -> R + Sync,
+    {
+        self.check_usable();
+
+        struct SendPtr(*const ());
+        // SAFETY: the pointees (`body`, `slots`) are Sync/owned by this
+        // frame, which outlives every job (see above).
+        unsafe impl Send for SendPtr {}
+
+        /// Monomorphized un-eraser: `body_p` is `&F`, `slot_p` is
+        /// `&Mutex<Option<R>>`.
+        ///
+        /// # Safety
+        /// Both pointers must be live and correctly typed for `F`/`R`.
+        unsafe fn trampoline<R, F: Fn(&mut ClusterCtx) -> R>(
+            body_p: *const (),
+            slot_p: *const (),
+            cctx: &mut ClusterCtx,
+        ) {
+            let body = unsafe { &*(body_p as *const F) };
+            let slot = unsafe { &*(slot_p as *const Mutex<Option<R>>) };
+            let r = body(cctx);
+            *slot.lock() = Some(r);
+        }
+
+        let slots: Vec<Mutex<Option<R>>> =
+            (0..self.workers.len()).map(|_| Mutex::new(None)).collect();
+        let tramp: unsafe fn(*const (), *const (), &mut ClusterCtx) = trampoline::<R, F>;
+        for (i, w) in self.workers.iter().enumerate() {
+            let body_p = SendPtr(body as *const F as *const ());
+            let slot_p = SendPtr(&slots[i] as *const Mutex<Option<R>> as *const ());
+            let job: Job = Box::new(move |cctx| {
+                // Move the whole wrappers in (field-precise capture would
+                // capture the bare non-Send pointers instead).
+                let (SendPtr(body_p), SendPtr(slot_p)) = (body_p, slot_p);
+                // SAFETY: pointees outlive the job — run_borrowed collects
+                // every ack before returning or unwinding.
+                unsafe { tramp(body_p, slot_p, cctx) };
+                Box::new(()) as Box<dyn Any + Send>
+            });
+            w.job_tx
+                .as_ref()
+                .expect("cluster is live")
+                .send(job)
+                .expect("rank thread exited prematurely");
+        }
+        let _acks = self.collect_acks();
+        let flat: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.lock().take().expect("worker stored its result"))
+            .collect();
+        self.shape(flat)
+    }
+
+    fn check_usable(&self) {
+        assert!(
+            !self.poisoned.get(),
+            "cluster unusable: a rank thread panicked in an earlier operation"
+        );
+    }
+
+    /// Receive one result from every worker — all of them, even if some
+    /// panicked, so `run_borrowed`'s erased borrows are dead before this
+    /// returns or unwinds. Re-panics (after collecting everything) if any
+    /// rank panicked, preserving the historical message.
+    fn collect_acks(&self) -> Vec<Box<dyn Any + Send>> {
+        let results: Vec<std::thread::Result<Box<dyn Any + Send>>> = self
+            .workers
+            .iter()
+            .map(|w| w.res_rx.recv().expect("rank thread exited prematurely"))
+            .collect();
+        if results.iter().any(|r| r.is_err()) {
+            self.poisoned.set(true);
+            let msg = results
+                .into_iter()
+                .filter_map(|r| r.err())
+                .map(|p| {
+                    p.downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into())
+                })
+                .next()
+                .unwrap();
+            panic!("rank thread panicked: {msg}");
+        }
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    fn shape<R>(&self, flat: Vec<R>) -> Vec<Vec<R>> {
+        let n = self.shared.n;
+        let mut out = Vec::with_capacity(self.shared.m);
+        let mut it = flat.into_iter();
+        for _ in 0..self.shared.m {
+            out.push(it.by_ref().take(n).collect());
+        }
+        out
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.job_tx.take(); // closes the queue; the worker loop exits
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Broadcast chunk-tag kinds for the allreduce ring (bit 63 of the tag).
+const KIND_PARTIAL: u64 = 0;
+const KIND_FULL: u64 = 1;
+
+fn pack_tag(color: usize, kind: u64, k: usize) -> u64 {
+    debug_assert!(k < (1 << 40));
+    (kind << 63) | ((color as u64) << 40) | k as u64
+}
+
+fn unpack_tag(tag: u64) -> (usize, u64, usize) {
+    (
+        ((tag >> 40) & 0x7F_FFFF) as usize,
+        tag >> 63,
+        (tag & 0xFF_FFFF_FFFF) as usize,
+    )
+}
+
+/// Iterate `(k, byte_off, chunk_len)` over a `len`-byte message in
+/// `chunk`-byte chunks.
+fn chunks_of(len: usize, chunk: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+    (0..len.div_ceil(chunk)).map(move |k| {
+        let off = k * chunk;
+        (k, off, (len - off).min(chunk))
+    })
+}
+
+impl ClusterCtx {
+    /// This rank's node id.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Nodes in the cluster.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.shared.m
+    }
+
+    /// This rank's id within its node.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Ranks per node.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Global rank: `node * n_ranks + rank`.
+    #[inline]
+    pub fn global_rank(&self) -> usize {
+        self.node * self.shared.n + self.ctx.rank()
+    }
+
+    /// The node-local context: barrier, buffers, and every intra-node
+    /// collective of [`crate::collectives`].
+    #[inline]
+    pub fn intra(&mut self) -> &mut RankCtx {
+        &mut self.ctx
+    }
+
+    fn map_cached(&mut self, owner: u32, tag: u64) -> Arc<SharedRegion> {
+        let mut seen = std::mem::take(&mut self.ctx.mapped_before);
+        let r = self.ctx.registry().map_auto_blocking(owner, tag, &mut seen);
+        self.ctx.mapped_before = seen;
+        r
+    }
+
+    /// Chase cumulative counter `ctr_idx` from `base` and copy the stream
+    /// `[0, len)` from `src` into `dst` (and `also`, if given) as it
+    /// becomes valid. Records the overlap probe on the first wait.
+    fn chase_copy(
+        &mut self,
+        dst: &SharedRegion,
+        src: &SharedRegion,
+        len: usize,
+        ctr_idx: usize,
+        base: u64,
+        also: Option<&SharedRegion>,
+    ) {
+        let mut seen = 0usize;
+        let mut first = true;
+        while seen < len {
+            let avail = self
+                .ctx
+                .aux_counter(ctr_idx)
+                .wait_past(base, seen as u64 + 1) as usize;
+            let avail = avail.min(len);
+            if first {
+                first = false;
+                if avail < len {
+                    self.ctx
+                        .cluster_stats()
+                        .copyout_overlapped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // SAFETY: the counter acquire ordered us after the producer's
+            // writes of [seen, avail); our destination ranges are ours.
+            unsafe {
+                dst.copy_from(seen, src, seen, avail - seen);
+                if let Some(extra) = also {
+                    extra.copy_from(seen, src, seen, avail - seen);
+                }
+            }
+            seen = avail;
+        }
+    }
+
+    /// Cluster-wide broadcast of `len` bytes from the application buffer of
+    /// rank 0 on `root_node` into every rank's `buf` on every node — the
+    /// integrated core-specialized broadcast (§V-A/V-B). SPMD: every rank
+    /// of every node calls with consistent arguments.
+    pub fn bcast(&mut self, root_node: usize, buf: &Arc<SharedRegion>, len: usize) {
+        let shared = self.shared.clone();
+        let (m, n) = (shared.m, shared.n);
+        assert!(root_node < m, "root node out of range");
+        assert!(buf.len() >= len, "buffer shorter than message");
+        let op = self.ctx.next_op();
+        let me = self.ctx.rank();
+        let v = self.node;
+        let chunk = shared.fabric.chunk_bytes();
+
+        let is_root_node = v == root_node;
+        // The producer rank of this node's reception stream: rank 0 injects
+        // on the root node; elsewhere the receiver core.
+        let recv_rank = if is_root_node {
+            0
+        } else {
+            usize::min(1, n - 1)
+        };
+        // Which rank back-fills rank 0's buffer on a non-root node.
+        let backfill = match (is_root_node, n) {
+            (true, _) | (false, 1) => None,
+            (false, 2) => Some(0),
+            (false, _) => Some(2),
+        };
+
+        // Cumulative base, read before the start barrier (stable: the
+        // previous operation ended with a barrier after its last publish).
+        let base = self.ctx.aux_counter(recv_rank).read();
+
+        if me == recv_rank {
+            self.ctx
+                .registry()
+                .expose(recv_rank as u32, op, buf.clone());
+        }
+        if backfill == Some(2) && me == 0 {
+            self.ctx.registry().expose(0, op, buf.clone());
+        }
+        self.ctx.barrier();
+
+        if is_root_node {
+            if me == 0 {
+                // Network core of the root: inject every chunk into every
+                // outbound tree port, then publish it for the local peers.
+                let outs = shared.fabric.bcast_out(v, root_node);
+                for (k, off, clen) in chunks_of(len, chunk) {
+                    for ch in &outs {
+                        // SAFETY: root reads its own buffer.
+                        ch.send_with(k as u64, clen, |dst| unsafe { buf.read(off, dst) });
+                    }
+                    self.ctx.aux_counter(0).publish(clen as u64);
+                }
+            } else {
+                let src = self.map_cached(0, op);
+                self.chase_copy(buf, &src, len, 0, base, None);
+            }
+        } else if n == 1 {
+            // Single-rank node: receive and forward in one loop.
+            let in_ch = shared.fabric.bcast_in(v, root_node);
+            let outs = shared.fabric.bcast_out(v, root_node);
+            self.ctx
+                .cluster_stats()
+                .bcast_recv_ops
+                .fetch_add(1, Ordering::Relaxed);
+            for (k, off, clen) in chunks_of(len, chunk) {
+                in_ch.recv_with(|tag, bytes| {
+                    debug_assert_eq!(tag, k as u64);
+                    // SAFETY: we are the only writer of our buf.
+                    unsafe { buf.write(off, bytes) };
+                });
+                for ch in &outs {
+                    // SAFETY: just written above, single thread.
+                    ch.send_with(k as u64, clen, |dst| unsafe { buf.read(off, dst) });
+                }
+            }
+        } else if me == recv_rank {
+            // The receiver core: network chunks land directly in the
+            // application buffer; each landing is published.
+            let in_ch = shared.fabric.bcast_in(v, root_node);
+            self.ctx
+                .cluster_stats()
+                .bcast_recv_ops
+                .fetch_add(1, Ordering::Relaxed);
+            for (k, off, clen) in chunks_of(len, chunk) {
+                in_ch.recv_with(|tag, bytes| {
+                    debug_assert_eq!(tag, k as u64);
+                    debug_assert_eq!(bytes.len(), clen);
+                    // SAFETY: sole writer; readers gated on the publish.
+                    unsafe { buf.write(off, bytes) };
+                });
+                self.ctx.aux_counter(recv_rank).publish(clen as u64);
+            }
+        } else if me == 0 {
+            // The network core: chase the reception counter and forward
+            // chunks down the tree; with only two ranks it also back-fills
+            // its own buffer in the same pipeline.
+            let src = self.map_cached(recv_rank as u32, op);
+            let outs = shared.fabric.bcast_out(v, root_node);
+            for (k, off, clen) in chunks_of(len, chunk) {
+                self.ctx
+                    .aux_counter(recv_rank)
+                    .wait_past(base, (off + clen) as u64);
+                for ch in &outs {
+                    // SAFETY: the counter acquire ordered us after the
+                    // receiver's write of this chunk.
+                    ch.send_with(k as u64, clen, |dst| unsafe { src.read(off, dst) });
+                }
+                if backfill == Some(0) {
+                    // SAFETY: as above; our buffer range is ours.
+                    unsafe { buf.copy_from(off, &src, off, clen) };
+                }
+            }
+        } else {
+            // Copy-out cores: chase the counter into our own buffer; the
+            // designated back-filler also writes rank 0's buffer.
+            let src = self.map_cached(recv_rank as u32, op);
+            let fill_zero = if backfill == Some(me) {
+                Some(self.map_cached(0, op))
+            } else {
+                None
+            };
+            self.chase_copy(buf, &src, len, recv_rank, base, fill_zero.as_deref());
+        }
+
+        self.ctx.barrier();
+        if me == recv_rank {
+            self.ctx.registry().unexpose(recv_rank as u32, op);
+        }
+        if backfill == Some(2) && me == 0 {
+            self.ctx.registry().unexpose(0, op);
+        }
+    }
+
+    /// Cluster-wide allreduce (sum) over `count` doubles — the §V-C
+    /// multi-color ring decomposition. Every rank of every node calls with
+    /// its own `input`; every `output` receives the global sum. SPMD.
+    pub fn allreduce_f64(
+        &mut self,
+        input: &Arc<SharedRegion>,
+        output: &Arc<SharedRegion>,
+        count: usize,
+    ) {
+        let shared = self.shared.clone();
+        let (m, n) = (shared.m, shared.n);
+        assert!(input.len() >= count * 8, "input shorter than count");
+        assert!(output.len() >= count * 8, "output shorter than count");
+        let op = self.ctx.next_op();
+        let in_tag = 2 * op;
+        let cb_tag = 2 * op + 1;
+        let me = self.ctx.rank();
+        let ce = shared.fabric.chunk_bytes() / 8; // elements per chunk
+
+        let colors = if n == 1 { 1 } else { n - 1 };
+        let span = |c: usize| (c * count / colors, (c + 1) * count / colors);
+        let owner = |c: usize| if n == 1 { 0 } else { c + 1 };
+
+        // Cumulative bases, pre-barrier (see `bcast`): partial stream of
+        // each color's owner, result stream of each color.
+        let pbase: Vec<u64> = (0..colors)
+            .map(|c| self.ctx.aux_counter(owner(c)).read())
+            .collect();
+        let rbase: Vec<u64> = (0..colors)
+            .map(|c| self.ctx.aux_counter(n + c).read())
+            .collect();
+
+        self.ctx.registry().expose(me as u32, in_tag, input.clone());
+        let my_color = if n == 1 {
+            Some(0)
+        } else if me >= 1 {
+            Some(me - 1)
+        } else {
+            None
+        };
+        if let Some(c) = my_color {
+            let (lo, hi) = span(c);
+            let cbuf = self.ctx.alloc_buffer(((hi - lo) * 8).max(1));
+            self.ctx.registry().expose(me as u32, cb_tag, cbuf);
+        }
+        self.ctx.barrier();
+
+        let cbufs: Vec<Arc<SharedRegion>> = (0..colors)
+            .map(|c| self.map_cached(owner(c) as u32, cb_tag))
+            .collect();
+
+        // Phase A — color owners: local reduce of the partition across the
+        // node's inputs, pipelined chunk by chunk into the color buffer.
+        if let Some(c) = my_color {
+            let inputs: Vec<Arc<SharedRegion>> =
+                (0..n).map(|r| self.map_cached(r as u32, in_tag)).collect();
+            let (lo, hi) = span(c);
+            let mut acc = std::mem::take(&mut self.ctx.scratch_f64);
+            let mut elo = lo;
+            while elo < hi {
+                let ehi = (elo + ce).min(hi);
+                acc.clear();
+                acc.resize(ehi - elo, 0.0);
+                read_f64s_into(&inputs[0], elo * 8, &mut acc);
+                for inp in &inputs[1..] {
+                    accumulate_f64s(inp, elo * 8, &mut acc);
+                }
+                write_f64s(&cbufs[c], (elo - lo) * 8, &acc);
+                self.ctx.aux_counter(me).publish(((ehi - elo) * 8) as u64);
+                elo = ehi;
+            }
+            self.ctx.scratch_f64 = acc;
+        }
+
+        // Phase B — the network core drives the ring for all colors.
+        if me == 0 {
+            if m == 1 {
+                // One node: each color's partials *are* the results.
+                for (c, &base) in pbase.iter().enumerate().take(colors) {
+                    let (lo, hi) = span(c);
+                    let total = ((hi - lo) * 8) as u64;
+                    let mut done = 0u64;
+                    while done < total {
+                        let avail = self
+                            .ctx
+                            .aux_counter(owner(c))
+                            .wait_past(base, done + 1)
+                            .min(total);
+                        self.ctx.aux_counter(n + c).publish(avail - done);
+                        done = avail;
+                    }
+                }
+            } else {
+                let mut scratch = std::mem::take(&mut self.ctx.scratch_f64);
+                self.drive_ring(&shared, count, colors, &cbufs, &pbase, &mut scratch);
+                self.ctx.scratch_f64 = scratch;
+            }
+        }
+
+        // Phase C — every rank copies every color's finished chunks out,
+        // chasing the result counters.
+        for c in 0..colors {
+            let (lo, hi) = span(c);
+            let total = (hi - lo) * 8;
+            let mut seen = 0usize;
+            while seen < total {
+                let avail = self
+                    .ctx
+                    .aux_counter(n + c)
+                    .wait_past(rbase[c], seen as u64 + 1) as usize;
+                let avail = avail.min(total);
+                // SAFETY: result counter acquire ordered us after the full
+                // chunks were written; our output is ours.
+                unsafe { output.copy_from(lo * 8 + seen, &cbufs[c], seen, avail - seen) };
+                seen = avail;
+            }
+        }
+
+        self.ctx.barrier();
+        self.ctx.registry().unexpose(me as u32, in_tag);
+        if my_color.is_some() {
+            self.ctx.registry().unexpose(me as u32, cb_tag);
+        }
+    }
+
+    /// The ring engine (rank 0, m ≥ 2): advances every color concurrently
+    /// without ever blocking on a single flow. Partials of color `c` travel
+    /// position 0 → m-1 along the color's ring direction, accumulating this
+    /// node's partial at each hop; the last position writes the full result
+    /// and circulates it back 0 → m-2. Every consume is gated on local
+    /// readiness *and* downstream space, so head-of-line blocking cannot
+    /// deadlock: the terminal consumers (last position for partials,
+    /// position m-2 for fulls) consume unconditionally once their local
+    /// partial is ready.
+    fn drive_ring(
+        &mut self,
+        shared: &ClusterShared,
+        count: usize,
+        colors: usize,
+        cbufs: &[Arc<SharedRegion>],
+        pbase: &[u64],
+        scratch: &mut Vec<f64>,
+    ) {
+        let m = shared.m;
+        let n = shared.n;
+        let v = self.node;
+        let fabric = &shared.fabric;
+        let ce = fabric.chunk_bytes() / 8;
+
+        struct Flow {
+            dir: RingDir,
+            pos: usize,
+            owner: usize,
+            span: usize, // elements
+            kt: usize,   // chunks
+            injected: usize,
+            combined: usize,
+            fulls_local: usize,
+            fulls_sent: usize,
+        }
+        let sends_fulls = |pos: usize| pos == m - 1 || pos != m - 2;
+        let finished = |f: &Flow| {
+            f.fulls_local == f.kt
+                && f.injected == if f.pos == 0 { f.kt } else { 0 }
+                && f.combined == if f.pos > 0 { f.kt } else { 0 }
+                && f.fulls_sent == if sends_fulls(f.pos) { f.kt } else { 0 }
+        };
+
+        let mut flows: Vec<Flow> = (0..colors)
+            .map(|c| {
+                let dir = if c % 2 == 0 {
+                    RingDir::Plus
+                } else {
+                    RingDir::Minus
+                };
+                let lo = c * count / colors;
+                let hi = (c + 1) * count / colors;
+                Flow {
+                    dir,
+                    pos: fabric.ring_pos(v, dir),
+                    owner: if n == 1 { 0 } else { c + 1 },
+                    span: hi - lo,
+                    kt: (hi - lo).div_ceil(ce),
+                    injected: 0,
+                    combined: 0,
+                    fulls_local: 0,
+                    fulls_sent: 0,
+                }
+            })
+            .collect();
+        // Bytes of chunk k within a span, and cumulative bytes of the first
+        // `upto` chunks.
+        let chunk_len = |span: usize, k: usize| (span.min((k + 1) * ce) - k * ce) * 8;
+        let cum_bytes = |span: usize, upto: usize| (span.min(upto * ce) * 8) as u64;
+
+        loop {
+            let mut progressed = false;
+
+            for (c, f) in flows.iter_mut().enumerate() {
+                let out = fabric.ring_send(v, f.dir);
+                if f.pos == 0 {
+                    // Inject partials as the owner publishes them.
+                    while f.injected < f.kt
+                        && self.ctx.aux_counter(f.owner).read() - pbase[c]
+                            >= cum_bytes(f.span, f.injected + 1)
+                        && out.can_send()
+                    {
+                        let k = f.injected;
+                        let clen = chunk_len(f.span, k);
+                        let cbuf = &cbufs[c];
+                        // SAFETY: gated on the owner's publish of chunk k.
+                        let ok =
+                            out.try_send_with(pack_tag(c, KIND_PARTIAL, k), clen, |dst| unsafe {
+                                cbuf.read(k * ce * 8, dst)
+                            });
+                        debug_assert!(ok, "can_send held and we are the sole producer");
+                        f.injected += 1;
+                        progressed = true;
+                    }
+                }
+                if f.pos == m - 1 {
+                    // Send locally produced fulls when the wrap link has room.
+                    while f.fulls_sent < f.fulls_local && out.can_send() {
+                        let k = f.fulls_sent;
+                        let clen = chunk_len(f.span, k);
+                        let cbuf = &cbufs[c];
+                        // SAFETY: the full was written by this thread.
+                        let ok = out.try_send_with(pack_tag(c, KIND_FULL, k), clen, |dst| unsafe {
+                            cbuf.read(k * ce * 8, dst)
+                        });
+                        debug_assert!(ok);
+                        f.fulls_sent += 1;
+                        progressed = true;
+                    }
+                }
+            }
+
+            for dir in [RingDir::Plus, RingDir::Minus] {
+                let in_ch = fabric.ring_recv(v, dir);
+                while let Some(tag) = in_ch.peek_tag() {
+                    let (c, kind, k) = unpack_tag(tag);
+                    let f = &mut flows[c];
+                    debug_assert_eq!(f.dir, dir, "flow routed on the wrong ring direction");
+                    let out = fabric.ring_send(v, dir);
+                    let clen = chunk_len(f.span, k);
+                    let off = k * ce * 8;
+                    let cbuf = &cbufs[c];
+                    if kind == KIND_PARTIAL {
+                        debug_assert!(f.pos > 0);
+                        debug_assert_eq!(k, f.combined, "partials must arrive in order");
+                        // Gate: our own partial must be ready to combine, and
+                        // (unless we are the last position) the combined
+                        // chunk must have somewhere to go.
+                        if self.ctx.aux_counter(f.owner).read() - pbase[c]
+                            < cum_bytes(f.span, k + 1)
+                        {
+                            break;
+                        }
+                        if f.pos < m - 1 && !out.can_send() {
+                            break;
+                        }
+                        scratch.clear();
+                        scratch.resize(clen / 8, 0.0);
+                        read_f64s_into(cbuf, off, scratch);
+                        in_ch.recv_with(|_, bytes| add_bytes_f64(scratch, bytes));
+                        if f.pos < m - 1 {
+                            let ok = out.try_send_with(pack_tag(c, KIND_PARTIAL, k), clen, |dst| {
+                                f64s_to_bytes(scratch, dst)
+                            });
+                            debug_assert!(ok);
+                        } else {
+                            // Last hop: the combined chunk is the result.
+                            write_f64s(cbuf, off, scratch);
+                            self.ctx.aux_counter(n + c).publish(clen as u64);
+                            f.fulls_local += 1;
+                        }
+                        f.combined += 1;
+                        progressed = true;
+                    } else {
+                        debug_assert!(f.pos < m - 1, "the originator never receives fulls");
+                        debug_assert_eq!(k, f.fulls_local, "fulls must arrive in order");
+                        let forwards = sends_fulls(f.pos);
+                        if forwards && !out.can_send() {
+                            break;
+                        }
+                        // SAFETY: our earlier consumption of partial chunk k
+                        // (or, at position 0, its injection) ordered every
+                        // other reader of this range before this overwrite.
+                        in_ch.recv_with(|_, bytes| unsafe { cbuf.write(off, bytes) });
+                        self.ctx.aux_counter(n + c).publish(clen as u64);
+                        f.fulls_local += 1;
+                        if forwards {
+                            // SAFETY: written just above by this thread.
+                            let ok =
+                                out.try_send_with(pack_tag(c, KIND_FULL, k), clen, |dst| unsafe {
+                                    cbuf.read(off, dst)
+                                });
+                            debug_assert!(ok);
+                            f.fulls_sent += 1;
+                        }
+                        progressed = true;
+                    }
+                }
+            }
+
+            if flows.iter().all(finished) {
+                break;
+            }
+            if !progressed {
+                bgp_shmem::spin();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_node_major_results() {
+        let cluster = Cluster::new(3, 2);
+        let out = cluster.run(|cctx| (cctx.node(), cctx.rank(), cctx.global_rank()));
+        assert_eq!(out.len(), 3);
+        for (node, ranks) in out.iter().enumerate() {
+            assert_eq!(ranks.len(), 2);
+            for (rank, &(gn, gr, gg)) in ranks.iter().enumerate() {
+                assert_eq!((gn, gr, gg), (node, rank, node * 2 + rank));
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_workers_keep_state_across_runs() {
+        let cluster = Cluster::new(2, 2);
+        let a = cluster.run(|cctx| cctx.intra().next_op());
+        let b = cluster.run(|cctx| cctx.intra().next_op());
+        assert!(a.iter().flatten().all(|&v| v == 1));
+        assert!(b.iter().flatten().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn intra_node_collectives_work_inside_a_cluster() {
+        // Each node broadcasts independently over its own NodeShared.
+        let cluster = Cluster::new(2, 3);
+        let out = cluster.run(|cctx| {
+            let node = cctx.node();
+            let ctx = cctx.intra();
+            let buf = ctx.alloc_buffer(1000);
+            if ctx.rank() == 0 {
+                unsafe { buf.write(0, &vec![node as u8 + 7; 1000]) };
+            }
+            ctx.barrier();
+            ctx.bcast_shaddr(0, &buf, 1000, 256);
+            unsafe { buf.snapshot() }
+        });
+        for (node, ranks) in out.iter().enumerate() {
+            for snap in ranks {
+                assert!(snap.iter().all(|&b| b == node as u8 + 7));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rank_panic_is_reported() {
+        let cluster = Cluster::new(1, 2);
+        cluster.run(|cctx| {
+            // Both ranks panic immediately: no rank is left spinning on a
+            // half-finished collective, so collection terminates.
+            panic!("boom from rank {}", cctx.rank());
+        });
+    }
+
+    #[test]
+    fn poisoned_cluster_refuses_further_runs() {
+        let cluster = Cluster::new(1, 2);
+        let first = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cluster.run(|_| panic!("boom"));
+        }));
+        assert!(first.is_err());
+        let second = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            cluster.run(|_| 0);
+        }));
+        assert!(second.is_err(), "a poisoned cluster must refuse to run");
+    }
+
+    #[test]
+    fn small_cluster_bcast_smoke() {
+        // Root node 0 and 1, a couple of sizes; exhaustive coverage lives
+        // in the root integration tests.
+        let cluster = Cluster::with_geometry(2, 2, 64, 2);
+        for root in 0..2usize {
+            for len in [0usize, 1, 63, 64, 65, 1000] {
+                let out = cluster.run(move |cctx| {
+                    let buf = cctx.intra().alloc_buffer(len.max(1));
+                    if cctx.node() == root && cctx.rank() == 0 {
+                        let pat: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                        unsafe { buf.write(0, &pat) };
+                    }
+                    cctx.intra().barrier();
+                    cctx.bcast(root, &buf, len);
+                    unsafe { buf.snapshot() }
+                });
+                for ranks in &out {
+                    for snap in ranks {
+                        for (i, &b) in snap[..len].iter().enumerate() {
+                            assert_eq!(b, (i % 251) as u8, "root={root} len={len} byte {i}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_cluster_allreduce_smoke() {
+        let cluster = Cluster::with_geometry(2, 2, 64, 2);
+        for count in [0usize, 1, 7, 129] {
+            let out = cluster.run(move |cctx| {
+                let g = cctx.global_rank() as f64;
+                let input = cctx.intra().alloc_buffer((count * 8).max(1));
+                let output = cctx.intra().alloc_buffer((count * 8).max(1));
+                let vals: Vec<f64> = (0..count).map(|i| i as f64 + g).collect();
+                write_f64s(&input, 0, &vals);
+                cctx.intra().barrier();
+                cctx.allreduce_f64(&input, &output, count);
+                crate::collectives::read_f64s(&output, 0, count)
+            });
+            // 4 global ranks: sum_i = 4*i + (0+1+2+3).
+            for ranks in &out {
+                for got in ranks {
+                    for (i, &gv) in got.iter().enumerate() {
+                        assert_eq!(gv, 4.0 * i as f64 + 6.0, "count={count} elem {i}");
+                    }
+                }
+            }
+        }
+    }
+}

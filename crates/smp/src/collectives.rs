@@ -38,39 +38,77 @@ pub struct FifoMsg {
     pub conn: u32,
     /// Valid bytes in `data`.
     pub len: u32,
-    /// Slot payload.
-    pub data: Box<[u8; FIFO_SLOT_BYTES]>,
+    /// Slot payload. Shared (`Arc`) so handing the message to each consumer
+    /// is a refcount bump rather than a 4 KB allocate-and-copy; the producer
+    /// recycles payload buffers through its [`RankCtx`] pool once every
+    /// consumer has dropped its clone.
+    pub data: Arc<[u8; FIFO_SLOT_BYTES]>,
 }
 
-impl FifoMsg {
-    fn new(conn: u32) -> Self {
-        FifoMsg {
-            conn,
-            len: 0,
-            data: Box::new([0u8; FIFO_SLOT_BYTES]),
+/// Stack staging size for chunked `f64` ↔ byte conversion (128 doubles):
+/// keeps every helper below allocation-free.
+const F64_STAGE_BYTES: usize = 1024;
+
+/// Write a slice of `f64`s into a region at byte `offset`.
+pub fn write_f64s(region: &SharedRegion, offset: usize, vals: &[f64]) {
+    let mut stage = [0u8; F64_STAGE_BYTES];
+    for (j, chunk) in vals.chunks(F64_STAGE_BYTES / 8).enumerate() {
+        let nb = chunk.len() * 8;
+        f64s_to_bytes(chunk, &mut stage[..nb]);
+        // SAFETY: caller is the unique writer of this range (SPMD
+        // partitioning).
+        unsafe { region.write(offset + j * F64_STAGE_BYTES, &stage[..nb]) };
+    }
+}
+
+/// Read `out.len()` `f64`s from a region at byte `offset` into `out`.
+pub fn read_f64s_into(region: &SharedRegion, offset: usize, out: &mut [f64]) {
+    let mut stage = [0u8; F64_STAGE_BYTES];
+    for (j, chunk) in out.chunks_mut(F64_STAGE_BYTES / 8).enumerate() {
+        let nb = chunk.len() * 8;
+        // SAFETY: caller ordered this read after the producing writes.
+        unsafe { region.read(offset + j * F64_STAGE_BYTES, &mut stage[..nb]) };
+        for (v, b) in chunk.iter_mut().zip(stage[..nb].chunks_exact(8)) {
+            *v = f64::from_ne_bytes(b.try_into().unwrap());
         }
     }
 }
 
-/// Write a slice of `f64`s into a region at byte `offset`.
-pub fn write_f64s(region: &SharedRegion, offset: usize, vals: &[f64]) {
-    let mut bytes = Vec::with_capacity(vals.len() * 8);
-    for v in vals {
-        bytes.extend_from_slice(&v.to_ne_bytes());
-    }
-    // SAFETY: caller is the unique writer of this range (SPMD partitioning).
-    unsafe { region.write(offset, &bytes) };
+/// Read `count` `f64`s from a region at byte `offset` (allocating wrapper
+/// over [`read_f64s_into`]).
+pub fn read_f64s(region: &SharedRegion, offset: usize, count: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; count];
+    read_f64s_into(region, offset, &mut out);
+    out
 }
 
-/// Read `count` `f64`s from a region at byte `offset`.
-pub fn read_f64s(region: &SharedRegion, offset: usize, count: usize) -> Vec<f64> {
-    let mut bytes = vec![0u8; count * 8];
-    // SAFETY: caller ordered this read after the producing writes.
-    unsafe { region.read(offset, &mut bytes) };
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
-        .collect()
+/// Add the `acc.len()` `f64`s at byte `offset` of `region` into `acc`,
+/// element-wise.
+pub fn accumulate_f64s(region: &SharedRegion, offset: usize, acc: &mut [f64]) {
+    let mut stage = [0u8; F64_STAGE_BYTES];
+    for (j, chunk) in acc.chunks_mut(F64_STAGE_BYTES / 8).enumerate() {
+        let nb = chunk.len() * 8;
+        // SAFETY: caller ordered this read after the producing writes.
+        unsafe { region.read(offset + j * F64_STAGE_BYTES, &mut stage[..nb]) };
+        add_bytes_f64(chunk, &stage[..nb]);
+    }
+}
+
+/// Element-wise add `bytes` (native-endian `f64`s) into `acc`.
+pub fn add_bytes_f64(acc: &mut [f64], bytes: &[u8]) {
+    debug_assert_eq!(bytes.len(), acc.len() * 8);
+    for (a, b) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
+        *a += f64::from_ne_bytes(b.try_into().unwrap());
+    }
+}
+
+/// Serialize `vals` into `dst` (native-endian); `dst` must be exactly 8×
+/// as long as `vals`.
+pub fn f64s_to_bytes(vals: &[f64], dst: &mut [u8]) {
+    assert_eq!(dst.len(), vals.len() * 8);
+    for (v, d) in vals.iter().zip(dst.chunks_exact_mut(8)) {
+        d.copy_from_slice(&v.to_ne_bytes());
+    }
 }
 
 impl RankCtx {
@@ -83,7 +121,6 @@ impl RankCtx {
         let me = self.rank();
 
         if me == root {
-            let mut tmp = vec![0u8; STAGING_HALF_BYTES];
             for k in 0..n_chunks {
                 let off = k * STAGING_HALF_BYTES;
                 let clen = (len - off).min(STAGING_HALF_BYTES);
@@ -96,11 +133,12 @@ impl RankCtx {
                 }
                 // SAFETY: root is the only writer of buf/staging here;
                 // peers read staging only after the counter publish below.
+                // Region-to-region: exactly the two copies per byte the
+                // staged scheme is charged for (buf→staging, staging→buf).
                 unsafe {
-                    buf.read(off, &mut tmp[..clen]);
                     self.staging()
-                        .write(half * STAGING_HALF_BYTES, &tmp[..clen]);
-                }
+                        .copy_from(half * STAGING_HALF_BYTES, buf, off, clen)
+                };
                 self.msg_counter(root).publish(clen as u64);
             }
             // Drain the last (up to two) outstanding half-uses and rearm.
@@ -148,11 +186,19 @@ impl RankCtx {
                 }
                 let off = k * FIFO_SLOT_BYTES;
                 let clen = (len - off).min(FIFO_SLOT_BYTES);
-                let mut msg = FifoMsg::new(conn);
-                msg.len = clen as u32;
+                // Recycle a payload buffer from the pool (a fresh one is
+                // allocated — without zero-fill of live bytes — only while
+                // consumers still hold clones of every pooled buffer).
+                let mut data = self.take_fifo_buffer();
+                let dst = Arc::get_mut(&mut data).expect("pooled buffer is uniquely owned");
                 // SAFETY: root reads its own buffer.
-                unsafe { buf.read(off, &mut msg.data[..clen]) };
-                self.fifo().enqueue(msg);
+                unsafe { buf.read(off, &mut dst[..clen]) };
+                self.fifo().enqueue(FifoMsg {
+                    conn,
+                    len: clen as u32,
+                    data: data.clone(),
+                });
+                self.return_fifo_buffer(data);
             }
             while drained < n_msgs {
                 let _ = self.consumer().recv();
@@ -269,14 +315,17 @@ impl RankCtx {
         let lo = me * count / n;
         let hi = (me + 1) * count / n;
         if hi > lo {
-            let mut acc = read_f64s(&inputs[0], lo * 8, hi - lo);
+            // Reduce into the rank's persistent accumulator: no per-rank
+            // Vec churn, and (after warm-up) no allocation at all.
+            let mut acc = std::mem::take(&mut self.scratch_f64);
+            acc.clear();
+            acc.resize(hi - lo, 0.0);
+            read_f64s_into(&inputs[0], lo * 8, &mut acc);
             for inp in &inputs[1..] {
-                let vals = read_f64s(inp, lo * 8, hi - lo);
-                for (a, v) in acc.iter_mut().zip(vals) {
-                    *a += v;
-                }
+                accumulate_f64s(inp, lo * 8, &mut acc);
             }
             write_f64s(&result, lo * 8, &acc);
+            self.scratch_f64 = acc;
         }
         self.msg_counter(me).publish(((hi - lo) * 8).max(1) as u64);
 
@@ -404,13 +453,13 @@ mod tests {
         len: usize,
         run: impl Fn(&mut RankCtx, usize, &Arc<SharedRegion>, usize) + Sync,
     ) {
-        let results = run_node(n_ranks, |mut ctx| {
+        let results = run_node(n_ranks, |ctx| {
             let buf = ctx.alloc_buffer(len.max(1));
             if ctx.rank() == root {
                 unsafe { buf.write(0, &pattern(len, 0x5a)) };
             }
             ctx.barrier();
-            run(&mut ctx, root, &buf, len);
+            run(ctx, root, &buf, len);
             unsafe { buf.snapshot() }
         });
         for (rank, got) in results.iter().enumerate() {
@@ -465,7 +514,7 @@ mod tests {
     fn fifo_bcast_rotating_roots_back_to_back() {
         // Exercises slot retirement when the producer role moves around.
         let len = 10 * FIFO_SLOT_BYTES;
-        let results = run_node(4, |mut ctx| {
+        let results = run_node(4, |ctx| {
             let buf = ctx.alloc_buffer(len);
             let mut sums = Vec::new();
             for root in 0..4usize {
@@ -509,7 +558,7 @@ mod tests {
     #[test]
     fn shaddr_repeated_ops_reuse_window_cache() {
         let len = 64 * 1024;
-        let results = run_node(4, |mut ctx| {
+        let results = run_node(4, |ctx| {
             let buf = ctx.alloc_buffer(len);
             if ctx.rank() == 0 {
                 unsafe { buf.write(0, &pattern(len, 1)) };
@@ -531,7 +580,7 @@ mod tests {
     #[test]
     fn allreduce_matches_sequential_sum() {
         for count in [0usize, 1, 7, 1024, stress_iters(10_000)] {
-            let results = run_node(4, move |mut ctx| {
+            let results = run_node(4, move |ctx| {
                 let me = ctx.rank();
                 let input = ctx.alloc_buffer((count * 8).max(1));
                 let output = ctx.alloc_buffer((count * 8).max(1));
@@ -561,7 +610,7 @@ mod tests {
     #[test]
     fn allreduce_repeats_are_stable() {
         let count = 4096;
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let me = ctx.rank();
             let input = ctx.alloc_buffer(count * 8);
             let output = ctx.alloc_buffer(count * 8);
@@ -588,7 +637,7 @@ mod tests {
             (2, 1, 1),
             (3, 0, 0),
         ] {
-            let results = run_node(n, move |mut ctx| {
+            let results = run_node(n, move |ctx| {
                 let me = ctx.rank();
                 let send = ctx.alloc_buffer(len.max(1));
                 let recv = ctx.alloc_buffer((n * len).max(1));
@@ -613,7 +662,7 @@ mod tests {
     #[test]
     fn allgather_gives_everyone_everything() {
         let len = 5000usize;
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let me = ctx.rank();
             let send = ctx.alloc_buffer(len);
             let recv = ctx.alloc_buffer(4 * len);
@@ -637,7 +686,7 @@ mod tests {
     #[test]
     fn allgather_repeats_rearm_cleanly() {
         let len = 2048usize;
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let me = ctx.rank();
             let send = ctx.alloc_buffer(len);
             let recv = ctx.alloc_buffer(4 * len);
@@ -659,7 +708,7 @@ mod tests {
         // Interleave all three broadcast paths and the allreduce in one
         // program, ensuring shared structures rearm correctly between ops.
         let len = stress_iters(150_000);
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let buf = ctx.alloc_buffer(len);
             if ctx.rank() == 3 {
                 unsafe { buf.write(0, &pattern(len, 9)) };
@@ -680,6 +729,71 @@ mod tests {
         for (b, s) in results {
             assert_eq!(b, pattern(len, 9));
             assert!(s.iter().all(|&v| (v - 4.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn f64_helpers_round_trip() {
+        let region = SharedRegion::new(4096 * 8 + 16);
+        let vals: Vec<f64> = (0..300).map(|i| i as f64 * 0.5 - 7.0).collect();
+        write_f64s(&region, 16, &vals);
+        assert_eq!(read_f64s(&region, 16, 300), vals);
+        let mut acc = vec![1.0f64; 300];
+        accumulate_f64s(&region, 16, &mut acc);
+        for (i, a) in acc.iter().enumerate() {
+            assert_eq!(*a, 1.0 + vals[i]);
+        }
+        let mut bytes = vec![0u8; 300 * 8];
+        f64s_to_bytes(&vals, &mut bytes);
+        let mut sum = vec![0.0f64; 300];
+        add_bytes_f64(&mut sum, &bytes);
+        assert_eq!(sum, vals);
+    }
+
+    #[test]
+    fn all_bcast_paths_degenerate_shapes() {
+        // root ∈ {1, n−1}, length edge cases around the staging half, and
+        // the single-rank node, for every broadcast path.
+        for n in [1usize, 2, 4] {
+            for root in [1usize.min(n - 1), n - 1] {
+                for len in [0usize, 1, STAGING_HALF_BYTES - 1, STAGING_HALF_BYTES + 1] {
+                    check_bcast(n, root, len, |ctx, root, buf, len| {
+                        ctx.bcast_shmem(root, buf, len)
+                    });
+                    check_bcast(n, root, len, |ctx, root, buf, len| {
+                        ctx.bcast_fifo(root, buf, len, 5)
+                    });
+                    check_bcast(n, root, len, |ctx, root, buf, len| {
+                        ctx.bcast_shaddr(root, buf, len, 4096)
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_degenerate_shapes() {
+        // n = 1 (self-reduce) and odd rank counts; counts that do not split
+        // evenly across ranks, including zero and one element.
+        for n in [1usize, 2, 3] {
+            for count in [0usize, 1, 1023] {
+                let results = run_node(n, move |ctx| {
+                    let me = ctx.rank();
+                    let input = ctx.alloc_buffer((count * 8).max(1));
+                    let output = ctx.alloc_buffer((count * 8).max(1));
+                    let vals: Vec<f64> = (0..count).map(|i| (i + me) as f64).collect();
+                    write_f64s(&input, 0, &vals);
+                    ctx.barrier();
+                    ctx.allreduce_f64(&input, &output, count);
+                    read_f64s(&output, 0, count)
+                });
+                for (rank, got) in results.iter().enumerate() {
+                    for (i, &g) in got.iter().enumerate() {
+                        let e: f64 = (0..n).map(|r| (i + r) as f64).sum();
+                        assert_eq!(g, e, "n={n} rank={rank} count={count} elem {i}");
+                    }
+                }
+            }
         }
     }
 }

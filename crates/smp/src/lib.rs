@@ -8,17 +8,29 @@
 //! counters, completion counters, and the window registry standing in for
 //! CNK process windows.
 //!
+//! Scaling out, a [`Cluster`] runs M such nodes at once — still all real
+//! threads — connected by a [`transport`] fabric of paced byte-chunk
+//! channels (tree + ring links, mirroring the simulator's topology), and
+//! [`cluster`] implements the paper's two *integrated* protocols end to
+//! end: the §V-A/V-B core-specialized broadcast and the §V-C multi-color
+//! ring allreduce. Both runtimes are persistent: rank threads park on job
+//! queues between operations instead of being respawned per call.
+//!
 //! This is the half of the reproduction that needs no simulation. It backs:
 //!
 //! * correctness/stress testing of the §IV data structures under genuine
 //!   concurrency;
 //! * the `intranode_real` criterion bench (staged-shmem vs Bcast-FIFO vs
-//!   shared-address-counter broadcast on the host machine);
+//!   shared-address-counter broadcast on the host machine) and the
+//!   `cluster_real` sustained-traffic bench;
 //! * the quickstart example.
 
 pub mod barrier;
+pub mod cluster;
 pub mod collectives;
 pub mod runtime;
+pub mod transport;
 
 pub use barrier::SenseBarrier;
-pub use runtime::{run_node, RankCtx};
+pub use cluster::{Cluster, ClusterCtx, ClusterStats};
+pub use runtime::{run_node, NodeRuntime, RankCtx};

@@ -1,14 +1,24 @@
-//! The node runtime: one thread per MPI rank of one node.
+//! The node runtime: one persistent thread per MPI rank of one node.
 //!
-//! [`run_node`] spawns `n` rank-threads over a shared [`NodeShared`] state —
-//! the barrier, the window registry, the per-rank message/completion
-//! counters, one node-wide Bcast FIFO — and hands each thread a [`RankCtx`].
-//! The intra-node collectives in [`crate::collectives`] are methods on
-//! `RankCtx`, called SPMD-style by all ranks like MPI collectives.
+//! [`run_node`] executes a body SPMD-style on `n` rank-threads over a shared
+//! [`NodeShared`] state — the barrier, the window registry, the per-rank
+//! message/completion counters, one node-wide Bcast FIFO — handing each
+//! thread a [`RankCtx`]. The intra-node collectives in
+//! [`crate::collectives`] are methods on `RankCtx`, called SPMD-style by all
+//! ranks like MPI collectives.
+//!
+//! Since the cluster runtime landed, `run_node` is a convenience shim over
+//! [`NodeRuntime`] (itself a single-node [`crate::cluster::Cluster`]): the
+//! rank threads are *persistent* — parked on a job queue between operations
+//! — so callers that issue many operations should hold a `NodeRuntime` (or
+//! `Cluster`) and pay thread spawn + `NodeShared` construction once, not
+//! per call. `run_node` builds and drops a one-shot runtime, preserving the
+//! old semantics for tests and examples.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+use bgp_shmem::sync::atomic::AtomicU64;
 use bgp_shmem::sync::Mutex;
 
 use bgp_shmem::{
@@ -16,6 +26,7 @@ use bgp_shmem::{
 };
 
 use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::cluster::Cluster;
 use crate::collectives::FifoMsg;
 
 /// Bcast FIFO geometry used by the runtime (paper-plausible defaults:
@@ -27,13 +38,27 @@ pub const FIFO_SLOTS: usize = 64;
 /// 64 KB (double buffering).
 pub const STAGING_HALF_BYTES: usize = 64 * 1024;
 
+/// Per-node probe counters for the cluster protocols (relaxed, diagnostic).
+#[derive(Default)]
+pub struct ClusterNodeStats {
+    /// Cluster broadcasts this node participated in as a non-root node.
+    pub bcast_recv_ops: AtomicU64,
+    /// Copy-out ranks that observed the reception counter *short of the
+    /// full message* on their first copy — i.e. intra-node copy-out began
+    /// while network chunks were still arriving. Non-zero values are the
+    /// probe evidence that the integrated broadcast pipelines reception
+    /// with copies (§V-B).
+    pub copyout_overlapped: AtomicU64,
+}
+
 /// State shared by all ranks of the node.
 pub struct NodeShared {
     n: usize,
     barrier: SenseBarrier,
     registry: WindowRegistry,
     /// Per-rank message counter: counter `r` is published by rank `r` when
-    /// it acts as a producer (master / partition owner).
+    /// it acts as a producer (master / partition owner). Reset per
+    /// operation by the intra-node collectives (reset protocol).
     msg_counters: Vec<MessageCounter>,
     /// Per-rank completion counter, expecting `n-1` arrivals.
     done_counters: Vec<CompletionCounter>,
@@ -46,10 +71,17 @@ pub struct NodeShared {
     fifo: Arc<BcastFifo<FifoMsg>>,
     /// Each rank claims its consumer handle at startup.
     consumer_slots: Vec<Mutex<Option<BcastConsumer<FifoMsg>>>>,
+    /// Counters for the cluster protocols, used *cumulatively* (never
+    /// reset — see `MessageCounter`'s cumulative-reuse docs). Index `r` in
+    /// `0..n` is rank `r`'s producer stream (broadcast reception, allreduce
+    /// partials); index `n + c` is the allreduce result stream of color `c`.
+    aux_counters: Vec<MessageCounter>,
+    /// Cluster-protocol probe counters.
+    cluster_stats: ClusterNodeStats,
 }
 
 impl NodeShared {
-    fn new(n: usize) -> Arc<Self> {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
         assert!(n >= 1, "a node has at least one rank");
         let (fifo, consumers) = BcastFifo::with_consumers(FIFO_SLOTS, n);
         let consumer_slots = consumers.into_iter().map(|c| Mutex::new(Some(c))).collect();
@@ -68,11 +100,18 @@ impl NodeShared {
             staging: Arc::new(SharedRegion::new(2 * STAGING_HALF_BYTES)),
             fifo,
             consumer_slots,
+            aux_counters: (0..2 * n).map(|_| MessageCounter::new()).collect(),
+            cluster_stats: ClusterNodeStats::default(),
         })
+    }
+
+    /// Cluster-protocol probe counters of this node.
+    pub fn cluster_stats(&self) -> &ClusterNodeStats {
+        &self.cluster_stats
     }
 }
 
-/// One rank's view of the node. Created by [`run_node`]; the collectives of
+/// One rank's view of the node. Created by the runtime; the collectives of
 /// [`crate::collectives`] are implemented as methods on this.
 pub struct RankCtx {
     rank: usize,
@@ -85,9 +124,34 @@ pub struct RankCtx {
     /// Region pointers this rank has mapped before (its window cache, the
     /// subject of Figure 8).
     pub(crate) mapped_before: HashSet<usize>,
+    /// Reused f64 accumulator for `allreduce_f64` — reduces are performed
+    /// into this, so the steady state allocates nothing per call.
+    pub(crate) scratch_f64: Vec<f64>,
+    /// Recycled Bcast-FIFO payload buffers (root side of `bcast_fifo`):
+    /// buffers come back once every consumer retired the slot holding them,
+    /// so the steady state allocates nothing per chunk.
+    pub(crate) fifo_pool: VecDeque<Arc<[u8; FIFO_SLOT_BYTES]>>,
 }
 
 impl RankCtx {
+    pub(crate) fn new(shared: Arc<NodeShared>, rank: usize) -> Self {
+        let consumer = shared.consumer_slots[rank]
+            .lock()
+            .take()
+            .expect("consumer already claimed");
+        let token = shared.barrier.token();
+        RankCtx {
+            rank,
+            shared,
+            token,
+            consumer,
+            op_seq: 0,
+            mapped_before: HashSet::new(),
+            scratch_f64: Vec::new(),
+            fifo_pool: VecDeque::new(),
+        }
+    }
+
     /// This rank's id in `0..n_ranks`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -145,6 +209,40 @@ impl RankCtx {
         &mut self.consumer
     }
 
+    /// Cumulative counter `i` of the cluster protocols (`i < 2n`; see
+    /// `NodeShared::aux_counters` for the index scheme).
+    pub(crate) fn aux_counter(&self, i: usize) -> &MessageCounter {
+        &self.shared.aux_counters[i]
+    }
+
+    /// This node's cluster probe counters.
+    pub(crate) fn cluster_stats(&self) -> &ClusterNodeStats {
+        &self.shared.cluster_stats
+    }
+
+    /// Take a FIFO payload buffer from the recycle pool (guaranteed to be
+    /// uniquely owned), or allocate a fresh zeroed one if every pooled
+    /// buffer is still in flight.
+    pub(crate) fn take_fifo_buffer(&mut self) -> Arc<[u8; FIFO_SLOT_BYTES]> {
+        if let Some(mut front) = self.fifo_pool.pop_front() {
+            if Arc::get_mut(&mut front).is_some() {
+                return front;
+            }
+            // Still referenced by an un-retired slot: keep it for later.
+            self.fifo_pool.push_back(front);
+        }
+        Arc::new([0u8; FIFO_SLOT_BYTES])
+    }
+
+    /// Return a FIFO payload buffer to the recycle pool. The pool is capped
+    /// at one buffer more than the FIFO has slots — the maximum that can be
+    /// in flight plus the one being filled.
+    pub(crate) fn return_fifo_buffer(&mut self, buf: Arc<[u8; FIFO_SLOT_BYTES]>) {
+        if self.fifo_pool.len() <= FIFO_SLOTS {
+            self.fifo_pool.push_back(buf);
+        }
+    }
+
     /// Advance and return the collective sequence number.
     pub(crate) fn next_op(&mut self) -> u64 {
         self.op_seq += 1;
@@ -152,11 +250,51 @@ impl RankCtx {
     }
 }
 
-/// Run `n_ranks` rank-threads, each executing `body(ctx)` SPMD-style.
+/// A persistent single-node runtime: `n` rank-threads parked on job queues,
+/// executing one SPMD body per [`run`](Self::run) call.
+///
+/// This is [`Cluster`] with one node — see [`crate::cluster`] for the
+/// multi-node form. Use it instead of [`run_node`] whenever more than one
+/// operation runs: thread spawn and `NodeShared` construction happen once,
+/// and per-rank state that feeds the hot paths (the window cache, the
+/// allreduce accumulator, the FIFO buffer pool) survives across calls.
+pub struct NodeRuntime {
+    cluster: Cluster,
+}
+
+impl NodeRuntime {
+    /// Spawn a persistent runtime of `n_ranks` rank-threads.
+    pub fn new(n_ranks: usize) -> Self {
+        NodeRuntime {
+            cluster: Cluster::new(1, n_ranks),
+        }
+    }
+
+    /// Ranks on the node.
+    pub fn n_ranks(&self) -> usize {
+        self.cluster.n_ranks()
+    }
+
+    /// Run `body` SPMD-style on every rank; returns each rank's result,
+    /// indexed by rank.
+    pub fn run<R, F>(&self, body: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut RankCtx) -> R + Send + Sync + 'static,
+    {
+        let mut per_node = self.cluster.run(move |cctx| body(cctx.intra()));
+        per_node.pop().expect("one node")
+    }
+}
+
+/// Run `n_ranks` rank-threads, each executing `body(&mut ctx)` SPMD-style.
 /// Returns each rank's result, indexed by rank.
 ///
+/// One-shot: spawns a [`NodeRuntime`], runs the body once, and tears the
+/// runtime down. Hold a `NodeRuntime` instead when iterating.
+///
 /// ```
-/// let sums = bgp_smp::run_node(4, |mut ctx| {
+/// let sums = bgp_smp::run_node(4, |ctx| {
 ///     let me = ctx.rank();
 ///     ctx.barrier();
 ///     me * 10
@@ -166,38 +304,12 @@ impl RankCtx {
 pub fn run_node<R, F>(n_ranks: usize, body: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(RankCtx) -> R + Sync,
+    F: Fn(&mut RankCtx) -> R + Sync,
 {
-    let shared = NodeShared::new(n_ranks);
-    let body = &body;
-    let mut results: Vec<Option<R>> = (0..n_ranks).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_ranks)
-            .map(|rank| {
-                let shared = shared.clone();
-                scope.spawn(move || {
-                    let consumer = shared.consumer_slots[rank]
-                        .lock()
-                        .take()
-                        .expect("consumer already claimed");
-                    let token = shared.barrier.token();
-                    let ctx = RankCtx {
-                        rank,
-                        shared,
-                        token,
-                        consumer,
-                        op_seq: 0,
-                        mapped_before: HashSet::new(),
-                    };
-                    body(ctx)
-                })
-            })
-            .collect();
-        for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("rank thread panicked"));
-        }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    let cluster = Cluster::new(1, n_ranks);
+    let wrap = |cctx: &mut crate::cluster::ClusterCtx| body(cctx.intra());
+    let mut per_node = cluster.run_borrowed(&wrap);
+    per_node.pop().expect("one node")
 }
 
 #[cfg(test)]
@@ -212,7 +324,7 @@ mod tests {
 
     #[test]
     fn barrier_is_usable_from_ctx() {
-        let out = run_node(3, |mut ctx| {
+        let out = run_node(3, |ctx| {
             let mut releases = 0;
             for _ in 0..10 {
                 if ctx.barrier() {
@@ -226,7 +338,7 @@ mod tests {
 
     #[test]
     fn single_rank_node() {
-        let out = run_node(1, |mut ctx| {
+        let out = run_node(1, |ctx| {
             ctx.barrier();
             ctx.n_ranks()
         });
@@ -235,7 +347,7 @@ mod tests {
 
     #[test]
     fn registry_is_node_wide() {
-        let out = run_node(2, |mut ctx| {
+        let out = run_node(2, |ctx| {
             if ctx.rank() == 0 {
                 let buf = ctx.alloc_buffer(16);
                 unsafe { buf.write(0, &[42; 16]) };
@@ -249,5 +361,28 @@ mod tests {
             b[0]
         });
         assert_eq!(out, vec![42, 42]);
+    }
+
+    #[test]
+    fn node_runtime_persists_rank_state_across_runs() {
+        let rt = NodeRuntime::new(2);
+        assert_eq!(rt.n_ranks(), 2);
+        // op_seq advances across run() calls: the same RankCtx is reused.
+        let first = rt.run(|ctx| ctx.next_op());
+        let second = rt.run(|ctx| ctx.next_op());
+        assert_eq!(first, vec![1, 1]);
+        assert_eq!(second, vec![2, 2]);
+    }
+
+    #[test]
+    fn node_runtime_runs_many_ops_without_respawn() {
+        let rt = NodeRuntime::new(4);
+        for round in 0..20u64 {
+            let out = rt.run(move |ctx| {
+                ctx.barrier();
+                round + ctx.rank() as u64
+            });
+            assert_eq!(out, (0..4).map(|r| round + r).collect::<Vec<_>>());
+        }
     }
 }

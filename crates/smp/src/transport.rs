@@ -1,0 +1,537 @@
+//! The inter-node transport: paced byte-chunk channels and the fabric
+//! wiring them into the BG/P collective topology.
+//!
+//! The real machine moves collective traffic over the combining **tree**
+//! (broadcast down, reduce up) and the 3-D **torus** (the ring phases of the
+//! multi-color allreduce). `bgp-sim` models both as bandwidth servers; this
+//! module is their *real-thread* counterpart: a [`ChunkChannel`] is a
+//! bounded single-producer/single-consumer ring of fixed-size byte chunks —
+//! the bounded capacity is the link's pacing window (a producer that runs
+//! ahead of the consumer blocks, exactly like a full injection FIFO), and
+//! the chunk size is the packetization granularity. A [`Fabric`] owns one
+//! channel per directed link: tree `up`/`down` edges over a fixed binary
+//! tree of node ids, plus `plus`/`minus` ring edges standing in for the
+//! torus neighbor links, mirroring the `bgp-sim` server topology.
+//!
+//! What is real vs. modeled: the *synchronization* (slot cycle-tags with
+//! release/acquire hand-off, backpressure, per-chunk copies) is real and
+//! runs under the `bgp-check` model scheduler like every other primitive in
+//! the workspace; the *timing* (link bandwidth, router hops) is not modeled
+//! here — that remains `bgp-sim`'s job.
+
+use bgp_shmem::pad::CachePadded;
+use bgp_shmem::sync::atomic::{AtomicUsize, Ordering};
+use bgp_shmem::sync::cell::UnsafeCell;
+use bgp_shmem::{model_support, spin};
+
+/// One slot of a [`ChunkChannel`]: a cycle-tagged header plus a fixed-size
+/// payload. `seq` follows the workspace's slot protocol: `t` = free for
+/// ticket `t`, `t + 1` = published, `t + cap` = consumed (free for ticket
+/// `t + cap`).
+struct Slot {
+    seq: AtomicUsize,
+    tag: UnsafeCell<u64>,
+    len: UnsafeCell<usize>,
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: the seq protocol orders all cell accesses (publish with Release,
+// observe with Acquire), exactly as in the FIFOs of `bgp-shmem`.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
+
+/// A bounded SPSC channel of fixed-size byte chunks with a pacing window.
+///
+/// * **Single producer, single consumer** — one thread sends, one receives,
+///   at any given time. The collectives uphold this by fixed endpoint
+///   ownership: each directed link is produced by one node's network rank
+///   and consumed by one neighbor rank.
+/// * **Paced**: capacity is the link window; `send_*` blocks (spin-yield)
+///   when the consumer lags by `capacity` chunks.
+/// * **Tagged**: each chunk carries a `u64` tag (flow id / kind / sequence,
+///   packed by the caller) so multiple flows can share a link and the
+///   consumer can dispatch without consuming ([`peek_tag`](Self::peek_tag)).
+pub struct ChunkChannel {
+    slots: Box<[Slot]>,
+    cap: usize,
+    chunk_bytes: usize,
+    /// Next ticket to send. Written only by the producer (Relaxed); the
+    /// slot `seq` carries the actual synchronization.
+    send_cursor: CachePadded<AtomicUsize>,
+    /// Next ticket to receive. Written only by the consumer.
+    recv_cursor: CachePadded<AtomicUsize>,
+}
+
+impl ChunkChannel {
+    /// A channel of `cap` in-flight chunks of `chunk_bytes` each.
+    ///
+    /// `cap` must be at least 2: with a single slot the cycle tags
+    /// degenerate — round `t`'s *published* tag (`t + 1`) equals round
+    /// `t + 1`'s *free* tag (`t + cap`), so a producer could reclaim a slot
+    /// the consumer has not read yet (found by the `bgp-check` model).
+    pub fn new(cap: usize, chunk_bytes: usize) -> Self {
+        assert!(
+            cap >= 2,
+            "channel needs at least two slots (cycle-tag protocol)"
+        );
+        assert!(chunk_bytes >= 1, "chunks must hold at least one byte");
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                tag: UnsafeCell::new(0),
+                len: UnsafeCell::new(0),
+                data: UnsafeCell::new(vec![0u8; chunk_bytes].into_boxed_slice()),
+            })
+            .collect();
+        ChunkChannel {
+            slots,
+            cap,
+            chunk_bytes,
+            send_cursor: CachePadded::new(AtomicUsize::new(0)),
+            recv_cursor: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Payload capacity of one chunk.
+    #[inline]
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// In-flight chunk capacity (the pacing window).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Chunks ever sent (producer-side view).
+    pub fn sent(&self) -> usize {
+        self.send_cursor.load(Ordering::Relaxed)
+    }
+
+    /// Chunks ever received (consumer-side view).
+    pub fn received(&self) -> usize {
+        self.recv_cursor.load(Ordering::Relaxed)
+    }
+
+    /// Producer: is there room to send without blocking? Once true it stays
+    /// true until this producer sends (space only grows from the producer's
+    /// point of view), so it can safely gate work that must not block.
+    pub fn can_send(&self) -> bool {
+        let t = self.send_cursor.load(Ordering::Relaxed);
+        self.slots[t % self.cap].seq.load(Ordering::Acquire) == t
+    }
+
+    /// Producer: publish a chunk, blocking while the window is full. `fill`
+    /// writes the payload directly into the slot (it receives exactly `len`
+    /// bytes of it).
+    pub fn send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) {
+        let t = self.send_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[t % self.cap];
+        while slot.seq.load(Ordering::Acquire) != t {
+            spin();
+        }
+        self.publish_slot(slot, t, tag, len, fill);
+    }
+
+    /// Producer: publish a chunk if the window has room; returns `false`
+    /// (without calling `fill`) when full.
+    pub fn try_send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) -> bool {
+        let t = self.send_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[t % self.cap];
+        if slot.seq.load(Ordering::Acquire) != t {
+            return false;
+        }
+        self.publish_slot(slot, t, tag, len, fill);
+        true
+    }
+
+    fn publish_slot(&self, slot: &Slot, t: usize, tag: u64, len: usize, f: impl FnOnce(&mut [u8])) {
+        assert!(
+            len <= self.chunk_bytes,
+            "chunk of {len} bytes exceeds channel chunk size {}",
+            self.chunk_bytes
+        );
+        // SAFETY: seq == t means ticket t owns the slot exclusively.
+        unsafe {
+            slot.tag.with_mut(|p| *p = tag);
+            slot.len.with_mut(|p| *p = len);
+            slot.data.with_mut(|p| f(&mut (&mut *p)[..len]));
+        }
+        // Seeded bug: a relaxed publication no longer carries the payload.
+        let order = model_support::relaxed_if("chunk_publish_relaxed", Ordering::Release);
+        slot.seq.store(t + 1, order);
+        self.send_cursor.store(t + 1, Ordering::Relaxed);
+    }
+
+    /// Consumer: the tag of the next chunk, if one is ready. Does not
+    /// consume — the dispatch primitive for links shared by several flows.
+    pub fn peek_tag(&self) -> Option<u64> {
+        let h = self.recv_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[h % self.cap];
+        if slot.seq.load(Ordering::Acquire) != h + 1 {
+            return None;
+        }
+        // SAFETY: published and not yet consumed — header is stable.
+        Some(unsafe { slot.tag.with(|p| *p) })
+    }
+
+    /// Consumer: receive the next chunk, blocking until one is published.
+    /// `f` reads the payload in place (no intermediate copy); the slot is
+    /// recycled after it returns.
+    pub fn recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> R {
+        let h = self.recv_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[h % self.cap];
+        while slot.seq.load(Ordering::Acquire) != h + 1 {
+            spin();
+        }
+        self.consume_slot(slot, h, f)
+    }
+
+    /// Consumer: receive if a chunk is ready; `None` (without calling `f`)
+    /// otherwise.
+    pub fn try_recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> Option<R> {
+        let h = self.recv_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[h % self.cap];
+        if slot.seq.load(Ordering::Acquire) != h + 1 {
+            return None;
+        }
+        Some(self.consume_slot(slot, h, f))
+    }
+
+    fn consume_slot<R>(&self, slot: &Slot, h: usize, f: impl FnOnce(u64, &[u8]) -> R) -> R {
+        // SAFETY: the Acquire of seq == h + 1 ordered us after the
+        // producer's writes; the producer cannot touch the slot again until
+        // the release store below.
+        let r = unsafe {
+            let tag = slot.tag.with(|p| *p);
+            let len = slot.len.with(|p| *p);
+            slot.data.with(|p| f(tag, &(&*p)[..len]))
+        };
+        slot.seq.store(h + self.cap, Ordering::Release);
+        self.recv_cursor.store(h + 1, Ordering::Relaxed);
+        r
+    }
+}
+
+/// Ring direction over the node ids (the torus stand-in): `Plus` sends
+/// `v → (v+1) mod m`, `Minus` sends `v → (v-1) mod m`. The multi-color
+/// allreduce runs different colors in different directions to use both
+/// links at once (§V-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RingDir {
+    /// Ascending node ids (wraps at `m-1 → 0`).
+    Plus,
+    /// Descending node ids (wraps at `0 → m-1`).
+    Minus,
+}
+
+/// The inter-node link fabric: one [`ChunkChannel`] per directed link.
+///
+/// Tree links follow a fixed binary tree over node ids (`parent(v) =
+/// (v-1)/2`, children `2v+1`/`2v+2` — the same shape `bgp-sim` gives its
+/// tree network): `up[v]` carries `v → parent(v)`, `down[v]` carries
+/// `parent(v) → v`. Ring links `plus[v]`/`minus[v]` connect ring neighbors
+/// in each direction. Broadcast routing for an arbitrary root is computed
+/// per operation by re-rooting the fixed tree: every non-root node receives
+/// on the one port facing the root and forwards on all other incident
+/// ports.
+pub struct Fabric {
+    m: usize,
+    chunk_bytes: usize,
+    /// `up[v]`: v → parent(v). `None` for v = 0.
+    up: Vec<Option<ChunkChannel>>,
+    /// `down[v]`: parent(v) → v. `None` for v = 0.
+    down: Vec<Option<ChunkChannel>>,
+    /// `plus[v]`: v → (v+1) mod m. Empty when m == 1.
+    plus: Vec<ChunkChannel>,
+    /// `minus[v]`: v → (v-1) mod m. Empty when m == 1.
+    minus: Vec<ChunkChannel>,
+}
+
+impl Fabric {
+    /// A fabric over `m` nodes with `window`-chunk links of `chunk_bytes`
+    /// per chunk.
+    pub fn new(m: usize, chunk_bytes: usize, window: usize) -> Self {
+        assert!(m >= 1, "a fabric needs at least one node");
+        let tree_link = |v: usize| {
+            if v == 0 {
+                None
+            } else {
+                Some(ChunkChannel::new(window, chunk_bytes))
+            }
+        };
+        let ring: Vec<ChunkChannel> = if m > 1 {
+            (0..m)
+                .map(|_| ChunkChannel::new(window, chunk_bytes))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let ring2: Vec<ChunkChannel> = if m > 1 {
+            (0..m)
+                .map(|_| ChunkChannel::new(window, chunk_bytes))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Fabric {
+            m,
+            chunk_bytes,
+            up: (0..m).map(tree_link).collect(),
+            down: (0..m).map(tree_link).collect(),
+            plus: ring,
+            minus: ring2,
+        }
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.m
+    }
+
+    /// Payload capacity of every link's chunks.
+    #[inline]
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Tree parent of `v` (v > 0).
+    pub fn parent(v: usize) -> usize {
+        debug_assert!(v > 0);
+        (v - 1) / 2
+    }
+
+    /// Tree children of `v` that exist in an `m`-node fabric.
+    pub fn children(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        [2 * v + 1, 2 * v + 2].into_iter().filter(|&c| c < self.m)
+    }
+
+    /// The tree neighbor of `v` on the path toward `root` (v ≠ root): walk
+    /// `root` upward; if the walk passes through `v`, the previous hop is
+    /// the child of `v` facing the root, otherwise the path leaves `v`
+    /// through its parent.
+    fn toward(v: usize, root: usize) -> usize {
+        debug_assert_ne!(v, root);
+        let mut x = root;
+        while x != v && x != 0 {
+            let p = Self::parent(x);
+            if p == v {
+                return x;
+            }
+            x = p;
+        }
+        debug_assert_ne!(v, 0, "the tree root reaches every node downward");
+        Self::parent(v)
+    }
+
+    /// The channel a non-root node `v` receives broadcast chunks on when
+    /// the broadcast is rooted at node `root`.
+    pub fn bcast_in(&self, v: usize, root: usize) -> &ChunkChannel {
+        assert_ne!(v, root, "the root has no inbound broadcast port");
+        let t = Self::toward(v, root);
+        if v > 0 && t == Self::parent(v) {
+            self.down[v].as_ref().expect("v > 0 has a down link")
+        } else {
+            // t is the child of v facing the root: chunks flow up from it.
+            self.up[t].as_ref().expect("children have up links")
+        }
+    }
+
+    /// The channels node `v` forwards (or, at the root, injects) broadcast
+    /// chunks on: every incident tree port except the inbound one.
+    pub fn bcast_out(&self, v: usize, root: usize) -> Vec<&ChunkChannel> {
+        let toward = if v == root {
+            None
+        } else {
+            Some(Self::toward(v, root))
+        };
+        let mut out = Vec::new();
+        for c in self.children(v) {
+            if Some(c) != toward {
+                out.push(self.down[c].as_ref().expect("children have down links"));
+            }
+        }
+        if v > 0 && Some(Self::parent(v)) != toward {
+            out.push(self.up[v].as_ref().expect("v > 0 has an up link"));
+        }
+        out
+    }
+
+    /// The ring channel node `v` sends on in direction `dir` (m > 1).
+    pub fn ring_send(&self, v: usize, dir: RingDir) -> &ChunkChannel {
+        match dir {
+            RingDir::Plus => &self.plus[v],
+            RingDir::Minus => &self.minus[v],
+        }
+    }
+
+    /// The ring channel node `v` receives on in direction `dir` (m > 1):
+    /// the sending channel of its upstream neighbor.
+    pub fn ring_recv(&self, v: usize, dir: RingDir) -> &ChunkChannel {
+        match dir {
+            RingDir::Plus => &self.plus[(v + self.m - 1) % self.m],
+            RingDir::Minus => &self.minus[(v + 1) % self.m],
+        }
+    }
+
+    /// Node `v`'s 0-based position along the ring in direction `dir`
+    /// (position 0 is node 0 in both directions; the chain visits nodes in
+    /// link order).
+    pub fn ring_pos(&self, v: usize, dir: RingDir) -> usize {
+        match dir {
+            RingDir::Plus => v,
+            RingDir::Minus => (self.m - v) % self.m,
+        }
+    }
+
+    /// The node at ring position `pos` in direction `dir`.
+    pub fn ring_node(&self, pos: usize, dir: RingDir) -> usize {
+        match dir {
+            RingDir::Plus => pos,
+            RingDir::Minus => (self.m - pos) % self.m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn chunk_round_trip_preserves_tag_len_payload() {
+        let ch = ChunkChannel::new(4, 64);
+        assert!(ch.can_send());
+        ch.send_with(0xBEEF, 5, |d| d.copy_from_slice(b"hello"));
+        assert_eq!(ch.peek_tag(), Some(0xBEEF));
+        let got = ch.recv_with(|tag, bytes| (tag, bytes.to_vec()));
+        assert_eq!(got, (0xBEEF, b"hello".to_vec()));
+        assert_eq!(ch.sent(), 1);
+        assert_eq!(ch.received(), 1);
+    }
+
+    #[test]
+    fn try_send_respects_window_and_recv_frees_it() {
+        let ch = ChunkChannel::new(2, 8);
+        assert!(ch.try_send_with(1, 1, |d| d[0] = 1));
+        assert!(ch.try_send_with(2, 1, |d| d[0] = 2));
+        assert!(!ch.can_send());
+        assert!(!ch.try_send_with(3, 1, |_| panic!("fill must not run on a full window")));
+        assert_eq!(ch.recv_with(|t, b| (t, b[0])), (1, 1));
+        assert!(ch.can_send());
+        assert!(ch.try_send_with(3, 1, |d| d[0] = 3));
+        assert_eq!(ch.recv_with(|t, b| (t, b[0])), (2, 2));
+        assert_eq!(ch.recv_with(|t, b| (t, b[0])), (3, 3));
+        assert_eq!(ch.try_recv_with(|_, _| ()), None);
+        assert_eq!(ch.peek_tag(), None);
+    }
+
+    #[test]
+    fn paced_stream_across_threads_stays_in_order() {
+        let ch = Arc::new(ChunkChannel::new(3, 16));
+        let chunks = bgp_shmem::testing::stress_iters(10_000);
+        let producer = {
+            let ch = ch.clone();
+            thread::spawn(move || {
+                for k in 0..chunks {
+                    ch.send_with(k as u64, 8, |d| {
+                        d.copy_from_slice(&(k as u64).to_ne_bytes())
+                    });
+                }
+            })
+        };
+        for k in 0..chunks {
+            ch.recv_with(|tag, bytes| {
+                assert_eq!(tag, k as u64);
+                assert_eq!(bytes, (k as u64).to_ne_bytes());
+            });
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn zero_len_chunks_are_valid() {
+        let ch = ChunkChannel::new(2, 4);
+        ch.send_with(7, 0, |d| assert!(d.is_empty()));
+        ch.recv_with(|tag, bytes| {
+            assert_eq!(tag, 7);
+            assert!(bytes.is_empty());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel chunk size")]
+    fn oversized_chunk_is_rejected() {
+        let ch = ChunkChannel::new(2, 4);
+        ch.send_with(0, 5, |_| {});
+    }
+
+    #[test]
+    fn tree_routing_covers_every_node_from_every_root() {
+        // For each root, following bcast_in/bcast_out edges must form a
+        // spanning tree: every non-root node's in-port is some other node's
+        // out-port, and each node forwards on all remaining incident ports.
+        for m in 1..=9usize {
+            let f = Fabric::new(m, 64, 2);
+            for root in 0..m {
+                let mut in_ports: Vec<*const ChunkChannel> = Vec::new();
+                let mut out_ports: Vec<*const ChunkChannel> = Vec::new();
+                for v in 0..m {
+                    if v != root {
+                        in_ports.push(f.bcast_in(v, root) as *const _);
+                    }
+                    for ch in f.bcast_out(v, root) {
+                        out_ports.push(ch as *const _);
+                    }
+                }
+                assert_eq!(in_ports.len(), m - 1, "m={m} root={root}");
+                assert_eq!(out_ports.len(), m - 1, "m={m} root={root}");
+                let mut matched = 0;
+                for p in &in_ports {
+                    assert!(
+                        out_ports.contains(p),
+                        "unmatched in-port (m={m} root={root})"
+                    );
+                    matched += 1;
+                }
+                assert_eq!(matched, m - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_geometry_is_consistent() {
+        for m in 2..=5usize {
+            let f = Fabric::new(m, 32, 2);
+            for dir in [RingDir::Plus, RingDir::Minus] {
+                for v in 0..m {
+                    let pos = f.ring_pos(v, dir);
+                    assert_eq!(f.ring_node(pos, dir), v);
+                    // My send channel is my downstream neighbor's recv.
+                    let succ = f.ring_node((pos + 1) % m, dir);
+                    assert!(std::ptr::eq(f.ring_send(v, dir), f.ring_recv(succ, dir)));
+                }
+                // Positions are a permutation of 0..m.
+                let mut seen: Vec<usize> = (0..m).map(|v| f.ring_pos(v, dir)).collect();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..m).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn toward_picks_the_root_facing_port() {
+        let f = Fabric::new(7, 16, 2);
+        // Tree: 0-(1,2), 1-(3,4), 2-(5,6).
+        assert_eq!(Fabric::toward(0, 5), 2);
+        assert_eq!(Fabric::toward(1, 5), 0);
+        assert_eq!(Fabric::toward(3, 4), 1);
+        assert_eq!(Fabric::toward(5, 6), 2);
+        assert_eq!(Fabric::toward(2, 5), 5);
+        assert_eq!(Fabric::toward(6, 0), 2);
+        let _ = f;
+    }
+}

@@ -320,10 +320,14 @@ fn median_wall_us(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// The real-thread intra-node broadcast paths (4 rank-threads moving real
-/// bytes through `bgp-shmem`). Host wall time — recorded, never gated.
+/// The real-thread entries: the intra-node broadcast paths (4 rank-threads
+/// moving real bytes through `bgp-shmem`) plus the 2-node × 2-rank cluster
+/// collectives, all on persistent runtimes (threads parked between
+/// iterations, so the numbers measure the collectives, not thread spawn).
+/// Host wall time — recorded, never gated.
 pub fn real_entries() -> Vec<GateEntry> {
-    use bgp_smp::run_node;
+    use bgp_smp::collectives::write_f64s;
+    use bgp_smp::{Cluster, NodeRuntime};
     const LEN: usize = 256 * 1024;
     const RANKS: usize = 4;
     let mut out = Vec::new();
@@ -336,10 +340,11 @@ pub fn real_entries() -> Vec<GateEntry> {
             value: us,
         });
     };
+    let rt = NodeRuntime::new(RANKS);
     case(
         "intranode/bcast_shmem/256K",
         median_wall_us(5, || {
-            run_node(RANKS, |mut ctx| {
+            rt.run(|ctx| {
                 let buf = ctx.alloc_buffer(LEN);
                 if ctx.rank() == 0 {
                     unsafe { buf.write(0, &[7u8; LEN]) };
@@ -352,7 +357,7 @@ pub fn real_entries() -> Vec<GateEntry> {
     case(
         "intranode/bcast_fifo/256K",
         median_wall_us(5, || {
-            run_node(RANKS, |mut ctx| {
+            rt.run(|ctx| {
                 let buf = ctx.alloc_buffer(LEN);
                 if ctx.rank() == 0 {
                     unsafe { buf.write(0, &[7u8; LEN]) };
@@ -365,13 +370,40 @@ pub fn real_entries() -> Vec<GateEntry> {
     case(
         "intranode/bcast_shaddr/256K",
         median_wall_us(5, || {
-            run_node(RANKS, |mut ctx| {
+            rt.run(|ctx| {
                 let buf = ctx.alloc_buffer(LEN);
                 if ctx.rank() == 0 {
                     unsafe { buf.write(0, &[7u8; LEN]) };
                 }
                 ctx.barrier();
                 ctx.bcast_shaddr(0, &buf, LEN, 16 * 1024);
+            });
+        }),
+    );
+    let cluster = Cluster::new(2, 2);
+    case(
+        "cluster/bcast/256K",
+        median_wall_us(5, || {
+            cluster.run(|cctx| {
+                let buf = cctx.intra().alloc_buffer(LEN);
+                if cctx.node() == 0 && cctx.rank() == 0 {
+                    unsafe { buf.write(0, &[7u8; LEN]) };
+                }
+                cctx.intra().barrier();
+                cctx.bcast(0, &buf, LEN);
+            });
+        }),
+    );
+    case(
+        "cluster/allreduce_f64/16K",
+        median_wall_us(5, || {
+            const COUNT: usize = 16 * 1024;
+            cluster.run(|cctx| {
+                let input = cctx.intra().alloc_buffer(COUNT * 8);
+                let output = cctx.intra().alloc_buffer(COUNT * 8);
+                write_f64s(&input, 0, &vec![cctx.global_rank() as f64; COUNT]);
+                cctx.intra().barrier();
+                cctx.allreduce_f64(&input, &output, COUNT);
             });
         }),
     );

@@ -22,7 +22,7 @@ use bgp_collectives::smp::run_node;
 fn main() {
     // --- Part 1: verify the intra-node decomposition numerically --------
     const COUNT: usize = 8192;
-    let results = run_node(4, |mut ctx| {
+    let results = run_node(4, |ctx| {
         let me = ctx.rank();
         let input = ctx.alloc_buffer(COUNT * 8);
         let output = ctx.alloc_buffer(COUNT * 8);

@@ -16,7 +16,7 @@ fn main() {
     // --- Part 1: real threads, real bytes -------------------------------
     println!("== intra-node, for real (4 rank-threads on this host) ==");
     const LEN: usize = 64 * 1024;
-    let results = run_node(4, |mut ctx| {
+    let results = run_node(4, |ctx| {
         let buf = ctx.alloc_buffer(LEN);
         if ctx.rank() == 0 {
             let payload: Vec<u8> = (0..LEN).map(|i| (i % 251) as u8).collect();

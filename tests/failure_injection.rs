@@ -123,7 +123,7 @@ fn zero_byte_collectives_are_latency_only() {
 #[test]
 fn threaded_bcast_with_two_ranks_only() {
     // Quad is the paper's mode, but the code must not bake in "3 peers".
-    let results = run_node(2, |mut ctx| {
+    let results = run_node(2, |ctx| {
         let buf = ctx.alloc_buffer(10_000);
         if ctx.rank() == 0 {
             unsafe { buf.write(0, &[0xAB; 10_000]) };
@@ -140,7 +140,7 @@ fn threaded_bcast_with_two_ranks_only() {
 fn oversized_broadcast_is_rejected() {
     // The undersized-buffer assertion fires inside a rank thread; the
     // runtime surfaces it as a panic on join.
-    run_node(2, |mut ctx| {
+    run_node(2, |ctx| {
         let buf = ctx.alloc_buffer(16);
         ctx.bcast_shmem(0, &buf, 1024);
     });

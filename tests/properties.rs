@@ -197,7 +197,7 @@ fn threaded_bcast_payload_integrity() {
         let len = rng.range_usize(1, max_len);
         let seed = rng.range_u64(0, 255) as u8;
         let path = case % 3;
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let buf = ctx.alloc_buffer(len);
             if ctx.rank() == 2 {
                 let payload: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
@@ -227,7 +227,7 @@ fn threaded_allreduce_matches_sequential() {
     for _ in 0..8 {
         let count = rng.range_usize(1, max_count);
         let scale = rng.range_f64(-100.0, 100.0);
-        let results = run_node(4, move |mut ctx| {
+        let results = run_node(4, move |ctx| {
             let me = ctx.rank();
             let input = ctx.alloc_buffer(count * 8);
             let output = ctx.alloc_buffer(count * 8);
