@@ -11,7 +11,8 @@ cd "$(dirname "$0")"
 # failing step can no longer leak ci_*.json/BENCH_*.json into the tree
 # (the committed BENCH_baseline.json is not a smoke artifact and stays).
 cleanup() {
-  rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json
+  rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json \
+    ci_sched_trace.json
 }
 trap cleanup EXIT
 
@@ -22,7 +23,7 @@ echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo clippy --features model (-D warnings)"
-cargo clippy -p bgp-shmem -p bgp-smp --all-targets --features model -- -D warnings
+cargo clippy -p bgp-shmem -p bgp-smp -p bgp-sched --all-targets --features model -- -D warnings
 
 # BGP_STRESS_FULL=1 restores the full stress-test iteration counts that
 # bgp_shmem::testing::stress_iters would otherwise scale down on small
@@ -37,6 +38,7 @@ cargo test -q -p bgp-check
 echo "== model-checked shmem primitives (oracles + mutation self-tests)"
 cargo test -q -p bgp-shmem --features model --test model
 cargo test -q -p bgp-smp --features model --test model
+cargo test -q -p bgp-sched --features model --test model
 
 # Seeded-exploration smoke: the unmutated Bcast FIFO over 10,000 random
 # schedules with a pinned seed (deterministic; part of the model suite,
@@ -53,6 +55,13 @@ if [ "${BGP_STRESS_FULL:-}" = "1" ]; then
   echo "== cluster_real --check (full 2 x 4 shape)"
   cargo run --release -p bgp-bench --bin cluster_real -- --check
 fi
+
+# The nonblocking scheduler + service layer: checked payloads, the
+# depth>1-beats-depth-1 assertion, and a Chrome trace carrying the
+# sched.* service counters that must parse.
+echo "== smoke: sched_real --small --check --trace (2 nodes x 2 ranks)"
+cargo run --release -p bgp-bench --bin sched_real -- --small --check --trace ci_sched_trace.json
+python3 -m json.tool ci_sched_trace.json >/dev/null
 
 echo "== smoke: fig6 --small --json parses"
 cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json

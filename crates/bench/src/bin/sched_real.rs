@@ -1,0 +1,201 @@
+//! sched_real — throughput of the nonblocking scheduler and the
+//! op-batching service layer on the host, mirroring `cluster_real`.
+//!
+//! Two questions:
+//!
+//! 1. **Does depth pay?** Ops/sec of small (1 KiB) broadcasts posted
+//!    through [`Sched`] at in-flight depth 1 vs 4 vs 16. Depth > 1 lets
+//!    the progress engine overlap tree injection, forwarding, and member
+//!    copies across operations; `--check` asserts it beats depth 1.
+//! 2. **Does coalescing pay?** The same burst of small same-root
+//!    broadcasts through the [`CollectiveServer`], once with fusion
+//!    enabled and once disabled.
+//!
+//! All numbers are host wall time (never gated). Usage:
+//!
+//! ```text
+//! sched_real [--small] [--check] [--trace FILE]
+//!   --small   2 nodes × 2 ranks (the CI smoke shape); default 2 × 4
+//!   --check   verify payloads and assert ops/sec(depth>1) > ops/sec(depth=1)
+//!   --trace   write a Chrome trace with the sched.* service counters
+//! ```
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bgp_bench::harness::bench_case_median;
+use bgp_sched::{CollectiveServer, Sched, ServerConfig};
+use bgp_shmem::SharedRegion;
+use bgp_sim::{Probe, SimTime};
+use bgp_smp::Cluster;
+
+const PAYLOAD: usize = 1024;
+const DEPTHS: [usize; 3] = [1, 4, 16];
+const BURST: usize = 32;
+
+/// One timed unit: post `depth` rotating-root broadcasts, then wait for
+/// all of them. Returns per-rank payload verdicts.
+fn bcast_burst(cluster: &Cluster, depth: usize, check: bool) {
+    let ok = cluster.run(move |cctx| {
+        let group: Vec<usize> = (0..cctx.n_ranks()).collect();
+        let mut sched = Sched::new(cctx);
+        let mut reqs = Vec::with_capacity(depth);
+        let mut bufs = Vec::with_capacity(depth);
+        for i in 0..depth {
+            let root_node = i % cctx.n_nodes();
+            let root_rank = i % cctx.n_ranks();
+            let buf = Arc::new(SharedRegion::new(PAYLOAD));
+            if cctx.node() == root_node && cctx.rank() == root_rank {
+                // SAFETY: fresh region, not yet shared.
+                unsafe { buf.write(0, &[i as u8; PAYLOAD]) };
+            }
+            reqs.push(
+                sched
+                    .ibcast(&group, root_node, root_rank, Some(&buf), PAYLOAD)
+                    .expect("valid post"),
+            );
+            bufs.push(buf);
+        }
+        sched.wait_all(&reqs);
+        bufs.iter().enumerate().all(|(i, b)| {
+            let mut got = vec![0u8; PAYLOAD];
+            // SAFETY: request i completed.
+            unsafe { b.read(0, &mut got) };
+            got.iter().all(|&x| x == i as u8)
+        })
+    });
+    if check {
+        assert!(ok.iter().flatten().all(|&r| r), "bcast payload mismatch");
+    }
+    black_box(ok);
+}
+
+/// A burst of same-root broadcasts through the server; returns per-ticket
+/// payload verdicts.
+fn server_burst(server: &CollectiveServer, n_ranks: usize, check: bool) {
+    let group: Vec<usize> = (0..n_ranks).collect();
+    let tickets: Vec<_> = (0..BURST)
+        .map(|i| {
+            server
+                .submit_bcast(&group, 0, 0, vec![i as u8; 256])
+                .expect("valid submission")
+        })
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let got = t.wait();
+        if check {
+            assert!(
+                got.iter().all(|m| m.iter().all(|&b| b == i as u8)),
+                "server payload mismatch"
+            );
+        }
+        black_box(got);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut small = false;
+    let mut check = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--check" => check = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            bad => {
+                eprintln!(
+                    "unknown flag {bad}; usage: sched_real [--small] [--check] [--trace FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (m, n) = if small {
+        (2usize, 2usize)
+    } else {
+        (2usize, 4usize)
+    };
+    println!("sched_real: {m} nodes x {n} ranks, nonblocking depth sweep + server coalescing");
+
+    let started = std::time::Instant::now();
+    let cluster = Cluster::new(m, n);
+
+    // 1. Depth sweep: same total per-op work, increasing overlap.
+    let mut ops_per_sec = Vec::new();
+    for depth in DEPTHS {
+        let us = bench_case_median(&format!("sched/ibcast_1K_depth{depth}"), 10, || {
+            bcast_burst(&cluster, depth, check)
+        });
+        ops_per_sec.push(depth as f64 / (us / 1e6));
+    }
+    for (depth, ops) in DEPTHS.iter().zip(&ops_per_sec) {
+        println!("sched/ibcast_1K_depth{depth}: {ops:.0} ops/s");
+    }
+
+    // 2. Server burst with and without coalescing.
+    let fused = CollectiveServer::with_config(m, n, ServerConfig::default());
+    let coalesce_us = bench_case_median("sched/server_burst_coalesced", 5, || {
+        server_burst(&fused, n, check)
+    });
+    let stats = fused.stats();
+    drop(fused);
+    let unfused = CollectiveServer::with_config(
+        m,
+        n,
+        ServerConfig {
+            coalesce_max_ops: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let plain_us = bench_case_median("sched/server_burst_uncoalesced", 5, || {
+        server_burst(&unfused, n, check)
+    });
+    drop(unfused);
+    println!(
+        "sched/server_burst: coalesced {:.0} ops/s, uncoalesced {:.0} ops/s",
+        BURST as f64 / (coalesce_us / 1e6),
+        BURST as f64 / (plain_us / 1e6),
+    );
+    println!(
+        "probe: sched.queue_depth={} sched.wait_ns={} sched.coalesced={}",
+        stats.peak_queue_depth, stats.wait_ns, stats.coalesced
+    );
+
+    if let Some(path) = trace_path {
+        let mut probe = Probe::new();
+        probe.enable();
+        probe.begin_op("sched", "CollectiveServer");
+        probe.record(
+            "serve",
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(started.elapsed().as_nanos() as u64),
+        );
+        probe.count("sched.queue_depth", stats.peak_queue_depth);
+        probe.count("sched.wait_ns", stats.wait_ns);
+        probe.count("sched.coalesced", stats.coalesced);
+        std::fs::write(&path, probe.chrome_trace()).expect("write trace");
+        println!("trace: wrote {path}");
+    }
+
+    if check {
+        let d1 = ops_per_sec[0];
+        assert!(
+            ops_per_sec[1..].iter().any(|&o| o > d1),
+            "depth > 1 should raise small-message ops/sec over depth 1 \
+             (got {ops_per_sec:?})"
+        );
+        println!(
+            "check: best depth>1 beats depth 1 by {:.1}%",
+            (ops_per_sec[1..].iter().cloned().fold(0.0, f64::max) - d1) / d1 * 100.0
+        );
+    }
+}

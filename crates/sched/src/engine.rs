@@ -1,0 +1,1240 @@
+//! The rank-level nonblocking API ([`Sched`]) and the per-node progress
+//! engine it drives.
+//!
+//! ## Naming schemes
+//!
+//! Everything an in-flight operation touches is keyed by its **op id** — a
+//! per-rank sequence persisted in [`NodeShared`] and advanced identically on
+//! every rank at post time, so ids agree across the whole cluster and are
+//! never reused:
+//!
+//! * window tags: `(1 << 63) | (op << 1) | role` with role 0 = a member's
+//!   application buffer (broadcast source, allreduce input) and role 1 = an
+//!   engine-owned staging region (broadcast stage, allreduce accumulator).
+//!   The high bit keeps sched tags disjoint from the blocking collectives'.
+//! * counter-bank keys: `(op << 8) | stream` — reception bytes, net-done,
+//!   member-done, result bytes, and one partial stream per member.
+//! * link tags: [`optag::pack`]`(op, kind, chunk)`.
+//!
+//! ## Protocols
+//!
+//! **ibcast** — the root exposes its buffer; the engine on the root node
+//! maps it and injects all chunks down the re-rooted tree ([`Fabric::bcast_out`]);
+//! root-node members copy straight out of the root's buffer (valid in full
+//! at post time). On every other node the engine receives chunks into a
+//! staging region, publishes received bytes on the op's reception counter,
+//! and forwards on the remaining tree ports; members chase the counter and
+//! copy out — §V-B's reception/copy overlap, per op. Each member publishes
+//! `+1` on the op's done counter when its copy finishes; the root's request
+//! completes when injection is done and all co-located members copied.
+//!
+//! **iallreduce** — members expose inputs; the engine exposes a node
+//! accumulator. The local reduce is partitioned by member index (member i
+//! sums *all* local inputs for its chunk range, publishing its partial
+//! stream), then the engine runs the same partial/full ring flow as the
+//! blocking `allreduce_f64` — inject at ring position 0, combine-and-forward
+//! in the middle, write+publish results at the end, circulate fully-reduced
+//! chunks back — but tagged per op and interleaved with every other
+//! in-flight op's flow. Ring direction alternates with op parity so
+//! consecutive ops use both links. Members chase the result counter into
+//! their outputs; a member's request completes only when every local
+//! partial stream is also finished (its *input* must be reusable, and
+//! co-members read it during the local reduce).
+//!
+//! ## Progress, parking, and deadlock-freedom
+//!
+//! Everything the engine sends uses non-blocking sends; reception of
+//! broadcast data and fully-reduced chunks is ungated (their landing zones
+//! are preallocated), so links always drain and backpressure only ever
+//! pauses *production*. The one gated reception — an allreduce partial
+//! waiting for the local partition or for output window room — only waits
+//! on node-local progress, which member polls guarantee. Chunks that arrive
+//! for an op this node has not posted yet (a faster peer ran ahead,
+//! possibly across a job boundary) are parked in the node's stash
+//! ([`NodeShared::sched_stash`]) and replayed, in arrival order, once the
+//! post happens.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use bgp_shmem::{spin, MessageCounter, SharedRegion};
+use bgp_smp::collectives::{accumulate_f64s, f64s_to_bytes, read_f64s_into, write_f64s};
+use bgp_smp::transport::{optag, ChunkChannel, Fabric, RingDir};
+use bgp_smp::{ClusterCtx, NodeShared};
+
+use crate::SchedError;
+
+/// Window-tag role: a member's exposed application buffer.
+const ROLE_DATA: u64 = 0;
+/// Window-tag role: an engine-owned staging region.
+const ROLE_STAGE: u64 = 1;
+/// Keeps sched window tags disjoint from the blocking collectives' tags.
+const SCHED_TAG_BIT: u64 = 1 << 62;
+
+fn reg_tag(op: u64, role: u64) -> u64 {
+    SCHED_TAG_BIT | (op << 1) | role
+}
+
+/// Counter-bank streams within one op (key = `(op << 8) | stream`).
+const SUB_RECV: u64 = 0;
+const SUB_NETDONE: u64 = 1;
+const SUB_DONE: u64 = 2;
+const SUB_RES: u64 = 3;
+/// Per-member partial streams start here: `SUB_PART + member_index`.
+const SUB_PART: u64 = 8;
+
+fn bank_key(op: u64, sub: u64) -> u64 {
+    (op << 8) | sub
+}
+
+/// `(byte offset, byte length)` of chunk `k` in a `len`-byte message.
+fn chunk_span(len: usize, chunk: usize, k: usize) -> (usize, usize) {
+    let off = k * chunk;
+    (off, (len - off).min(chunk))
+}
+
+/// `(element offset, element count)` of chunk `k` in a `count`-element
+/// f64 message with `ce` elements per chunk.
+fn elem_span(count: usize, ce: usize, k: usize) -> (usize, usize) {
+    let e0 = k * ce;
+    (e0, (count - e0).min(ce))
+}
+
+/// Does ring position `pos` forward fully-reduced chunks? The producer
+/// (last position) always does; every receiver except the final one
+/// (position `m-2`, the producer's upstream neighbor) forwards too.
+fn sends_fulls(pos: usize, m: usize) -> bool {
+    pos == m - 1 || pos != m - 2
+}
+
+/// Handle of one posted nonblocking operation. `Copy`, cheap, and only
+/// meaningful to the [`Sched`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    pub(crate) op: u64,
+}
+
+impl Request {
+    /// The cluster-wide operation id (diagnostic).
+    pub fn op_id(&self) -> u64 {
+        self.op
+    }
+}
+
+/// This rank's end of every operation it participates in. One per rank per
+/// job; see the module docs for the protocols it runs.
+enum Role {
+    /// Locally complete (also the state of non-participants).
+    Done,
+    /// Broadcast root: waits for injection + local copies, then unexposes.
+    BcastRoot(BcastRoot),
+    /// Broadcast member: chases the source and copies out.
+    BcastCopy(BcastCopy),
+    /// Allreduce member: local reduce, result copy-out, input retirement.
+    ArMember(Box<ArMember>),
+}
+
+struct BcastRoot {
+    netdone: Arc<MessageCounter>,
+    done: Arc<MessageCounter>,
+    expected_done: u64,
+    src_ptr: usize,
+}
+
+struct BcastCopy {
+    src_owner: u32,
+    src_tag: u64,
+    src: Option<Arc<SharedRegion>>,
+    dst: Arc<SharedRegion>,
+    len: usize,
+    copied: usize,
+    /// Reception counter to chase; `None` on the root's node, where the
+    /// source is valid in full from the moment it was posted.
+    gate: Option<Arc<MessageCounter>>,
+    done: Arc<MessageCounter>,
+    dst_ptr: usize,
+}
+
+enum ArPhase {
+    /// Waiting for the accumulator and every co-member input to appear.
+    Map,
+    /// Summing all local inputs over this member's chunk partition.
+    Reduce,
+    /// Chasing the result counter into the output buffer.
+    CopyOut,
+    /// Output done; waiting for every local partial stream so the *input*
+    /// is provably no longer read by co-members.
+    AwaitParts,
+}
+
+struct ArMember {
+    group: Vec<usize>,
+    my_index: usize,
+    count: usize,
+    ce: usize,
+    /// This member's chunk partition `[lo, hi)` of the local reduce.
+    lo: usize,
+    hi: usize,
+    phase: ArPhase,
+    inputs: Vec<Option<Arc<SharedRegion>>>,
+    acc: Option<Arc<SharedRegion>>,
+    output: Arc<SharedRegion>,
+    in_ptr: usize,
+    out_ptr: usize,
+    parts: Vec<Arc<MessageCounter>>,
+    part_total: Vec<u64>,
+    res: Arc<MessageCounter>,
+    done: Arc<MessageCounter>,
+    copied: usize,
+}
+
+/// The network side of one broadcast on this node.
+struct NetBcast {
+    root_node: usize,
+    root_rank: usize,
+    len: usize,
+    kt: usize,
+    is_root_node: bool,
+    /// Root node: the mapped source (may lag the post of a co-located
+    /// root). Elsewhere: the engine-owned staging region.
+    buf: Option<Arc<SharedRegion>>,
+    /// Chunks injected per outbound tree port (port order of `bcast_out`).
+    injected: Vec<usize>,
+    recv_chunks: usize,
+    recv_ctr: Option<Arc<MessageCounter>>,
+    netdone: Arc<MessageCounter>,
+    netdone_published: bool,
+    done: Arc<MessageCounter>,
+    expected_done: u64,
+}
+
+/// The network side of one allreduce on this node.
+struct NetAr {
+    count: usize,
+    ce: usize,
+    kt: usize,
+    g: usize,
+    dir: RingDir,
+    pos: usize,
+    acc: Arc<SharedRegion>,
+    /// Chunk -> owning member index of the local reduce partition.
+    owner: Vec<usize>,
+    /// Chunk -> partial-stream bytes the owner must have published for the
+    /// chunk's local sum to be valid in the accumulator.
+    need: Vec<u64>,
+    parts: Vec<Arc<MessageCounter>>,
+    res: Arc<MessageCounter>,
+    done: Arc<MessageCounter>,
+    expected_done: u64,
+    injected: usize,
+    combined: usize,
+    /// Chunks whose *final* value landed in the accumulator (result
+    /// counter published).
+    fulls_done: usize,
+    fulls_sent: usize,
+}
+
+impl NetAr {
+    fn ready(&self, k: usize) -> bool {
+        self.parts[self.owner[k]].read() >= self.need[k]
+    }
+
+    fn flow_finished(&self, m: usize) -> bool {
+        let inj = if m > 1 && self.pos == 0 { self.kt } else { 0 };
+        let comb = if m > 1 && self.pos > 0 { self.kt } else { 0 };
+        let sent = if m > 1 && sends_fulls(self.pos, m) {
+            self.kt
+        } else {
+            0
+        };
+        self.fulls_done == self.kt
+            && self.injected == inj
+            && self.combined == comb
+            && self.fulls_sent == sent
+    }
+}
+
+enum NetOp {
+    Bcast(NetBcast),
+    Ar(Box<NetAr>),
+}
+
+/// The per-node progress engine, run by rank 0 (the network core).
+struct Engine {
+    node: usize,
+    m: usize,
+    chunk: usize,
+    shared: Arc<NodeShared>,
+    fabric: Arc<Fabric>,
+    seen: HashSet<usize>,
+    scratch: Vec<f64>,
+    ops: BTreeMap<u64, NetOp>,
+}
+
+impl Engine {
+    fn new(
+        node: usize,
+        m: usize,
+        chunk: usize,
+        shared: Arc<NodeShared>,
+        fabric: Arc<Fabric>,
+    ) -> Self {
+        Engine {
+            node,
+            m,
+            chunk,
+            shared,
+            fabric,
+            seen: HashSet::new(),
+            scratch: Vec::new(),
+            ops: BTreeMap::new(),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn register_bcast(
+        &mut self,
+        op: u64,
+        group_len: usize,
+        root_node: usize,
+        root_rank: usize,
+        len: usize,
+    ) {
+        let bank = self.shared.sched_bank();
+        let is_root_node = self.node == root_node;
+        let kt = len.div_ceil(self.chunk);
+        let out_ports = self.fabric.bcast_out(self.node, root_node).len();
+        let (buf, recv_ctr) = if is_root_node {
+            // Map the co-located root's exposed source; it may not have
+            // posted yet — `advance` retries.
+            let src = self.shared.registry().try_map_auto(
+                root_rank as u32,
+                reg_tag(op, ROLE_DATA),
+                &mut self.seen,
+            );
+            (src, None)
+        } else {
+            let stage = Arc::new(SharedRegion::new(len));
+            self.shared
+                .registry()
+                .expose(0, reg_tag(op, ROLE_STAGE), stage.clone());
+            (Some(stage), Some(bank.counter(bank_key(op, SUB_RECV))))
+        };
+        let expected_done = if is_root_node {
+            group_len as u64 - 1
+        } else {
+            group_len as u64
+        };
+        self.ops.insert(
+            op,
+            NetOp::Bcast(NetBcast {
+                root_node,
+                root_rank,
+                len,
+                kt,
+                is_root_node,
+                buf,
+                injected: vec![0; out_ports],
+                recv_chunks: 0,
+                recv_ctr,
+                netdone: bank.counter(bank_key(op, SUB_NETDONE)),
+                netdone_published: false,
+                done: bank.counter(bank_key(op, SUB_DONE)),
+                expected_done,
+            }),
+        );
+    }
+
+    fn register_ar(&mut self, op: u64, group: &[usize], count: usize) {
+        let bank = self.shared.sched_bank();
+        let ce = self.chunk / 8;
+        let kt = count.div_ceil(ce);
+        let g = group.len();
+        let acc = Arc::new(SharedRegion::new(count * 8));
+        self.shared
+            .registry()
+            .expose(0, reg_tag(op, ROLE_STAGE), acc.clone());
+        // Alternate ring direction with op parity: consecutive ops use both
+        // torus links (the multi-color idea of §V-C, per op instead of per
+        // color).
+        let dir = if op.is_multiple_of(2) {
+            RingDir::Plus
+        } else {
+            RingDir::Minus
+        };
+        let pos = self.fabric.ring_pos(self.node, dir);
+        let mut owner = vec![0usize; kt];
+        let mut need = vec![0u64; kt];
+        for i in 0..g {
+            let lo = i * kt / g;
+            let hi = (i + 1) * kt / g;
+            let lo_e = (lo * ce).min(count);
+            for k in lo..hi {
+                owner[k] = i;
+                need[k] = ((((k + 1) * ce).min(count) - lo_e) * 8) as u64;
+            }
+        }
+        self.ops.insert(
+            op,
+            NetOp::Ar(Box::new(NetAr {
+                count,
+                ce,
+                kt,
+                g,
+                dir,
+                pos,
+                acc,
+                owner,
+                need,
+                parts: (0..g)
+                    .map(|i| bank.counter(bank_key(op, SUB_PART + i as u64)))
+                    .collect(),
+                res: bank.counter(bank_key(op, SUB_RES)),
+                done: bank.counter(bank_key(op, SUB_DONE)),
+                expected_done: g as u64,
+                injected: 0,
+                combined: 0,
+                fulls_done: 0,
+                fulls_sent: 0,
+            })),
+        );
+    }
+
+    /// Can the next chunk `(kind, k)` for `netop` be consumed right now?
+    /// Pure check — consuming is only allowed after this returns true.
+    fn can_accept(netop: &NetOp, kind: u64, fabric: &Fabric, node: usize, m: usize) -> bool {
+        match netop {
+            // Broadcast data lands in the preallocated stage: always.
+            NetOp::Bcast(_) => true,
+            NetOp::Ar(a) => match kind {
+                // A partial is combined and immediately forwarded (or, at
+                // the last position, written out): needs the local
+                // partition ready, and downstream link room unless last.
+                optag::KIND_PARTIAL => {
+                    a.ready(a.combined)
+                        && (a.pos == m - 1 || fabric.ring_send(node, a.dir).can_send())
+                }
+                // Fully-reduced chunks land in the accumulator: always
+                // (forwarding is deferred to the outbound pass).
+                optag::KIND_FULL => true,
+                _ => unreachable!("unknown chunk kind {kind}"),
+            },
+        }
+    }
+
+    /// Consume one chunk for `netop`. Must be guarded by [`Self::can_accept`].
+    #[allow(clippy::too_many_arguments)]
+    fn consume(
+        netop: &mut NetOp,
+        op: u64,
+        kind: u64,
+        k: usize,
+        bytes: &[u8],
+        fabric: &Fabric,
+        node: usize,
+        m: usize,
+        chunk: usize,
+        scratch: &mut Vec<f64>,
+    ) {
+        match netop {
+            NetOp::Bcast(b) => {
+                debug_assert_eq!(kind, optag::KIND_DATA);
+                debug_assert_eq!(k, b.recv_chunks, "broadcast chunks arrive in order");
+                let (off, clen) = chunk_span(b.len, chunk, k);
+                debug_assert_eq!(clen, bytes.len());
+                let stage = b
+                    .buf
+                    .as_ref()
+                    .expect("non-root stage exists from registration");
+                // SAFETY: the engine is the only writer of the stage; member
+                // reads are gated on the reception counter published below.
+                unsafe { stage.write(off, bytes) };
+                b.recv_chunks += 1;
+                b.recv_ctr
+                    .as_ref()
+                    .expect("only non-root nodes receive")
+                    .publish(clen as u64);
+            }
+            NetOp::Ar(a) => match kind {
+                optag::KIND_PARTIAL => {
+                    debug_assert!(a.pos > 0, "position 0 receives no partials");
+                    debug_assert_eq!(k, a.combined, "partials arrive in order");
+                    let (e0, ec) = elem_span(a.count, a.ce, k);
+                    debug_assert_eq!(ec * 8, bytes.len());
+                    scratch.resize(ec, 0.0);
+                    // Local partial (gated by `ready`) + incoming partial.
+                    read_f64s_into(&a.acc, e0 * 8, scratch);
+                    for (v, b8) in scratch.iter_mut().zip(bytes.chunks_exact(8)) {
+                        *v += f64::from_ne_bytes(b8.try_into().unwrap());
+                    }
+                    a.combined += 1;
+                    if a.pos == m - 1 {
+                        // End of the partial chain: this is the final value.
+                        write_f64s(&a.acc, e0 * 8, scratch);
+                        a.res.publish((ec * 8) as u64);
+                        a.fulls_done += 1;
+                    } else {
+                        // can_accept checked can_send; the engine is the
+                        // sole producer of this link, so it still holds.
+                        let out = fabric.ring_send(node, a.dir);
+                        out.send_with(optag::pack(op, optag::KIND_PARTIAL, k), ec * 8, |d| {
+                            f64s_to_bytes(scratch, d)
+                        });
+                    }
+                }
+                optag::KIND_FULL => {
+                    debug_assert!(m > 1 && a.pos != m - 1, "the producer receives no fulls");
+                    debug_assert_eq!(k, a.fulls_done, "fulls arrive in order");
+                    let (e0, ec) = elem_span(a.count, a.ce, k);
+                    debug_assert_eq!(ec * 8, bytes.len());
+                    // SAFETY: final value of the chunk; members read it
+                    // gated on the result counter published below.
+                    unsafe { a.acc.write(e0 * 8, bytes) };
+                    a.res.publish((ec * 8) as u64);
+                    a.fulls_done += 1;
+                }
+                _ => unreachable!("unknown chunk kind {kind}"),
+            },
+        }
+    }
+
+    /// One engine pass: replay parked chunks, drain in-ports, push
+    /// outbound progress, publish net-done, and retire finished ops.
+    fn advance(&mut self) {
+        let fabric = self.fabric.clone();
+        let shared = self.shared.clone();
+        let registry = shared.registry();
+        let (node, m, chunk) = (self.node, self.m, self.chunk);
+
+        // Resolve broadcast sources whose co-located root posted after us.
+        for (op, netop) in self.ops.iter_mut() {
+            if let NetOp::Bcast(b) = netop {
+                if b.is_root_node && b.buf.is_none() {
+                    b.buf = registry.try_map_auto(
+                        b.root_rank as u32,
+                        reg_tag(*op, ROLE_DATA),
+                        &mut self.seen,
+                    );
+                }
+            }
+        }
+
+        // Replay parked chunks of now-posted ops, oldest first. Ops whose
+        // stash stays non-empty must keep stashing port arrivals to
+        // preserve per-link order.
+        let mut stashed_ops: HashSet<u64> = HashSet::new();
+        {
+            let mut stash = shared.sched_stash().lock();
+            for (op, netop) in self.ops.iter_mut() {
+                let Some(q) = stash.get_mut(op) else { continue };
+                while let Some((tag, bytes)) = q.front() {
+                    let (o, kind, k) = optag::unpack(*tag);
+                    debug_assert_eq!(o, *op);
+                    if !Self::can_accept(netop, kind, &fabric, node, m) {
+                        break;
+                    }
+                    Self::consume(
+                        netop,
+                        o,
+                        kind,
+                        k,
+                        bytes,
+                        &fabric,
+                        node,
+                        m,
+                        chunk,
+                        &mut self.scratch,
+                    );
+                    q.pop_front();
+                }
+                if q.is_empty() {
+                    stash.remove(op);
+                }
+            }
+            stashed_ops.extend(stash.keys().copied());
+        }
+
+        // Drain every distinct in-port of the active ops.
+        let mut ports: Vec<&ChunkChannel> = Vec::new();
+        if m > 1 {
+            for netop in self.ops.values() {
+                match netop {
+                    NetOp::Bcast(b) if !b.is_root_node => {
+                        ports.push(fabric.bcast_in(node, b.root_node));
+                    }
+                    NetOp::Ar(a) => ports.push(fabric.ring_recv(node, a.dir)),
+                    _ => {}
+                }
+            }
+            ports.sort_by_key(|c| *c as *const ChunkChannel as usize);
+            ports.dedup_by_key(|c| *c as *const ChunkChannel as usize);
+        }
+        for port in ports {
+            while let Some(tag) = port.peek_tag() {
+                let (op, kind, k) = optag::unpack(tag);
+                if !self.ops.contains_key(&op) || stashed_ops.contains(&op) {
+                    // Not posted here yet (or already queuing behind such
+                    // chunks): park it and keep the link draining.
+                    let mut stash = shared.sched_stash().lock();
+                    port.recv_with(|t, b| {
+                        stash
+                            .entry(op)
+                            .or_default()
+                            .push_back((t, b.to_vec().into_boxed_slice()));
+                    });
+                    stashed_ops.insert(op);
+                    continue;
+                }
+                let netop = self.ops.get_mut(&op).expect("checked above");
+                if !Self::can_accept(netop, kind, &fabric, node, m) {
+                    // Transient head-of-line wait on node-local progress.
+                    break;
+                }
+                port.recv_with(|_, bytes| {
+                    Self::consume(
+                        netop,
+                        op,
+                        kind,
+                        k,
+                        bytes,
+                        &fabric,
+                        node,
+                        m,
+                        chunk,
+                        &mut self.scratch,
+                    );
+                });
+            }
+        }
+
+        // Outbound progress + net-done publication.
+        for (op, netop) in self.ops.iter_mut() {
+            match netop {
+                NetOp::Bcast(b) => {
+                    if let Some(buf) = b.buf.as_ref() {
+                        let limit = if b.is_root_node { b.kt } else { b.recv_chunks };
+                        let outs = fabric.bcast_out(node, b.root_node);
+                        debug_assert_eq!(outs.len(), b.injected.len());
+                        for (i, ch) in outs.iter().enumerate() {
+                            while b.injected[i] < limit {
+                                let k = b.injected[i];
+                                let (off, clen) = chunk_span(b.len, chunk, k);
+                                let sent = ch.try_send_with(
+                                    optag::pack(*op, optag::KIND_DATA, k),
+                                    clen,
+                                    // SAFETY: `[off, off+clen)` is valid: the
+                                    // whole source at the root, received
+                                    // bytes in the stage elsewhere.
+                                    |d| unsafe { buf.read(off, d) },
+                                );
+                                if !sent {
+                                    break;
+                                }
+                                b.injected[i] += 1;
+                            }
+                        }
+                    }
+                    if !b.netdone_published {
+                        let sent_all = b.injected.iter().all(|&c| c == b.kt);
+                        let recv_ok = b.is_root_node || b.recv_chunks == b.kt;
+                        if sent_all && recv_ok {
+                            b.netdone.publish(1);
+                            b.netdone_published = true;
+                        }
+                    }
+                }
+                NetOp::Ar(a) => {
+                    if m > 1 {
+                        let out = fabric.ring_send(node, a.dir);
+                        if a.pos == 0 {
+                            while a.injected < a.kt && a.ready(a.injected) && out.can_send() {
+                                let k = a.injected;
+                                let (e0, ec) = elem_span(a.count, a.ce, k);
+                                out.send_with(
+                                    optag::pack(*op, optag::KIND_PARTIAL, k),
+                                    ec * 8,
+                                    // SAFETY: gated on `ready(k)`.
+                                    |d| unsafe { a.acc.read(e0 * 8, d) },
+                                );
+                                a.injected += 1;
+                            }
+                        }
+                        let target = if sends_fulls(a.pos, m) {
+                            a.fulls_done
+                        } else {
+                            0
+                        };
+                        while a.fulls_sent < target && out.can_send() {
+                            let k = a.fulls_sent;
+                            let (e0, ec) = elem_span(a.count, a.ce, k);
+                            out.send_with(
+                                optag::pack(*op, optag::KIND_FULL, k),
+                                ec * 8,
+                                // SAFETY: final values, stable once published.
+                                |d| unsafe { a.acc.read(e0 * 8, d) },
+                            );
+                            a.fulls_sent += 1;
+                        }
+                    } else {
+                        // Single node: local sums are already final.
+                        while a.fulls_done < a.kt && a.ready(a.fulls_done) {
+                            let (_, ec) = elem_span(a.count, a.ce, a.fulls_done);
+                            a.res.publish((ec * 8) as u64);
+                            a.fulls_done += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Retire ops whose network duties and local member copies are done:
+        // unexpose engine-owned windows and drop the per-op counters. Role
+        // handles keep their counter Arcs alive, so retirement is pure map
+        // cleanup.
+        let bank = shared.sched_bank();
+        let finished: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, netop)| match netop {
+                NetOp::Bcast(b) => b.netdone_published && b.done.read() >= b.expected_done,
+                NetOp::Ar(a) => a.flow_finished(m) && a.done.read() >= a.expected_done,
+            })
+            .map(|(op, _)| *op)
+            .collect();
+        for op in finished {
+            match self.ops.remove(&op).expect("listed above") {
+                NetOp::Bcast(b) => {
+                    if !b.is_root_node {
+                        registry.unexpose(0, reg_tag(op, ROLE_STAGE));
+                        bank.retire(bank_key(op, SUB_RECV));
+                    }
+                    bank.retire(bank_key(op, SUB_NETDONE));
+                    bank.retire(bank_key(op, SUB_DONE));
+                }
+                NetOp::Ar(a) => {
+                    registry.unexpose(0, reg_tag(op, ROLE_STAGE));
+                    bank.retire(bank_key(op, SUB_RES));
+                    bank.retire(bank_key(op, SUB_DONE));
+                    for i in 0..a.g {
+                        bank.retire(bank_key(op, SUB_PART + i as u64));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One rank's nonblocking-collective scheduler.
+///
+/// Create one per rank per job from the [`ClusterCtx`]; post operations,
+/// then complete them with [`test`](Self::test) / [`wait`](Self::wait) /
+/// [`wait_all`](Self::wait_all). On rank 0 the scheduler also runs the
+/// node's progress engine — every poll advances *all* in-flight ops.
+///
+/// Dropping a `Sched` quiesces it: it keeps polling until every posted
+/// request is complete and the engine is idle, so no chunks, counters, or
+/// window exposures leak into the next operation (or job) on these links.
+/// Under SPMD discipline every rank reaches its drop, so the quiesce
+/// terminates.
+pub struct Sched {
+    node: usize,
+    rank: usize,
+    m: usize,
+    n: usize,
+    shared: Arc<NodeShared>,
+    chunk: usize,
+    seen: HashSet<usize>,
+    scratch: Vec<f64>,
+    roles: BTreeMap<u64, Role>,
+    /// Region pointer -> op currently owning the buffer (overlap guard).
+    active_bufs: HashMap<usize, u64>,
+    engine: Option<Engine>,
+}
+
+impl Sched {
+    /// A scheduler for this rank. Rank 0 of each node also hosts the
+    /// node's progress engine.
+    pub fn new(cctx: &ClusterCtx) -> Self {
+        let shared = cctx.node_shared();
+        let fabric = cctx.fabric();
+        let chunk = fabric.chunk_bytes();
+        let engine = (cctx.rank() == 0).then(|| {
+            Engine::new(
+                cctx.node(),
+                cctx.n_nodes(),
+                chunk,
+                shared.clone(),
+                fabric.clone(),
+            )
+        });
+        Sched {
+            node: cctx.node(),
+            rank: cctx.rank(),
+            m: cctx.n_nodes(),
+            n: cctx.n_ranks(),
+            shared,
+            chunk,
+            seen: HashSet::new(),
+            scratch: Vec::new(),
+            roles: BTreeMap::new(),
+            active_bufs: HashMap::new(),
+            engine,
+        }
+    }
+
+    fn validate_group(&self, group: &[usize]) -> Result<(), SchedError> {
+        if group.is_empty() {
+            return Err(SchedError::BadGroup("group is empty"));
+        }
+        if !group.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SchedError::BadGroup(
+                "group must be sorted and duplicate-free",
+            ));
+        }
+        if *group.last().unwrap() >= self.n {
+            return Err(SchedError::BadGroup("group rank out of range"));
+        }
+        if group.len() + SUB_PART as usize > 256 {
+            return Err(SchedError::BadGroup(
+                "group too large for per-op counter keys",
+            ));
+        }
+        Ok(())
+    }
+
+    fn claim_buf(&mut self, buf: &Arc<SharedRegion>) -> Result<usize, SchedError> {
+        let p = Arc::as_ptr(buf) as usize;
+        if let Some(&op) = self.active_bufs.get(&p) {
+            return Err(SchedError::BufferBusy { op });
+        }
+        Ok(p)
+    }
+
+    /// Post a nonblocking broadcast of `len` bytes from `(root_node,
+    /// root_rank)`'s buffer to every rank in `group` (local rank ids,
+    /// replicated on every node) on every node.
+    ///
+    /// Members pass their buffer (`Some`); non-members pass `None`. The
+    /// root's buffer must hold the payload *before* the post and no
+    /// participant may touch its buffer until the request completes.
+    pub fn ibcast(
+        &mut self,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        buf: Option<&Arc<SharedRegion>>,
+        len: usize,
+    ) -> Result<Request, SchedError> {
+        self.validate_group(group)?;
+        if root_node >= self.m {
+            return Err(SchedError::BadGroup("root node out of range"));
+        }
+        if group.binary_search(&root_rank).is_err() {
+            return Err(SchedError::BadGroup("root rank not in group"));
+        }
+        let member = group.binary_search(&self.rank).is_ok();
+        match (member, buf.is_some()) {
+            (true, false) => return Err(SchedError::BufferMissing),
+            (false, true) => return Err(SchedError::UnexpectedBuffer),
+            _ => {}
+        }
+        if let Some(b) = buf {
+            if b.len() < len {
+                return Err(SchedError::BufferTooShort {
+                    needed: len,
+                    got: b.len(),
+                });
+            }
+        }
+        if len.div_ceil(self.chunk) >= 1 << 24 {
+            return Err(SchedError::TooLarge);
+        }
+        let buf_ptr = match (len > 0, buf) {
+            (true, Some(b)) => Some(self.claim_buf(b)?),
+            _ => None,
+        };
+
+        // --- all checks passed: side effects may begin ---
+        let op = self.shared.next_sched_op(self.rank);
+        if len == 0 {
+            self.roles.insert(op, Role::Done);
+            return Ok(Request { op });
+        }
+        let bank = self.shared.sched_bank();
+        let done = bank.counter(bank_key(op, SUB_DONE));
+        let is_root = self.node == root_node && self.rank == root_rank;
+        let role = if is_root {
+            let buf = buf.expect("root is a member");
+            self.shared
+                .registry()
+                .expose(self.rank as u32, reg_tag(op, ROLE_DATA), buf.clone());
+            let p = buf_ptr.expect("member with len > 0");
+            self.active_bufs.insert(p, op);
+            Role::BcastRoot(BcastRoot {
+                netdone: bank.counter(bank_key(op, SUB_NETDONE)),
+                done,
+                expected_done: group.len() as u64 - 1,
+                src_ptr: p,
+            })
+        } else if member {
+            let buf = buf.expect("member has a buffer");
+            let p = buf_ptr.expect("member with len > 0");
+            self.active_bufs.insert(p, op);
+            let (src_owner, src_tag, gate) = if self.node == root_node {
+                (root_rank as u32, reg_tag(op, ROLE_DATA), None)
+            } else {
+                (
+                    0u32,
+                    reg_tag(op, ROLE_STAGE),
+                    Some(bank.counter(bank_key(op, SUB_RECV))),
+                )
+            };
+            Role::BcastCopy(BcastCopy {
+                src_owner,
+                src_tag,
+                src: None,
+                dst: buf.clone(),
+                len,
+                copied: 0,
+                gate,
+                done,
+                dst_ptr: p,
+            })
+        } else {
+            Role::Done
+        };
+        self.roles.insert(op, role);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.register_bcast(op, group.len(), root_node, root_rank, len);
+        }
+        Ok(Request { op })
+    }
+
+    /// Post a nonblocking sum-allreduce of `count` `f64`s over every rank
+    /// in `group` on every node. Members pass input and output regions
+    /// (distinct); non-members pass `None`. Inputs must be final before the
+    /// post; neither buffer may be touched until the request completes.
+    pub fn iallreduce(
+        &mut self,
+        group: &[usize],
+        input: Option<&Arc<SharedRegion>>,
+        output: Option<&Arc<SharedRegion>>,
+        count: usize,
+    ) -> Result<Request, SchedError> {
+        self.validate_group(group)?;
+        let member = group.binary_search(&self.rank).is_ok();
+        match (member, input.is_some(), output.is_some()) {
+            (true, true, true) | (false, false, false) => {}
+            (true, _, _) => return Err(SchedError::BufferMissing),
+            (false, _, _) => return Err(SchedError::UnexpectedBuffer),
+        }
+        let bytes = count * 8;
+        for b in [input, output].into_iter().flatten() {
+            if b.len() < bytes {
+                return Err(SchedError::BufferTooShort {
+                    needed: bytes,
+                    got: b.len(),
+                });
+            }
+        }
+        if let (Some(i), Some(o)) = (input, output) {
+            if Arc::ptr_eq(i, o) {
+                return Err(SchedError::BufferAliased);
+            }
+        }
+        let ce = self.chunk / 8;
+        if count.div_ceil(ce.max(1)) >= 1 << 24 {
+            return Err(SchedError::TooLarge);
+        }
+        let ptrs = if count > 0 && member {
+            let i = input.expect("member");
+            let o = output.expect("member");
+            let pi = self.claim_buf(i)?;
+            let po = self.claim_buf(o)?;
+            Some((pi, po))
+        } else {
+            None
+        };
+
+        // --- all checks passed: side effects may begin ---
+        let op = self.shared.next_sched_op(self.rank);
+        if count == 0 {
+            self.roles.insert(op, Role::Done);
+            return Ok(Request { op });
+        }
+        let kt = count.div_ceil(ce);
+        let g = group.len();
+        let bank = self.shared.sched_bank();
+        let role = if member {
+            let input = input.expect("member");
+            let output = output.expect("member");
+            let (in_ptr, out_ptr) = ptrs.expect("member with count > 0");
+            self.active_bufs.insert(in_ptr, op);
+            self.active_bufs.insert(out_ptr, op);
+            self.shared
+                .registry()
+                .expose(self.rank as u32, reg_tag(op, ROLE_DATA), input.clone());
+            let my_index = group.binary_search(&self.rank).expect("member");
+            let part_total: Vec<u64> = (0..g)
+                .map(|i| {
+                    let lo_e = (i * kt / g * ce).min(count);
+                    let hi_e = ((i + 1) * kt / g * ce).min(count);
+                    ((hi_e - lo_e) * 8) as u64
+                })
+                .collect();
+            Role::ArMember(Box::new(ArMember {
+                group: group.to_vec(),
+                my_index,
+                count,
+                ce,
+                lo: my_index * kt / g,
+                hi: (my_index + 1) * kt / g,
+                phase: ArPhase::Map,
+                inputs: vec![None; g],
+                acc: None,
+                output: output.clone(),
+                in_ptr,
+                out_ptr,
+                parts: (0..g)
+                    .map(|i| bank.counter(bank_key(op, SUB_PART + i as u64)))
+                    .collect(),
+                part_total,
+                res: bank.counter(bank_key(op, SUB_RES)),
+                done: bank.counter(bank_key(op, SUB_DONE)),
+                copied: 0,
+            }))
+        } else {
+            Role::Done
+        };
+        self.roles.insert(op, role);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.register_ar(op, group, count);
+        }
+        Ok(Request { op })
+    }
+
+    /// Advance everything a little: the node's progress engine (rank 0)
+    /// and this rank's side of every posted operation. Never blocks.
+    pub fn poll(&mut self) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.advance();
+        }
+        let shared = self.shared.clone();
+        let rank = self.rank;
+        for (op, role) in self.roles.iter_mut() {
+            step_role(
+                *op,
+                role,
+                rank,
+                &shared,
+                &mut self.seen,
+                &mut self.active_bufs,
+                &mut self.scratch,
+            );
+        }
+    }
+
+    /// Is the request locally complete (buffers reusable)? Does not poll.
+    pub fn is_complete(&self, req: Request) -> bool {
+        matches!(
+            self.roles
+                .get(&req.op)
+                .expect("request was issued by this scheduler"),
+            Role::Done
+        )
+    }
+
+    /// Poll once and report whether `req` is complete.
+    pub fn test(&mut self, req: Request) -> bool {
+        self.poll();
+        self.is_complete(req)
+    }
+
+    /// Block (spin-yield, polling) until `req` completes.
+    pub fn wait(&mut self, req: Request) {
+        while !self.test(req) {
+            spin();
+        }
+    }
+
+    /// Block until every request in `reqs` completes.
+    pub fn wait_all(&mut self, reqs: &[Request]) {
+        loop {
+            self.poll();
+            if reqs.iter().all(|r| self.is_complete(*r)) {
+                return;
+            }
+            spin();
+        }
+    }
+
+    /// Block until the node's progress engine has fully retired every op it
+    /// knows about (rank 0; a no-op elsewhere). Called automatically on
+    /// drop; exposed for callers that want the fabric quiet at a known
+    /// point.
+    pub fn drain(&mut self) {
+        while self.engine.as_ref().is_some_and(|e| !e.is_idle()) {
+            self.poll();
+            spin();
+        }
+    }
+
+    /// Number of operations this rank posted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.roles
+            .values()
+            .filter(|r| !matches!(r, Role::Done))
+            .count()
+    }
+}
+
+impl Drop for Sched {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        // Quiesce: complete own roles (they publish the done counts the
+        // engine waits for) and retire every engine op. See type docs.
+        loop {
+            self.poll();
+            let roles_done = self.roles.values().all(|r| matches!(r, Role::Done));
+            let engine_idle = self.engine.as_ref().is_none_or(|e| e.is_idle());
+            if roles_done && engine_idle {
+                return;
+            }
+            spin();
+        }
+    }
+}
+
+/// Advance one role one step (free function: field-disjoint borrows of
+/// [`Sched`]).
+fn step_role(
+    op: u64,
+    role: &mut Role,
+    rank: usize,
+    shared: &NodeShared,
+    seen: &mut HashSet<usize>,
+    active: &mut HashMap<usize, u64>,
+    scratch: &mut Vec<f64>,
+) {
+    match role {
+        Role::Done => {}
+        Role::BcastRoot(r) => {
+            if r.netdone.read() >= 1 && r.done.read() >= r.expected_done {
+                shared
+                    .registry()
+                    .unexpose(rank as u32, reg_tag(op, ROLE_DATA));
+                active.remove(&r.src_ptr);
+                *role = Role::Done;
+            }
+        }
+        Role::BcastCopy(c) => {
+            if c.src.is_none() {
+                c.src = shared.registry().try_map_auto(c.src_owner, c.src_tag, seen);
+            }
+            let Some(src) = c.src.as_ref() else { return };
+            let avail = match c.gate.as_ref() {
+                Some(g) => (g.read() as usize).min(c.len),
+                // Root's node: the source was complete at post time.
+                None => c.len,
+            };
+            if avail > c.copied {
+                // SAFETY: `[copied, avail)` of the source was published
+                // before the counter value we acquired (or before the
+                // exposure, on the root's node); dst is exclusively ours.
+                unsafe { c.dst.copy_from(c.copied, src, c.copied, avail - c.copied) };
+                c.copied = avail;
+            }
+            if c.copied == c.len {
+                c.done.publish(1);
+                active.remove(&c.dst_ptr);
+                *role = Role::Done;
+            }
+        }
+        Role::ArMember(a) => {
+            if step_ar_member(op, a, rank, shared, seen, scratch) {
+                active.remove(&a.in_ptr);
+                active.remove(&a.out_ptr);
+                *role = Role::Done;
+            }
+        }
+    }
+}
+
+/// Advance an allreduce member; `true` when it completed this step.
+fn step_ar_member(
+    op: u64,
+    a: &mut ArMember,
+    rank: usize,
+    shared: &NodeShared,
+    seen: &mut HashSet<usize>,
+    scratch: &mut Vec<f64>,
+) -> bool {
+    let registry = shared.registry();
+    if matches!(a.phase, ArPhase::Map) {
+        if a.acc.is_none() {
+            a.acc = registry.try_map_auto(0, reg_tag(op, ROLE_STAGE), seen);
+        }
+        for (i, slot) in a.inputs.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = registry.try_map_auto(a.group[i] as u32, reg_tag(op, ROLE_DATA), seen);
+            }
+        }
+        if a.acc.is_some() && a.inputs.iter().all(|s| s.is_some()) {
+            a.phase = ArPhase::Reduce;
+        } else {
+            return false;
+        }
+    }
+    if matches!(a.phase, ArPhase::Reduce) {
+        let acc = a.acc.as_ref().expect("mapped in Map phase");
+        for k in a.lo..a.hi {
+            let (e0, ec) = elem_span(a.count, a.ce, k);
+            scratch.resize(ec, 0.0);
+            // Inputs are final from before their exposure; reading them
+            // ungated is ordered by the registry map.
+            read_f64s_into(a.inputs[0].as_ref().expect("mapped"), e0 * 8, scratch);
+            for input in &a.inputs[1..] {
+                accumulate_f64s(input.as_ref().expect("mapped"), e0 * 8, scratch);
+            }
+            write_f64s(acc, e0 * 8, scratch);
+            a.parts[a.my_index].publish((ec * 8) as u64);
+        }
+        a.phase = ArPhase::CopyOut;
+    }
+    if matches!(a.phase, ArPhase::CopyOut) {
+        let total = a.count * 8;
+        let avail = (a.res.read() as usize).min(total);
+        if avail > a.copied {
+            let acc = a.acc.as_ref().expect("mapped");
+            // SAFETY: `[copied, avail)` holds final values published
+            // through the result counter; output is exclusively ours.
+            unsafe {
+                a.output
+                    .copy_from(a.copied, acc, a.copied, avail - a.copied)
+            };
+            a.copied = avail;
+        }
+        if a.copied == total {
+            a.phase = ArPhase::AwaitParts;
+        }
+    }
+    if matches!(a.phase, ArPhase::AwaitParts) {
+        // The input may only be released once no co-member can still read
+        // it — i.e. every local partial stream ran to completion.
+        if a.parts
+            .iter()
+            .zip(&a.part_total)
+            .all(|(c, &t)| c.read() >= t)
+        {
+            a.done.publish(1);
+            registry.unexpose(rank as u32, reg_tag(op, ROLE_DATA));
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,823 @@
+//! The op-scheduling/batching service layer: a [`CollectiveServer`] that
+//! accepts collective submissions from ordinary (non-cluster) threads and
+//! executes them on a dedicated cluster through the nonblocking [`Sched`]
+//! engine.
+//!
+//! The server adds the three service-level behaviors the paper's messaging
+//! stack gets from its software layers but the raw engine does not provide:
+//!
+//! * **Admission control** — the submission queue has a bounded depth
+//!   ([`ServerConfig::max_pending`]); [`CollectiveServer::submit_bcast`]
+//!   blocks when the bound is hit, [`CollectiveServer::try_submit_bcast`]
+//!   fails fast with [`SchedError::Backpressure`].
+//! * **Coalescing** — consecutive small broadcasts with the same group and
+//!   root are fused into one payload and run as a *single* engine op;
+//!   members slice their copies apart on completion. One tree traversal
+//!   amortizes per-op overhead across every fused child, the same economics
+//!   that make the paper's 64-byte collectives latency-bound.
+//! * **Batching + pipelining** — queued submissions are drained in batches
+//!   into cluster jobs, and up to [`ServerConfig::pipeline`] jobs overlap:
+//!   while the rank threads run batch *k*, the dispatcher is already
+//!   queueing batch *k+1* behind it.
+//!
+//! Completion is published through [`OpState`] — a slot-per-member result
+//! board whose done flag is release-published by the last finisher and
+//! acquire-read by [`BcastTicket::wait`] / [`AllreduceTicket::wait`]. That
+//! handshake is the protocol the bgp-check model tests verify (and mutate,
+//! via the `sched_done_relaxed` hook).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use bgp_shmem::sync::atomic::{AtomicU64, Ordering};
+use bgp_shmem::sync::cell::UnsafeCell;
+use bgp_shmem::{model_support, spin, SharedRegion};
+use bgp_smp::cluster::DEFAULT_CHUNK_BYTES;
+use bgp_smp::collectives::write_f64s;
+use bgp_smp::{Cluster, ClusterCtx, PendingJob};
+
+use crate::{Request, Sched, SchedError};
+
+/// Shared completion state of one submitted operation: one result slot per
+/// group member (global member order, `node * group_len + index_in_group`),
+/// a countdown of unfilled slots, and a done flag.
+///
+/// The publication protocol: each member fills its slot, then decrements
+/// `pending` (AcqRel); whoever hits zero stores the done flag with Release.
+/// A waiter's Acquire load of the flag therefore orders *every* slot write
+/// before its reads — the RMW chain carries each member's release to the
+/// final store. Weakening that store to Relaxed (the `sched_done_relaxed`
+/// seeded bug) severs exactly that edge; the model checker catches it as a
+/// data race on the slot cells.
+pub struct OpState {
+    status: AtomicU64,
+    pending: AtomicU64,
+    slots: Box<[UnsafeCell<Option<Vec<u8>>>]>,
+}
+
+impl OpState {
+    /// A board of `n_slots` empty slots (already done when `n_slots == 0`).
+    pub fn new(n_slots: usize) -> Self {
+        OpState {
+            status: AtomicU64::new(u64::from(n_slots == 0)),
+            pending: AtomicU64::new(n_slots as u64),
+            slots: (0..n_slots).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// A board born complete with the given slot contents (zero-length
+    /// operations finish at submission).
+    fn completed(slots: Vec<Vec<u8>>) -> Self {
+        OpState {
+            status: AtomicU64::new(1),
+            pending: AtomicU64::new(0),
+            slots: slots
+                .into_iter()
+                .map(|s| UnsafeCell::new(Some(s)))
+                .collect(),
+        }
+    }
+
+    /// Number of result slots.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fill slot `i` (exactly once) and count down; the last filler
+    /// publishes the done flag.
+    pub fn complete_slot(&self, i: usize, bytes: Vec<u8>) {
+        // SAFETY: each slot has exactly one completer (the owning member),
+        // and readers only touch slots after `is_done()` — ordered by the
+        // release/acquire chain below.
+        unsafe {
+            self.slots[i].with_mut(|p| {
+                debug_assert!((*p).is_none(), "slot {i} completed twice");
+                *p = Some(bytes);
+            });
+        }
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.status.store(
+                1,
+                model_support::relaxed_if("sched_done_relaxed", Ordering::Release),
+            );
+        }
+    }
+
+    /// Has every slot been filled? (Acquire: a `true` answer licenses slot
+    /// reads.)
+    pub fn is_done(&self) -> bool {
+        self.status.load(Ordering::Acquire) == 1
+    }
+
+    /// Read slot `i`. Panics unless [`Self::is_done`].
+    pub fn slot(&self, i: usize) -> Vec<u8> {
+        assert!(self.is_done(), "slot() before the operation completed");
+        // SAFETY: done was acquire-loaded, ordering us after every slot
+        // write; no writer exists after the done publication.
+        unsafe { self.slots[i].with(|p| (*p).clone().expect("done implies every slot filled")) }
+    }
+}
+
+/// Completion handle of a submitted broadcast.
+pub struct BcastTicket {
+    state: Arc<OpState>,
+}
+
+impl std::fmt::Debug for BcastTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BcastTicket")
+            .field("done", &self.state.is_done())
+            .finish()
+    }
+}
+
+impl BcastTicket {
+    /// Has the broadcast delivered to every member?
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Spin until done; returns every member's received payload in global
+    /// member order (`node * group_len + index_in_group`).
+    pub fn wait(self) -> Vec<Vec<u8>> {
+        while !self.state.is_done() {
+            spin();
+        }
+        (0..self.state.n_slots())
+            .map(|i| self.state.slot(i))
+            .collect()
+    }
+}
+
+/// Completion handle of a submitted allreduce.
+pub struct AllreduceTicket {
+    state: Arc<OpState>,
+}
+
+impl std::fmt::Debug for AllreduceTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllreduceTicket")
+            .field("done", &self.state.is_done())
+            .finish()
+    }
+}
+
+impl AllreduceTicket {
+    /// Has the reduction delivered to every member?
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Spin until done; returns every member's result vector in global
+    /// member order. All vectors are equal (the reduced sums) — returned
+    /// per member so tests can assert exactly that.
+    pub fn wait(self) -> Vec<Vec<f64>> {
+        while !self.state.is_done() {
+            spin();
+        }
+        (0..self.state.n_slots())
+            .map(|i| {
+                self.state
+                    .slot(i)
+                    .chunks_exact(8)
+                    .map(|b| f64::from_ne_bytes(b.try_into().unwrap()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Tuning knobs of the service layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Admission bound: queued (undispatched) submissions beyond this block
+    /// `submit_*` / fail `try_submit_*`.
+    pub max_pending: usize,
+    /// Most children fused into one broadcast (1 disables coalescing).
+    pub coalesce_max_ops: usize,
+    /// Only payloads at most this long are coalescing candidates.
+    pub coalesce_eligible: usize,
+    /// A fused payload never exceeds this many bytes.
+    pub coalesce_max_bytes: usize,
+    /// Most submissions drained into one cluster job.
+    pub batch_max_ops: usize,
+    /// Cluster jobs the dispatcher keeps in flight at once.
+    pub pipeline: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_pending: 64,
+            coalesce_max_ops: 8,
+            coalesce_eligible: 4096,
+            coalesce_max_bytes: 64 * 1024,
+            batch_max_ops: 16,
+            pipeline: 2,
+        }
+    }
+}
+
+/// Point-in-time server counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Operations accepted (including immediately-completed zero-length ones).
+    pub submitted: u64,
+    /// Operations whose cluster job has been fully collected.
+    pub completed: u64,
+    /// Cluster jobs dispatched.
+    pub batches: u64,
+    /// Submissions that ran fused with at least one sibling.
+    pub coalesced: u64,
+    /// Deepest the submission queue has been.
+    pub peak_queue_depth: u64,
+    /// Total nanoseconds submissions spent queued before dispatch.
+    pub wait_ns: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+enum Cmd {
+    Bcast {
+        group: Arc<Vec<usize>>,
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+        state: Arc<OpState>,
+        queued_at: Instant,
+    },
+    Allreduce {
+        group: Arc<Vec<usize>>,
+        inputs: Vec<Vec<f64>>,
+        count: usize,
+        state: Arc<OpState>,
+        queued_at: Instant,
+    },
+}
+
+/// One engine op of a dispatched batch. A coalesced broadcast carries the
+/// fused payload plus each child's `(state, offset, length)` slice.
+enum PlanOp {
+    Bcast {
+        group: Arc<Vec<usize>>,
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+        children: Vec<(Arc<OpState>, usize, usize)>,
+    },
+    Ar {
+        group: Arc<Vec<usize>>,
+        inputs: Vec<Vec<f64>>,
+        count: usize,
+        state: Arc<OpState>,
+    },
+}
+
+struct Queue {
+    cmds: VecDeque<Cmd>,
+    closed: bool,
+}
+
+struct ServerShared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    stats: StatsInner,
+}
+
+/// A collectives-as-a-service front-end over an owned cluster. See the
+/// module docs for the admission / coalescing / batching behavior.
+///
+/// Submissions may come from any thread. Dropping the server stops
+/// accepting work, drains everything already queued, and joins the
+/// dispatcher.
+pub struct CollectiveServer {
+    shared: Arc<ServerShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    m: usize,
+    n: usize,
+    cfg: ServerConfig,
+}
+
+impl CollectiveServer {
+    /// A server over a fresh `m`-node, `n`-ranks-per-node cluster with
+    /// default tuning.
+    pub fn new(m: usize, n: usize) -> Self {
+        Self::with_config(m, n, ServerConfig::default())
+    }
+
+    /// A server with explicit tuning.
+    pub fn with_config(m: usize, n: usize, cfg: ServerConfig) -> Self {
+        assert!(m >= 1 && n >= 1, "cluster geometry must be at least 1x1");
+        let shared = Arc::new(ServerShared {
+            queue: Mutex::new(Queue {
+                cmds: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            stats: StatsInner::default(),
+        });
+        let shared2 = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("bgp-sched-dispatch".into())
+            .spawn(move || dispatch(m, n, cfg, shared2))
+            .expect("spawn dispatcher");
+        CollectiveServer {
+            shared,
+            handle: Some(handle),
+            m,
+            n,
+            cfg,
+        }
+    }
+
+    /// Snapshot the service counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            peak_queue_depth: s.peak_queue_depth.load(Ordering::Relaxed),
+            wait_ns: s.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn check_group(&self, group: &[usize]) -> Result<(), SchedError> {
+        if group.is_empty() {
+            return Err(SchedError::BadGroup("group is empty"));
+        }
+        if !group.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SchedError::BadGroup(
+                "group must be sorted and duplicate-free",
+            ));
+        }
+        if *group.last().unwrap() >= self.n {
+            return Err(SchedError::BadGroup("group rank out of range"));
+        }
+        if group.len() + 8 > 256 {
+            return Err(SchedError::BadGroup(
+                "group too large for per-op counter keys",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Submit a broadcast of `payload` from `(root_node, root_rank)` to
+    /// every `group` member on every node, blocking while the queue is at
+    /// its admission bound. Zero-length broadcasts complete immediately.
+    pub fn submit_bcast(
+        &self,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+    ) -> Result<BcastTicket, SchedError> {
+        self.submit_bcast_inner(group, root_node, root_rank, payload, true)
+    }
+
+    /// Like [`Self::submit_bcast`] but failing with
+    /// [`SchedError::Backpressure`] instead of blocking.
+    pub fn try_submit_bcast(
+        &self,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+    ) -> Result<BcastTicket, SchedError> {
+        self.submit_bcast_inner(group, root_node, root_rank, payload, false)
+    }
+
+    fn submit_bcast_inner(
+        &self,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+        block: bool,
+    ) -> Result<BcastTicket, SchedError> {
+        self.check_group(group)?;
+        if root_node >= self.m {
+            return Err(SchedError::BadGroup("root node out of range"));
+        }
+        if group.binary_search(&root_rank).is_err() {
+            return Err(SchedError::BadGroup("root rank not in group"));
+        }
+        if payload.len().div_ceil(DEFAULT_CHUNK_BYTES) >= 1 << 24 {
+            return Err(SchedError::TooLarge);
+        }
+        let members = self.m * group.len();
+        if payload.is_empty() {
+            let state = Arc::new(OpState::completed(vec![Vec::new(); members]));
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(BcastTicket { state });
+        }
+        let state = Arc::new(OpState::new(members));
+        self.enqueue(
+            Cmd::Bcast {
+                group: Arc::new(group.to_vec()),
+                root_node,
+                root_rank,
+                payload,
+                state: state.clone(),
+                queued_at: Instant::now(),
+            },
+            block,
+        )?;
+        Ok(BcastTicket { state })
+    }
+
+    /// Submit a sum-allreduce over `group` on every node. `inputs` holds one
+    /// vector per member in global member order (`node * group_len + index`),
+    /// all the same length. Blocks at the admission bound; zero-length
+    /// reductions complete immediately.
+    pub fn submit_allreduce(
+        &self,
+        group: &[usize],
+        inputs: Vec<Vec<f64>>,
+    ) -> Result<AllreduceTicket, SchedError> {
+        self.submit_allreduce_inner(group, inputs, true)
+    }
+
+    /// Like [`Self::submit_allreduce`] but failing with
+    /// [`SchedError::Backpressure`] instead of blocking.
+    pub fn try_submit_allreduce(
+        &self,
+        group: &[usize],
+        inputs: Vec<Vec<f64>>,
+    ) -> Result<AllreduceTicket, SchedError> {
+        self.submit_allreduce_inner(group, inputs, false)
+    }
+
+    fn submit_allreduce_inner(
+        &self,
+        group: &[usize],
+        inputs: Vec<Vec<f64>>,
+        block: bool,
+    ) -> Result<AllreduceTicket, SchedError> {
+        self.check_group(group)?;
+        let members = self.m * group.len();
+        if inputs.len() != members {
+            return Err(SchedError::BadGroup("need one input vector per member"));
+        }
+        let count = inputs[0].len();
+        if inputs.iter().any(|v| v.len() != count) {
+            return Err(SchedError::BadGroup(
+                "input vectors must all be the same length",
+            ));
+        }
+        if (count * 8).div_ceil(DEFAULT_CHUNK_BYTES) >= 1 << 24 {
+            return Err(SchedError::TooLarge);
+        }
+        if count == 0 {
+            let state = Arc::new(OpState::completed(vec![Vec::new(); members]));
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(AllreduceTicket { state });
+        }
+        let state = Arc::new(OpState::new(members));
+        self.enqueue(
+            Cmd::Allreduce {
+                group: Arc::new(group.to_vec()),
+                inputs,
+                count,
+                state: state.clone(),
+                queued_at: Instant::now(),
+            },
+            block,
+        )?;
+        Ok(AllreduceTicket { state })
+    }
+
+    fn enqueue(&self, cmd: Cmd, block: bool) -> Result<(), SchedError> {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        loop {
+            if q.closed {
+                return Err(SchedError::ShuttingDown);
+            }
+            if q.cmds.len() < self.cfg.max_pending {
+                break;
+            }
+            if !block {
+                return Err(SchedError::Backpressure);
+            }
+            q = self.shared.not_full.wait(q).expect("queue lock");
+        }
+        q.cmds.push_back(cmd);
+        let s = &self.shared.stats;
+        s.peak_queue_depth
+            .fetch_max(q.cmds.len() as u64, Ordering::Relaxed);
+        s.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for CollectiveServer {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The dispatcher thread: owns the cluster, drains the queue in batches,
+/// coalesces, and keeps up to `cfg.pipeline` jobs in flight.
+fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
+    let cluster = Cluster::new(m, n);
+    let mut in_flight: VecDeque<(PendingJob<()>, u64)> = VecDeque::new();
+    let stats = &shared.stats;
+    loop {
+        // Opportunistically collect finished jobs (submission order).
+        while let Some((job, nc)) = in_flight.pop_front() {
+            if cluster.try_collect(&job).is_some() {
+                stats.completed.fetch_add(nc, Ordering::Relaxed);
+            } else {
+                in_flight.push_front((job, nc));
+                break;
+            }
+        }
+        // Enforce the pipeline depth.
+        while in_flight.len() >= cfg.pipeline.max(1) {
+            let (job, nc) = in_flight.pop_front().expect("nonempty");
+            cluster.collect(job);
+            stats.completed.fetch_add(nc, Ordering::Relaxed);
+        }
+        // Take a batch, or learn there is nothing left to do.
+        let batch: Option<Vec<Cmd>> = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if !q.cmds.is_empty() {
+                    let take = q.cmds.len().min(cfg.batch_max_ops.max(1));
+                    let b: Vec<Cmd> = q.cmds.drain(..take).collect();
+                    shared.not_full.notify_all();
+                    break Some(b);
+                }
+                if q.closed {
+                    break None;
+                }
+                if !in_flight.is_empty() {
+                    // Nothing queued but jobs running: go collect one
+                    // (keeps `completed` current) instead of sleeping.
+                    break Some(Vec::new());
+                }
+                q = shared.not_empty.wait(q).expect("queue lock");
+            }
+        };
+        match batch {
+            None => break,
+            Some(b) if b.is_empty() => {
+                let (job, nc) = in_flight.pop_front().expect("nonempty");
+                cluster.collect(job);
+                stats.completed.fetch_add(nc, Ordering::Relaxed);
+            }
+            Some(b) => {
+                let ncmds = b.len() as u64;
+                let plan = Arc::new(build_plan(b, &cfg, stats));
+                let job = cluster.submit(move |cctx| run_plan(cctx, &plan));
+                in_flight.push_back((job, ncmds));
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    for (job, nc) in in_flight {
+        cluster.collect(job);
+        stats.completed.fetch_add(nc, Ordering::Relaxed);
+    }
+}
+
+/// An in-progress fusion of consecutive same-(group, root) broadcasts.
+struct FusedBcast {
+    group: Arc<Vec<usize>>,
+    root_node: usize,
+    root_rank: usize,
+    payload: Vec<u8>,
+    children: Vec<(Arc<OpState>, usize, usize)>,
+}
+
+/// Turn a drained batch into engine ops, fusing coalescable broadcasts and
+/// charging queue-wait time.
+fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<PlanOp> {
+    let now = Instant::now();
+    let mut wait_ns = 0u64;
+    let mut plan: Vec<PlanOp> = Vec::new();
+    let mut open: Option<FusedBcast> = None;
+
+    fn flush(open: &mut Option<FusedBcast>, plan: &mut Vec<PlanOp>, stats: &StatsInner) {
+        if let Some(f) = open.take() {
+            if f.children.len() > 1 {
+                stats
+                    .coalesced
+                    .fetch_add(f.children.len() as u64, Ordering::Relaxed);
+            }
+            plan.push(PlanOp::Bcast {
+                group: f.group,
+                root_node: f.root_node,
+                root_rank: f.root_rank,
+                payload: f.payload,
+                children: f.children,
+            });
+        }
+    }
+
+    for cmd in batch {
+        match cmd {
+            Cmd::Bcast {
+                group,
+                root_node,
+                root_rank,
+                payload,
+                state,
+                queued_at,
+            } => {
+                wait_ns += now.saturating_duration_since(queued_at).as_nanos() as u64;
+                let eligible = cfg.coalesce_max_ops > 1 && payload.len() <= cfg.coalesce_eligible;
+                if eligible {
+                    if let Some(f) = open.as_mut() {
+                        if *f.group == *group
+                            && f.root_node == root_node
+                            && f.root_rank == root_rank
+                            && f.children.len() < cfg.coalesce_max_ops
+                            && f.payload.len() + payload.len() <= cfg.coalesce_max_bytes
+                        {
+                            let off = f.payload.len();
+                            f.payload.extend_from_slice(&payload);
+                            f.children.push((state, off, payload.len()));
+                            continue;
+                        }
+                    }
+                    flush(&mut open, &mut plan, stats);
+                    let len = payload.len();
+                    open = Some(FusedBcast {
+                        group,
+                        root_node,
+                        root_rank,
+                        payload,
+                        children: vec![(state, 0, len)],
+                    });
+                } else {
+                    flush(&mut open, &mut plan, stats);
+                    let len = payload.len();
+                    plan.push(PlanOp::Bcast {
+                        group,
+                        root_node,
+                        root_rank,
+                        payload,
+                        children: vec![(state, 0, len)],
+                    });
+                }
+            }
+            Cmd::Allreduce {
+                group,
+                inputs,
+                count,
+                state,
+                queued_at,
+            } => {
+                wait_ns += now.saturating_duration_since(queued_at).as_nanos() as u64;
+                flush(&mut open, &mut plan, stats);
+                plan.push(PlanOp::Ar {
+                    group,
+                    inputs,
+                    count,
+                    state,
+                });
+            }
+        }
+    }
+    flush(&mut open, &mut plan, stats);
+    stats.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    plan
+}
+
+/// One posted engine op awaiting completion inside the cluster job.
+struct Posted<'a> {
+    req: Request,
+    /// This rank's global member slot (`None` for non-members).
+    slot: Option<usize>,
+    /// The region completion reads from: the member's broadcast receive
+    /// buffer, or its allreduce output.
+    buf: Option<Arc<SharedRegion>>,
+    len: usize,
+    op: &'a PlanOp,
+    published: bool,
+}
+
+/// The cluster-job body: post every plan op through a [`Sched`], then poll
+/// until each completes, publishing member results into the op states as
+/// they do. Runs identically (SPMD) on every rank of every node.
+fn run_plan(cctx: &mut ClusterCtx, plan: &[PlanOp]) {
+    let node = cctx.node();
+    let rank = cctx.rank();
+    let mut sched = Sched::new(cctx);
+    let mut posted: Vec<Posted> = Vec::with_capacity(plan.len());
+    for op in plan {
+        match op {
+            PlanOp::Bcast {
+                group,
+                root_node,
+                root_rank,
+                payload,
+                ..
+            } => {
+                let member_idx = group.binary_search(&rank).ok();
+                let buf = member_idx.map(|_| Arc::new(SharedRegion::new(payload.len())));
+                if node == *root_node && rank == *root_rank {
+                    let b = buf.as_ref().expect("root is a member");
+                    // SAFETY: freshly allocated, not yet shared.
+                    unsafe { b.write(0, payload) };
+                }
+                let req = sched
+                    .ibcast(group, *root_node, *root_rank, buf.as_ref(), payload.len())
+                    .expect("validated at submission");
+                posted.push(Posted {
+                    req,
+                    slot: member_idx.map(|i| node * group.len() + i),
+                    buf,
+                    len: payload.len(),
+                    op,
+                    published: false,
+                });
+            }
+            PlanOp::Ar {
+                group,
+                inputs,
+                count,
+                ..
+            } => {
+                let member_idx = group.binary_search(&rank).ok();
+                let (inb, outb) = match member_idx {
+                    Some(i) => {
+                        let gi = node * group.len() + i;
+                        let inb = Arc::new(SharedRegion::new(count * 8));
+                        write_f64s(&inb, 0, &inputs[gi]);
+                        (Some(inb), Some(Arc::new(SharedRegion::new(count * 8))))
+                    }
+                    None => (None, None),
+                };
+                let req = sched
+                    .iallreduce(group, inb.as_ref(), outb.as_ref(), *count)
+                    .expect("validated at submission");
+                posted.push(Posted {
+                    req,
+                    slot: member_idx.map(|i| node * group.len() + i),
+                    buf: outb,
+                    len: count * 8,
+                    op,
+                    published: false,
+                });
+            }
+        }
+    }
+    // Complete in any order, publishing each op's results the moment its
+    // request finishes — earlier tickets unblock while later ops still run.
+    let mut remaining = posted.len();
+    while remaining > 0 {
+        sched.poll();
+        for p in posted.iter_mut() {
+            if p.published || !sched.is_complete(p.req) {
+                continue;
+            }
+            if let (Some(slot), Some(buf)) = (p.slot, p.buf.as_ref()) {
+                let mut bytes = vec![0u8; p.len];
+                // SAFETY: the request is complete, so the buffer holds the
+                // operation's final contents and nothing writes it anymore.
+                unsafe { buf.read(0, &mut bytes) };
+                match p.op {
+                    PlanOp::Bcast { children, .. } => {
+                        for (state, off, clen) in children {
+                            state.complete_slot(slot, bytes[*off..*off + *clen].to_vec());
+                        }
+                    }
+                    PlanOp::Ar { state, .. } => {
+                        state.complete_slot(slot, bytes);
+                    }
+                }
+            }
+            p.published = true;
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            spin();
+        }
+    }
+    // `sched` drops here: quiesces the engine so the next job starts clean.
+}

@@ -1,0 +1,275 @@
+//! Correctness of the nonblocking engine: delivery, reduction values,
+//! concurrency across ops and subgroups, the overlap guard, and the
+//! pre-effect validation contract.
+
+use std::sync::Arc;
+
+use bgp_sched::{Sched, SchedError};
+use bgp_shmem::SharedRegion;
+use bgp_smp::collectives::{read_f64s, write_f64s};
+use bgp_smp::Cluster;
+
+fn read_bytes(r: &Arc<SharedRegion>, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    // SAFETY: tests only read after the owning request completed.
+    unsafe { r.read(0, &mut v) };
+    v
+}
+
+fn pattern(seed: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
+}
+
+#[test]
+fn ibcast_delivers_multi_chunk_payload() {
+    let cluster = Cluster::new(2, 4);
+    let len = 40_000; // 3 chunks at the default 16 KiB
+    let results = cluster.run(move |cctx| {
+        let buf = Arc::new(SharedRegion::new(len));
+        if cctx.node() == 1 && cctx.rank() == 2 {
+            // SAFETY: freshly allocated, not yet shared.
+            unsafe { buf.write(0, &pattern(7, len)) };
+        }
+        let mut sched = Sched::new(cctx);
+        let req = sched.ibcast(&[0, 1, 2, 3], 1, 2, Some(&buf), len).unwrap();
+        sched.wait(req);
+        read_bytes(&buf, len)
+    });
+    let expect = pattern(7, len);
+    for node in &results {
+        for got in node {
+            assert_eq!(*got, expect);
+        }
+    }
+}
+
+#[test]
+fn iallreduce_sums_across_cluster() {
+    let cluster = Cluster::new(2, 4);
+    let count = 5000; // 3 chunks at 2048 elements per chunk
+    let results = cluster.run(move |cctx| {
+        let vals: Vec<f64> = (0..count)
+            .map(|i| cctx.global_rank() as f64 + i as f64)
+            .collect();
+        let input = Arc::new(SharedRegion::new(count * 8));
+        write_f64s(&input, 0, &vals);
+        let output = Arc::new(SharedRegion::new(count * 8));
+        let mut sched = Sched::new(cctx);
+        let req = sched
+            .iallreduce(&[0, 1, 2, 3], Some(&input), Some(&output), count)
+            .unwrap();
+        sched.wait(req);
+        read_f64s(&output, 0, count)
+    });
+    let rank_sum: f64 = (0..8).map(|r| r as f64).sum();
+    for node in &results {
+        for got in node {
+            for (i, v) in got.iter().enumerate() {
+                assert_eq!(*v, rank_sum + 8.0 * i as f64, "element {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_subgroup_ops_do_not_interfere() {
+    // Two disjoint subgroups run a broadcast each, concurrently, while the
+    // full group runs an allreduce — three ops in flight over shared links.
+    let cluster = Cluster::new(2, 4);
+    let len = 20_000;
+    let count = 3000;
+    let results = cluster.run(move |cctx| {
+        let rank = cctx.rank();
+        let even = [0usize, 2];
+        let odd = [1usize, 3];
+        let mut sched = Sched::new(cctx);
+
+        let b_even = even.binary_search(&rank).is_ok().then(|| {
+            let b = Arc::new(SharedRegion::new(len));
+            if cctx.node() == 0 && rank == 0 {
+                // SAFETY: fresh region.
+                unsafe { b.write(0, &pattern(11, len)) };
+            }
+            b
+        });
+        let b_odd = odd.binary_search(&rank).is_ok().then(|| {
+            let b = Arc::new(SharedRegion::new(len));
+            if cctx.node() == 1 && rank == 3 {
+                // SAFETY: fresh region.
+                unsafe { b.write(0, &pattern(23, len)) };
+            }
+            b
+        });
+        let input = Arc::new(SharedRegion::new(count * 8));
+        let vals: Vec<f64> = (0..count)
+            .map(|i| (i + cctx.global_rank()) as f64)
+            .collect();
+        write_f64s(&input, 0, &vals);
+        let output = Arc::new(SharedRegion::new(count * 8));
+
+        let r1 = sched.ibcast(&even, 0, 0, b_even.as_ref(), len).unwrap();
+        let r2 = sched.ibcast(&odd, 1, 3, b_odd.as_ref(), len).unwrap();
+        let r3 = sched
+            .iallreduce(&[0, 1, 2, 3], Some(&input), Some(&output), count)
+            .unwrap();
+        sched.wait_all(&[r1, r2, r3]);
+
+        let bytes = b_even
+            .or(b_odd)
+            .map(|b| read_bytes(&b, len))
+            .expect("every rank is in one subgroup");
+        (bytes, read_f64s(&output, 0, count))
+    });
+    let sum0: f64 = (0..8).map(|r| r as f64).sum();
+    for node in &results {
+        for (rank, (bytes, sums)) in node.iter().enumerate() {
+            let expect = if rank % 2 == 0 {
+                pattern(11, len)
+            } else {
+                pattern(23, len)
+            };
+            assert_eq!(*bytes, expect, "rank {rank}");
+            for (i, v) in sums.iter().enumerate() {
+                assert_eq!(*v, sum0 + 8.0 * i as f64);
+            }
+        }
+    }
+}
+
+#[test]
+fn busy_buffer_is_rejected_and_freed_on_completion() {
+    let cluster = Cluster::new(1, 2);
+    let oks = cluster.run(|cctx| {
+        let buf = Arc::new(SharedRegion::new(1024));
+        if cctx.rank() == 0 {
+            // SAFETY: fresh region.
+            unsafe { buf.write(0, &pattern(3, 1024)) };
+        }
+        let mut sched = Sched::new(cctx);
+        let req = sched.ibcast(&[0, 1], 0, 0, Some(&buf), 1024).unwrap();
+        // Same buffer, still in flight: typed error naming the owner, and
+        // (pre-effect validation) no op id consumed — streams stay aligned.
+        let err = sched.ibcast(&[0, 1], 0, 0, Some(&buf), 1024).unwrap_err();
+        let busy_ok = err == SchedError::BufferBusy { op: req.op_id() };
+        sched.wait(req);
+        // Completion releases the buffer.
+        let req2 = sched.ibcast(&[0, 1], 0, 0, Some(&buf), 1024).unwrap();
+        sched.wait(req2);
+        busy_ok
+    });
+    assert!(oks.iter().flatten().all(|&ok| ok));
+}
+
+#[test]
+fn zero_length_ops_complete_at_post() {
+    let cluster = Cluster::new(2, 2);
+    let oks = cluster.run(|cctx| {
+        let mut sched = Sched::new(cctx);
+        let buf = Arc::new(SharedRegion::new(8));
+        let r1 = sched.ibcast(&[0, 1], 0, 0, Some(&buf), 0).unwrap();
+        let input = Arc::new(SharedRegion::new(8));
+        let output = Arc::new(SharedRegion::new(8));
+        let r2 = sched
+            .iallreduce(&[0, 1], Some(&input), Some(&output), 0)
+            .unwrap();
+        // Complete without a single poll.
+        sched.is_complete(r1) && sched.is_complete(r2)
+    });
+    assert!(oks.iter().flatten().all(|&ok| ok));
+}
+
+#[test]
+fn posts_validate_before_any_effect() {
+    let cluster = Cluster::new(1, 2);
+    let oks = cluster.run(|cctx| {
+        let mut sched = Sched::new(cctx);
+        let buf = Arc::new(SharedRegion::new(64));
+        let small = Arc::new(SharedRegion::new(8));
+        let member = |r: Result<_, SchedError>| r.unwrap_err();
+
+        let mut ok = true;
+        ok &= matches!(
+            member(sched.ibcast(&[], 0, 0, None, 16)),
+            SchedError::BadGroup(_)
+        );
+        ok &= matches!(
+            member(sched.ibcast(&[1, 0], 0, 0, Some(&buf), 16)),
+            SchedError::BadGroup(_)
+        );
+        ok &= matches!(
+            member(sched.ibcast(&[0, 5], 0, 0, Some(&buf), 16)),
+            SchedError::BadGroup(_)
+        );
+        ok &= matches!(
+            member(sched.ibcast(&[0, 1], 3, 0, Some(&buf), 16)),
+            SchedError::BadGroup(_)
+        );
+        ok &= matches!(
+            member(sched.ibcast(&[0, 1], 0, 7, Some(&buf), 16)),
+            SchedError::BadGroup(_)
+        );
+        // Member without a buffer / non-member with one. Both ranks fail
+        // (differently), so neither consumes an op id: still symmetric.
+        ok &= member(sched.ibcast(&[0, 1], 0, 0, None, 16)) == SchedError::BufferMissing;
+        ok &= if cctx.rank() == 0 {
+            member(sched.ibcast(&[0], 0, 0, None, 16)) == SchedError::BufferMissing
+        } else {
+            member(sched.ibcast(&[0], 0, 0, Some(&buf), 16)) == SchedError::UnexpectedBuffer
+        };
+        ok &= member(sched.ibcast(&[0, 1], 0, 0, Some(&small), 64))
+            == SchedError::BufferTooShort { needed: 64, got: 8 };
+        ok &= member(sched.iallreduce(&[0, 1], Some(&buf), Some(&buf), 8))
+            == SchedError::BufferAliased;
+        ok &= member(sched.iallreduce(&[0, 1], Some(&small), None, 1)) == SchedError::BufferMissing;
+
+        // After all those rejections, a correct post still works and the
+        // op-id streams are still aligned across ranks.
+        let input = Arc::new(SharedRegion::new(64));
+        write_f64s(&input, 0, &[1.0; 8]);
+        let output = Arc::new(SharedRegion::new(64));
+        let req = sched
+            .iallreduce(&[0, 1], Some(&input), Some(&output), 8)
+            .unwrap();
+        sched.wait(req);
+        ok && read_f64s(&output, 0, 8) == vec![2.0; 8]
+    });
+    assert!(oks.iter().flatten().all(|&ok| ok));
+}
+
+#[test]
+fn many_ops_in_flight_deep_pipeline() {
+    // Eight broadcasts posted back-to-back before any wait; all complete
+    // and deliver their own payloads.
+    let cluster = Cluster::new(2, 4);
+    let len = 6000;
+    let results = cluster.run(move |cctx| {
+        let mut sched = Sched::new(cctx);
+        let mut bufs = Vec::new();
+        let mut reqs = Vec::new();
+        for i in 0..8u8 {
+            let root_node = (i as usize) % 2;
+            let root_rank = (i as usize) % 4;
+            let buf = Arc::new(SharedRegion::new(len));
+            if cctx.node() == root_node && cctx.rank() == root_rank {
+                // SAFETY: fresh region.
+                unsafe { buf.write(0, &pattern(i, len)) };
+            }
+            let req = sched
+                .ibcast(&[0, 1, 2, 3], root_node, root_rank, Some(&buf), len)
+                .unwrap();
+            bufs.push(buf);
+            reqs.push(req);
+        }
+        sched.wait_all(&reqs);
+        bufs.iter().map(|b| read_bytes(b, len)).collect::<Vec<_>>()
+    });
+    for node in &results {
+        for per_rank in node {
+            for (i, got) in per_rank.iter().enumerate() {
+                assert_eq!(*got, pattern(i as u8, len), "op {i}");
+            }
+        }
+    }
+}

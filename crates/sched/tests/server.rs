@@ -1,0 +1,177 @@
+//! The service layer end to end: delivery through tickets, coalescing,
+//! admission control, subgroups, and submit-time validation.
+
+use bgp_sched::{CollectiveServer, SchedError, ServerConfig};
+
+#[test]
+fn server_bcast_delivers_to_every_member() {
+    let server = CollectiveServer::new(2, 4);
+    let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    let t = server
+        .submit_bcast(&[0, 1, 2, 3], 1, 2, payload.clone())
+        .unwrap();
+    let got = t.wait();
+    assert_eq!(got.len(), 8);
+    for member in &got {
+        assert_eq!(*member, payload);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 1);
+    assert!(stats.batches >= 1);
+}
+
+#[test]
+fn server_allreduce_sums_all_member_inputs() {
+    let server = CollectiveServer::new(2, 4);
+    let count = 1500;
+    let inputs: Vec<Vec<f64>> = (0..8)
+        .map(|m| (0..count).map(|i| (m * 1000 + i) as f64).collect())
+        .collect();
+    let expect: Vec<f64> = (0..count)
+        .map(|i| (0..8).map(|m| (m * 1000 + i) as f64).sum())
+        .collect();
+    let t = server.submit_allreduce(&[0, 1, 2, 3], inputs).unwrap();
+    let got = t.wait();
+    assert_eq!(got.len(), 8);
+    for member in &got {
+        assert_eq!(*member, expect);
+    }
+}
+
+#[test]
+fn server_subgroup_results_are_member_ordered() {
+    // Group {0, 2} on 2 nodes: 4 members, global order (node, index).
+    let server = CollectiveServer::new(2, 2);
+    let inputs: Vec<Vec<f64>> = (0..4).map(|m| vec![m as f64, 10.0]).collect();
+    let t = server.submit_allreduce(&[0, 1], inputs).unwrap();
+    let got = t.wait();
+    assert_eq!(got, vec![vec![6.0, 40.0]; 4]);
+
+    let t = server.submit_bcast(&[1], 0, 1, vec![42u8; 16]).unwrap();
+    let got = t.wait();
+    // Only rank 1 of each node is a member: two slots.
+    assert_eq!(got, vec![vec![42u8; 16]; 2]);
+}
+
+#[test]
+fn small_same_root_bcasts_coalesce() {
+    // Occupy the dispatcher with a heavy op so the small ones pile up and
+    // get drained as one batch (pipeline 1: the dispatcher blocks
+    // collecting the heavy job while we enqueue).
+    let cfg = ServerConfig {
+        pipeline: 1,
+        ..ServerConfig::default()
+    };
+    let server = CollectiveServer::with_config(2, 4, cfg);
+    let heavy = server
+        .submit_bcast(&[0, 1, 2, 3], 0, 0, vec![9u8; 4 << 20])
+        .unwrap();
+    let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i + 1; 64]).collect();
+    let tickets: Vec<_> = payloads
+        .iter()
+        .map(|p| server.submit_bcast(&[0, 1, 2, 3], 0, 0, p.clone()).unwrap())
+        .collect();
+    let heavy_got = heavy.wait();
+    assert!(heavy_got.iter().all(|m| m == &vec![9u8; 4 << 20]));
+    for (p, t) in payloads.iter().zip(tickets) {
+        let got = t.wait();
+        assert_eq!(got.len(), 8);
+        for member in &got {
+            assert_eq!(member, p, "coalesced child must receive its own slice");
+        }
+    }
+    let stats = server.stats();
+    assert!(
+        stats.coalesced >= 2,
+        "expected fused broadcasts, stats: {stats:?}"
+    );
+    assert_eq!(stats.submitted, 7);
+}
+
+#[test]
+fn coalescing_disabled_still_delivers() {
+    let cfg = ServerConfig {
+        coalesce_max_ops: 1,
+        ..ServerConfig::default()
+    };
+    let server = CollectiveServer::with_config(1, 2, cfg);
+    let tickets: Vec<_> = (0..4u8)
+        .map(|i| server.submit_bcast(&[0, 1], 0, 0, vec![i; 32]).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(t.wait(), vec![vec![i as u8; 32]; 2]);
+    }
+    assert_eq!(server.stats().coalesced, 0);
+}
+
+#[test]
+fn try_submit_backpressures_at_the_admission_bound() {
+    let cfg = ServerConfig {
+        max_pending: 1,
+        batch_max_ops: 1,
+        pipeline: 1,
+        ..ServerConfig::default()
+    };
+    let server = CollectiveServer::with_config(2, 4, cfg);
+    // Heavy op: the dispatcher takes it (singleton batch) and then blocks
+    // collecting it before it can drain anything else.
+    let heavy = server
+        .submit_bcast(&[0, 1, 2, 3], 0, 0, vec![1u8; 4 << 20])
+        .unwrap();
+    // Fills the queue to its bound of 1...
+    let queued = server
+        .submit_bcast(&[0, 1, 2, 3], 0, 0, vec![2u8; 64])
+        .unwrap();
+    // ...so a non-blocking submit must be refused.
+    let err = server
+        .try_submit_bcast(&[0, 1, 2, 3], 0, 0, vec![3u8; 64])
+        .unwrap_err();
+    assert_eq!(err, SchedError::Backpressure);
+    heavy.wait();
+    queued.wait();
+    assert_eq!(server.stats().submitted, 2);
+}
+
+#[test]
+fn zero_length_submissions_complete_immediately() {
+    let server = CollectiveServer::new(1, 2);
+    let t = server.submit_bcast(&[0, 1], 0, 0, Vec::new()).unwrap();
+    assert!(t.is_done());
+    assert_eq!(t.wait(), vec![Vec::<u8>::new(); 2]);
+    let t = server
+        .submit_allreduce(&[0, 1], vec![Vec::new(), Vec::new()])
+        .unwrap();
+    assert!(t.is_done());
+    assert_eq!(t.wait(), vec![Vec::<f64>::new(); 2]);
+    let stats = server.stats();
+    assert_eq!((stats.submitted, stats.completed), (2, 2));
+}
+
+#[test]
+fn submission_validation_is_typed() {
+    let server = CollectiveServer::new(1, 2);
+    assert!(matches!(
+        server.submit_bcast(&[], 0, 0, vec![1]).unwrap_err(),
+        SchedError::BadGroup(_)
+    ));
+    assert!(matches!(
+        server.submit_bcast(&[0, 1], 4, 0, vec![1]).unwrap_err(),
+        SchedError::BadGroup(_)
+    ));
+    assert!(matches!(
+        server.submit_bcast(&[0, 1], 0, 7, vec![1]).unwrap_err(),
+        SchedError::BadGroup(_)
+    ));
+    assert!(matches!(
+        server
+            .submit_allreduce(&[0, 1], vec![vec![1.0]])
+            .unwrap_err(),
+        SchedError::BadGroup(_)
+    ));
+    assert!(matches!(
+        server
+            .submit_allreduce(&[0, 1], vec![vec![1.0], vec![1.0, 2.0]])
+            .unwrap_err(),
+        SchedError::BadGroup(_)
+    ));
+}

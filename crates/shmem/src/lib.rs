@@ -32,6 +32,7 @@
 //! in the opposite direction. No `SeqCst` is needed anywhere — each
 //! synchronization is pairwise.
 
+pub mod bank;
 pub mod bcast_fifo;
 pub mod counter;
 pub mod mutex_fifo;
@@ -41,6 +42,7 @@ pub mod region;
 pub mod sync;
 pub mod window;
 
+pub use bank::CounterBank;
 pub use bcast_fifo::{BcastConsumer, BcastFifo, FifoStats};
 pub use counter::{CompletionCounter, MessageCounter};
 pub use mutex_fifo::{MutexBcastConsumer, MutexBcastFifo};

@@ -136,6 +136,26 @@ impl WindowRegistry {
         region
     }
 
+    /// Non-blocking form of [`map_auto_blocking`](Self::map_auto_blocking):
+    /// `None` if the tag is not exposed yet (no stats are charged), so
+    /// pollers — the nonblocking progress engine's `test()` path — can
+    /// retry later without ever parking.
+    pub fn try_map_auto(
+        &self,
+        owner: u32,
+        tag: u64,
+        seen: &mut std::collections::HashSet<usize>,
+    ) -> Option<Arc<SharedRegion>> {
+        let region = self.inner.exposed.read().get(&(owner, tag)).cloned()?;
+        let ptr = Arc::as_ptr(&region) as usize;
+        if seen.insert(ptr) {
+            self.inner.stats.map_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.stats.map_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(region)
+    }
+
     /// The accounting ledger.
     pub fn stats(&self) -> &WindowStats {
         &self.inner.stats

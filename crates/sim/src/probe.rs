@@ -322,7 +322,10 @@ impl Probe {
     /// Export all spans in the Chrome tracing (`chrome://tracing`,
     /// Perfetto) JSON array format: complete (`"ph": "X"`) events,
     /// microsecond timestamps, one `tid` track per node. Schema
-    /// [`TRACE_SCHEMA`] is stamped into the first metadata event.
+    /// [`TRACE_SCHEMA`] is stamped into the first metadata event. Any
+    /// recorded [`Self::count`] totals follow as counter (`"ph": "C"`)
+    /// events so service-level gauges (queue depth, wait time, coalesced
+    /// ops) land in the same artifact as the phase timeline.
     pub fn chrome_trace(&self) -> String {
         let mut out = String::from("[\n");
         out.push_str(&format!(
@@ -340,6 +343,14 @@ impl Probe {
                 json::fmt_f64(s.start.as_nanos() as f64 / 1000.0),
                 json::fmt_f64((s.end - s.start).as_nanos() as f64 / 1000.0),
                 s.node,
+            ));
+        }
+        for (name, value) in self.counters() {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "{{\"name\": {}, \"ph\": \"C\", \"ts\": 0, \"pid\": 0, \"args\": {{\"value\": {}}}}}",
+                json::escape(name),
+                value,
             ));
         }
         out.push_str("\n]");
@@ -462,5 +473,31 @@ mod tests {
         assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(0.1));
         assert_eq!(events[1].get("dur").unwrap().as_f64(), Some(2.4));
         assert_eq!(events[2].get("tid").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn chrome_trace_emits_counter_events() {
+        let mut p = Probe::new();
+        p.enable();
+        p.begin_op("sched", "Server");
+        p.record("dispatch", 0, t(0), t(1000));
+        p.count("sched.queue_depth", 4);
+        p.count("sched.coalesced", 6);
+        let trace = json::parse(&p.chrome_trace()).unwrap();
+        let events = trace.as_arr().unwrap();
+        assert_eq!(events.len(), 4); // metadata + 1 span + 2 counters
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let depth = counters
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("sched.queue_depth"))
+            .expect("queue depth counter present");
+        assert_eq!(
+            depth.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(4.0)
+        );
     }
 }

@@ -37,7 +37,9 @@
 //! with the reset-style intra-node collectives on the same node.
 
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
@@ -62,8 +64,12 @@ struct ClusterShared {
     m: usize,
     n: usize,
     nodes: Vec<Arc<NodeShared>>,
-    fabric: Fabric,
+    fabric: Arc<Fabric>,
 }
+
+/// One worker's buffered, not-yet-collected job results (panics carried
+/// as `Err`).
+type ReadyResults = VecDeque<std::thread::Result<Box<dyn Any + Send>>>;
 
 /// One rank's view of the cluster: its node-local [`RankCtx`] plus the
 /// node id and the fabric.
@@ -103,6 +109,23 @@ pub struct Cluster {
     /// Set when any rank panicked inside a job: the shared state (barrier,
     /// FIFO cursors) may be torn, so further runs are refused.
     poisoned: Cell<bool>,
+    /// Jobs submitted via [`submit`](Self::submit) (and [`run`](Self::run)).
+    submit_seq: Cell<u64>,
+    /// Jobs collected. Pipelined jobs complete per worker in FIFO order, so
+    /// collection must follow submission order.
+    collect_seq: Cell<u64>,
+    /// Per-worker buffer of received-but-uncollected results, so
+    /// [`try_collect`](Self::try_collect) can poll without losing partial
+    /// progress across calls.
+    ready: RefCell<Vec<ReadyResults>>,
+}
+
+/// A handle to one in-flight SPMD job dispatched with
+/// [`Cluster::submit`]: the cluster-level poll/advance path. Redeem it with
+/// [`Cluster::try_collect`] (non-blocking) or [`Cluster::collect`].
+pub struct PendingJob<R> {
+    seq: u64,
+    _result: PhantomData<fn() -> R>,
 }
 
 impl Cluster {
@@ -126,7 +149,7 @@ impl Cluster {
             m,
             n,
             nodes: (0..m).map(|_| NodeShared::new(n)).collect(),
-            fabric: Fabric::new(m, chunk_bytes, window),
+            fabric: Arc::new(Fabric::new(m, chunk_bytes, window)),
         });
         let workers = (0..m * n)
             .map(|i| {
@@ -157,10 +180,14 @@ impl Cluster {
                 }
             })
             .collect();
+        let n_workers = m * n;
         Cluster {
             shared,
             workers,
             poisoned: Cell::new(false),
+            submit_seq: Cell::new(0),
+            collect_seq: Cell::new(0),
+            ready: RefCell::new((0..n_workers).map(|_| VecDeque::new()).collect()),
         }
     }
 
@@ -201,6 +228,28 @@ impl Cluster {
         R: Send + 'static,
         F: Fn(&mut ClusterCtx) -> R + Send + Sync + 'static,
     {
+        assert_eq!(
+            self.submit_seq.get(),
+            self.collect_seq.get(),
+            "run() cannot interleave with uncollected pipelined jobs"
+        );
+        let job = self.submit(body);
+        self.collect(job)
+    }
+
+    /// Dispatch `body` to every worker **without waiting**: the job queues
+    /// behind any earlier submissions (each worker runs its jobs in FIFO
+    /// order) and the caller keeps the thread. This is the cluster-level
+    /// advance/poll path: a driver — e.g. the `bgp-sched` dispatcher — can
+    /// keep a next batch in flight while it assembles the one after,
+    /// polling completion with [`try_collect`](Self::try_collect).
+    ///
+    /// Jobs must be collected in submission order.
+    pub fn submit<R, F>(&self, body: F) -> PendingJob<R>
+    where
+        R: Send + 'static,
+        F: Fn(&mut ClusterCtx) -> R + Send + Sync + 'static,
+    {
         self.check_usable();
         let body = Arc::new(body);
         for w in &self.workers {
@@ -212,10 +261,95 @@ impl Cluster {
                 .send(job)
                 .expect("rank thread exited prematurely");
         }
-        let flat: Vec<R> = self
-            .collect_acks()
+        let seq = self.submit_seq.get();
+        self.submit_seq.set(seq + 1);
+        PendingJob {
+            seq,
+            _result: PhantomData,
+        }
+    }
+
+    /// Poll one submitted job: `Some(results)` once **every** worker has
+    /// finished it, `None` otherwise (partial completions are buffered, so
+    /// polling is cheap and loses nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not the oldest uncollected submission, or —
+    /// poisoning the cluster — if any rank's body panicked.
+    pub fn try_collect<R: Send + 'static>(&self, job: &PendingJob<R>) -> Option<Vec<Vec<R>>> {
+        self.check_usable();
+        self.check_order(job.seq);
+        {
+            let mut ready = self.ready.borrow_mut();
+            for (w, buf) in self.workers.iter().zip(ready.iter_mut()) {
+                if buf.is_empty() {
+                    if let Ok(r) = w.res_rx.try_recv() {
+                        buf.push_back(r);
+                    }
+                }
+            }
+            if ready.iter().any(|b| b.is_empty()) {
+                return None;
+            }
+        }
+        Some(self.finish_front::<R>())
+    }
+
+    /// Block until `job` completes on every worker and return its results
+    /// node-major (the waiting half of [`submit`](Self::submit); panics
+    /// exactly like [`try_collect`](Self::try_collect)).
+    pub fn collect<R: Send + 'static>(&self, job: PendingJob<R>) -> Vec<Vec<R>> {
+        self.check_usable();
+        self.check_order(job.seq);
+        {
+            let mut ready = self.ready.borrow_mut();
+            for (w, buf) in self.workers.iter().zip(ready.iter_mut()) {
+                if buf.is_empty() {
+                    let r = w.res_rx.recv().expect("rank thread exited prematurely");
+                    buf.push_back(r);
+                }
+            }
+        }
+        self.finish_front::<R>()
+    }
+
+    fn check_order(&self, seq: u64) {
+        assert_eq!(
+            seq,
+            self.collect_seq.get(),
+            "pipelined jobs must be collected in submission order"
+        );
+    }
+
+    /// Pop the buffered front result of every worker (all present by now),
+    /// re-panic if any rank panicked, downcast, and shape node-major.
+    fn finish_front<R: Send + 'static>(&self) -> Vec<Vec<R>> {
+        let results: Vec<std::thread::Result<Box<dyn Any + Send>>> = self
+            .ready
+            .borrow_mut()
+            .iter_mut()
+            .map(|b| b.pop_front().expect("every worker's result is buffered"))
+            .collect();
+        self.collect_seq.set(self.collect_seq.get() + 1);
+        if results.iter().any(|r| r.is_err()) {
+            self.poisoned.set(true);
+            let msg = results
+                .into_iter()
+                .filter_map(|r| r.err())
+                .map(|p| {
+                    p.downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into())
+                })
+                .next()
+                .unwrap();
+            panic!("rank thread panicked: {msg}");
+        }
+        let flat: Vec<R> = results
             .into_iter()
-            .map(|b| *b.downcast::<R>().expect("result type"))
+            .map(|r| *r.unwrap().downcast::<R>().expect("result type"))
             .collect();
         self.shape(flat)
     }
@@ -231,6 +365,11 @@ impl Cluster {
         F: Fn(&mut ClusterCtx) -> R + Sync,
     {
         self.check_usable();
+        assert_eq!(
+            self.submit_seq.get(),
+            self.collect_seq.get(),
+            "run_borrowed() cannot interleave with uncollected pipelined jobs"
+        );
 
         struct SendPtr(*const ());
         // SAFETY: the pointees (`body`, `slots`) are Sync/owned by this
@@ -403,6 +542,21 @@ impl ClusterCtx {
     #[inline]
     pub fn intra(&mut self) -> &mut RankCtx {
         &mut self.ctx
+    }
+
+    /// The inter-node link fabric, shared by every rank. The nonblocking
+    /// scheduler (`bgp-sched`) holds this so its progress engine can poll
+    /// ports without borrowing the context.
+    #[inline]
+    pub fn fabric(&self) -> Arc<Fabric> {
+        self.shared.fabric.clone()
+    }
+
+    /// This rank's node-shared state: the window registry, the sched
+    /// counter bank, and the persistent per-rank op sequences.
+    #[inline]
+    pub fn node_shared(&self) -> Arc<NodeShared> {
+        self.shared.nodes[self.node].clone()
     }
 
     fn map_cached(&mut self, owner: u32, tag: u64) -> Arc<SharedRegion> {
@@ -928,6 +1082,42 @@ mod tests {
         let b = cluster.run(|cctx| cctx.intra().next_op());
         assert!(a.iter().flatten().all(|&v| v == 1));
         assert!(b.iter().flatten().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn pipelined_jobs_run_fifo_per_worker() {
+        let cluster = Cluster::new(2, 2);
+        let a = cluster.submit(|cctx| cctx.intra().next_op());
+        let b = cluster.submit(|cctx| cctx.intra().next_op());
+        let ra = cluster.collect(a);
+        let rb = cluster.collect(b);
+        assert!(ra.iter().flatten().all(|&v| v == 1));
+        assert!(rb.iter().flatten().all(|&v| v == 2));
+        // The cluster is reusable afterwards.
+        let rc = cluster.run(|cctx| cctx.intra().next_op());
+        assert!(rc.iter().flatten().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn try_collect_buffers_partial_completions() {
+        let cluster = Cluster::new(1, 2);
+        let job = cluster.submit(|cctx| cctx.rank());
+        let out = loop {
+            if let Some(r) = cluster.try_collect(&job) {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(out, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collected in submission order")]
+    fn out_of_order_collect_is_refused() {
+        let cluster = Cluster::new(1, 1);
+        let _a = cluster.submit(|_| 0usize);
+        let b = cluster.submit(|_| 1usize);
+        let _ = cluster.collect(b);
     }
 
     #[test]

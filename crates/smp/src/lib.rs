@@ -32,5 +32,5 @@ pub mod runtime;
 pub mod transport;
 
 pub use barrier::SenseBarrier;
-pub use cluster::{Cluster, ClusterCtx, ClusterStats};
-pub use runtime::{run_node, NodeRuntime, RankCtx};
+pub use cluster::{Cluster, ClusterCtx, ClusterStats, PendingJob};
+pub use runtime::{run_node, NodeRuntime, NodeShared, RankCtx};

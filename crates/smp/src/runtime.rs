@@ -15,19 +15,24 @@
 //! per call. `run_node` builds and drops a one-shot runtime, preserving the
 //! old semantics for tests and examples.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use bgp_shmem::sync::atomic::AtomicU64;
 use bgp_shmem::sync::Mutex;
 
 use bgp_shmem::{
-    BcastConsumer, BcastFifo, CompletionCounter, MessageCounter, SharedRegion, WindowRegistry,
+    BcastConsumer, BcastFifo, CompletionCounter, CounterBank, MessageCounter, SharedRegion,
+    WindowRegistry,
 };
 
 use crate::barrier::{BarrierToken, SenseBarrier};
 use crate::cluster::Cluster;
 use crate::collectives::FifoMsg;
+
+/// Parked nonblocking-scheduler chunks, keyed by op id: `(link tag,
+/// payload)` pairs in arrival order.
+pub type SchedStash = HashMap<u64, VecDeque<(u64, Box<[u8]>)>>;
 
 /// Bcast FIFO geometry used by the runtime (paper-plausible defaults:
 /// 4 KB slots, 64 of them).
@@ -76,6 +81,21 @@ pub struct NodeShared {
     /// `0..n` is rank `r`'s producer stream (broadcast reception, allreduce
     /// partials); index `n + c` is the allreduce result stream of color `c`.
     aux_counters: Vec<MessageCounter>,
+    /// Per-operation counters of the nonblocking scheduler (`bgp-sched`):
+    /// keyed by op id + stream role, created on demand and retired by the
+    /// progress engine. Fresh keys start at zero, so no base juggling.
+    sched_bank: CounterBank,
+    /// Per-rank nonblocking-op sequence. Advanced identically on every rank
+    /// (posts are SPMD), persistent across jobs so op ids are never reused
+    /// over the node's lifetime. Only rank `r` writes entry `r`.
+    sched_seq: Vec<AtomicU64>,
+    /// Chunks that arrived for nonblocking ops this node has not posted
+    /// yet (a faster peer ran ahead, possibly across a job boundary):
+    /// `(link tag, payload)` in arrival order, keyed by op id. Lives here
+    /// rather than in the per-job scheduler so parked chunks survive until
+    /// the op is finally posted. Only the node's progress engine (rank 0)
+    /// touches it, so the lock is never contended.
+    sched_stash: Mutex<SchedStash>,
     /// Cluster-protocol probe counters.
     cluster_stats: ClusterNodeStats,
 }
@@ -101,6 +121,9 @@ impl NodeShared {
             fifo,
             consumer_slots,
             aux_counters: (0..2 * n).map(|_| MessageCounter::new()).collect(),
+            sched_bank: CounterBank::new(),
+            sched_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sched_stash: Mutex::new(HashMap::new()),
             cluster_stats: ClusterNodeStats::default(),
         })
     }
@@ -108,6 +131,35 @@ impl NodeShared {
     /// Cluster-protocol probe counters of this node.
     pub fn cluster_stats(&self) -> &ClusterNodeStats {
         &self.cluster_stats
+    }
+
+    /// Ranks on the node.
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// The node's window registry.
+    pub fn registry(&self) -> &WindowRegistry {
+        &self.registry
+    }
+
+    /// The nonblocking scheduler's per-operation counter bank.
+    pub fn sched_bank(&self) -> &CounterBank {
+        &self.sched_bank
+    }
+
+    /// Advance and return rank `rank`'s nonblocking-op sequence number.
+    /// Only that rank may call this (the entry is logically rank-private;
+    /// it lives here so it survives across jobs on persistent workers).
+    pub fn next_sched_op(&self, rank: usize) -> u64 {
+        use bgp_shmem::sync::atomic::Ordering;
+        self.sched_seq[rank].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The progress engine's parking lot for early chunks of not-yet-posted
+    /// nonblocking ops (see the field docs).
+    pub fn sched_stash(&self) -> &Mutex<SchedStash> {
+        &self.sched_stash
     }
 }
 

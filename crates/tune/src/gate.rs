@@ -328,6 +328,7 @@ fn median_wall_us(samples: usize, mut f: impl FnMut()) -> f64 {
 pub fn real_entries() -> Vec<GateEntry> {
     use bgp_smp::collectives::write_f64s;
     use bgp_smp::{Cluster, NodeRuntime};
+    use std::sync::Arc;
     const LEN: usize = 256 * 1024;
     const RANKS: usize = 4;
     let mut out = Vec::new();
@@ -407,6 +408,43 @@ pub fn real_entries() -> Vec<GateEntry> {
             });
         }),
     );
+    // Nonblocking scheduler throughput: the same 1 KiB broadcast posted
+    // through bgp-sched at two in-flight depths. Ops/sec, higher is
+    // better; recorded ungated like the rest of the host-time series.
+    let sched_ops = |cluster: &Cluster, depth: usize| -> f64 {
+        let us = median_wall_us(5, || {
+            cluster.run(move |cctx| {
+                let group: Vec<usize> = (0..cctx.n_ranks()).collect();
+                let mut sched = bgp_sched::Sched::new(cctx);
+                let mut reqs = Vec::with_capacity(depth);
+                let mut bufs = Vec::with_capacity(depth);
+                for i in 0..depth {
+                    let buf = Arc::new(bgp_shmem::SharedRegion::new(1024));
+                    let (rn, rr) = (i % cctx.n_nodes(), i % cctx.n_ranks());
+                    if cctx.node() == rn && cctx.rank() == rr {
+                        unsafe { buf.write(0, &[i as u8; 1024]) };
+                    }
+                    reqs.push(
+                        sched
+                            .ibcast(&group, rn, rr, Some(&buf), 1024)
+                            .expect("valid post"),
+                    );
+                    bufs.push(buf);
+                }
+                sched.wait_all(&reqs);
+            });
+        });
+        depth as f64 / (us / 1e6)
+    };
+    for depth in [1usize, 8] {
+        out.push(GateEntry {
+            id: format!("sched/ibcast_1K_depth{depth}"),
+            unit: "ops/s".into(),
+            better: Better::Higher,
+            gated: false,
+            value: sched_ops(&cluster, depth),
+        });
+    }
     out
 }
 

@@ -17,6 +17,7 @@
 //! | [`machine`] | `bgp-machine` | BG/P hardware model: torus, tree, DMA, memory, CNK |
 //! | [`shmem`] | `bgp-shmem` | real concurrent primitives: Bcast FIFO, message counters, windows |
 //! | [`smp`] | `bgp-smp` | threaded 4-rank node runtime over real shared memory |
+//! | [`sched`] | `bgp-sched` | nonblocking collectives, per-node progress engine, op-scheduling service |
 //! | [`dcmf`] | `bgp-dcmf` | messaging layer: pt2pt, direct put/get, line bcast, tree channel |
 //! | [`ccmi`] | `bgp-ccmi` | collective framework: color schedules, executors, pipelining |
 //! | [`mpi`] | `bgp-mpi` | MPI-like API + every algorithm and baseline from the paper |
@@ -26,6 +27,7 @@ pub use bgp_ccmi as ccmi;
 pub use bgp_dcmf as dcmf;
 pub use bgp_machine as machine;
 pub use bgp_mpi as mpi;
+pub use bgp_sched as sched;
 pub use bgp_shmem as shmem;
 pub use bgp_sim as sim;
 pub use bgp_smp as smp;

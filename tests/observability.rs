@@ -135,7 +135,15 @@ fn breakdown_json_and_chrome_trace_parse() {
 
     let tr = json::parse(&mpi.chrome_trace()).unwrap();
     let events = tr.as_arr().unwrap();
-    // Metadata event plus one complete event per recorded span.
-    assert_eq!(events.len(), 1 + mpi.probe().spans().len());
+    // Metadata event, one complete event per recorded span, one counter
+    // event per probe counter.
+    assert_eq!(
+        events.len(),
+        1 + mpi.probe().spans().len() + mpi.probe().counters().len()
+    );
     assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+    assert!(events.iter().any(|e| {
+        e.get("ph").map(|p| p.as_str()) == Some(Some("C"))
+            && e.get("name").map(|n| n.as_str()) == Some(Some("torus_chunks"))
+    }));
 }
