@@ -12,7 +12,7 @@ cd "$(dirname "$0")"
 # (the committed BENCH_baseline.json is not a smoke artifact and stays).
 cleanup() {
   rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json \
-    ci_sched_trace.json
+    ci_sched_trace.json BENCH_hotpath.json
 }
 trap cleanup EXIT
 
@@ -71,6 +71,14 @@ echo "== smoke: fig6 --small --trace artifacts parse"
 cargo run --release -p bgp-bench --bin fig6 -- --small --trace >/dev/null
 python3 -m json.tool BENCH_fig6_phases.json >/dev/null
 python3 -m json.tool BENCH_fig6_trace.json >/dev/null
+
+# The hot-path microbenchmark: per-stage latency decomposition of the
+# slot-loan transport plus the two gated speedup ratios. --check verifies
+# the staged and loaned paths compute identical results and (in release)
+# that both ratios beat 1x; the JSON report must parse.
+echo "== hot-path bench: bench_hot_path --small --check"
+cargo run --release -p bgp-bench --bin bench_hot_path -- --small --check
+python3 -m json.tool BENCH_hotpath.json >/dev/null
 
 # The perf gate: the pinned suite at the small deterministic shape must
 # match the committed BENCH_baseline.json within tolerance, its report

@@ -1,0 +1,127 @@
+//! Hot-path microbenchmark: per-stage latency decomposition of the
+//! slot-loan transport plus the two gated speedup ratios.
+//!
+//! ```text
+//! bench_hot_path                    # full iteration counts, write BENCH_hotpath.json
+//! bench_hot_path --small --check    # CI shape: fewer iterations + correctness checks
+//! ```
+//!
+//! Flags: `--small` (CI iteration counts), `--check` (verify the staged
+//! and loaned paths compute identical results, the report parses under
+//! the gate schema, and — in release builds — both speedup ratios beat
+//! 1x), `--label <name>` (output `BENCH_<name>.json`, default `hotpath`),
+//! `--no-write`.
+//!
+//! Stages are isolated by subtraction (empty cycle vs filled cycle vs
+//! filled+copied cycle); the cross-thread end-to-end minus the summed
+//! stages is printed as *transit* — the handoff/spin overhead no single
+//! stage owns. See `bgp_tune::hotpath` for the methodology.
+
+use std::process::ExitCode;
+
+use bgp_tune::gate::GateReport;
+use bgp_tune::hotpath;
+
+fn main() -> ExitCode {
+    let mut small = false;
+    let mut check = false;
+    let mut label = "hotpath".to_string();
+    let mut write = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--check" => check = true,
+            "--no-write" => write = false,
+            "--label" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--label needs a value");
+                    return ExitCode::FAILURE;
+                };
+                label = v;
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; see the doc comment in bench_hot_path.rs for usage"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut report = hotpath::report(small);
+    report.label = label.clone();
+
+    println!("{:<28} {:>14} {:>6}  gated", "series", "value", "unit");
+    for e in &report.entries {
+        println!(
+            "{:<28} {:>14.3} {:>6}  {}",
+            e.id,
+            e.value,
+            e.unit,
+            if e.gated { "yes" } else { "no" }
+        );
+    }
+    let stage_sum: f64 = report
+        .entries
+        .iter()
+        .filter(|e| e.unit == "ns" && e.id.starts_with("hotpath/"))
+        .map(|e| e.value)
+        .sum();
+    let grab = |id: &str| {
+        report
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.value)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "e2e {:.3} us = stages {:.3} us + transit {:.3} us (cross-core handoff / spin residual)",
+        grab("hotpath/e2e_64K"),
+        stage_sum / 1e3,
+        grab("hotpath/transit_64K"),
+    );
+
+    if write {
+        let path = format!("BENCH_{label}.json");
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} entries)", report.entries.len());
+    }
+
+    if check {
+        if let Err(e) = hotpath::check() {
+            eprintln!("check FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        let parsed = match GateReport::parse(&report.to_json()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("check FAILED: report does not parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ratios: Vec<_> = parsed.entries.iter().filter(|e| e.gated).collect();
+        if ratios.len() != 2 || !ratios.iter().all(|e| e.unit == "x" && e.value.is_finite()) {
+            eprintln!("check FAILED: expected exactly two gated ratio series");
+            return ExitCode::FAILURE;
+        }
+        // In release the loaned/lane paths must actually win; a debug
+        // build de-optimizes both sides unevenly, so only report there.
+        if !cfg!(debug_assertions) {
+            if let Some(worst) = ratios.iter().find(|e| e.value <= 1.0) {
+                eprintln!(
+                    "check FAILED: {} = {:.3}x does not beat the staged shape",
+                    worst.id, worst.value
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("check ok: paths agree, report parses, ratios sane");
+    }
+    ExitCode::SUCCESS
+}

@@ -58,7 +58,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use bgp_shmem::{spin, MessageCounter, SharedRegion};
-use bgp_smp::collectives::{accumulate_f64s, f64s_to_bytes, read_f64s_into, write_f64s};
+use bgp_smp::kernels;
 use bgp_smp::transport::{optag, ChunkChannel, Fabric, RingDir};
 use bgp_smp::{ClusterCtx, NodeShared};
 
@@ -267,7 +267,6 @@ struct Engine {
     shared: Arc<NodeShared>,
     fabric: Arc<Fabric>,
     seen: HashSet<usize>,
-    scratch: Vec<f64>,
     ops: BTreeMap<u64, NetOp>,
 }
 
@@ -286,7 +285,6 @@ impl Engine {
             shared,
             fabric,
             seen: HashSet::new(),
-            scratch: Vec::new(),
             ops: BTreeMap::new(),
         }
     }
@@ -437,7 +435,6 @@ impl Engine {
         node: usize,
         m: usize,
         chunk: usize,
-        scratch: &mut Vec<f64>,
     ) {
         match netop {
             NetOp::Bcast(b) => {
@@ -464,25 +461,37 @@ impl Engine {
                     debug_assert_eq!(k, a.combined, "partials arrive in order");
                     let (e0, ec) = elem_span(a.count, a.ce, k);
                     debug_assert_eq!(ec * 8, bytes.len());
-                    scratch.resize(ec, 0.0);
-                    // Local partial (gated by `ready`) + incoming partial.
-                    read_f64s_into(&a.acc, e0 * 8, scratch);
-                    for (v, b8) in scratch.iter_mut().zip(bytes.chunks_exact(8)) {
-                        *v += f64::from_ne_bytes(b8.try_into().unwrap());
-                    }
                     a.combined += 1;
                     if a.pos == m - 1 {
-                        // End of the partial chain: this is the final value.
-                        write_f64s(&a.acc, e0 * 8, scratch);
+                        // End of the partial chain: accumulate the incoming
+                        // chunk into the local partial in place — it *is*
+                        // the final value.
+                        // SAFETY: local partial ready (gated by `ready`);
+                        // member reads gated on the counter publish below.
+                        unsafe {
+                            a.acc.with_bytes_mut(e0 * 8, ec * 8, |local| {
+                                kernels::add_bytes_assign(local, bytes)
+                            })
+                        };
                         a.res.publish((ec * 8) as u64);
                         a.fulls_done += 1;
                     } else {
                         // can_accept checked can_send; the engine is the
                         // sole producer of this link, so it still holds.
+                        // Fused combine: local partial + incoming chunk
+                        // lane-summed straight into the reserved outgoing
+                        // slot — zero staging copies.
                         let out = fabric.ring_send(node, a.dir);
-                        out.send_with(optag::pack(op, optag::KIND_PARTIAL, k), ec * 8, |d| {
-                            f64s_to_bytes(scratch, d)
+                        let mut snd = out.reserve();
+                        snd.with_bytes_mut(|d| {
+                            // SAFETY: local partial ready (gated by `ready`).
+                            unsafe {
+                                a.acc.with_bytes(e0 * 8, ec * 8, |local| {
+                                    kernels::add_bytes_into(&mut d[..ec * 8], local, bytes)
+                                })
+                            }
                         });
+                        snd.publish(optag::pack(op, optag::KIND_PARTIAL, k), ec * 8);
                     }
                 }
                 optag::KIND_FULL => {
@@ -536,18 +545,7 @@ impl Engine {
                     if !Self::can_accept(netop, kind, &fabric, node, m) {
                         break;
                     }
-                    Self::consume(
-                        netop,
-                        o,
-                        kind,
-                        k,
-                        bytes,
-                        &fabric,
-                        node,
-                        m,
-                        chunk,
-                        &mut self.scratch,
-                    );
+                    Self::consume(netop, o, kind, k, bytes, &fabric, node, m, chunk);
                     q.pop_front();
                 }
                 if q.is_empty() {
@@ -577,7 +575,11 @@ impl Engine {
                 let (op, kind, k) = optag::unpack(tag);
                 if !self.ops.contains_key(&op) || stashed_ops.contains(&op) {
                     // Not posted here yet (or already queuing behind such
-                    // chunks): park it and keep the link draining.
+                    // chunks): park it and keep the link draining. The
+                    // `to_vec` is the one owned copy left on the engine's
+                    // receive path — parking outlives the slot loan, so the
+                    // bytes genuinely need an owner; every in-order arrival
+                    // is consumed in place.
                     let mut stash = shared.sched_stash().lock();
                     port.recv_with(|t, b| {
                         stash
@@ -594,18 +596,7 @@ impl Engine {
                     break;
                 }
                 port.recv_with(|_, bytes| {
-                    Self::consume(
-                        netop,
-                        op,
-                        kind,
-                        k,
-                        bytes,
-                        &fabric,
-                        node,
-                        m,
-                        chunk,
-                        &mut self.scratch,
-                    );
+                    Self::consume(netop, op, kind, k, bytes, &fabric, node, m, chunk);
                 });
             }
         }
@@ -747,7 +738,6 @@ pub struct Sched {
     shared: Arc<NodeShared>,
     chunk: usize,
     seen: HashSet<usize>,
-    scratch: Vec<f64>,
     roles: BTreeMap<u64, Role>,
     /// Region pointer -> op currently owning the buffer (overlap guard).
     active_bufs: HashMap<usize, u64>,
@@ -778,7 +768,6 @@ impl Sched {
             shared,
             chunk,
             seen: HashSet::new(),
-            scratch: Vec::new(),
             roles: BTreeMap::new(),
             active_bufs: HashMap::new(),
             engine,
@@ -1032,7 +1021,6 @@ impl Sched {
                 &shared,
                 &mut self.seen,
                 &mut self.active_bufs,
-                &mut self.scratch,
             );
         }
     }
@@ -1119,7 +1107,6 @@ fn step_role(
     shared: &NodeShared,
     seen: &mut HashSet<usize>,
     active: &mut HashMap<usize, u64>,
-    scratch: &mut Vec<f64>,
 ) {
     match role {
         Role::Done => {}
@@ -1156,7 +1143,7 @@ fn step_role(
             }
         }
         Role::ArMember(a) => {
-            if step_ar_member(op, a, rank, shared, seen, scratch) {
+            if step_ar_member(op, a, rank, shared, seen) {
                 active.remove(&a.in_ptr);
                 active.remove(&a.out_ptr);
                 *role = Role::Done;
@@ -1172,7 +1159,6 @@ fn step_ar_member(
     rank: usize,
     shared: &NodeShared,
     seen: &mut HashSet<usize>,
-    scratch: &mut Vec<f64>,
 ) -> bool {
     let registry = shared.registry();
     if matches!(a.phase, ArPhase::Map) {
@@ -1194,14 +1180,28 @@ fn step_ar_member(
         let acc = a.acc.as_ref().expect("mapped in Map phase");
         for k in a.lo..a.hi {
             let (e0, ec) = elem_span(a.count, a.ce, k);
-            scratch.resize(ec, 0.0);
-            // Inputs are final from before their exposure; reading them
-            // ungated is ordered by the registry map.
-            read_f64s_into(a.inputs[0].as_ref().expect("mapped"), e0 * 8, scratch);
-            for input in &a.inputs[1..] {
-                accumulate_f64s(input.as_ref().expect("mapped"), e0 * 8, scratch);
-            }
-            write_f64s(acc, e0 * 8, scratch);
+            // Reduce straight into the stage: seed with the first input,
+            // lane-add the rest over it in place. Inputs are final from
+            // before their exposure; reading them ungated is ordered by the
+            // registry map.
+            // SAFETY: this member is the unique writer of its stage
+            // partition; readers are gated on the parts publish below.
+            unsafe {
+                acc.with_bytes_mut(e0 * 8, ec * 8, |dst| {
+                    a.inputs[0]
+                        .as_ref()
+                        .expect("mapped")
+                        .with_bytes(e0 * 8, dst.len(), |src| dst.copy_from_slice(src));
+                    for input in &a.inputs[1..] {
+                        input
+                            .as_ref()
+                            .expect("mapped")
+                            .with_bytes(e0 * 8, dst.len(), |src| {
+                                kernels::add_bytes_assign(dst, src)
+                            });
+                    }
+                })
+            };
             a.parts[a.my_index].publish((ec * 8) as u64);
         }
         a.phase = ArPhase::CopyOut;

@@ -116,6 +116,56 @@ impl SharedRegion {
         unsafe { std::ptr::copy_nonoverlapping(s, d, len) };
     }
 
+    /// Borrow `len` bytes at `offset` as a slice for an in-place read — the
+    /// zero-copy counterpart of [`read`](Self::read), for consumers (reduce
+    /// kernels, slot fills) that want the region bytes without staging them
+    /// through a caller buffer.
+    ///
+    /// # Safety
+    /// The contract of [`read`](Self::read), extended over the whole call:
+    /// no writer may touch `[offset, offset + len)` while `f` runs.
+    pub unsafe fn with_bytes<R>(&self, offset: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        assert!(
+            offset + len <= self.data.len(),
+            "borrow of {} bytes at {} exceeds region of {}",
+            len,
+            offset,
+            self.data.len()
+        );
+        if len == 0 {
+            return f(&[]);
+        }
+        // SAFETY: `UnsafeCell<u8>` is layout-identical to `u8` and the cells
+        // are contiguous; bounds checked above, exclusivity per contract.
+        unsafe { f(std::slice::from_raw_parts(self.data[offset].get(), len)) }
+    }
+
+    /// Borrow `len` bytes at `offset` as a mutable slice for an in-place
+    /// write — the zero-copy counterpart of [`write`](Self::write).
+    ///
+    /// # Safety
+    /// The contract of [`write`](Self::write), extended over the whole call:
+    /// no other access may touch `[offset, offset + len)` while `f` runs.
+    pub unsafe fn with_bytes_mut<R>(
+        &self,
+        offset: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        assert!(
+            offset + len <= self.data.len(),
+            "borrow of {} bytes at {} exceeds region of {}",
+            len,
+            offset,
+            self.data.len()
+        );
+        if len == 0 {
+            return f(&mut []);
+        }
+        // SAFETY: as in `with_bytes`, plus exclusive access per contract.
+        unsafe { f(std::slice::from_raw_parts_mut(self.data[offset].get(), len)) }
+    }
+
     /// Snapshot the whole region into a `Vec` (test/diagnostic helper).
     ///
     /// # Safety
@@ -170,6 +220,33 @@ mod tests {
         }
         let a = SharedRegion::new(4);
         unsafe { a.copy_from(0, &r, 0, 0) };
+    }
+
+    #[test]
+    fn in_place_borrows_see_and_mutate_the_region() {
+        let r = SharedRegion::new(16);
+        unsafe {
+            r.with_bytes_mut(4, 8, |b| {
+                assert_eq!(b.len(), 8);
+                for (i, x) in b.iter_mut().enumerate() {
+                    *x = i as u8 + 1;
+                }
+            });
+            r.with_bytes(4, 8, |b| assert_eq!(b, [1, 2, 3, 4, 5, 6, 7, 8]));
+            let mut out = [0u8; 2];
+            r.read(5, &mut out);
+            assert_eq!(out, [2, 3]);
+            // Zero-length borrows are valid anywhere in bounds.
+            r.with_bytes(16, 0, |b| assert!(b.is_empty()));
+            r.with_bytes_mut(0, 0, |b| assert!(b.is_empty()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn out_of_bounds_borrow_panics() {
+        let r = SharedRegion::new(4);
+        unsafe { r.with_bytes(2, 4, |_| ()) };
     }
 
     #[test]

@@ -48,9 +48,6 @@ use std::thread::JoinHandle;
 use bgp_shmem::sync::Mutex;
 use bgp_shmem::SharedRegion;
 
-use crate::collectives::{
-    accumulate_f64s, add_bytes_f64, f64s_to_bytes, read_f64s_into, write_f64s,
-};
 use crate::runtime::{NodeShared, RankCtx};
 use crate::transport::{Fabric, RingDir};
 
@@ -667,7 +664,10 @@ impl ClusterCtx {
                 self.chase_copy(buf, &src, len, 0, base, None);
             }
         } else if n == 1 {
-            // Single-rank node: receive and forward in one loop.
+            // Single-rank node: receive and forward in one loop. The
+            // incoming slot is held on loan while it lands in our buffer
+            // *and* feeds each outbound slot directly — forwarding never
+            // re-reads the application buffer.
             let in_ch = shared.fabric.bcast_in(v, root_node);
             let outs = shared.fabric.bcast_out(v, root_node);
             self.ctx
@@ -675,14 +675,19 @@ impl ClusterCtx {
                 .bcast_recv_ops
                 .fetch_add(1, Ordering::Relaxed);
             for (k, off, clen) in chunks_of(len, chunk) {
-                in_ch.recv_with(|tag, bytes| {
-                    debug_assert_eq!(tag, k as u64);
-                    // SAFETY: we are the only writer of our buf.
-                    unsafe { buf.write(off, bytes) };
-                });
+                let rs = in_ch.peek();
+                debug_assert_eq!(rs.tag(), k as u64);
+                // SAFETY: we are the only writer of our buf.
+                rs.with_bytes(|bytes| unsafe { buf.write(off, bytes) });
                 for ch in &outs {
-                    // SAFETY: just written above, single thread.
-                    ch.send_with(k as u64, clen, |dst| unsafe { buf.read(off, dst) });
+                    // Blocking on downstream space while holding the loan is
+                    // deadlock-free: tree links form no cycle, so the
+                    // consumer downstream never waits on our retire.
+                    let mut snd = ch.reserve();
+                    rs.with_bytes(|bytes| {
+                        snd.with_bytes_mut(|dst| dst[..clen].copy_from_slice(bytes))
+                    });
+                    snd.publish(k as u64, clen);
                 }
             }
         } else if me == recv_rank {
@@ -800,21 +805,28 @@ impl ClusterCtx {
             let inputs: Vec<Arc<SharedRegion>> =
                 (0..n).map(|r| self.map_cached(r as u32, in_tag)).collect();
             let (lo, hi) = span(c);
-            let mut acc = std::mem::take(&mut self.ctx.scratch_f64);
             let mut elo = lo;
             while elo < hi {
                 let ehi = (elo + ce).min(hi);
-                acc.clear();
-                acc.resize(ehi - elo, 0.0);
-                read_f64s_into(&inputs[0], elo * 8, &mut acc);
-                for inp in &inputs[1..] {
-                    accumulate_f64s(inp, elo * 8, &mut acc);
-                }
-                write_f64s(&cbufs[c], (elo - lo) * 8, &acc);
+                // Reduce straight into the color buffer: seed with rank 0's
+                // input, lane-add the rest over it in place. No scratch
+                // vector, no f64↔byte round trips.
+                // SAFETY: this rank is the unique writer of cbuf; readers
+                // are gated on the counter publish below; inputs were
+                // written before the collective.
+                unsafe {
+                    cbufs[c].with_bytes_mut((elo - lo) * 8, (ehi - elo) * 8, |dst| {
+                        inputs[0].with_bytes(elo * 8, dst.len(), |src| dst.copy_from_slice(src));
+                        for inp in &inputs[1..] {
+                            inp.with_bytes(elo * 8, dst.len(), |src| {
+                                crate::kernels::add_bytes_assign(dst, src)
+                            });
+                        }
+                    })
+                };
                 self.ctx.aux_counter(me).publish(((ehi - elo) * 8) as u64);
                 elo = ehi;
             }
-            self.ctx.scratch_f64 = acc;
         }
 
         // Phase B — the network core drives the ring for all colors.
@@ -836,9 +848,7 @@ impl ClusterCtx {
                     }
                 }
             } else {
-                let mut scratch = std::mem::take(&mut self.ctx.scratch_f64);
-                self.drive_ring(&shared, count, colors, &cbufs, &pbase, &mut scratch);
-                self.ctx.scratch_f64 = scratch;
+                self.drive_ring(&shared, count, colors, &cbufs, &pbase);
             }
         }
 
@@ -884,7 +894,6 @@ impl ClusterCtx {
         colors: usize,
         cbufs: &[Arc<SharedRegion>],
         pbase: &[u64],
-        scratch: &mut Vec<f64>,
     ) {
         let m = shared.m;
         let n = shared.n;
@@ -1004,18 +1013,42 @@ impl ClusterCtx {
                         if f.pos < m - 1 && !out.can_send() {
                             break;
                         }
-                        scratch.clear();
-                        scratch.resize(clen / 8, 0.0);
-                        read_f64s_into(cbuf, off, scratch);
-                        in_ch.recv_with(|_, bytes| add_bytes_f64(scratch, bytes));
+                        let rs = in_ch.peek();
                         if f.pos < m - 1 {
-                            let ok = out.try_send_with(pack_tag(c, KIND_PARTIAL, k), clen, |dst| {
-                                f64s_to_bytes(scratch, dst)
+                            // Fused combine: local partial + incoming chunk
+                            // summed by the lane kernel straight into the
+                            // reserved outgoing slot. Zero staging copies.
+                            let mut snd = out.reserve();
+                            rs.with_bytes(|inb| {
+                                // SAFETY: our partial is ready (counter gate
+                                // above) and this thread is the only other
+                                // accessor of cbuf's combine window.
+                                unsafe {
+                                    cbuf.with_bytes(off, clen, |local| {
+                                        snd.with_bytes_mut(|dst| {
+                                            crate::kernels::add_bytes_into(
+                                                &mut dst[..clen],
+                                                local,
+                                                inb,
+                                            )
+                                        })
+                                    })
+                                }
                             });
-                            debug_assert!(ok);
+                            snd.publish(pack_tag(c, KIND_PARTIAL, k), clen);
                         } else {
-                            // Last hop: the combined chunk is the result.
-                            write_f64s(cbuf, off, scratch);
+                            // Last hop: accumulate the incoming chunk into
+                            // the local partial in place — it *is* the
+                            // result.
+                            rs.with_bytes(|inb| {
+                                // SAFETY: as above; result readers are gated
+                                // on the counter publish below.
+                                unsafe {
+                                    cbuf.with_bytes_mut(off, clen, |local| {
+                                        crate::kernels::add_bytes_assign(local, inb)
+                                    })
+                                }
+                            });
                             self.ctx.aux_counter(n + c).publish(clen as u64);
                             f.fulls_local += 1;
                         }
@@ -1028,19 +1061,22 @@ impl ClusterCtx {
                         if forwards && !out.can_send() {
                             break;
                         }
+                        // Hold the incoming slot on loan: it lands in the
+                        // color buffer *and* feeds the outgoing slot
+                        // directly, never re-read from the region.
+                        let rs = in_ch.peek();
                         // SAFETY: our earlier consumption of partial chunk k
                         // (or, at position 0, its injection) ordered every
                         // other reader of this range before this overwrite.
-                        in_ch.recv_with(|_, bytes| unsafe { cbuf.write(off, bytes) });
+                        rs.with_bytes(|bytes| unsafe { cbuf.write(off, bytes) });
                         self.ctx.aux_counter(n + c).publish(clen as u64);
                         f.fulls_local += 1;
                         if forwards {
-                            // SAFETY: written just above by this thread.
-                            let ok =
-                                out.try_send_with(pack_tag(c, KIND_FULL, k), clen, |dst| unsafe {
-                                    cbuf.read(off, dst)
-                                });
-                            debug_assert!(ok);
+                            let mut snd = out.reserve();
+                            rs.with_bytes(|bytes| {
+                                snd.with_bytes_mut(|dst| dst[..clen].copy_from_slice(bytes))
+                            });
+                            snd.publish(pack_tag(c, KIND_FULL, k), clen);
                             f.fulls_sent += 1;
                         }
                         progressed = true;
@@ -1061,6 +1097,7 @@ impl ClusterCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collectives::write_f64s;
 
     #[test]
     fn run_returns_node_major_results() {
@@ -1192,6 +1229,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunks_of_zero_len_yields_nothing() {
+        assert_eq!(chunks_of(0, 64).count(), 0);
+        assert_eq!(chunks_of(1, 64).count(), 1);
+        assert_eq!(chunks_of(64, 64).count(), 1);
+        assert_eq!(chunks_of(65, 64).count(), 2);
+    }
+
+    #[test]
+    fn zero_length_ops_never_touch_the_fabric() {
+        // Degenerate broadcasts and reductions must complete without a
+        // single chunk crossing a link — no phantom sends, no hangs.
+        let cluster = Cluster::with_geometry(3, 2, 64, 2);
+        let before = cluster.shared.fabric.total_chunks_sent();
+        for root in 0..3usize {
+            let out = cluster.run(move |cctx| {
+                let buf = cctx.intra().alloc_buffer(1);
+                cctx.bcast(root, &buf, 0);
+                let input = cctx.intra().alloc_buffer(1);
+                let output = cctx.intra().alloc_buffer(1);
+                cctx.allreduce_f64(&input, &output, 0);
+                cctx.node()
+            });
+            assert_eq!(out.concat().len(), 6);
+        }
+        assert_eq!(
+            cluster.shared.fabric.total_chunks_sent(),
+            before,
+            "zero-length collectives sent phantom chunks"
+        );
     }
 
     #[test]

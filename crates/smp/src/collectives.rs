@@ -45,33 +45,25 @@ pub struct FifoMsg {
     pub data: Arc<[u8; FIFO_SLOT_BYTES]>,
 }
 
-/// Stack staging size for chunked `f64` ↔ byte conversion (128 doubles):
-/// keeps every helper below allocation-free.
-const F64_STAGE_BYTES: usize = 1024;
-
-/// Write a slice of `f64`s into a region at byte `offset`.
+/// Write a slice of `f64`s into a region at byte `offset` — serialized
+/// directly into the region bytes, no staging buffer.
 pub fn write_f64s(region: &SharedRegion, offset: usize, vals: &[f64]) {
-    let mut stage = [0u8; F64_STAGE_BYTES];
-    for (j, chunk) in vals.chunks(F64_STAGE_BYTES / 8).enumerate() {
-        let nb = chunk.len() * 8;
-        f64s_to_bytes(chunk, &mut stage[..nb]);
-        // SAFETY: caller is the unique writer of this range (SPMD
-        // partitioning).
-        unsafe { region.write(offset + j * F64_STAGE_BYTES, &stage[..nb]) };
-    }
+    // SAFETY: caller is the unique writer of this range (SPMD
+    // partitioning), for the duration of the conversion.
+    unsafe { region.with_bytes_mut(offset, vals.len() * 8, |b| f64s_to_bytes(vals, b)) };
 }
 
-/// Read `out.len()` `f64`s from a region at byte `offset` into `out`.
+/// Read `out.len()` `f64`s from a region at byte `offset` into `out` —
+/// decoded straight off the region bytes, no staging buffer.
 pub fn read_f64s_into(region: &SharedRegion, offset: usize, out: &mut [f64]) {
-    let mut stage = [0u8; F64_STAGE_BYTES];
-    for (j, chunk) in out.chunks_mut(F64_STAGE_BYTES / 8).enumerate() {
-        let nb = chunk.len() * 8;
-        // SAFETY: caller ordered this read after the producing writes.
-        unsafe { region.read(offset + j * F64_STAGE_BYTES, &mut stage[..nb]) };
-        for (v, b) in chunk.iter_mut().zip(stage[..nb].chunks_exact(8)) {
-            *v = f64::from_ne_bytes(b.try_into().unwrap());
-        }
-    }
+    // SAFETY: caller ordered this read after the producing writes.
+    unsafe {
+        region.with_bytes(offset, out.len() * 8, |bytes| {
+            for (v, b) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                *v = f64::from_ne_bytes(b.try_into().unwrap());
+            }
+        })
+    };
 }
 
 /// Read `count` `f64`s from a region at byte `offset` (allocating wrapper
@@ -83,23 +75,21 @@ pub fn read_f64s(region: &SharedRegion, offset: usize, count: usize) -> Vec<f64>
 }
 
 /// Add the `acc.len()` `f64`s at byte `offset` of `region` into `acc`,
-/// element-wise.
+/// element-wise — the vectorized kernel runs directly over the region
+/// bytes, no staging buffer.
 pub fn accumulate_f64s(region: &SharedRegion, offset: usize, acc: &mut [f64]) {
-    let mut stage = [0u8; F64_STAGE_BYTES];
-    for (j, chunk) in acc.chunks_mut(F64_STAGE_BYTES / 8).enumerate() {
-        let nb = chunk.len() * 8;
-        // SAFETY: caller ordered this read after the producing writes.
-        unsafe { region.read(offset + j * F64_STAGE_BYTES, &mut stage[..nb]) };
-        add_bytes_f64(chunk, &stage[..nb]);
-    }
+    // SAFETY: caller ordered this read after the producing writes.
+    unsafe {
+        region.with_bytes(offset, acc.len() * 8, |bytes| {
+            crate::kernels::add_bytes_f64(acc, bytes)
+        })
+    };
 }
 
-/// Element-wise add `bytes` (native-endian `f64`s) into `acc`.
+/// Element-wise add `bytes` (native-endian `f64`s) into `acc` (the 4-lane
+/// kernel from [`crate::kernels`]).
 pub fn add_bytes_f64(acc: &mut [f64], bytes: &[u8]) {
-    debug_assert_eq!(bytes.len(), acc.len() * 8);
-    for (a, b) in acc.iter_mut().zip(bytes.chunks_exact(8)) {
-        *a += f64::from_ne_bytes(b.try_into().unwrap());
-    }
+    crate::kernels::add_bytes_f64(acc, bytes);
 }
 
 /// Serialize `vals` into `dst` (native-endian); `dst` must be exactly 8×
@@ -315,17 +305,22 @@ impl RankCtx {
         let lo = me * count / n;
         let hi = (me + 1) * count / n;
         if hi > lo {
-            // Reduce into the rank's persistent accumulator: no per-rank
-            // Vec churn, and (after warm-up) no allocation at all.
-            let mut acc = std::mem::take(&mut self.scratch_f64);
-            acc.clear();
-            acc.resize(hi - lo, 0.0);
-            read_f64s_into(&inputs[0], lo * 8, &mut acc);
-            for inp in &inputs[1..] {
-                accumulate_f64s(inp, lo * 8, &mut acc);
-            }
-            write_f64s(&result, lo * 8, &acc);
-            self.scratch_f64 = acc;
+            // Reduce straight into the exposed result partition: seed it
+            // with rank 0's input, then lane-add each remaining input over
+            // it in place. No scratch vector, no f64↔byte round trips.
+            // SAFETY: this rank is the unique writer of its partition of
+            // `result`; all inputs were written before the collective and
+            // are distinct regions from `result`.
+            unsafe {
+                result.with_bytes_mut(lo * 8, (hi - lo) * 8, |dst| {
+                    inputs[0].with_bytes(lo * 8, dst.len(), |src| dst.copy_from_slice(src));
+                    for inp in &inputs[1..] {
+                        inp.with_bytes(lo * 8, dst.len(), |src| {
+                            crate::kernels::add_bytes_assign(dst, src)
+                        });
+                    }
+                })
+            };
         }
         self.msg_counter(me).publish(((hi - lo) * 8).max(1) as u64);
 

@@ -28,6 +28,7 @@
 pub mod barrier;
 pub mod cluster;
 pub mod collectives;
+pub mod kernels;
 pub mod runtime;
 pub mod transport;
 

@@ -176,9 +176,6 @@ pub struct RankCtx {
     /// Region pointers this rank has mapped before (its window cache, the
     /// subject of Figure 8).
     pub(crate) mapped_before: HashSet<usize>,
-    /// Reused f64 accumulator for `allreduce_f64` — reduces are performed
-    /// into this, so the steady state allocates nothing per call.
-    pub(crate) scratch_f64: Vec<f64>,
     /// Recycled Bcast-FIFO payload buffers (root side of `bcast_fifo`):
     /// buffers come back once every consumer retired the slot holding them,
     /// so the steady state allocates nothing per chunk.
@@ -199,7 +196,6 @@ impl RankCtx {
             consumer,
             op_seq: 0,
             mapped_before: HashSet::new(),
-            scratch_f64: Vec::new(),
             fifo_pool: VecDeque::new(),
         }
     }

@@ -18,6 +18,32 @@
 //! runs under the `bgp-check` model scheduler like every other primitive in
 //! the workspace; the *timing* (link bandwidth, router hops) is not modeled
 //! here — that remains `bgp-sim`'s job.
+//!
+//! ## The slot-loan protocol
+//!
+//! The channel's primary interface is a pair of **loans** over the slot
+//! buffers themselves, so protocols can produce and consume payloads *in
+//! place* instead of staging them through caller-owned buffers:
+//!
+//! * [`reserve`](ChunkChannel::reserve) hands the producer a [`SendSlot`]
+//!   guard: the slot's bytes are writable through it, and nothing becomes
+//!   visible to the consumer until [`publish`](SendSlot::publish). Dropping
+//!   the guard without publishing releases the cycle cleanly — the ticket
+//!   stays free and the next `reserve` returns the same slot.
+//! * [`peek`](ChunkChannel::peek) hands the consumer a [`RecvSlot`] guard:
+//!   tag, length, and payload are readable in place; dropping the guard
+//!   retires the slot back to the producer. The guard's lifetime *is* the
+//!   loan — no consumer access can outlive the retire.
+//!
+//! The cycle-tagged SPSC discipline already guarantees exclusivity (ticket
+//! `t` owns its slot from the producer's acquire of `seq == t` to the
+//! publish, and from the consumer's acquire of `seq == t + 1` to the
+//! retire), so the loans add no synchronization — only access. The
+//! closure-style [`send_with`](ChunkChannel::send_with) /
+//! [`recv_with`](ChunkChannel::recv_with) helpers are thin wrappers over
+//! the loans; a copy through them is the *caller's* copy, never the
+//! transport's. Per chunk, the transport itself imposes **zero** payload
+//! memcpys.
 
 use bgp_shmem::pad::CachePadded;
 use bgp_shmem::sync::atomic::{AtomicUsize, Ordering};
@@ -122,46 +148,62 @@ impl ChunkChannel {
         self.slots[t % self.cap].seq.load(Ordering::Acquire) == t
     }
 
-    /// Producer: publish a chunk, blocking while the window is full. `fill`
-    /// writes the payload directly into the slot (it receives exactly `len`
-    /// bytes of it).
-    pub fn send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) {
+    /// Producer: loan the next slot for an in-place write, blocking while
+    /// the window is full. Nothing is visible to the consumer until
+    /// [`SendSlot::publish`]; dropping the guard unpublished releases the
+    /// cycle cleanly (the ticket stays free).
+    pub fn reserve(&self) -> SendSlot<'_> {
         let t = self.send_cursor.load(Ordering::Relaxed);
         let slot = &self.slots[t % self.cap];
         while slot.seq.load(Ordering::Acquire) != t {
             spin();
         }
-        self.publish_slot(slot, t, tag, len, fill);
+        SendSlot { ch: self, t }
+    }
+
+    /// Producer: loan the next slot if the window has room, `None` when
+    /// full.
+    pub fn try_reserve(&self) -> Option<SendSlot<'_>> {
+        let t = self.send_cursor.load(Ordering::Relaxed);
+        let slot = &self.slots[t % self.cap];
+        if slot.seq.load(Ordering::Acquire) != t {
+            return None;
+        }
+        Some(SendSlot { ch: self, t })
+    }
+
+    /// Producer: publish a chunk, blocking while the window is full. `fill`
+    /// writes the payload directly into the slot (it receives exactly `len`
+    /// bytes of it — every byte it is handed is exactly what `publish`
+    /// exposes, so covering the slice covers the chunk). The slot is never
+    /// pre-zeroed or otherwise initialized before `fill` runs: what `fill`
+    /// does not write keeps the bytes of the chunk that used this slot
+    /// `cap` tickets ago.
+    pub fn send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) {
+        let mut s = self.reserve();
+        assert!(
+            len <= s.capacity(),
+            "chunk of {len} bytes exceeds channel chunk size {}",
+            s.capacity()
+        );
+        s.with_bytes_mut(|b| fill(&mut b[..len]));
+        s.publish(tag, len);
     }
 
     /// Producer: publish a chunk if the window has room; returns `false`
     /// (without calling `fill`) when full.
     pub fn try_send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) -> bool {
-        let t = self.send_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[t % self.cap];
-        if slot.seq.load(Ordering::Acquire) != t {
+        let Some(mut s) = self.try_reserve() else {
             return false;
-        }
-        self.publish_slot(slot, t, tag, len, fill);
-        true
-    }
-
-    fn publish_slot(&self, slot: &Slot, t: usize, tag: u64, len: usize, f: impl FnOnce(&mut [u8])) {
+        };
         assert!(
-            len <= self.chunk_bytes,
+            len <= s.capacity(),
             "chunk of {len} bytes exceeds channel chunk size {}",
-            self.chunk_bytes
+            s.capacity()
         );
-        // SAFETY: seq == t means ticket t owns the slot exclusively.
-        unsafe {
-            slot.tag.with_mut(|p| *p = tag);
-            slot.len.with_mut(|p| *p = len);
-            slot.data.with_mut(|p| f(&mut (&mut *p)[..len]));
-        }
-        // Seeded bug: a relaxed publication no longer carries the payload.
-        let order = model_support::relaxed_if("chunk_publish_relaxed", Ordering::Release);
-        slot.seq.store(t + 1, order);
-        self.send_cursor.store(t + 1, Ordering::Relaxed);
+        s.with_bytes_mut(|b| fill(&mut b[..len]));
+        s.publish(tag, len);
+        true
     }
 
     /// Consumer: the tag of the next chunk, if one is ready. Does not
@@ -176,41 +218,157 @@ impl ChunkChannel {
         Some(unsafe { slot.tag.with(|p| *p) })
     }
 
-    /// Consumer: receive the next chunk, blocking until one is published.
-    /// `f` reads the payload in place (no intermediate copy); the slot is
-    /// recycled after it returns.
-    pub fn recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> R {
+    /// Consumer: loan the next published chunk for in-place reads, blocking
+    /// until one is published. The slot retires (returns to the producer)
+    /// when the guard drops.
+    pub fn peek(&self) -> RecvSlot<'_> {
         let h = self.recv_cursor.load(Ordering::Relaxed);
         let slot = &self.slots[h % self.cap];
         while slot.seq.load(Ordering::Acquire) != h + 1 {
             spin();
         }
-        self.consume_slot(slot, h, f)
+        RecvSlot::acquired(self, h, slot)
     }
 
-    /// Consumer: receive if a chunk is ready; `None` (without calling `f`)
-    /// otherwise.
-    pub fn try_recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> Option<R> {
+    /// Consumer: loan the next chunk if one is published, `None` otherwise.
+    pub fn try_peek(&self) -> Option<RecvSlot<'_>> {
         let h = self.recv_cursor.load(Ordering::Relaxed);
         let slot = &self.slots[h % self.cap];
         if slot.seq.load(Ordering::Acquire) != h + 1 {
             return None;
         }
-        Some(self.consume_slot(slot, h, f))
+        Some(RecvSlot::acquired(self, h, slot))
     }
 
-    fn consume_slot<R>(&self, slot: &Slot, h: usize, f: impl FnOnce(u64, &[u8]) -> R) -> R {
+    /// Consumer: receive the next chunk, blocking until one is published.
+    /// `f` reads the payload in place (no intermediate copy); the slot is
+    /// recycled after it returns.
+    pub fn recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> R {
+        let s = self.peek();
+        s.with_bytes(|b| f(s.tag(), b))
+    }
+
+    /// Consumer: receive if a chunk is ready; `None` (without calling `f`)
+    /// otherwise.
+    pub fn try_recv_with<R>(&self, f: impl FnOnce(u64, &[u8]) -> R) -> Option<R> {
+        let s = self.try_peek()?;
+        Some(s.with_bytes(|b| f(s.tag(), b)))
+    }
+}
+
+/// A producer's loan of one channel slot (see [`ChunkChannel::reserve`]).
+///
+/// The cycle-tag acquire in `reserve` made ticket `t`'s slot exclusively
+/// ours; writes through [`with_bytes_mut`](Self::with_bytes_mut) land
+/// directly in the slot buffer. [`publish`](Self::publish) makes `len`
+/// bytes (plus the tag) visible to the consumer and advances the window;
+/// dropping the guard without publishing leaves the ticket free — the next
+/// `reserve` re-loans the same slot, so an abandoned loan costs nothing.
+///
+/// SPSC discipline: at most one `SendSlot` may be live per channel (a
+/// second `reserve` before `publish` would loan the same ticket twice).
+pub struct SendSlot<'a> {
+    ch: &'a ChunkChannel,
+    t: usize,
+}
+
+impl SendSlot<'_> {
+    /// Payload capacity of the loaned slot (the channel's chunk size).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ch.chunk_bytes
+    }
+
+    /// Write the slot payload in place. The slice covers the full chunk
+    /// capacity; `publish(len)` decides how much of it ships. The slot is
+    /// *not* zeroed between loans — bytes the closure does not write hold
+    /// the payload from `cap` tickets ago.
+    pub fn with_bytes_mut<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let slot = &self.ch.slots[self.t % self.ch.cap];
+        // SAFETY: ticket t owns this slot exclusively until publish.
+        unsafe { slot.data.with_mut(|p| f(&mut (&mut *p)[..])) }
+    }
+
+    /// Publish `len` bytes of the slot under `tag` and advance the window.
+    pub fn publish(self, tag: u64, len: usize) {
+        let ch = self.ch;
+        assert!(
+            len <= ch.chunk_bytes,
+            "chunk of {len} bytes exceeds channel chunk size {}",
+            ch.chunk_bytes
+        );
+        let slot = &ch.slots[self.t % ch.cap];
+        // SAFETY: seq == t means ticket t owns the slot exclusively.
+        unsafe {
+            slot.tag.with_mut(|p| *p = tag);
+            slot.len.with_mut(|p| *p = len);
+        }
+        // Seeded bug: a relaxed publication no longer carries the payload.
+        let order = model_support::relaxed_if("chunk_publish_relaxed", Ordering::Release);
+        slot.seq.store(self.t + 1, order);
+        ch.send_cursor.store(self.t + 1, Ordering::Relaxed);
+    }
+}
+
+/// A consumer's loan of one published chunk (see [`ChunkChannel::peek`]).
+///
+/// Tag, length, and payload are readable in place for the guard's
+/// lifetime; dropping it retires the slot back to the producer. No access
+/// can outlive the retire — the borrow checker enforces what the FIFO
+/// protocol promises.
+pub struct RecvSlot<'a> {
+    ch: &'a ChunkChannel,
+    h: usize,
+    tag: u64,
+    len: usize,
+}
+
+impl<'a> RecvSlot<'a> {
+    /// Build the guard after the `seq == h + 1` acquire (header is stable
+    /// until we retire).
+    fn acquired(ch: &'a ChunkChannel, h: usize, slot: &Slot) -> Self {
+        // SAFETY: published and exclusively ours until the retire on drop.
+        let (tag, len) = unsafe { (slot.tag.with(|p| *p), slot.len.with(|p| *p)) };
+        RecvSlot { ch, h, tag, len }
+    }
+
+    /// The chunk's tag.
+    #[inline]
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// The chunk's payload length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chunk carries no payload.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read the payload in place (exactly [`len`](Self::len) bytes).
+    pub fn with_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let slot = &self.ch.slots[self.h % self.ch.cap];
         // SAFETY: the Acquire of seq == h + 1 ordered us after the
-        // producer's writes; the producer cannot touch the slot again until
-        // the release store below.
-        let r = unsafe {
-            let tag = slot.tag.with(|p| *p);
-            let len = slot.len.with(|p| *p);
-            slot.data.with(|p| f(tag, &(&*p)[..len]))
-        };
-        slot.seq.store(h + self.cap, Ordering::Release);
-        self.recv_cursor.store(h + 1, Ordering::Relaxed);
-        r
+        // producer's writes; the producer cannot touch the slot again
+        // until the release store in drop.
+        unsafe { slot.data.with(|p| f(&(&*p)[..self.len])) }
+    }
+}
+
+impl Drop for RecvSlot<'_> {
+    fn drop(&mut self) {
+        let ch = self.ch;
+        let slot = &ch.slots[self.h % ch.cap];
+        // Seeded bug: a relaxed retire lets the producer's next-round write
+        // race the reads this guard performed.
+        let order = model_support::relaxed_if("chunk_retire_relaxed", Ordering::Release);
+        slot.seq.store(self.h + ch.cap, order);
+        ch.recv_cursor.store(self.h + 1, Ordering::Relaxed);
     }
 }
 
@@ -342,6 +500,26 @@ impl Fabric {
     #[inline]
     pub fn chunk_bytes(&self) -> usize {
         self.chunk_bytes
+    }
+
+    /// Chunks ever sent across *all* links of the fabric (diagnostic: lets
+    /// tests assert that degenerate operations — zero-length broadcasts,
+    /// empty reductions — never touch the network).
+    pub fn total_chunks_sent(&self) -> usize {
+        let tree: usize = self
+            .up
+            .iter()
+            .chain(self.down.iter())
+            .flatten()
+            .map(|ch| ch.sent())
+            .sum();
+        let ring: usize = self
+            .plus
+            .iter()
+            .chain(self.minus.iter())
+            .map(|ch| ch.sent())
+            .sum();
+        tree + ring
     }
 
     /// Tree parent of `v` (v > 0).
@@ -514,6 +692,95 @@ mod tests {
     fn oversized_chunk_is_rejected() {
         let ch = ChunkChannel::new(2, 4);
         ch.send_with(0, 5, |_| {});
+    }
+
+    #[test]
+    fn loan_round_trip_in_place() {
+        let ch = ChunkChannel::new(2, 16);
+        for round in 0..5u64 {
+            let mut s = ch.reserve();
+            assert_eq!(s.capacity(), 16);
+            s.with_bytes_mut(|b| {
+                for (i, x) in b.iter_mut().enumerate() {
+                    *x = round as u8 ^ i as u8;
+                }
+            });
+            s.publish(round, 9);
+            let r = ch.peek();
+            assert_eq!(r.tag(), round);
+            assert_eq!(r.len(), 9);
+            assert!(!r.is_empty());
+            r.with_bytes(|b| {
+                assert_eq!(b.len(), 9);
+                for (i, x) in b.iter().enumerate() {
+                    assert_eq!(*x, round as u8 ^ i as u8);
+                }
+            });
+            drop(r);
+        }
+        assert_eq!(ch.sent(), 5);
+        assert_eq!(ch.received(), 5);
+    }
+
+    #[test]
+    fn abandoned_send_loan_releases_the_cycle() {
+        let ch = ChunkChannel::new(2, 8);
+        {
+            let mut s = ch.reserve();
+            s.with_bytes_mut(|b| b.fill(0xAA));
+            // Dropped without publish: nothing reaches the consumer.
+        }
+        assert_eq!(ch.sent(), 0);
+        assert_eq!(ch.peek_tag(), None);
+        assert!(ch.try_peek().is_none());
+        // The same ticket is re-loanable and works normally.
+        ch.send_with(3, 2, |d| d.copy_from_slice(b"ok"));
+        assert_eq!(ch.recv_with(|t, b| (t, b.to_vec())), (3, b"ok".to_vec()));
+    }
+
+    #[test]
+    fn recv_loan_holds_the_window_until_drop() {
+        let ch = ChunkChannel::new(2, 4);
+        ch.send_with(1, 1, |d| d[0] = 1);
+        ch.send_with(2, 1, |d| d[0] = 2);
+        assert!(!ch.can_send());
+        let r = ch.peek();
+        assert_eq!(r.tag(), 1);
+        // The loan is still live: the slot has not retired yet.
+        assert!(!ch.can_send());
+        assert_eq!(ch.received(), 0);
+        drop(r);
+        assert_eq!(ch.received(), 1);
+        assert!(ch.can_send());
+        assert_eq!(ch.recv_with(|t, b| (t, b[0])), (2, 2));
+    }
+
+    #[test]
+    fn zero_len_loans_are_valid() {
+        let ch = ChunkChannel::new(2, 4);
+        let s = ch.reserve();
+        s.publish(9, 0);
+        let r = ch.peek();
+        assert_eq!((r.tag(), r.len(), r.is_empty()), (9, 0, true));
+        r.with_bytes(|b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn slot_bytes_are_not_rezeroed_between_loans() {
+        // The protocol promises no per-loan initialization: bytes a fill
+        // does not write survive from `cap` tickets ago. Pin that down so
+        // a "helpful" pre-zero (a pure copy bug) cannot sneak back in.
+        let ch = ChunkChannel::new(2, 4);
+        ch.send_with(0, 4, |d| d.copy_from_slice(b"wxyz"));
+        ch.recv_with(|_, _| ());
+        ch.send_with(0, 4, |d| d.copy_from_slice(b"competing"[..4].as_ref()));
+        ch.recv_with(|_, _| ());
+        // Ticket 2 reuses ticket 0's slot; publish the full width but only
+        // write the first byte — the rest must still read "xyz".
+        let mut s = ch.reserve();
+        s.with_bytes_mut(|b| b[0] = b'!');
+        s.publish(0, 4);
+        ch.recv_with(|_, b| assert_eq!(b, b"!xyz"));
     }
 
     #[test]

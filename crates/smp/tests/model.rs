@@ -238,3 +238,105 @@ fn mutation_chunk_publish_relaxed_is_caught() {
         .unwrap_or_else(|| panic!("seeded bug `chunk_publish_relaxed` was NOT caught"));
     assert_eq!(failure.kind, FailureKind::Race, "{failure}");
 }
+
+// ---------------------------------------------------------------------------
+// The slot-loan protocol: in-place produce/consume through guards, with the
+// cycle-tag discipline carrying all synchronization.
+
+/// Producer loans slots and fills them in place; consumer loans published
+/// chunks and reads tag/len/payload through the guard. Capacity 2, three
+/// chunks: the third publication reuses the first slot, so the retire edge
+/// (guard drop → producer's re-acquire) is load-bearing in every schedule.
+fn loan_round_trip_scenario() {
+    let ch = Arc::new(ChunkChannel::new(2, 4));
+    let producer = {
+        let ch = ch.clone();
+        thread::spawn(move || {
+            for k in 0..3u64 {
+                let mut s = ch.reserve();
+                s.with_bytes_mut(|b| b.fill(k as u8 + 1));
+                s.publish(k, 4);
+            }
+        })
+    };
+    for k in 0..3u64 {
+        let r = ch.peek();
+        assert_eq!(r.tag(), k, "chunks must arrive in order");
+        assert_eq!(r.len(), 4);
+        r.with_bytes(|b| {
+            assert!(
+                b.iter().all(|&x| x == k as u8 + 1),
+                "payload of chunk {k} not fully visible through the loan"
+            )
+        });
+    }
+    producer.join();
+}
+
+/// Under every explored schedule the loan guards deliver chunks in order
+/// with fully visible payloads — the in-order/exclusivity oracle for the
+/// guard protocol itself.
+#[test]
+fn slot_loans_are_in_order_and_exclusive() {
+    model_with(Config::dfs(20_000), loan_round_trip_scenario);
+}
+
+/// A producer guard dropped without publishing must release the cycle
+/// cleanly: nothing reaches the consumer, and the next loan of the same
+/// ticket works normally — under every schedule.
+#[test]
+fn abandoned_send_loan_is_clean_under_model() {
+    model_with(Config::dfs(10_000), || {
+        let ch = Arc::new(ChunkChannel::new(2, 4));
+        let producer = {
+            let ch = ch.clone();
+            thread::spawn(move || {
+                {
+                    let mut s = ch.reserve();
+                    s.with_bytes_mut(|b| b.fill(0xEE));
+                    // Dropped unpublished: the ticket stays free.
+                }
+                let mut s = ch.reserve();
+                s.with_bytes_mut(|b| b.fill(5));
+                s.publish(1, 4);
+            })
+        };
+        let r = ch.peek();
+        assert_eq!(r.tag(), 1, "an abandoned loan must publish nothing");
+        r.with_bytes(|b| assert!(b.iter().all(|&x| x == 5)));
+        drop(r);
+        assert!(ch.try_peek().is_none());
+        producer.join();
+    });
+}
+
+/// Seeded bug: the consumer guard's retire weakened to `Relaxed` — the
+/// producer can re-acquire the slot without being ordered after the reads
+/// the guard performed, so its next-round fill races them. The checker must
+/// flag the race, and the trace must replay to the same failure.
+#[test]
+fn mutation_chunk_retire_relaxed_is_caught() {
+    let report = explore(
+        Config::dfs(20_000).mutate("chunk_retire_relaxed"),
+        loan_round_trip_scenario,
+    );
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("seeded bug `chunk_retire_relaxed` was NOT caught"));
+    assert_eq!(failure.kind, FailureKind::Race, "{failure}");
+    let replay = explore(
+        Config::replay(&failure.trace).mutate("chunk_retire_relaxed"),
+        loan_round_trip_scenario,
+    );
+    let replayed = replay.failure.expect("replay reproduces the race");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.trace, failure.trace);
+}
+
+/// The cap >= 2 guard is still enforced: a single-slot channel would
+/// collide round `t`'s published tag with round `t+1`'s free tag.
+#[test]
+#[should_panic(expected = "at least two slots")]
+fn single_slot_channel_is_still_rejected() {
+    let _ = ChunkChannel::new(1, 4);
+}

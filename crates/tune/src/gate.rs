@@ -11,6 +11,14 @@
 //! the checked-in `BENCH_baseline.json` gates exactly and any drift is a
 //! real behavior change. The real-thread entries are host wall time; they
 //! are recorded for trend-reading but never gated (`"gated": false`).
+//! In between sit the two hot-path **speedup ratios** from
+//! [`crate::hotpath`] (`transport/loan_64K`, `reduce/f64x4_1M`): wall
+//! derived but dimensionless — both sides of each ratio run on the same
+//! host in the same process — so they are gated, against deliberately
+//! conservative floors in the committed baseline. When refreshing the
+//! baseline, keep (or re-floor) those two values by hand rather than
+//! committing a lucky high measurement; the gate's job is "the win is
+//! still there", not "the win is exactly 2.7x".
 //!
 //! [`compare`] diffs a current report against a baseline with a slowdown
 //! tolerance; a gated entry that got worse by more than the tolerance — or
@@ -193,8 +201,10 @@ fn mbps(bytes: u64, t: bgp_sim::SimTime) -> f64 {
     bytes as f64 / t.as_secs_f64() / 1e6
 }
 
-/// Run the pinned suite. `with_real` adds the (ungated) real-thread
-/// intra-node entries; leave it off for fully deterministic output.
+/// Run the pinned suite: the bit-deterministic simulated entries plus
+/// the two gated hot-path speedup ratios. `with_real` adds the (ungated)
+/// real-thread intra-node entries; leave it off to keep the run cheap —
+/// only the `transport/`/`reduce/` ratio series vary between runs.
 pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
     let mut entries = Vec::new();
     let mut sim_us = |id: &str, t: bgp_sim::SimTime| {
@@ -294,6 +304,10 @@ pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
     sim_us("tuned/bcast_auto/1K", quad.bcast_auto(1024).1);
     sim_us("tuned/bcast_auto/64K", quad.bcast_auto(64 << 10).1);
     sim_us("tuned/bcast_auto/2M", quad.bcast_auto(2 << 20).1);
+
+    // The hot-path speedup ratios: wall-derived but dimensionless, gated
+    // against conservative floors in the baseline (module docs).
+    entries.extend(crate::hotpath::ratio_entries());
 
     if with_real {
         entries.extend(real_entries());
@@ -735,10 +749,36 @@ mod tests {
     fn small_suite_runs_and_is_deterministic() {
         let a = run_suite(GateScale::Small, false);
         let b = run_suite(GateScale::Small, false);
-        assert_eq!(a.to_json(), b.to_json());
+        // The hot-path ratio series are measured wall time; everything
+        // else must be bit-identical between two runs of the same tree.
+        let is_ratio = |id: &str| id.starts_with("transport/") || id.starts_with("reduce/");
+        let sim_only = |r: &GateReport| GateReport {
+            label: r.label.clone(),
+            scale: r.scale.clone(),
+            entries: r
+                .entries
+                .iter()
+                .filter(|e| !is_ratio(&e.id))
+                .cloned()
+                .collect(),
+        };
+        assert_eq!(sim_only(&a).to_json(), sim_only(&b).to_json());
         assert!(a.entries.iter().all(|e| e.value > 0.0 && e.gated));
         assert!(a.entries.iter().any(|e| e.id.starts_with("fig6/")));
         assert!(a.entries.iter().any(|e| e.id.starts_with("table1/")));
         assert!(a.entries.iter().any(|e| e.id.starts_with("tuned/")));
+        // The gated hot-path ratios ride in the suite; the win itself
+        // (ratio > 1) is asserted in release builds only — a debug build
+        // de-optimizes both sides but not equally.
+        let ratios: Vec<_> = a.entries.iter().filter(|e| is_ratio(&e.id)).collect();
+        assert_eq!(ratios.len(), 2);
+        assert!(ratios
+            .iter()
+            .all(|e| e.gated && e.unit == "x" && e.value.is_finite() && e.value > 0.0));
+        #[cfg(not(debug_assertions))]
+        assert!(
+            ratios.iter().all(|e| e.value > 1.0),
+            "hot-path speedup ratios must beat the staged shapes: {ratios:?}"
+        );
     }
 }

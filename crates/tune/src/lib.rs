@@ -23,6 +23,7 @@
 
 pub mod autotune;
 pub mod gate;
+pub mod hotpath;
 pub mod model;
 pub mod sweep;
 
