@@ -13,6 +13,10 @@ cd "$(dirname "$0")"
 cleanup() {
   rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json \
     ci_sched_trace.json BENCH_hotpath.json
+  # Stray cross-process segments from an interrupted proc_cluster run.
+  # (Worker processes need no kill here: they watch getppid and exit on
+  # their own once the parent is gone.)
+  rm -f /dev/shm/bgp-proc-*.seg "${TMPDIR:-/tmp}"/bgp-proc-*.seg 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -55,6 +59,12 @@ if [ "${BGP_STRESS_FULL:-}" = "1" ]; then
   echo "== cluster_real --check (full 2 x 4 shape)"
   cargo run --release -p bgp-bench --bin cluster_real -- --check
 fi
+
+# The cross-process backend: fork 1 worker process (2 nodes total) over a
+# real mmap'd segment, checked payloads on every operation including the
+# bitwise thread-vs-process allreduce comparison.
+echo "== smoke: proc_cluster --small --check (2 nodes, forked workers)"
+cargo run --release -p bgp-bench --bin proc_cluster -- --small --check
 
 # The nonblocking scheduler + service layer: checked payloads, the
 # depth>1-beats-depth-1 assertion, and a Chrome trace carrying the

@@ -1,0 +1,142 @@
+//! proc_cluster — the cross-process shared-memory backend against the
+//! in-process thread cluster, same geometry, same protocols.
+//!
+//! The interesting number is the *backend tax*: the broadcast and ring
+//! allreduce run byte-identically over threads-in-one-process (heap
+//! channels) and over N real OS processes (mmap'd segment channels), so
+//! the per-operation wall-time difference is what crossing a process
+//! boundary actually costs on this host. Complements the gated
+//! `proc/xproc_overhead_64K` ratio (two mappings, one process) with the
+//! true many-process measurement — host wall time, never gated, for the
+//! EXPERIMENTS record.
+//!
+//! ```text
+//! proc_cluster [--small] [--check]
+//!   --small   2 nodes (the CI smoke shape); default 3
+//!   --check   byte-compare every operation against the expected payload
+//! ```
+
+use std::hint::black_box;
+
+use bgp_bench::harness::bench_case_median;
+use bgp_smp::collectives::write_f64s;
+use bgp_smp::proc::{allreduce_input, bcast_pattern, maybe_worker, ProcCluster};
+use bgp_smp::{Cluster, ClusterCtx};
+
+const BCAST_LEN: usize = 64 * 1024;
+const ALLREDUCE_DOUBLES: usize = 8 * 1024;
+const CHUNK: usize = 4096;
+const WINDOW: usize = 4;
+
+fn main() {
+    // Worker re-execs of this binary land here and serve until shutdown.
+    maybe_worker();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let check = args.iter().any(|a| a == "--check");
+    if let Some(bad) = args.iter().find(|a| *a != "--small" && *a != "--check") {
+        eprintln!("unknown flag {bad}; usage: proc_cluster [--small] [--check]");
+        std::process::exit(2);
+    }
+    let m = if small { 2usize } else { 3 };
+    println!("proc_cluster: {m} nodes, 1 OS process per node vs 1 thread per node");
+
+    let max_msg = BCAST_LEN.max(ALLREDUCE_DOUBLES * 8);
+    let mut procs = ProcCluster::new(m, CHUNK, WINDOW, max_msg).expect("spawn proc cluster");
+    let threads = Cluster::with_geometry(m, 1, CHUNK, WINDOW);
+
+    // Broadcast, thread backend.
+    bench_case_median("proc/bcast_threads_64K", 10, || {
+        let expect = bcast_pattern(1, BCAST_LEN);
+        let out = threads.run(move |cctx: &mut ClusterCtx| {
+            let buf = cctx.intra().alloc_buffer(BCAST_LEN);
+            if cctx.node() == 0 {
+                unsafe { buf.write(0, &bcast_pattern(1, BCAST_LEN)) };
+            }
+            cctx.intra().barrier();
+            cctx.bcast(0, &buf, BCAST_LEN);
+            unsafe { buf.snapshot() }
+        });
+        if check {
+            for ranks in &out {
+                for snap in ranks {
+                    assert_eq!(snap[..], expect[..], "thread bcast mismatch");
+                }
+            }
+        }
+        black_box(out);
+    });
+
+    // Broadcast, process backend (same wire protocol over the segment).
+    let mut seed = 0u64;
+    bench_case_median("proc/bcast_processes_64K", 10, || {
+        seed += 1;
+        let out = procs.bcast(0, seed, BCAST_LEN).expect("proc bcast");
+        if check {
+            let expect = bcast_pattern(seed, BCAST_LEN);
+            for (v, got) in out.iter().enumerate() {
+                assert_eq!(got[..], expect[..], "proc bcast mismatch at node {v}");
+            }
+        }
+        black_box(out);
+    });
+
+    // Allreduce, thread backend.
+    bench_case_median("proc/allreduce_threads_8Kdoubles", 10, || {
+        let out = threads.run(move |cctx: &mut ClusterCtx| {
+            let input = cctx.intra().alloc_buffer(ALLREDUCE_DOUBLES * 8);
+            let output = cctx.intra().alloc_buffer(ALLREDUCE_DOUBLES * 8);
+            let bytes = allreduce_input(3, cctx.node(), ALLREDUCE_DOUBLES);
+            let vals: Vec<f64> = bytes
+                .chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            write_f64s(&input, 0, &vals);
+            cctx.intra().barrier();
+            cctx.allreduce_f64(&input, &output, ALLREDUCE_DOUBLES);
+            unsafe { output.snapshot() }
+        });
+        black_box(out);
+    });
+
+    // Allreduce, process backend; --check asserts the acceptance property
+    // (bitwise-identical to the thread backend) on every sample.
+    let reference = threads.run(move |cctx: &mut ClusterCtx| {
+        let input = cctx.intra().alloc_buffer(ALLREDUCE_DOUBLES * 8);
+        let output = cctx.intra().alloc_buffer(ALLREDUCE_DOUBLES * 8);
+        let bytes = allreduce_input(3, cctx.node(), ALLREDUCE_DOUBLES);
+        let vals: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        write_f64s(&input, 0, &vals);
+        cctx.intra().barrier();
+        cctx.allreduce_f64(&input, &output, ALLREDUCE_DOUBLES);
+        unsafe { output.snapshot() }
+    });
+    bench_case_median("proc/allreduce_processes_8Kdoubles", 10, || {
+        let out = procs
+            .allreduce(3, ALLREDUCE_DOUBLES)
+            .expect("proc allreduce");
+        if check {
+            for (v, got) in out.iter().enumerate() {
+                assert_eq!(
+                    got[..],
+                    reference[v][0][..],
+                    "proc allreduce diverges from thread backend at node {v}"
+                );
+            }
+        }
+        black_box(out);
+    });
+
+    println!(
+        "chunks moved through the segment: {}",
+        procs.fabric().total_chunks_sent()
+    );
+    procs.shutdown().expect("orderly worker shutdown");
+    if check {
+        println!("proc_cluster: all payload checks passed");
+    }
+}

@@ -482,16 +482,16 @@ impl Engine {
                         // lane-summed straight into the reserved outgoing
                         // slot — zero staging copies.
                         let out = fabric.ring_send(node, a.dir);
-                        let mut snd = out.reserve();
+                        let mut snd = out.reserve(ec * 8);
                         snd.with_bytes_mut(|d| {
                             // SAFETY: local partial ready (gated by `ready`).
                             unsafe {
                                 a.acc.with_bytes(e0 * 8, ec * 8, |local| {
-                                    kernels::add_bytes_into(&mut d[..ec * 8], local, bytes)
+                                    kernels::add_bytes_into(d, local, bytes)
                                 })
                             }
                         });
-                        snd.publish(optag::pack(op, optag::KIND_PARTIAL, k), ec * 8);
+                        snd.publish(optag::pack(op, optag::KIND_PARTIAL, k));
                     }
                 }
                 optag::KIND_FULL => {
@@ -538,21 +538,17 @@ impl Engine {
         {
             let mut stash = shared.sched_stash().lock();
             for (op, netop) in self.ops.iter_mut() {
-                let Some(q) = stash.get_mut(op) else { continue };
-                while let Some((tag, bytes)) = q.front() {
-                    let (o, kind, k) = optag::unpack(*tag);
+                while let Some(tag) = stash.front_tag(*op) {
+                    let (o, kind, k) = optag::unpack(tag);
                     debug_assert_eq!(o, *op);
                     if !Self::can_accept(netop, kind, &fabric, node, m) {
                         break;
                     }
-                    Self::consume(netop, o, kind, k, bytes, &fabric, node, m, chunk);
-                    q.pop_front();
-                }
-                if q.is_empty() {
-                    stash.remove(op);
+                    let (_, bytes) = stash.pop_front(*op).expect("front_tag was Some");
+                    Self::consume(netop, o, kind, k, &bytes, &fabric, node, m, chunk);
                 }
             }
-            stashed_ops.extend(stash.keys().copied());
+            stashed_ops.extend(stash.parked_ops());
         }
 
         // Drain every distinct in-port of the active ops.
@@ -575,17 +571,16 @@ impl Engine {
                 let (op, kind, k) = optag::unpack(tag);
                 if !self.ops.contains_key(&op) || stashed_ops.contains(&op) {
                     // Not posted here yet (or already queuing behind such
-                    // chunks): park it and keep the link draining. The
-                    // `to_vec` is the one owned copy left on the engine's
-                    // receive path — parking outlives the slot loan, so the
-                    // bytes genuinely need an owner; every in-order arrival
-                    // is consumed in place.
+                    // chunks): park it and keep the link draining. Parking
+                    // outlives the slot loan, so `park` copies the bytes —
+                    // the one owned copy left on the engine's receive path;
+                    // every in-order arrival is consumed in place. The
+                    // stash is bounded: a flooding or bogus op id gets its
+                    // queue evicted (counted in `StashStats`) and the slot
+                    // is retired either way so the link cannot wedge.
                     let mut stash = shared.sched_stash().lock();
                     port.recv_with(|t, b| {
-                        stash
-                            .entry(op)
-                            .or_default()
-                            .push_back((t, b.to_vec().into_boxed_slice()));
+                        let _ = stash.park(op, t, b);
                     });
                     stashed_ops.insert(op);
                     continue;

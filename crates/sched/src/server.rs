@@ -234,6 +234,11 @@ pub struct ServerStats {
     pub peak_queue_depth: u64,
     /// Total nanoseconds submissions spent queued before dispatch.
     pub wait_ns: u64,
+    /// Engine chunks dropped by the bounded scheduler stash (summed over
+    /// the cluster's nodes). Non-zero means some op flooded a node — a
+    /// bogus op id or a protocol violation — and was contained; that op
+    /// can no longer complete on the affected node.
+    pub stash_evicted: u64,
 }
 
 #[derive(Default)]
@@ -244,6 +249,7 @@ struct StatsInner {
     coalesced: AtomicU64,
     peak_queue_depth: AtomicU64,
     wait_ns: AtomicU64,
+    stash_evicted: AtomicU64,
 }
 
 enum Cmd {
@@ -351,6 +357,7 @@ impl CollectiveServer {
             coalesced: s.coalesced.load(Ordering::Relaxed),
             peak_queue_depth: s.peak_queue_depth.load(Ordering::Relaxed),
             wait_ns: s.wait_ns.load(Ordering::Relaxed),
+            stash_evicted: s.stash_evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -546,6 +553,12 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
     let mut in_flight: VecDeque<(PendingJob<()>, u64)> = VecDeque::new();
     let stats = &shared.stats;
     loop {
+        // Mirror the cluster's cumulative stash-eviction count into the
+        // service counters so callers see containment events without
+        // holding the cluster.
+        stats
+            .stash_evicted
+            .store(cluster.stats().stash_evicted_chunks, Ordering::Relaxed);
         // Opportunistically collect finished jobs (submission order).
         while let Some((job, nc)) = in_flight.pop_front() {
             if cluster.try_collect(&job).is_some() {
@@ -602,6 +615,9 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
         cluster.collect(job);
         stats.completed.fetch_add(nc, Ordering::Relaxed);
     }
+    stats
+        .stash_evicted
+        .store(cluster.stats().stash_evicted_chunks, Ordering::Relaxed);
 }
 
 /// An in-progress fusion of consecutive same-(group, root) broadcasts.

@@ -39,8 +39,12 @@ pub mod mutex_fifo;
 pub mod pad;
 pub mod ptp_fifo;
 pub mod region;
+pub mod seqlock;
 pub mod sync;
 pub mod window;
+
+#[cfg(not(feature = "model"))]
+pub mod proc;
 
 pub use bank::CounterBank;
 pub use bcast_fifo::{BcastConsumer, BcastFifo, FifoStats};
@@ -49,6 +53,7 @@ pub use mutex_fifo::{MutexBcastConsumer, MutexBcastFifo};
 pub use pad::CachePadded;
 pub use ptp_fifo::PtpFifo;
 pub use region::SharedRegion;
+pub use seqlock::{HeapSeqWords, SeqLock, SeqWords};
 pub use window::{WindowRegistry, WindowStats};
 
 /// Wait hint used by all blocking primitives in this crate.

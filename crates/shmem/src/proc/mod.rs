@@ -1,0 +1,515 @@
+//! The cross-process shared segment: a file-backed mapping with a
+//! versioned header.
+//!
+//! On a real BG/P node the four cores run separate CNK *processes* whose
+//! communication memory is physically shared; the thread-backed runtimes
+//! in this workspace only approximate that. This module supplies the
+//! missing substrate: one process [`ShmSegment::create`]s a file (under
+//! `$BGP_SHM_DIR`, else `/dev/shm`, else the system temp dir), maps it
+//! shared, and hands the path to peer processes, which
+//! [`ShmSegment::open`] it and see the same physical pages. Everything
+//! the in-process primitives need — atomics, release/acquire publication
+//! — works identically on mapped memory, so the protocols layered on top
+//! (`bgp-smp`'s chunk channels, the [`crate::seqlock`] records) run
+//! unchanged.
+//!
+//! ## Segment layout
+//!
+//! ```text
+//! offset   width  field
+//! 0        8      magic   "BGPSHM01" (validated on open)
+//! 8        8      version SEGMENT_VERSION (mismatch = typed error)
+//! 16       8      total length in bytes (validated on open)
+//! 24       8      poison word (atomic; 0 = healthy, else fault code)
+//! 32       8      attach counter (atomic)
+//! 40       64     8 geometry words (creator-defined, e.g. m/n/chunk/cap)
+//! 104      24     reserved (zero)
+//! 128      …      payload, 8-byte aligned
+//! ```
+//!
+//! The header is written *before* any peer can open the file (create →
+//! write → publish the path), so plain stores suffice there; the poison
+//! and attach words are the only header fields touched after publication
+//! and are accessed as atomics.
+//!
+//! ## Crash containment
+//!
+//! A peer that detects a wedged or dead neighbour stores a nonzero code
+//! into the poison word ([`ShmSegment::poison`]); every other peer polls
+//! [`ShmSegment::poisoned`] in its wait loops and converts the code into
+//! a clean error instead of spinning forever. The creator unlinks the
+//! file on drop; mappings already established survive the unlink (POSIX
+//! keeps the pages until the last unmap), so teardown order is free.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+mod sysmap;
+
+/// Current on-disk layout version (bump on any header/layout change).
+pub const SEGMENT_VERSION: u64 = 1;
+
+/// Header bytes before the payload.
+pub const SEGMENT_HEADER: usize = 128;
+
+/// Number of creator-defined geometry words in the header.
+pub const GEOMETRY_WORDS: usize = 8;
+
+const MAGIC: u64 = u64::from_le_bytes(*b"BGPSHM01");
+
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 8;
+const OFF_TOTAL_LEN: usize = 16;
+const OFF_POISON: usize = 24;
+const OFF_ATTACHED: usize = 32;
+const OFF_GEOMETRY: usize = 40;
+
+/// Typed failures of segment creation, attach, and health checks.
+#[derive(Debug)]
+pub enum ShmError {
+    /// Filesystem or mmap failure.
+    Io(std::io::Error),
+    /// The file is not a segment (bad magic) — wrong path or truncated.
+    BadMagic {
+        /// The first 8 bytes actually found.
+        found: u64,
+    },
+    /// The segment was written by an incompatible layout version.
+    VersionMismatch {
+        /// Version stored in the segment.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// The file is shorter than its header claims (torn create or
+    /// truncation).
+    LengthMismatch {
+        /// Length recorded in the header.
+        header: u64,
+        /// Actual file length.
+        file: u64,
+    },
+    /// A peer marked the segment faulted with this code.
+    Poisoned {
+        /// The fault code stored by [`ShmSegment::poison`].
+        code: u64,
+    },
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::Io(e) => write!(f, "segment I/O failed: {e}"),
+            ShmError::BadMagic { found } => {
+                write!(f, "not a bgp segment (magic {found:#018x})")
+            }
+            ShmError::VersionMismatch { found, expected } => write!(
+                f,
+                "segment layout version {found} but this build expects {expected}"
+            ),
+            ShmError::LengthMismatch { header, file } => write!(
+                f,
+                "segment header claims {header} bytes but the file has {file}"
+            ),
+            ShmError::Poisoned { code } => {
+                write!(f, "segment poisoned by a peer (code {code})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ShmError {
+    fn from(e: std::io::Error) -> Self {
+        ShmError::Io(e)
+    }
+}
+
+/// The calling process's parent pid (`getppid`). Worker processes record
+/// it at startup and exit when it changes — an orphaned worker (its parent
+/// died without a clean shutdown) must not spin forever on a dead segment.
+pub fn parent_pid() -> u32 {
+    sysmap::sys_getppid()
+}
+
+/// Where segment files live: `$BGP_SHM_DIR` if set, else `/dev/shm` if it
+/// exists (a ram-backed tmpfs on Linux), else the system temp dir.
+pub fn segment_dir() -> PathBuf {
+    if let Some(d) = std::env::var_os("BGP_SHM_DIR") {
+        return PathBuf::from(d);
+    }
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() {
+        return shm.to_path_buf();
+    }
+    std::env::temp_dir()
+}
+
+/// A mapped shared-memory segment (see the module docs for the layout).
+///
+/// The creator owns the backing file and unlinks it on drop; openers
+/// unmap only. All accessors hand out pointers/atomics into the mapping,
+/// which stays valid for the lifetime of the `ShmSegment`.
+#[derive(Debug)]
+pub struct ShmSegment {
+    ptr: *mut u8,
+    total_len: usize,
+    path: PathBuf,
+    owner: bool,
+}
+
+// SAFETY: the mapping is plain shared memory; all mutation of shared
+// words goes through atomics (or the protocols layered on top, which are
+// responsible for their own release/acquire discipline — the same
+// contract as `SharedRegion`).
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+static SEGMENT_SALT: AtomicUsize = AtomicUsize::new(0);
+
+impl ShmSegment {
+    /// Create a fresh segment with `payload_len` payload bytes and the
+    /// given geometry words (at most [`GEOMETRY_WORDS`]), map it, and
+    /// write the header. The file is named uniquely under
+    /// [`segment_dir`]; pass [`ShmSegment::path`] to peers.
+    pub fn create(payload_len: usize, geometry: &[u64]) -> Result<ShmSegment, ShmError> {
+        assert!(geometry.len() <= GEOMETRY_WORDS, "too many geometry words");
+        let total_len = SEGMENT_HEADER + payload_len;
+        let salt = SEGMENT_SALT.fetch_add(1, Ordering::Relaxed);
+        let path = segment_dir().join(format!("bgp-proc-{}-{}.seg", std::process::id(), salt));
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Build the header in full before extending the file to its final
+        // length: a peer that races `open` on a short file gets a clean
+        // `LengthMismatch`/`BadMagic`, never a half-valid header.
+        let mut header = [0u8; SEGMENT_HEADER];
+        header[OFF_MAGIC..OFF_MAGIC + 8].copy_from_slice(&MAGIC.to_le_bytes());
+        header[OFF_VERSION..OFF_VERSION + 8].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        header[OFF_TOTAL_LEN..OFF_TOTAL_LEN + 8].copy_from_slice(&(total_len as u64).to_le_bytes());
+        for (i, g) in geometry.iter().enumerate() {
+            let off = OFF_GEOMETRY + 8 * i;
+            header[off..off + 8].copy_from_slice(&g.to_le_bytes());
+        }
+        file.write_all(&header)?;
+        file.set_len(total_len as u64)?;
+        file.sync_all()?;
+        let seg = Self::map(file, path.clone(), total_len, true)?;
+        seg.header_atomic(OFF_ATTACHED)
+            .fetch_add(1, Ordering::AcqRel);
+        Ok(seg)
+    }
+
+    /// Open and map an existing segment, validating magic, version, and
+    /// length. The typed errors here are the peer's first line of defence
+    /// against attaching to garbage.
+    pub fn open(path: &Path) -> Result<ShmSegment, ShmError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut head = [0u8; SEGMENT_HEADER];
+        let file_len = file.metadata()?.len();
+        if file_len < SEGMENT_HEADER as u64 {
+            // Too short to even hold a header: report whatever leading
+            // bytes exist as the (bad) magic.
+            file.read_exact(&mut head[..file_len as usize])?;
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&head[..8]);
+            return Err(ShmError::BadMagic {
+                found: u64::from_le_bytes(first),
+            });
+        }
+        file.read_exact(&mut head)?;
+        file.seek(SeekFrom::Start(0))?;
+        let word = |off: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&head[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        if word(OFF_MAGIC) != MAGIC {
+            return Err(ShmError::BadMagic {
+                found: word(OFF_MAGIC),
+            });
+        }
+        if word(OFF_VERSION) != SEGMENT_VERSION {
+            return Err(ShmError::VersionMismatch {
+                found: word(OFF_VERSION),
+                expected: SEGMENT_VERSION,
+            });
+        }
+        let total_len = word(OFF_TOTAL_LEN);
+        if total_len != file_len {
+            return Err(ShmError::LengthMismatch {
+                header: total_len,
+                file: file_len,
+            });
+        }
+        let seg = Self::map(file, path.to_path_buf(), total_len as usize, false)?;
+        seg.header_atomic(OFF_ATTACHED)
+            .fetch_add(1, Ordering::AcqRel);
+        Ok(seg)
+    }
+
+    fn map(
+        file: File,
+        path: PathBuf,
+        total_len: usize,
+        owner: bool,
+    ) -> Result<ShmSegment, ShmError> {
+        use std::os::fd::AsRawFd;
+        // SAFETY: the fd is open and the file is `total_len` bytes (set_len
+        // above / length-validated in `open`). The mapping outlives the fd
+        // (POSIX), so dropping `file` on return is fine.
+        let ptr = unsafe { sysmap::map_shared(file.as_raw_fd(), total_len)? };
+        Ok(ShmSegment {
+            ptr,
+            total_len,
+            path,
+            owner,
+        })
+    }
+
+    /// The backing file's path — hand this to peer processes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Payload bytes (total minus header).
+    pub fn payload_len(&self) -> usize {
+        self.total_len - SEGMENT_HEADER
+    }
+
+    /// Base of the payload, 8-byte aligned. Valid for
+    /// [`payload_len`](Self::payload_len) bytes while `self` lives.
+    pub fn payload_ptr(&self) -> *mut u8 {
+        // SAFETY: SEGMENT_HEADER < total_len is not guaranteed (zero
+        // payload is legal) but one-past-the-end is still in-bounds.
+        unsafe { self.ptr.add(SEGMENT_HEADER) }
+    }
+
+    /// The `i`-th creator-defined geometry word.
+    pub fn geometry(&self, i: usize) -> u64 {
+        assert!(i < GEOMETRY_WORDS);
+        self.header_atomic(OFF_GEOMETRY + 8 * i)
+            .load(Ordering::Acquire)
+    }
+
+    /// How many processes have ever attached (including the creator).
+    pub fn attach_count(&self) -> u64 {
+        self.header_atomic(OFF_ATTACHED).load(Ordering::Acquire)
+    }
+
+    /// Mark the segment faulted with a nonzero `code` (idempotent; the
+    /// first code wins).
+    pub fn poison(&self, code: u64) {
+        assert_ne!(code, 0, "poison code 0 means healthy");
+        let _ = self.header_atomic(OFF_POISON).compare_exchange(
+            0,
+            code,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The fault code, if a peer poisoned the segment.
+    pub fn poisoned(&self) -> Option<u64> {
+        match self.header_atomic(OFF_POISON).load(Ordering::Acquire) {
+            0 => None,
+            code => Some(code),
+        }
+    }
+
+    /// Convenience: `Err(Poisoned)` if faulted, else `Ok(())`.
+    pub fn check_healthy(&self) -> Result<(), ShmError> {
+        match self.poisoned() {
+            Some(code) => Err(ShmError::Poisoned { code }),
+            None => Ok(()),
+        }
+    }
+
+    fn header_atomic(&self, byte_off: usize) -> &AtomicU64 {
+        debug_assert!(byte_off.is_multiple_of(8) && byte_off + 8 <= SEGMENT_HEADER);
+        // SAFETY: in-bounds, 8-aligned (page-aligned base), and the word
+        // is only ever accessed atomically after publication.
+        unsafe { AtomicU64::from_ptr(self.ptr.add(byte_off) as *mut u64) }
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        // SAFETY: (ptr, total_len) is exactly our live mapping and all
+        // references into it are dead (`&self` methods borrow `self`).
+        let _ = unsafe { sysmap::unmap(self.ptr, self.total_len) };
+        if self.owner {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// [`crate::seqlock::SeqWords`] over `1 + n_words` consecutive `u64`s of a
+/// segment's payload: word 0 is the version, words `1..=n_words` the data.
+///
+/// Constructed per-process over the same offsets, this gives each side a
+/// [`crate::seqlock::SeqLock`] on physically shared words — the heap twin
+/// of the same protocol is what the model suite verifies.
+pub struct SegSeqWords<'a> {
+    base: *mut u64,
+    n_words: usize,
+    _seg: std::marker::PhantomData<&'a ShmSegment>,
+}
+
+// SAFETY: all access is through atomics.
+unsafe impl Send for SegSeqWords<'_> {}
+unsafe impl Sync for SegSeqWords<'_> {}
+
+impl<'a> SegSeqWords<'a> {
+    /// View `1 + n_words` u64s starting `byte_off` into `seg`'s payload.
+    ///
+    /// # Panics
+    ///
+    /// If the range is unaligned or out of bounds.
+    pub fn new(seg: &'a ShmSegment, byte_off: usize, n_words: usize) -> Self {
+        assert!(
+            byte_off.is_multiple_of(8),
+            "seqlock words must be 8-byte aligned"
+        );
+        let bytes = 8 * (1 + n_words);
+        assert!(
+            byte_off + bytes <= seg.payload_len(),
+            "seqlock words out of segment bounds"
+        );
+        SegSeqWords {
+            // SAFETY: in-bounds per the assert above.
+            base: unsafe { seg.payload_ptr().add(byte_off) } as *mut u64,
+            n_words,
+            _seg: std::marker::PhantomData,
+        }
+    }
+}
+
+impl crate::seqlock::SeqWords for SegSeqWords<'_> {
+    fn seq(&self) -> &AtomicU64 {
+        // SAFETY: in-bounds and aligned (checked in `new`); accessed only
+        // atomically.
+        unsafe { AtomicU64::from_ptr(self.base) }
+    }
+
+    fn n_words(&self) -> usize {
+        self.n_words
+    }
+
+    fn word(&self, i: usize) -> &AtomicU64 {
+        assert!(i < self.n_words);
+        // SAFETY: as for `seq`.
+        unsafe { AtomicU64::from_ptr(self.base.add(1 + i)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqlock::SeqLock;
+
+    #[test]
+    fn create_map_reopen_round_trips() {
+        let seg = ShmSegment::create(4096, &[3, 4, 64]).unwrap();
+        assert_eq!(seg.payload_len(), 4096);
+        assert_eq!(
+            (seg.geometry(0), seg.geometry(1), seg.geometry(2)),
+            (3, 4, 64)
+        );
+        assert_eq!(seg.attach_count(), 1);
+        // Write through one mapping, read through a second (same process,
+        // distinct mapping — the pages are shared either way).
+        unsafe { seg.payload_ptr().write(0xAB) };
+        let peer = ShmSegment::open(seg.path()).unwrap();
+        assert_eq!(peer.payload_len(), 4096);
+        assert_eq!(peer.geometry(1), 4);
+        assert_eq!(unsafe { peer.payload_ptr().read() }, 0xAB);
+        assert_eq!(seg.attach_count(), 2);
+    }
+
+    #[test]
+    fn zero_payload_segment_is_legal() {
+        let seg = ShmSegment::create(0, &[]).unwrap();
+        assert_eq!(seg.payload_len(), 0);
+        let peer = ShmSegment::open(seg.path()).unwrap();
+        assert_eq!(peer.payload_len(), 0);
+    }
+
+    #[test]
+    fn owner_drop_unlinks_the_file() {
+        let seg = ShmSegment::create(64, &[]).unwrap();
+        let path = seg.path().to_path_buf();
+        let peer = ShmSegment::open(&path).unwrap();
+        drop(seg);
+        assert!(!path.exists(), "creator must unlink on drop");
+        // The peer's mapping survives the unlink.
+        assert_eq!(peer.poisoned(), None);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let seg = ShmSegment::create(64, &[]).unwrap();
+        // Corrupt the version word through the file.
+        let mut f = OpenOptions::new().write(true).open(seg.path()).unwrap();
+        f.seek(SeekFrom::Start(OFF_VERSION as u64)).unwrap();
+        f.write_all(&99u64.to_le_bytes()).unwrap();
+        match ShmSegment::open(seg.path()) {
+            Err(ShmError::VersionMismatch {
+                found: 99,
+                expected,
+            }) => {
+                assert_eq!(expected, SEGMENT_VERSION)
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_segment_file_is_a_typed_error() {
+        let dir = segment_dir();
+        let path = dir.join(format!("bgp-proc-test-garbage-{}", std::process::id()));
+        std::fs::write(&path, b"not a segment at all........").unwrap();
+        match ShmSegment::open(&path) {
+            Err(ShmError::BadMagic { .. }) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn poison_is_sticky_and_first_writer_wins() {
+        let seg = ShmSegment::create(0, &[]).unwrap();
+        assert!(seg.check_healthy().is_ok());
+        seg.poison(7);
+        seg.poison(9);
+        assert_eq!(seg.poisoned(), Some(7));
+        match seg.check_healthy() {
+            Err(ShmError::Poisoned { code: 7 }) => {}
+            other => panic!("expected Poisoned(7), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seg_seqlock_publishes_across_mappings() {
+        let seg = ShmSegment::create(256, &[]).unwrap();
+        let peer = ShmSegment::open(seg.path()).unwrap();
+        let writer = SeqLock::over(SegSeqWords::new(&seg, 64, 2));
+        let reader = SeqLock::over(SegSeqWords::new(&peer, 64, 2));
+        writer.publish(&[11, 22]);
+        let mut out = [0u64; 2];
+        assert_eq!(reader.read_into(&mut out), 2);
+        assert_eq!(out, [11, 22]);
+    }
+}

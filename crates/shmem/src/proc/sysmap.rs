@@ -1,0 +1,134 @@
+//! Raw `mmap`/`munmap`, as direct syscalls.
+//!
+//! The crate is `std`-only by policy (no libc, no external crates), but
+//! `std` exposes no shared file mapping. The two syscalls the segment
+//! needs are tiny and stable ABI, so they are issued directly with inline
+//! asm — the same instruction sequences libc itself emits. Linux-only, on
+//! the two architectures this repo targets.
+
+use std::io;
+
+const PROT_READ: usize = 1;
+const PROT_WRITE: usize = 2;
+const MAP_SHARED: usize = 1;
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn sys_mmap(len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") 9isize => ret, // __NR_mmap
+        in("rdi") 0usize,               // addr: kernel-chosen
+        in("rsi") len,
+        in("rdx") prot,
+        in("r10") flags,
+        in("r8") fd as isize,
+        in("r9") 0usize,                // offset
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") 11isize => ret, // __NR_munmap
+        in("rdi") addr,
+        in("rsi") len,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn sys_mmap(len: usize, prot: usize, flags: usize, fd: i32) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc #0",
+        inlateout("x0") 0usize => ret, // addr: kernel-chosen
+        in("x1") len,
+        in("x2") prot,
+        in("x3") flags,
+        in("x4") fd as isize,
+        in("x5") 0usize,               // offset
+        in("x8") 222usize,             // __NR_mmap
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn sys_munmap(addr: usize, len: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc #0",
+        inlateout("x0") addr => ret,
+        in("x1") len,
+        in("x8") 215usize, // __NR_munmap
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sys_getppid() -> u32 {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 110isize => ret, // __NR_getppid
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    ret as u32
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) fn sys_getppid() -> u32 {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            lateout("x0") ret,
+            in("x8") 173usize, // __NR_getppid
+            options(nostack)
+        );
+    }
+    ret as u32
+}
+
+/// Map `len` bytes of `fd` shared read-write at a kernel-chosen address.
+///
+/// # Safety
+///
+/// `fd` must be a valid file descriptor whose file is at least `len` bytes
+/// long (accessing a mapping past EOF raises `SIGBUS`).
+pub(crate) unsafe fn map_shared(fd: i32, len: usize) -> io::Result<*mut u8> {
+    let ret = sys_mmap(len, PROT_READ | PROT_WRITE, MAP_SHARED, fd);
+    if (-4095..0).contains(&ret) {
+        return Err(io::Error::from_raw_os_error(-ret as i32));
+    }
+    Ok(ret as *mut u8)
+}
+
+/// Unmap a mapping previously returned by [`map_shared`].
+///
+/// # Safety
+///
+/// `(ptr, len)` must be exactly a live mapping from [`map_shared`], and no
+/// reference into it may outlive this call.
+pub(crate) unsafe fn unmap(ptr: *mut u8, len: usize) -> io::Result<()> {
+    let ret = sys_munmap(ptr as usize, len);
+    if (-4095..0).contains(&ret) {
+        return Err(io::Error::from_raw_os_error(-ret as i32));
+    }
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! A single-writer seqlock over a small fixed set of 64-bit words.
+//!
+//! The cross-process segment (see `bgp-smp`'s process backend) needs a way
+//! to publish *multi-word* records — job descriptors, status reports —
+//! through plain shared memory, where a mutex is off the table (a crashed
+//! holder would wedge every peer) and a single atomic word is too narrow.
+//! The classic answer is a seqlock: a version word that is **odd while a
+//! write is in progress** and even otherwise. The writer bumps it to odd,
+//! writes the data words, then bumps it to even; a reader snapshots the
+//! version, copies the words, and accepts the copy only if the version was
+//! even and unchanged when it finished.
+//!
+//! ## Memory-ordering discipline
+//!
+//! The data words here are themselves atomics (`AtomicU64`), so a "torn"
+//! read is never UB — it is a *stale mix* of old and new words, and the
+//! version check is what rejects it:
+//!
+//! * Writer: `seq ← odd` (`Relaxed`), data stores `Release`, `seq ← even`
+//!   (`Release`). Each `Release` data store orders the odd mark before it,
+//!   so a reader that `Acquire`-loads any new word then sees `seq` odd (or
+//!   later) and rejects; the final `Release` orders every data store
+//!   before the even mark, so a reader whose first `Acquire` load sees the
+//!   new even version sees every new word.
+//! * Reader: `s1 ← seq` (`Acquire`, reject odd), data loads `Acquire`,
+//!   `s2 ← seq` (`Acquire`, reject `s2 != s1`). The `Acquire` loads keep
+//!   the sequence from being hoisted across each other.
+//!
+//! No fences and no `SeqCst` — each edge is a pairwise release/acquire,
+//! which is exactly the discipline the `bgp-check` vector-clock verifier
+//! models (see `tests/model.rs`: the protocol oracle asserts snapshot
+//! consistency, and the seeded `seqlock_enter_skipped` /
+//! `seqlock_validate_skipped` bugs must be caught and replayed).
+//!
+//! ## Storage genericity
+//!
+//! [`SeqLock`] is generic over [`SeqWords`] — anything that can hand out
+//! the version word and the data words as `&AtomicU64`. [`HeapSeqWords`]
+//! is the in-process (and model-checked) backing; the process backend
+//! implements `SeqWords` over words of an mmap'd segment, so the protocol
+//! verified on the heap twin is byte-for-byte the one that runs cross
+//! process.
+
+use crate::model_support;
+use crate::pad::CachePadded;
+use crate::sync::atomic::{AtomicU64, Ordering};
+
+/// Storage for one seqlock: a version word plus `n_words` data words, all
+/// `AtomicU64`.
+///
+/// Implementations must return the *same* word for the same index every
+/// call (the words are identity, not values) — both backings here do so
+/// trivially.
+pub trait SeqWords {
+    /// The version word.
+    fn seq(&self) -> &AtomicU64;
+    /// Number of data words.
+    fn n_words(&self) -> usize;
+    /// The `i`-th data word (`i < n_words`).
+    fn word(&self, i: usize) -> &AtomicU64;
+}
+
+/// Heap backing for [`SeqLock`]: the version word on its own cache line,
+/// data words contiguous. This is the model-checked twin of the segment
+/// backing.
+pub struct HeapSeqWords {
+    seq: CachePadded<AtomicU64>,
+    words: Vec<AtomicU64>,
+}
+
+impl HeapSeqWords {
+    /// Fresh storage for `n_words` data words, version 0, all words 0.
+    pub fn new(n_words: usize) -> Self {
+        HeapSeqWords {
+            seq: CachePadded::new(AtomicU64::new(0)),
+            words: (0..n_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl SeqWords for HeapSeqWords {
+    fn seq(&self) -> &AtomicU64 {
+        &self.seq
+    }
+
+    fn n_words(&self) -> usize {
+        self.words.len()
+    }
+
+    fn word(&self, i: usize) -> &AtomicU64 {
+        &self.words[i]
+    }
+}
+
+/// A single-writer, any-reader seqlock over [`SeqWords`] storage.
+///
+/// **Single writer**: concurrent `publish` calls are a protocol violation
+/// (debug-asserted, and caught as an inconsistent snapshot by the model
+/// oracle). Readers are unrestricted and never block the writer.
+pub struct SeqLock<S: SeqWords> {
+    words: S,
+}
+
+impl SeqLock<HeapSeqWords> {
+    /// A heap-backed seqlock with `n_words` data words.
+    pub fn heap(n_words: usize) -> Self {
+        SeqLock::over(HeapSeqWords::new(n_words))
+    }
+}
+
+impl<S: SeqWords> SeqLock<S> {
+    /// Wrap existing storage. The storage's current version must be even
+    /// (no write in progress) — true of zeroed memory.
+    pub fn over(words: S) -> Self {
+        SeqLock { words }
+    }
+
+    /// The underlying storage.
+    pub fn storage(&self) -> &S {
+        &self.words
+    }
+
+    /// Publish `vals` (one per data word; `vals.len()` may be shorter than
+    /// the storage, never longer). Single writer only.
+    pub fn publish(&self, vals: &[u64]) {
+        assert!(
+            vals.len() <= self.words.n_words(),
+            "seqlock record too wide"
+        );
+        let s = self.words.seq().load(Ordering::Relaxed);
+        debug_assert!(
+            s.is_multiple_of(2),
+            "concurrent or re-entrant seqlock writer"
+        );
+        // Seeded bug: skip the odd "write in progress" mark — readers can
+        // no longer tell a mid-write snapshot from a stable one.
+        if !model_support::seeded("seqlock_enter_skipped") {
+            self.words.seq().store(s + 1, Ordering::Relaxed);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            self.words.word(i).store(*v, Ordering::Release);
+        }
+        self.words.seq().store(s + 2, Ordering::Release);
+    }
+
+    /// Snapshot the first `out.len()` data words if no write intervenes;
+    /// returns the (even) version of the snapshot, or `None` if a write
+    /// was in progress or raced the copy.
+    pub fn try_read_into(&self, out: &mut [u64]) -> Option<u64> {
+        assert!(out.len() <= self.words.n_words(), "seqlock read too wide");
+        let s1 = self.words.seq().load(Ordering::Acquire);
+        if !s1.is_multiple_of(2) {
+            return None;
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.words.word(i).load(Ordering::Acquire);
+        }
+        // Seeded bug: trust the first pass unconditionally — a concurrent
+        // writer's half-applied record is returned as if stable.
+        if model_support::seeded("seqlock_validate_skipped") {
+            return Some(s1);
+        }
+        let s2 = self.words.seq().load(Ordering::Acquire);
+        if s2 == s1 {
+            Some(s1)
+        } else {
+            None
+        }
+    }
+
+    /// Snapshot the first `out.len()` data words, retrying until a stable
+    /// snapshot lands; returns its (even) version.
+    pub fn read_into(&self, out: &mut [u64]) -> u64 {
+        loop {
+            if let Some(v) = self.try_read_into(out) {
+                return v;
+            }
+            crate::spin();
+        }
+    }
+
+    /// The current version word (even = stable; each publish adds 2).
+    pub fn version(&self) -> u64 {
+        self.words.seq().load(Ordering::Acquire)
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let l = SeqLock::heap(3);
+        assert_eq!(l.version(), 0);
+        let mut out = [0u64; 3];
+        assert_eq!(l.try_read_into(&mut out), Some(0));
+        assert_eq!(out, [0, 0, 0]);
+        l.publish(&[7, 8, 9]);
+        assert_eq!(l.read_into(&mut out), 2);
+        assert_eq!(out, [7, 8, 9]);
+        // Narrow reads and writes are allowed.
+        l.publish(&[1]);
+        let mut one = [0u64; 1];
+        assert_eq!(l.read_into(&mut one), 4);
+        assert_eq!(one, [1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn oversized_publish_is_rejected() {
+        SeqLock::heap(2).publish(&[1, 2, 3]);
+    }
+
+    /// Concurrent readers under a fast writer never observe a mixed
+    /// record: the writer always publishes `[k, 2k]`, so any accepted
+    /// snapshot must satisfy `w1 == 2 * w0`.
+    #[test]
+    fn readers_never_observe_torn_records() {
+        let l = Arc::new(SeqLock::heap(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (l, stop) = (l.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    let mut out = [0u64; 2];
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if l.try_read_into(&mut out).is_some() {
+                            assert_eq!(out[1], 2 * out[0], "torn seqlock read");
+                            seen += 1;
+                        }
+                    }
+                    // One guaranteed post-writer snapshot, so the test is
+                    // meaningful even if this thread was starved until now.
+                    l.read_into(&mut out);
+                    assert_eq!(out[1], 2 * out[0], "torn seqlock read");
+                    seen + 1
+                })
+            })
+            .collect();
+        for k in 1..=crate::testing::stress_iters(20_000) as u64 {
+            l.publish(&[k, 2 * k]);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader never got a snapshot");
+        }
+    }
+}

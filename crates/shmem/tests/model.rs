@@ -30,7 +30,7 @@ use std::sync::Arc;
 use bgp_check::thread;
 use bgp_check::{explore, model_with, Config, Failure, FailureKind};
 use bgp_shmem::sync::cell::UnsafeCell;
-use bgp_shmem::{BcastFifo, CompletionCounter, MessageCounter, PtpFifo};
+use bgp_shmem::{BcastFifo, CompletionCounter, MessageCounter, PtpFifo, SeqLock};
 
 /// Explore a mutated scenario, require a failure within the budget, then
 /// require that replaying the reported trace (with the same mutation)
@@ -338,6 +338,71 @@ fn mutation_bcast_retire_relaxed_is_caught() {
         bcast_two_consumer_scenario,
     );
     assert_eq!(f.kind, FailureKind::Race, "{f}");
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock (the cross-process status/job record primitive)
+// ---------------------------------------------------------------------------
+
+/// Writer publishes `[k, 2k]` records; the reader accepts only stable
+/// snapshots, so every accepted snapshot must satisfy `w1 == 2·w0`. This
+/// heap-backed run is the oracle for the mmap-backed twin in `bgp-smp`'s
+/// process backend — same `SeqLock` code, different `SeqWords` storage.
+fn seqlock_scenario() {
+    let l = Arc::new(SeqLock::heap(2));
+    let writer = {
+        let l = l.clone();
+        thread::spawn(move || {
+            l.publish(&[1, 2]);
+            l.publish(&[2, 4]);
+        })
+    };
+    let mut out = [0u64; 2];
+    // A few racing reads (bounded — an acceptance-gated spin loop could
+    // park after the writer's final store and read as a deadlock): every
+    // accepted snapshot must be internally consistent.
+    for _ in 0..3 {
+        if l.try_read_into(&mut out).is_some() {
+            assert_eq!(out[1], 2 * out[0], "torn seqlock snapshot");
+        }
+    }
+    writer.join();
+    // Quiescent read: the final record must be fully visible.
+    l.read_into(&mut out);
+    assert_eq!(out, [2, 4], "final record not fully visible");
+}
+
+/// Every explored schedule of writer-vs-reader yields only consistent
+/// snapshots.
+#[test]
+fn seqlock_snapshots_are_never_torn() {
+    model_with(Config::dfs(5_000), seqlock_scenario);
+}
+
+/// Seeded bug: the writer skips the odd "write in progress" mark — a
+/// reader overlapping the data stores sees an even, unchanged version and
+/// accepts a half-applied record. The torn-snapshot oracle must catch it.
+#[test]
+fn mutation_seqlock_enter_skipped_is_caught() {
+    let f = assert_mutation_caught(
+        "seqlock_enter_skipped",
+        Config::dfs(5_000),
+        seqlock_scenario,
+    );
+    assert_eq!(f.kind, FailureKind::Panic, "{f}");
+}
+
+/// Seeded bug: the reader trusts its first pass without re-checking the
+/// version — a concurrent writer's half-applied record is returned as
+/// stable. Must be caught by the same oracle.
+#[test]
+fn mutation_seqlock_validate_skipped_is_caught() {
+    let f = assert_mutation_caught(
+        "seqlock_validate_skipped",
+        Config::dfs(5_000),
+        seqlock_scenario,
+    );
+    assert_eq!(f.kind, FailureKind::Panic, "{f}");
 }
 
 // ---------------------------------------------------------------------------

@@ -84,6 +84,13 @@ pub struct ClusterStats {
     /// Copy-out ranks whose first copy began while the producer stream was
     /// still in flight — the §V-B overlap evidence.
     pub copyout_overlapped: u64,
+    /// Scheduler chunks parked in the bounded stash (summed over nodes).
+    pub stash_parked: u64,
+    /// Scheduler chunks dropped by stash eviction — non-zero means an op
+    /// flooded a node (bogus op id or protocol violation) and was contained.
+    pub stash_evicted_chunks: u64,
+    /// Distinct stash queue evictions (summed over nodes).
+    pub stash_evicted_ops: u64,
 }
 
 type Job = Box<dyn FnOnce(&mut ClusterCtx) -> Box<dyn Any + Send> + Send>;
@@ -203,11 +210,18 @@ impl Cluster {
         let mut s = ClusterStats {
             bcast_recv_ops: 0,
             copyout_overlapped: 0,
+            stash_parked: 0,
+            stash_evicted_chunks: 0,
+            stash_evicted_ops: 0,
         };
         for node in &self.shared.nodes {
             let cs = node.cluster_stats();
             s.bcast_recv_ops += cs.bcast_recv_ops.load(Ordering::Relaxed);
             s.copyout_overlapped += cs.copyout_overlapped.load(Ordering::Relaxed);
+            let ss = node.sched_stash().lock().stats();
+            s.stash_parked += ss.parked;
+            s.stash_evicted_chunks += ss.evicted_chunks;
+            s.stash_evicted_ops += ss.evicted_ops;
         }
         s
     }
@@ -478,15 +492,17 @@ impl Drop for Cluster {
 }
 
 /// Broadcast chunk-tag kinds for the allreduce ring (bit 63 of the tag).
-const KIND_PARTIAL: u64 = 0;
-const KIND_FULL: u64 = 1;
+/// `pub(crate)`: the cross-process runners in [`crate::proc`] speak the
+/// same wire format.
+pub(crate) const KIND_PARTIAL: u64 = 0;
+pub(crate) const KIND_FULL: u64 = 1;
 
-fn pack_tag(color: usize, kind: u64, k: usize) -> u64 {
+pub(crate) fn pack_tag(color: usize, kind: u64, k: usize) -> u64 {
     debug_assert!(k < (1 << 40));
     (kind << 63) | ((color as u64) << 40) | k as u64
 }
 
-fn unpack_tag(tag: u64) -> (usize, u64, usize) {
+pub(crate) fn unpack_tag(tag: u64) -> (usize, u64, usize) {
     (
         ((tag >> 40) & 0x7F_FFFF) as usize,
         tag >> 63,
@@ -496,7 +512,7 @@ fn unpack_tag(tag: u64) -> (usize, u64, usize) {
 
 /// Iterate `(k, byte_off, chunk_len)` over a `len`-byte message in
 /// `chunk`-byte chunks.
-fn chunks_of(len: usize, chunk: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+pub(crate) fn chunks_of(len: usize, chunk: usize) -> impl Iterator<Item = (usize, usize, usize)> {
     (0..len.div_ceil(chunk)).map(move |k| {
         let off = k * chunk;
         (k, off, (len - off).min(chunk))
@@ -683,11 +699,9 @@ impl ClusterCtx {
                     // Blocking on downstream space while holding the loan is
                     // deadlock-free: tree links form no cycle, so the
                     // consumer downstream never waits on our retire.
-                    let mut snd = ch.reserve();
-                    rs.with_bytes(|bytes| {
-                        snd.with_bytes_mut(|dst| dst[..clen].copy_from_slice(bytes))
-                    });
-                    snd.publish(k as u64, clen);
+                    let mut snd = ch.reserve(clen);
+                    rs.with_bytes(|bytes| snd.with_bytes_mut(|dst| dst.copy_from_slice(bytes)));
+                    snd.publish(k as u64);
                 }
             }
         } else if me == recv_rank {
@@ -1018,7 +1032,7 @@ impl ClusterCtx {
                             // Fused combine: local partial + incoming chunk
                             // summed by the lane kernel straight into the
                             // reserved outgoing slot. Zero staging copies.
-                            let mut snd = out.reserve();
+                            let mut snd = out.reserve(clen);
                             rs.with_bytes(|inb| {
                                 // SAFETY: our partial is ready (counter gate
                                 // above) and this thread is the only other
@@ -1026,16 +1040,12 @@ impl ClusterCtx {
                                 unsafe {
                                     cbuf.with_bytes(off, clen, |local| {
                                         snd.with_bytes_mut(|dst| {
-                                            crate::kernels::add_bytes_into(
-                                                &mut dst[..clen],
-                                                local,
-                                                inb,
-                                            )
+                                            crate::kernels::add_bytes_into(dst, local, inb)
                                         })
                                     })
                                 }
                             });
-                            snd.publish(pack_tag(c, KIND_PARTIAL, k), clen);
+                            snd.publish(pack_tag(c, KIND_PARTIAL, k));
                         } else {
                             // Last hop: accumulate the incoming chunk into
                             // the local partial in place — it *is* the
@@ -1072,11 +1082,11 @@ impl ClusterCtx {
                         self.ctx.aux_counter(n + c).publish(clen as u64);
                         f.fulls_local += 1;
                         if forwards {
-                            let mut snd = out.reserve();
+                            let mut snd = out.reserve(clen);
                             rs.with_bytes(|bytes| {
-                                snd.with_bytes_mut(|dst| dst[..clen].copy_from_slice(bytes))
+                                snd.with_bytes_mut(|dst| dst.copy_from_slice(bytes))
                             });
-                            snd.publish(pack_tag(c, KIND_FULL, k), clen);
+                            snd.publish(pack_tag(c, KIND_FULL, k));
                             f.fulls_sent += 1;
                         }
                         progressed = true;

@@ -32,6 +32,12 @@ pub mod kernels;
 pub mod runtime;
 pub mod transport;
 
+#[cfg(not(feature = "model"))]
+pub mod proc;
+
 pub use barrier::SenseBarrier;
 pub use cluster::{Cluster, ClusterCtx, ClusterStats, PendingJob};
-pub use runtime::{run_node, NodeRuntime, NodeShared, RankCtx};
+pub use runtime::{
+    run_node, NodeRuntime, NodeShared, RankCtx, SchedStash, StashEviction, StashStats,
+    STASH_PER_OP_CAP, STASH_TOTAL_CAP,
+};

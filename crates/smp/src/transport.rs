@@ -19,6 +19,21 @@
 //! the workspace; the *timing* (link bandwidth, router hops) is not modeled
 //! here — that remains `bgp-sim`'s job.
 //!
+//! ## Storage backends
+//!
+//! The cycle-tag protocol is written once, generic over a [`SlotStore`] —
+//! the piece that says *where the slots live*:
+//!
+//! * [`HeapSlots`] (the default; `ChunkChannel` with no type argument) keeps
+//!   the slots in process memory behind the `bgp-shmem` sync facade, so the
+//!   whole protocol runs under the `bgp-check` model scheduler.
+//! * `ProcSlots` (in [`crate::proc`], non-`model` builds) views the same
+//!   slot layout inside an mmap'd [`bgp_shmem::proc::ShmSegment`] shared by
+//!   several *processes*. The protocol code — every load, store, ordering,
+//!   and mutation hook — is byte-for-byte the same generic functions; only
+//!   the storage differs, which is what lets the model-checked in-process
+//!   channel stand as the correctness oracle for the cross-process one.
+//!
 //! ## The slot-loan protocol
 //!
 //! The channel's primary interface is a pair of **loans** over the slot
@@ -26,10 +41,11 @@
 //! place* instead of staging them through caller-owned buffers:
 //!
 //! * [`reserve`](ChunkChannel::reserve) hands the producer a [`SendSlot`]
-//!   guard: the slot's bytes are writable through it, and nothing becomes
-//!   visible to the consumer until [`publish`](SendSlot::publish). Dropping
-//!   the guard without publishing releases the cycle cleanly — the ticket
-//!   stays free and the next `reserve` returns the same slot.
+//!   guard for a declared payload length: exactly `len` bytes of the slot
+//!   are writable through it, and nothing becomes visible to the consumer
+//!   until [`publish`](SendSlot::publish). Dropping the guard without
+//!   publishing releases the cycle cleanly — the ticket stays free and the
+//!   next `reserve` returns the same slot.
 //! * [`peek`](ChunkChannel::peek) hands the consumer a [`RecvSlot`] guard:
 //!   tag, length, and payload are readable in place; dropping the guard
 //!   retires the slot back to the producer. The guard's lifetime *is* the
@@ -50,10 +66,73 @@ use bgp_shmem::sync::atomic::{AtomicUsize, Ordering};
 use bgp_shmem::sync::cell::UnsafeCell;
 use bgp_shmem::{model_support, spin};
 
-/// One slot of a [`ChunkChannel`]: a cycle-tagged header plus a fixed-size
-/// payload. `seq` follows the workspace's slot protocol: `t` = free for
-/// ticket `t`, `t + 1` = published, `t + cap` = consumed (free for ticket
-/// `t + cap`).
+/// Where a [`ChunkChannel`]'s slots live.
+///
+/// An implementor provides `cap` slots of `chunk_bytes` payload each, one
+/// cycle-tag `seq` word per slot, and the producer/consumer cursors. The
+/// protocol layered on top never touches storage except through these
+/// methods, so a store can be heap memory behind the model facade
+/// ([`HeapSlots`]) or a view into an mmap'd segment shared across processes
+/// (`ProcSlots` in [`crate::proc`]).
+///
+/// # Safety
+///
+/// Implementors must guarantee, for the lifetime of the store:
+///
+/// * `seq(i)`, `send_cursor()`, and `recv_cursor()` return references to
+///   atomics at stable addresses, and `seq(i)` of a fresh store reads `i`
+///   with both cursors 0 (the protocol's initial state);
+/// * the header and data accessors address disjoint per-slot storage of at
+///   least `chunk_bytes` payload bytes, stable for the store's lifetime and
+///   shared with every other view of the same channel (for a cross-process
+///   store: the same physical bytes in every mapping).
+///
+/// The *callers* (the protocol methods below) uphold the exclusivity
+/// contract on the unsafe accessors: header/data of slot `i` are only
+/// touched by the ticket that owns the slot per the cycle-tag discipline.
+pub unsafe trait SlotStore: Send + Sync {
+    /// Number of slots (the pacing window).
+    fn cap(&self) -> usize;
+    /// Payload capacity of one slot.
+    fn chunk_bytes(&self) -> usize;
+    /// The cycle tag of slot `i`.
+    fn seq(&self, i: usize) -> &AtomicUsize;
+    /// Next ticket to send; written only by the producer.
+    fn send_cursor(&self) -> &AtomicUsize;
+    /// Next ticket to receive; written only by the consumer.
+    fn recv_cursor(&self) -> &AtomicUsize;
+    /// Write slot `i`'s header (tag + payload length).
+    ///
+    /// # Safety
+    ///
+    /// Caller must own slot `i`'s cycle (producer side, before publish).
+    unsafe fn set_header(&self, i: usize, tag: u64, len: usize);
+    /// Read slot `i`'s header `(tag, len)`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have acquire-observed the slot as published and not yet
+    /// retired it.
+    unsafe fn header(&self, i: usize) -> (u64, usize);
+    /// Read `len` bytes of slot `i`'s payload in place.
+    ///
+    /// # Safety
+    ///
+    /// As [`Self::header`], with `len` no larger than the published length.
+    unsafe fn with_data<R>(&self, i: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> R;
+    /// Write `len` bytes of slot `i`'s payload in place.
+    ///
+    /// # Safety
+    ///
+    /// Caller must own slot `i`'s cycle exclusively (producer side, before
+    /// publish), with `len` at most `chunk_bytes`.
+    unsafe fn with_data_mut<R>(&self, i: usize, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R;
+}
+
+/// One slot of a [`HeapSlots`] store: a cycle-tagged header plus a
+/// fixed-size payload. `seq` follows the workspace's slot protocol: `t` =
+/// free for ticket `t`, `t + 1` = published, `t + cap` = consumed (free for
+/// ticket `t + cap`).
 struct Slot {
     seq: AtomicUsize,
     tag: UnsafeCell<u64>,
@@ -66,6 +145,84 @@ struct Slot {
 unsafe impl Send for Slot {}
 unsafe impl Sync for Slot {}
 
+/// The in-process slot store: heap slots behind the `bgp-shmem` sync
+/// facade, so `model` builds run the whole protocol under `bgp-check`.
+pub struct HeapSlots {
+    slots: Box<[Slot]>,
+    cap: usize,
+    chunk_bytes: usize,
+    send_cursor: CachePadded<AtomicUsize>,
+    recv_cursor: CachePadded<AtomicUsize>,
+}
+
+impl HeapSlots {
+    fn new(cap: usize, chunk_bytes: usize) -> Self {
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                tag: UnsafeCell::new(0),
+                len: UnsafeCell::new(0),
+                data: UnsafeCell::new(vec![0u8; chunk_bytes].into_boxed_slice()),
+            })
+            .collect();
+        HeapSlots {
+            slots,
+            cap,
+            chunk_bytes,
+            send_cursor: CachePadded::new(AtomicUsize::new(0)),
+            recv_cursor: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+// SAFETY: slots live as long as the store, `seq(i)` initializes to `i`, and
+// the cell accessors hand out disjoint per-slot storage.
+unsafe impl SlotStore for HeapSlots {
+    #[inline]
+    fn cap(&self) -> usize {
+        self.cap
+    }
+
+    #[inline]
+    fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    #[inline]
+    fn seq(&self, i: usize) -> &AtomicUsize {
+        &self.slots[i].seq
+    }
+
+    #[inline]
+    fn send_cursor(&self) -> &AtomicUsize {
+        &self.send_cursor
+    }
+
+    #[inline]
+    fn recv_cursor(&self) -> &AtomicUsize {
+        &self.recv_cursor
+    }
+
+    unsafe fn set_header(&self, i: usize, tag: u64, len: usize) {
+        let slot = &self.slots[i];
+        slot.tag.with_mut(|p| *p = tag);
+        slot.len.with_mut(|p| *p = len);
+    }
+
+    unsafe fn header(&self, i: usize) -> (u64, usize) {
+        let slot = &self.slots[i];
+        (slot.tag.with(|p| *p), slot.len.with(|p| *p))
+    }
+
+    unsafe fn with_data<R>(&self, i: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.slots[i].data.with(|p| f(&(&*p)[..len]))
+    }
+
+    unsafe fn with_data_mut<R>(&self, i: usize, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.slots[i].data.with_mut(|p| f(&mut (&mut *p)[..len]))
+    }
+}
+
 /// A bounded SPSC channel of fixed-size byte chunks with a pacing window.
 ///
 /// * **Single producer, single consumer** — one thread sends, one receives,
@@ -77,19 +234,16 @@ unsafe impl Sync for Slot {}
 /// * **Tagged**: each chunk carries a `u64` tag (flow id / kind / sequence,
 ///   packed by the caller) so multiple flows can share a link and the
 ///   consumer can dispatch without consuming ([`peek_tag`](Self::peek_tag)).
-pub struct ChunkChannel {
-    slots: Box<[Slot]>,
-    cap: usize,
-    chunk_bytes: usize,
-    /// Next ticket to send. Written only by the producer (Relaxed); the
-    /// slot `seq` carries the actual synchronization.
-    send_cursor: CachePadded<AtomicUsize>,
-    /// Next ticket to receive. Written only by the consumer.
-    recv_cursor: CachePadded<AtomicUsize>,
+/// * **Backend-generic**: the default store is the in-process [`HeapSlots`];
+///   `crate::proc` instantiates the same protocol over an mmap'd segment
+///   shared by separate worker processes.
+pub struct ChunkChannel<S: SlotStore = HeapSlots> {
+    store: S,
 }
 
 impl ChunkChannel {
-    /// A channel of `cap` in-flight chunks of `chunk_bytes` each.
+    /// An in-process channel of `cap` in-flight chunks of `chunk_bytes`
+    /// each.
     ///
     /// `cap` must be at least 2: with a single slot the cycle tags
     /// degenerate — round `t`'s *published* tag (`t + 1`) equals round
@@ -101,143 +255,159 @@ impl ChunkChannel {
             "channel needs at least two slots (cycle-tag protocol)"
         );
         assert!(chunk_bytes >= 1, "chunks must hold at least one byte");
-        let slots = (0..cap)
-            .map(|i| Slot {
-                seq: AtomicUsize::new(i),
-                tag: UnsafeCell::new(0),
-                len: UnsafeCell::new(0),
-                data: UnsafeCell::new(vec![0u8; chunk_bytes].into_boxed_slice()),
-            })
-            .collect();
         ChunkChannel {
-            slots,
-            cap,
-            chunk_bytes,
-            send_cursor: CachePadded::new(AtomicUsize::new(0)),
-            recv_cursor: CachePadded::new(AtomicUsize::new(0)),
+            store: HeapSlots::new(cap, chunk_bytes),
         }
+    }
+}
+
+impl<S: SlotStore> ChunkChannel<S> {
+    /// The same protocol over caller-provided storage (the cross-process
+    /// backend). The store must be freshly initialized per the [`SlotStore`]
+    /// contract; geometry rules are as for [`ChunkChannel::new`].
+    pub fn over(store: S) -> Self {
+        assert!(
+            store.cap() >= 2,
+            "channel needs at least two slots (cycle-tag protocol)"
+        );
+        assert!(
+            store.chunk_bytes() >= 1,
+            "chunks must hold at least one byte"
+        );
+        ChunkChannel { store }
     }
 
     /// Payload capacity of one chunk.
     #[inline]
     pub fn chunk_bytes(&self) -> usize {
-        self.chunk_bytes
+        self.store.chunk_bytes()
     }
 
     /// In-flight chunk capacity (the pacing window).
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.store.cap()
     }
 
     /// Chunks ever sent (producer-side view).
     pub fn sent(&self) -> usize {
-        self.send_cursor.load(Ordering::Relaxed)
+        self.store.send_cursor().load(Ordering::Relaxed)
     }
 
     /// Chunks ever received (consumer-side view).
     pub fn received(&self) -> usize {
-        self.recv_cursor.load(Ordering::Relaxed)
+        self.store.recv_cursor().load(Ordering::Relaxed)
+    }
+
+    /// Consumer-side: has ticket `h` been published (and not yet retired by
+    /// us)? This acquire is *the* validated load every consumer entry point
+    /// goes through — `peek`, `try_peek`, and `peek_tag` all gate header
+    /// access on it, so a slot mid-write by the producer is never readable.
+    #[inline]
+    fn published(&self, h: usize) -> bool {
+        self.store.seq(h % self.store.cap()).load(Ordering::Acquire) == h + 1
     }
 
     /// Producer: is there room to send without blocking? Once true it stays
     /// true until this producer sends (space only grows from the producer's
     /// point of view), so it can safely gate work that must not block.
     pub fn can_send(&self) -> bool {
-        let t = self.send_cursor.load(Ordering::Relaxed);
-        self.slots[t % self.cap].seq.load(Ordering::Acquire) == t
+        let t = self.store.send_cursor().load(Ordering::Relaxed);
+        self.store.seq(t % self.store.cap()).load(Ordering::Acquire) == t
     }
 
-    /// Producer: loan the next slot for an in-place write, blocking while
-    /// the window is full. Nothing is visible to the consumer until
-    /// [`SendSlot::publish`]; dropping the guard unpublished releases the
-    /// cycle cleanly (the ticket stays free).
-    pub fn reserve(&self) -> SendSlot<'_> {
-        let t = self.send_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[t % self.cap];
-        while slot.seq.load(Ordering::Acquire) != t {
+    /// Producer: loan the next slot for an in-place write of `len` payload
+    /// bytes, blocking while the window is full. The loan exposes exactly
+    /// `len` bytes — never the rest of the slot, whose contents are stale
+    /// payloads from prior tickets. Nothing is visible to the consumer
+    /// until [`SendSlot::publish`]; dropping the guard unpublished releases
+    /// the cycle cleanly (the ticket stays free).
+    pub fn reserve(&self, len: usize) -> SendSlot<'_, S> {
+        self.check_len(len);
+        let t = self.store.send_cursor().load(Ordering::Relaxed);
+        let seq = self.store.seq(t % self.store.cap());
+        while seq.load(Ordering::Acquire) != t {
             spin();
         }
-        SendSlot { ch: self, t }
+        SendSlot { ch: self, t, len }
     }
 
-    /// Producer: loan the next slot if the window has room, `None` when
-    /// full.
-    pub fn try_reserve(&self) -> Option<SendSlot<'_>> {
-        let t = self.send_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[t % self.cap];
-        if slot.seq.load(Ordering::Acquire) != t {
+    /// Producer: loan the next slot for `len` payload bytes if the window
+    /// has room, `None` when full.
+    pub fn try_reserve(&self, len: usize) -> Option<SendSlot<'_, S>> {
+        self.check_len(len);
+        let t = self.store.send_cursor().load(Ordering::Relaxed);
+        if self.store.seq(t % self.store.cap()).load(Ordering::Acquire) != t {
             return None;
         }
-        Some(SendSlot { ch: self, t })
+        Some(SendSlot { ch: self, t, len })
+    }
+
+    #[inline]
+    fn check_len(&self, len: usize) {
+        assert!(
+            len <= self.store.chunk_bytes(),
+            "chunk of {len} bytes exceeds channel chunk size {}",
+            self.store.chunk_bytes()
+        );
     }
 
     /// Producer: publish a chunk, blocking while the window is full. `fill`
     /// writes the payload directly into the slot (it receives exactly `len`
     /// bytes of it — every byte it is handed is exactly what `publish`
-    /// exposes, so covering the slice covers the chunk). The slot is never
-    /// pre-zeroed or otherwise initialized before `fill` runs: what `fill`
-    /// does not write keeps the bytes of the chunk that used this slot
-    /// `cap` tickets ago.
+    /// exposes, so covering the slice covers the chunk).
     pub fn send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) {
-        let mut s = self.reserve();
-        assert!(
-            len <= s.capacity(),
-            "chunk of {len} bytes exceeds channel chunk size {}",
-            s.capacity()
-        );
-        s.with_bytes_mut(|b| fill(&mut b[..len]));
-        s.publish(tag, len);
+        let mut s = self.reserve(len);
+        s.with_bytes_mut(fill);
+        s.publish(tag);
     }
 
     /// Producer: publish a chunk if the window has room; returns `false`
     /// (without calling `fill`) when full.
     pub fn try_send_with(&self, tag: u64, len: usize, fill: impl FnOnce(&mut [u8])) -> bool {
-        let Some(mut s) = self.try_reserve() else {
+        let Some(mut s) = self.try_reserve(len) else {
             return false;
         };
-        assert!(
-            len <= s.capacity(),
-            "chunk of {len} bytes exceeds channel chunk size {}",
-            s.capacity()
-        );
-        s.with_bytes_mut(|b| fill(&mut b[..len]));
-        s.publish(tag, len);
+        s.with_bytes_mut(fill);
+        s.publish(tag);
         true
     }
 
     /// Consumer: the tag of the next chunk, if one is ready. Does not
     /// consume — the dispatch primitive for links shared by several flows.
+    /// Routed through the same acquire-validated cycle check as
+    /// [`peek`](Self::peek): without it, a concurrent producer mid-publish
+    /// could yield a stale or torn tag.
     pub fn peek_tag(&self) -> Option<u64> {
-        let h = self.recv_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[h % self.cap];
-        if slot.seq.load(Ordering::Acquire) != h + 1 {
+        let h = self.store.recv_cursor().load(Ordering::Relaxed);
+        // Seeded bug: the unvalidated read peek_tag originally shipped with
+        // — skipping the published() gate makes the header load race the
+        // producer's header write, which the model checker reports.
+        if !model_support::seeded("chunk_peek_tag_unvalidated") && !self.published(h) {
             return None;
         }
         // SAFETY: published and not yet consumed — header is stable.
-        Some(unsafe { slot.tag.with(|p| *p) })
+        Some(unsafe { self.store.header(h % self.store.cap()) }.0)
     }
 
     /// Consumer: loan the next published chunk for in-place reads, blocking
     /// until one is published. The slot retires (returns to the producer)
     /// when the guard drops.
-    pub fn peek(&self) -> RecvSlot<'_> {
-        let h = self.recv_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[h % self.cap];
-        while slot.seq.load(Ordering::Acquire) != h + 1 {
+    pub fn peek(&self) -> RecvSlot<'_, S> {
+        let h = self.store.recv_cursor().load(Ordering::Relaxed);
+        while !self.published(h) {
             spin();
         }
-        RecvSlot::acquired(self, h, slot)
+        RecvSlot::acquired(self, h)
     }
 
     /// Consumer: loan the next chunk if one is published, `None` otherwise.
-    pub fn try_peek(&self) -> Option<RecvSlot<'_>> {
-        let h = self.recv_cursor.load(Ordering::Relaxed);
-        let slot = &self.slots[h % self.cap];
-        if slot.seq.load(Ordering::Acquire) != h + 1 {
+    pub fn try_peek(&self) -> Option<RecvSlot<'_, S>> {
+        let h = self.store.recv_cursor().load(Ordering::Relaxed);
+        if !self.published(h) {
             return None;
         }
-        Some(RecvSlot::acquired(self, h, slot))
+        Some(RecvSlot::acquired(self, h))
     }
 
     /// Consumer: receive the next chunk, blocking until one is published.
@@ -260,53 +430,63 @@ impl ChunkChannel {
 ///
 /// The cycle-tag acquire in `reserve` made ticket `t`'s slot exclusively
 /// ours; writes through [`with_bytes_mut`](Self::with_bytes_mut) land
-/// directly in the slot buffer. [`publish`](Self::publish) makes `len`
+/// directly in the slot buffer, clamped to the `len` declared at `reserve` —
+/// stale bytes beyond it (payloads from `cap` tickets ago) are never handed
+/// out as writable scratch. [`publish`](Self::publish) makes those `len`
 /// bytes (plus the tag) visible to the consumer and advances the window;
 /// dropping the guard without publishing leaves the ticket free — the next
 /// `reserve` re-loans the same slot, so an abandoned loan costs nothing.
 ///
 /// SPSC discipline: at most one `SendSlot` may be live per channel (a
 /// second `reserve` before `publish` would loan the same ticket twice).
-pub struct SendSlot<'a> {
-    ch: &'a ChunkChannel,
+pub struct SendSlot<'a, S: SlotStore = HeapSlots> {
+    ch: &'a ChunkChannel<S>,
     t: usize,
+    len: usize,
 }
 
-impl SendSlot<'_> {
+impl<S: SlotStore> SendSlot<'_, S> {
     /// Payload capacity of the loaned slot (the channel's chunk size).
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.ch.chunk_bytes
+        self.ch.store.chunk_bytes()
     }
 
-    /// Write the slot payload in place. The slice covers the full chunk
-    /// capacity; `publish(len)` decides how much of it ships. The slot is
-    /// *not* zeroed between loans — bytes the closure does not write hold
-    /// the payload from `cap` tickets ago.
+    /// The payload length declared at `reserve` — what `publish` will ship
+    /// and exactly how many bytes [`with_bytes_mut`](Self::with_bytes_mut)
+    /// exposes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the loan carries no payload.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write the slot payload in place. The slice covers exactly the `len`
+    /// bytes declared at `reserve`. The slot is *not* zeroed between loans:
+    /// within that slice, bytes the closure does not write still hold the
+    /// payload from `cap` tickets ago.
     pub fn with_bytes_mut<R>(&mut self, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let slot = &self.ch.slots[self.t % self.ch.cap];
-        // SAFETY: ticket t owns this slot exclusively until publish.
-        unsafe { slot.data.with_mut(|p| f(&mut (&mut *p)[..])) }
+        let i = self.t % self.ch.store.cap();
+        // SAFETY: ticket t owns this slot exclusively until publish, and
+        // len was checked against chunk_bytes at reserve.
+        unsafe { self.ch.store.with_data_mut(i, self.len, f) }
     }
 
-    /// Publish `len` bytes of the slot under `tag` and advance the window.
-    pub fn publish(self, tag: u64, len: usize) {
+    /// Publish the loaned bytes under `tag` and advance the window.
+    pub fn publish(self, tag: u64) {
         let ch = self.ch;
-        assert!(
-            len <= ch.chunk_bytes,
-            "chunk of {len} bytes exceeds channel chunk size {}",
-            ch.chunk_bytes
-        );
-        let slot = &ch.slots[self.t % ch.cap];
+        let i = self.t % ch.store.cap();
         // SAFETY: seq == t means ticket t owns the slot exclusively.
-        unsafe {
-            slot.tag.with_mut(|p| *p = tag);
-            slot.len.with_mut(|p| *p = len);
-        }
+        unsafe { ch.store.set_header(i, tag, self.len) };
         // Seeded bug: a relaxed publication no longer carries the payload.
         let order = model_support::relaxed_if("chunk_publish_relaxed", Ordering::Release);
-        slot.seq.store(self.t + 1, order);
-        ch.send_cursor.store(self.t + 1, Ordering::Relaxed);
+        ch.store.seq(i).store(self.t + 1, order);
+        ch.store.send_cursor().store(self.t + 1, Ordering::Relaxed);
     }
 }
 
@@ -316,19 +496,19 @@ impl SendSlot<'_> {
 /// lifetime; dropping it retires the slot back to the producer. No access
 /// can outlive the retire — the borrow checker enforces what the FIFO
 /// protocol promises.
-pub struct RecvSlot<'a> {
-    ch: &'a ChunkChannel,
+pub struct RecvSlot<'a, S: SlotStore = HeapSlots> {
+    ch: &'a ChunkChannel<S>,
     h: usize,
     tag: u64,
     len: usize,
 }
 
-impl<'a> RecvSlot<'a> {
+impl<'a, S: SlotStore> RecvSlot<'a, S> {
     /// Build the guard after the `seq == h + 1` acquire (header is stable
     /// until we retire).
-    fn acquired(ch: &'a ChunkChannel, h: usize, slot: &Slot) -> Self {
+    fn acquired(ch: &'a ChunkChannel<S>, h: usize) -> Self {
         // SAFETY: published and exclusively ours until the retire on drop.
-        let (tag, len) = unsafe { (slot.tag.with(|p| *p), slot.len.with(|p| *p)) };
+        let (tag, len) = unsafe { ch.store.header(h % ch.store.cap()) };
         RecvSlot { ch, h, tag, len }
     }
 
@@ -352,23 +532,23 @@ impl<'a> RecvSlot<'a> {
 
     /// Read the payload in place (exactly [`len`](Self::len) bytes).
     pub fn with_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
-        let slot = &self.ch.slots[self.h % self.ch.cap];
+        let i = self.h % self.ch.store.cap();
         // SAFETY: the Acquire of seq == h + 1 ordered us after the
         // producer's writes; the producer cannot touch the slot again
         // until the release store in drop.
-        unsafe { slot.data.with(|p| f(&(&*p)[..self.len])) }
+        unsafe { self.ch.store.with_data(i, self.len, f) }
     }
 }
 
-impl Drop for RecvSlot<'_> {
+impl<S: SlotStore> Drop for RecvSlot<'_, S> {
     fn drop(&mut self) {
         let ch = self.ch;
-        let slot = &ch.slots[self.h % ch.cap];
+        let i = self.h % ch.store.cap();
         // Seeded bug: a relaxed retire lets the producer's next-round write
         // race the reads this guard performed.
         let order = model_support::relaxed_if("chunk_retire_relaxed", Ordering::Release);
-        slot.seq.store(self.h + ch.cap, order);
-        ch.recv_cursor.store(self.h + 1, Ordering::Relaxed);
+        ch.store.seq(i).store(self.h + ch.store.cap(), order);
+        ch.store.recv_cursor().store(self.h + 1, Ordering::Relaxed);
     }
 }
 
@@ -441,22 +621,27 @@ pub enum RingDir {
 /// per operation by re-rooting the fixed tree: every non-root node receives
 /// on the one port facing the root and forwards on all other incident
 /// ports.
-pub struct Fabric {
+///
+/// Like the channel itself, the fabric is generic over the slot store:
+/// `Fabric` (default) wires in-process links; `crate::proc` attaches the
+/// identical link set over one mmap'd segment so each node can live in its
+/// own OS process.
+pub struct Fabric<S: SlotStore = HeapSlots> {
     m: usize,
     chunk_bytes: usize,
     /// `up[v]`: v → parent(v). `None` for v = 0.
-    up: Vec<Option<ChunkChannel>>,
+    up: Vec<Option<ChunkChannel<S>>>,
     /// `down[v]`: parent(v) → v. `None` for v = 0.
-    down: Vec<Option<ChunkChannel>>,
+    down: Vec<Option<ChunkChannel<S>>>,
     /// `plus[v]`: v → (v+1) mod m. Empty when m == 1.
-    plus: Vec<ChunkChannel>,
+    plus: Vec<ChunkChannel<S>>,
     /// `minus[v]`: v → (v-1) mod m. Empty when m == 1.
-    minus: Vec<ChunkChannel>,
+    minus: Vec<ChunkChannel<S>>,
 }
 
 impl Fabric {
-    /// A fabric over `m` nodes with `window`-chunk links of `chunk_bytes`
-    /// per chunk.
+    /// An in-process fabric over `m` nodes with `window`-chunk links of
+    /// `chunk_bytes` per chunk.
     pub fn new(m: usize, chunk_bytes: usize, window: usize) -> Self {
         assert!(m >= 1, "a fabric needs at least one node");
         let tree_link = |v: usize| {
@@ -466,27 +651,52 @@ impl Fabric {
                 Some(ChunkChannel::new(window, chunk_bytes))
             }
         };
-        let ring: Vec<ChunkChannel> = if m > 1 {
-            (0..m)
-                .map(|_| ChunkChannel::new(window, chunk_bytes))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let ring2: Vec<ChunkChannel> = if m > 1 {
-            (0..m)
-                .map(|_| ChunkChannel::new(window, chunk_bytes))
-                .collect()
-        } else {
-            Vec::new()
+        let ring = |m: usize| -> Vec<ChunkChannel> {
+            if m > 1 {
+                (0..m)
+                    .map(|_| ChunkChannel::new(window, chunk_bytes))
+                    .collect()
+            } else {
+                Vec::new()
+            }
         };
         Fabric {
             m,
             chunk_bytes,
             up: (0..m).map(tree_link).collect(),
             down: (0..m).map(tree_link).collect(),
-            plus: ring,
-            minus: ring2,
+            plus: ring(m),
+            minus: ring(m),
+        }
+    }
+}
+
+impl<S: SlotStore> Fabric<S> {
+    /// Assemble a fabric from pre-built links (the cross-process attach
+    /// path in `crate::proc`). Link vectors must follow the `new` shape:
+    /// `up[0]`/`down[0]` are `None`, ring vectors are empty iff `m == 1`.
+    // `crate::proc` is compiled out under the model facade (real syscalls).
+    #[cfg_attr(feature = "model", allow(dead_code))]
+    pub(crate) fn from_links(
+        m: usize,
+        chunk_bytes: usize,
+        up: Vec<Option<ChunkChannel<S>>>,
+        down: Vec<Option<ChunkChannel<S>>>,
+        plus: Vec<ChunkChannel<S>>,
+        minus: Vec<ChunkChannel<S>>,
+    ) -> Self {
+        assert!(m >= 1, "a fabric needs at least one node");
+        assert_eq!(up.len(), m);
+        assert_eq!(down.len(), m);
+        assert_eq!(plus.len(), if m > 1 { m } else { 0 });
+        assert_eq!(minus.len(), plus.len());
+        Fabric {
+            m,
+            chunk_bytes,
+            up,
+            down,
+            plus,
+            minus,
         }
     }
 
@@ -553,7 +763,7 @@ impl Fabric {
 
     /// The channel a non-root node `v` receives broadcast chunks on when
     /// the broadcast is rooted at node `root`.
-    pub fn bcast_in(&self, v: usize, root: usize) -> &ChunkChannel {
+    pub fn bcast_in(&self, v: usize, root: usize) -> &ChunkChannel<S> {
         assert_ne!(v, root, "the root has no inbound broadcast port");
         let t = Self::toward(v, root);
         if v > 0 && t == Self::parent(v) {
@@ -566,7 +776,7 @@ impl Fabric {
 
     /// The channels node `v` forwards (or, at the root, injects) broadcast
     /// chunks on: every incident tree port except the inbound one.
-    pub fn bcast_out(&self, v: usize, root: usize) -> Vec<&ChunkChannel> {
+    pub fn bcast_out(&self, v: usize, root: usize) -> Vec<&ChunkChannel<S>> {
         let toward = if v == root {
             None
         } else {
@@ -585,7 +795,7 @@ impl Fabric {
     }
 
     /// The ring channel node `v` sends on in direction `dir` (m > 1).
-    pub fn ring_send(&self, v: usize, dir: RingDir) -> &ChunkChannel {
+    pub fn ring_send(&self, v: usize, dir: RingDir) -> &ChunkChannel<S> {
         match dir {
             RingDir::Plus => &self.plus[v],
             RingDir::Minus => &self.minus[v],
@@ -594,7 +804,7 @@ impl Fabric {
 
     /// The ring channel node `v` receives on in direction `dir` (m > 1):
     /// the sending channel of its upstream neighbor.
-    pub fn ring_recv(&self, v: usize, dir: RingDir) -> &ChunkChannel {
+    pub fn ring_recv(&self, v: usize, dir: RingDir) -> &ChunkChannel<S> {
         match dir {
             RingDir::Plus => &self.plus[(v + self.m - 1) % self.m],
             RingDir::Minus => &self.minus[(v + 1) % self.m],
@@ -695,17 +905,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds channel chunk size")]
+    fn oversized_reserve_is_rejected() {
+        let ch = ChunkChannel::new(2, 4);
+        let _ = ch.reserve(5);
+    }
+
+    #[test]
     fn loan_round_trip_in_place() {
         let ch = ChunkChannel::new(2, 16);
         for round in 0..5u64 {
-            let mut s = ch.reserve();
+            let mut s = ch.reserve(9);
             assert_eq!(s.capacity(), 16);
+            assert_eq!(s.len(), 9);
             s.with_bytes_mut(|b| {
                 for (i, x) in b.iter_mut().enumerate() {
                     *x = round as u8 ^ i as u8;
                 }
             });
-            s.publish(round, 9);
+            s.publish(round);
             let r = ch.peek();
             assert_eq!(r.tag(), round);
             assert_eq!(r.len(), 9);
@@ -723,10 +941,32 @@ mod tests {
     }
 
     #[test]
+    fn send_loan_is_clamped_to_declared_len() {
+        // The producer loan must expose exactly the declared length — the
+        // rest of the slot holds stale bytes from prior messages and
+        // handing them out as writable scratch was the §IV loan bug this
+        // test pins. (Fails on the unclamped SendSlot::with_bytes_mut,
+        // which handed out the full chunk capacity.)
+        let ch = ChunkChannel::new(2, 16);
+        ch.send_with(0, 16, |d| d.fill(0x55));
+        ch.recv_with(|_, _| ());
+        let mut s = ch.reserve(3);
+        s.with_bytes_mut(|b| {
+            assert_eq!(b.len(), 3, "loan exposes declared len, not capacity");
+            b.copy_from_slice(b"abc");
+        });
+        s.publish(1);
+        ch.recv_with(|t, b| {
+            assert_eq!(t, 1);
+            assert_eq!(b, b"abc");
+        });
+    }
+
+    #[test]
     fn abandoned_send_loan_releases_the_cycle() {
         let ch = ChunkChannel::new(2, 8);
         {
-            let mut s = ch.reserve();
+            let mut s = ch.reserve(8);
             s.with_bytes_mut(|b| b.fill(0xAA));
             // Dropped without publish: nothing reaches the consumer.
         }
@@ -758,8 +998,9 @@ mod tests {
     #[test]
     fn zero_len_loans_are_valid() {
         let ch = ChunkChannel::new(2, 4);
-        let s = ch.reserve();
-        s.publish(9, 0);
+        let s = ch.reserve(0);
+        assert!(s.is_empty());
+        s.publish(9);
         let r = ch.peek();
         assert_eq!((r.tag(), r.len(), r.is_empty()), (9, 0, true));
         r.with_bytes(|b| assert!(b.is_empty()));
@@ -767,19 +1008,20 @@ mod tests {
 
     #[test]
     fn slot_bytes_are_not_rezeroed_between_loans() {
-        // The protocol promises no per-loan initialization: bytes a fill
-        // does not write survive from `cap` tickets ago. Pin that down so
-        // a "helpful" pre-zero (a pure copy bug) cannot sneak back in.
+        // The protocol promises no per-loan initialization: within the
+        // declared length, bytes a fill does not write survive from `cap`
+        // tickets ago. Pin that down so a "helpful" pre-zero (a pure copy
+        // bug) cannot sneak back in.
         let ch = ChunkChannel::new(2, 4);
         ch.send_with(0, 4, |d| d.copy_from_slice(b"wxyz"));
         ch.recv_with(|_, _| ());
         ch.send_with(0, 4, |d| d.copy_from_slice(b"competing"[..4].as_ref()));
         ch.recv_with(|_, _| ());
-        // Ticket 2 reuses ticket 0's slot; publish the full width but only
+        // Ticket 2 reuses ticket 0's slot; declare the full width but only
         // write the first byte — the rest must still read "xyz".
-        let mut s = ch.reserve();
+        let mut s = ch.reserve(4);
         s.with_bytes_mut(|b| b[0] = b'!');
-        s.publish(0, 4);
+        s.publish(0);
         ch.recv_with(|_, b| assert_eq!(b, b"!xyz"));
     }
 
@@ -854,12 +1096,12 @@ mod tests {
     fn toward_picks_the_root_facing_port() {
         let f = Fabric::new(7, 16, 2);
         // Tree: 0-(1,2), 1-(3,4), 2-(5,6).
-        assert_eq!(Fabric::toward(0, 5), 2);
-        assert_eq!(Fabric::toward(1, 5), 0);
-        assert_eq!(Fabric::toward(3, 4), 1);
-        assert_eq!(Fabric::toward(5, 6), 2);
-        assert_eq!(Fabric::toward(2, 5), 5);
-        assert_eq!(Fabric::toward(6, 0), 2);
+        assert_eq!(Fabric::<HeapSlots>::toward(0, 5), 2);
+        assert_eq!(Fabric::<HeapSlots>::toward(1, 5), 0);
+        assert_eq!(Fabric::<HeapSlots>::toward(3, 4), 1);
+        assert_eq!(Fabric::<HeapSlots>::toward(5, 6), 2);
+        assert_eq!(Fabric::<HeapSlots>::toward(2, 5), 5);
+        assert_eq!(Fabric::<HeapSlots>::toward(6, 0), 2);
         let _ = f;
     }
 }

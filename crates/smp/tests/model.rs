@@ -253,9 +253,9 @@ fn loan_round_trip_scenario() {
         let ch = ch.clone();
         thread::spawn(move || {
             for k in 0..3u64 {
-                let mut s = ch.reserve();
+                let mut s = ch.reserve(4);
                 s.with_bytes_mut(|b| b.fill(k as u8 + 1));
-                s.publish(k, 4);
+                s.publish(k);
             }
         })
     };
@@ -292,13 +292,13 @@ fn abandoned_send_loan_is_clean_under_model() {
             let ch = ch.clone();
             thread::spawn(move || {
                 {
-                    let mut s = ch.reserve();
+                    let mut s = ch.reserve(4);
                     s.with_bytes_mut(|b| b.fill(0xEE));
                     // Dropped unpublished: the ticket stays free.
                 }
-                let mut s = ch.reserve();
+                let mut s = ch.reserve(4);
                 s.with_bytes_mut(|b| b.fill(5));
-                s.publish(1, 4);
+                s.publish(1);
             })
         };
         let r = ch.peek();
@@ -339,4 +339,60 @@ fn mutation_chunk_retire_relaxed_is_caught() {
 #[should_panic(expected = "at least two slots")]
 fn single_slot_channel_is_still_rejected() {
     let _ = ChunkChannel::new(1, 4);
+}
+
+// ---------------------------------------------------------------------------
+// peek_tag: the non-consuming dispatch probe must be acquire-validated.
+
+/// A producer publishes one tagged chunk while the consumer polls
+/// `peek_tag` (bounded — no spin, so every interleaving terminates), then
+/// drains after the join. Correct behavior: every `Some` ever returned is
+/// the real tag, never a stale or mid-write header.
+fn peek_tag_dispatch_scenario() {
+    let ch = Arc::new(ChunkChannel::new(2, 4));
+    let producer = {
+        let ch = ch.clone();
+        thread::spawn(move || {
+            ch.send_with(7, 4, |b| b.fill(9));
+        })
+    };
+    for _ in 0..3 {
+        if let Some(t) = ch.peek_tag() {
+            assert_eq!(t, 7, "peek_tag yielded a tag that was never published");
+        }
+    }
+    producer.join();
+    assert_eq!(ch.peek_tag(), Some(7));
+    ch.recv_with(|t, b| {
+        assert_eq!(t, 7);
+        assert!(b.iter().all(|&x| x == 9));
+    });
+}
+
+/// Under every explored schedule `peek_tag` returns `None` or the real
+/// published tag — never garbage.
+#[test]
+fn peek_tag_never_yields_an_unpublished_tag() {
+    model_with(Config::dfs(20_000), peek_tag_dispatch_scenario);
+}
+
+/// Seeded bug (the behavior `peek_tag` originally shipped with): skipping
+/// the `published()` gate reads the header of a slot the producer may
+/// still be writing. The checker must flag it and the trace must replay.
+#[test]
+fn mutation_chunk_peek_tag_unvalidated_is_caught() {
+    let report = explore(
+        Config::dfs(20_000).mutate("chunk_peek_tag_unvalidated"),
+        peek_tag_dispatch_scenario,
+    );
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("seeded bug `chunk_peek_tag_unvalidated` was NOT caught"));
+    let replay = explore(
+        Config::replay(&failure.trace).mutate("chunk_peek_tag_unvalidated"),
+        peek_tag_dispatch_scenario,
+    );
+    let replayed = replay.failure.expect("replay reproduces the failure");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.trace, failure.trace);
 }
