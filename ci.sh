@@ -12,7 +12,7 @@ cd "$(dirname "$0")"
 # (the committed BENCH_baseline.json is not a smoke artifact and stays).
 cleanup() {
   rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json \
-    ci_sched_trace.json BENCH_hotpath.json
+    ci_sched_trace.json BENCH_hotpath.json ci_svc_soak.json
   # Stray cross-process segments from an interrupted proc_cluster run.
   # (Worker processes need no kill here: they watch getppid and exit on
   # their own once the parent is gone.)
@@ -72,6 +72,14 @@ cargo run --release -p bgp-bench --bin proc_cluster -- --small --check
 echo "== smoke: sched_real --small --check --trace (2 nodes x 2 ranks)"
 cargo run --release -p bgp-bench --bin sched_real -- --small --check --trace ci_sched_trace.json
 python3 -m json.tool ci_sched_trace.json >/dev/null
+
+# The multi-tenant service layer: checked payloads on every op, Jain
+# fairness >= 0.9 across equal-weight tenants, and flood-isolation (victim
+# p99 under a flooding tenant within 2x its solo p99); the JSON report
+# must parse.
+echo "== smoke: svc_soak --small --check (3 tenants x 2 sessions)"
+cargo run --release -p bgp-bench --bin svc_soak -- --small --check --json ci_svc_soak.json
+python3 -m json.tool ci_svc_soak.json >/dev/null
 
 echo "== smoke: fig6 --small --json parses"
 cargo run --release -p bgp-bench --bin fig6 -- --small --json >ci_fig6.json

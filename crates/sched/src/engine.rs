@@ -83,8 +83,48 @@ const SUB_RES: u64 = 3;
 /// Per-member partial streams start here: `SUB_PART + member_index`.
 const SUB_PART: u64 = 8;
 
+/// Counter-bank sub-keys available to one op: [`bank_key`] packs the
+/// stream id into the low 8 bits, so an op owns exactly 256 keys.
+pub const COUNTER_KEY_BUDGET: usize = 256;
+/// Sub-keys reserved for the op's fixed streams (`SUB_RECV`..`SUB_RES`
+/// plus headroom up to `SUB_PART`, where per-member streams begin).
+pub const RESERVED_COUNTER_KEYS: usize = SUB_PART as usize;
+/// Largest group one op can address: every member needs a partial stream
+/// out of the [`COUNTER_KEY_BUDGET`] after the [`RESERVED_COUNTER_KEYS`].
+pub const MAX_GROUP_RANKS: usize = COUNTER_KEY_BUDGET - RESERVED_COUNTER_KEYS;
+
 fn bank_key(op: u64, sub: u64) -> u64 {
     (op << 8) | sub
+}
+
+/// Validate a group's *shape* — the checks that depend only on the group
+/// and the node geometry, shared by the engine posts, the server
+/// submissions, and `bgp-svc` communicator creation (which validates once
+/// at `Comm` creation and reuses the group across ops).
+///
+/// The size check runs before the range check so the
+/// [`MAX_GROUP_RANKS`] boundary is observable regardless of how many
+/// ranks the node actually has.
+pub fn validate_group_shape(group: &[usize], n_ranks: usize) -> Result<(), SchedError> {
+    if group.is_empty() {
+        return Err(SchedError::BadGroup("group is empty".into()));
+    }
+    if !group.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SchedError::BadGroup(
+            "group must be sorted and duplicate-free".into(),
+        ));
+    }
+    if group.len() > MAX_GROUP_RANKS {
+        return Err(SchedError::BadGroup(format!(
+            "group of {} ranks exceeds the {MAX_GROUP_RANKS}-rank limit \
+             ({COUNTER_KEY_BUDGET} counter keys per op, {RESERVED_COUNTER_KEYS} reserved)",
+            group.len()
+        )));
+    }
+    if *group.last().unwrap() >= n_ranks {
+        return Err(SchedError::BadGroup("group rank out of range".into()));
+    }
+    Ok(())
 }
 
 /// `(byte offset, byte length)` of chunk `k` in a `len`-byte message.
@@ -770,23 +810,7 @@ impl Sched {
     }
 
     fn validate_group(&self, group: &[usize]) -> Result<(), SchedError> {
-        if group.is_empty() {
-            return Err(SchedError::BadGroup("group is empty"));
-        }
-        if !group.windows(2).all(|w| w[0] < w[1]) {
-            return Err(SchedError::BadGroup(
-                "group must be sorted and duplicate-free",
-            ));
-        }
-        if *group.last().unwrap() >= self.n {
-            return Err(SchedError::BadGroup("group rank out of range"));
-        }
-        if group.len() + SUB_PART as usize > 256 {
-            return Err(SchedError::BadGroup(
-                "group too large for per-op counter keys",
-            ));
-        }
-        Ok(())
+        validate_group_shape(group, self.n)
     }
 
     fn claim_buf(&mut self, buf: &Arc<SharedRegion>) -> Result<usize, SchedError> {
@@ -814,10 +838,10 @@ impl Sched {
     ) -> Result<Request, SchedError> {
         self.validate_group(group)?;
         if root_node >= self.m {
-            return Err(SchedError::BadGroup("root node out of range"));
+            return Err(SchedError::BadGroup("root node out of range".into()));
         }
         if group.binary_search(&root_rank).is_err() {
-            return Err(SchedError::BadGroup("root rank not in group"));
+            return Err(SchedError::BadGroup("root rank not in group".into()));
         }
         let member = group.binary_search(&self.rank).is_ok();
         match (member, buf.is_some()) {

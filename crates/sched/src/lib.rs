@@ -25,11 +25,17 @@
 //!   and forwards broadcast chunks, runs the ring partial/full flows of the
 //!   allreduce, and retires per-op counters and window exposures once an
 //!   operation is globally drained on its node.
-//! * [`CollectiveServer`] — a node-external service front-end: a submission
-//!   queue with bounded-depth admission control (blocking [`CollectiveServer::submit_bcast`]
-//!   or failing [`CollectiveServer::try_submit_bcast`]), coalescing of
-//!   small same-root broadcasts into one fused payload, batching of queued
-//!   ops into pipelined cluster jobs, and communicator subgroups.
+//! * [`CollectiveServer`] — a node-external, multi-tenant service
+//!   front-end: per-tenant bounded submission queues drained by a
+//!   deficit-round-robin dispatcher (register tenants with
+//!   [`CollectiveServer::add_tenant`], weights scale each tenant's byte
+//!   credit per scan), bounded-depth admission control per tenant and
+//!   globally (blocking [`CollectiveServer::submit_bcast`] or failing
+//!   [`CollectiveServer::try_submit_bcast`]), coalescing of small
+//!   same-root broadcasts into one fused payload, batching of queued ops
+//!   into pipelined cluster jobs, communicator subgroups, and per-tenant
+//!   counters ([`CollectiveServer::tenant_stats`]). The `bgp-svc` crate
+//!   wraps this in named sessions and communicator lifecycle.
 //!
 //! ## Posting discipline (SPMD)
 //!
@@ -52,9 +58,13 @@
 mod engine;
 mod server;
 
-pub use engine::{Request, Sched};
+pub use engine::{
+    validate_group_shape, Request, Sched, COUNTER_KEY_BUDGET, MAX_GROUP_RANKS,
+    RESERVED_COUNTER_KEYS,
+};
 pub use server::{
-    AllreduceTicket, BcastTicket, CollectiveServer, OpState, ServerConfig, ServerStats,
+    store_max, AllreduceTicket, BcastTicket, CollectiveServer, OpState, ServerConfig, ServerStats,
+    TenantId, TenantStats, DEFAULT_TENANT,
 };
 
 /// Why a post or submission was refused. All checks happen before any side
@@ -79,12 +89,17 @@ pub enum SchedError {
     },
     /// Allreduce input and output must be distinct regions.
     BufferAliased,
-    /// Malformed group or root (the message says what).
-    BadGroup(&'static str),
+    /// Malformed group or root. The message says what — including, for an
+    /// oversized group, the actual [`MAX_GROUP_RANKS`] limit and where it
+    /// comes from.
+    BadGroup(String),
     /// The message needs more chunks than an op tag can sequence.
     TooLarge,
-    /// `try_submit` found the server queue at its admission bound.
+    /// `try_submit` found the tenant's queue (or the server's total
+    /// admission backstop) at its bound.
     Backpressure,
+    /// The submission named a [`TenantId`] the server never registered.
+    UnknownTenant,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -106,6 +121,7 @@ impl std::fmt::Display for SchedError {
             SchedError::BadGroup(why) => write!(f, "bad group: {why}"),
             SchedError::TooLarge => write!(f, "message exceeds the op tag chunk-sequence range"),
             SchedError::Backpressure => write!(f, "server queue is at its admission bound"),
+            SchedError::UnknownTenant => write!(f, "tenant was never registered with the server"),
             SchedError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }

@@ -3,22 +3,31 @@
 //! executes them on a dedicated cluster through the nonblocking [`Sched`]
 //! engine.
 //!
-//! The server adds the three service-level behaviors the paper's messaging
+//! The server adds the service-level behaviors the paper's messaging
 //! stack gets from its software layers but the raw engine does not provide:
 //!
-//! * **Admission control** — the submission queue has a bounded depth
-//!   ([`ServerConfig::max_pending`]); [`CollectiveServer::submit_bcast`]
-//!   blocks when the bound is hit, [`CollectiveServer::try_submit_bcast`]
-//!   fails fast with [`SchedError::Backpressure`].
+//! * **Per-tenant admission control** — every registered tenant
+//!   ([`CollectiveServer::add_tenant`]) owns a bounded submission queue
+//!   ([`ServerConfig::tenant_max_pending`]); `submit_*` blocks when the
+//!   tenant's bound (or the server-wide [`ServerConfig::max_pending`]
+//!   backstop) is hit, `try_submit_*` fails fast with
+//!   [`SchedError::Backpressure`]. One flooding tenant fills *its own*
+//!   queue; everybody else keeps submitting.
+//! * **Deficit-round-robin dispatch** — queued submissions are drained
+//!   into batches by a byte-cost DRR scan over the tenant queues: each
+//!   visit credits a tenant [`ServerConfig::drr_quantum`] × weight bytes
+//!   of deficit and pops commands while the deficit covers their cost.
+//!   Service is proportional to weight over time regardless of who
+//!   floods, which is what keeps a well-behaved tenant's latency flat
+//!   (the `svc_soak` isolation check).
 //! * **Coalescing** — consecutive small broadcasts with the same group and
 //!   root are fused into one payload and run as a *single* engine op;
 //!   members slice their copies apart on completion. One tree traversal
 //!   amortizes per-op overhead across every fused child, the same economics
 //!   that make the paper's 64-byte collectives latency-bound.
-//! * **Batching + pipelining** — queued submissions are drained in batches
-//!   into cluster jobs, and up to [`ServerConfig::pipeline`] jobs overlap:
-//!   while the rank threads run batch *k*, the dispatcher is already
-//!   queueing batch *k+1* behind it.
+//! * **Batching + pipelining** — batches become cluster jobs, and up to
+//!   [`ServerConfig::pipeline`] jobs overlap: while the rank threads run
+//!   batch *k*, the dispatcher is already queueing batch *k+1* behind it.
 //!
 //! Completion is published through [`OpState`] — a slot-per-member result
 //! board whose done flag is release-published by the last finisher and
@@ -37,7 +46,34 @@ use bgp_smp::cluster::DEFAULT_CHUNK_BYTES;
 use bgp_smp::collectives::write_f64s;
 use bgp_smp::{Cluster, ClusterCtx, PendingJob};
 
+use crate::engine::validate_group_shape;
 use crate::{Request, Sched, SchedError};
+
+/// Monotonic-max update of `cell` via a compare-and-swap loop.
+///
+/// A plain read-then-store max (the `stats_peak_plain_store` seeded bug)
+/// can lose the larger value when two updaters interleave: both read the
+/// old value, the larger store lands first, and the smaller store then
+/// overwrites it. The CAS loop re-reads on interference, so the cell is
+/// monotone under any concurrency. Model-checked in `tests/model.rs`
+/// (`store_max_keeps_the_largest_value` plus the mutation self-test that
+/// proves the plain-store variant is caught).
+pub fn store_max(cell: &AtomicU64, value: u64) {
+    if model_support::seeded("stats_peak_plain_store") {
+        // Seeded bug: racy two-step max.
+        if value > cell.load(Ordering::Relaxed) {
+            cell.store(value, Ordering::Relaxed);
+        }
+        return;
+    }
+    let mut cur = cell.load(Ordering::Relaxed);
+    while value > cur {
+        match cell.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
 
 /// Shared completion state of one submitted operation: one result slot per
 /// group member (global member order, `node * group_len + index_in_group`),
@@ -188,12 +224,42 @@ impl AllreduceTicket {
     }
 }
 
+/// Handle of a tenant registered with [`CollectiveServer::add_tenant`].
+/// Cheap, `Copy`, and only meaningful to the server that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The tenant's slot index in the server's tenant table (diagnostic;
+    /// also the index into [`CollectiveServer::all_tenant_stats`]).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Forge an arbitrary id — only for tests of unknown-tenant handling.
+    #[doc(hidden)]
+    pub fn from_raw_for_tests(i: usize) -> Self {
+        TenantId(i)
+    }
+}
+
+/// The tenant every server starts with; the tenant-less `submit_*`
+/// convenience calls route here (weight 1).
+pub const DEFAULT_TENANT: TenantId = TenantId(0);
+
 /// Tuning knobs of the service layer.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Admission bound: queued (undispatched) submissions beyond this block
-    /// `submit_*` / fail `try_submit_*`.
+    /// Server-wide admission backstop: total queued (undispatched)
+    /// submissions across *all* tenants beyond this block `submit_*` /
+    /// fail `try_submit_*`.
     pub max_pending: usize,
+    /// Per-tenant admission bound: one tenant's queued submissions beyond
+    /// this block / fail the same way, leaving other tenants unaffected.
+    pub tenant_max_pending: usize,
+    /// DRR credit (bytes) granted per weight unit each time the
+    /// dispatcher's round-robin scan visits a backlogged tenant.
+    pub drr_quantum: usize,
     /// Most children fused into one broadcast (1 disables coalescing).
     pub coalesce_max_ops: usize,
     /// Only payloads at most this long are coalescing candidates.
@@ -210,6 +276,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_pending: 64,
+            tenant_max_pending: 16,
+            drr_quantum: 64 * 1024,
             coalesce_max_ops: 8,
             coalesce_eligible: 4096,
             coalesce_max_bytes: 64 * 1024,
@@ -219,7 +287,18 @@ impl Default for ServerConfig {
     }
 }
 
-/// Point-in-time server counters (all monotonic).
+/// Point-in-time server counters (all monotonic except the gauges named
+/// below).
+///
+/// **Torn-snapshot semantics:** [`CollectiveServer::stats`] reads each
+/// field with an independent relaxed load while the dispatcher and
+/// submitters keep mutating them, so a snapshot is *per-field* accurate
+/// but not a consistent cut: `completed` may momentarily exceed the
+/// `submitted` read a few nanoseconds earlier, and sums across fields can
+/// be off by in-flight increments. Every individual counter is still
+/// exact and monotone (peaks via the CAS loop in [`store_max`]); consumers
+/// that need cross-field invariants must quiesce the server first (e.g.
+/// wait on every outstanding ticket, as the tests do).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Operations accepted (including immediately-completed zero-length ones).
@@ -230,7 +309,9 @@ pub struct ServerStats {
     pub batches: u64,
     /// Submissions that ran fused with at least one sibling.
     pub coalesced: u64,
-    /// Deepest the submission queue has been.
+    /// `try_submit_*` refusals (admission bound hit), summed over tenants.
+    pub rejected: u64,
+    /// Deepest the total (all-tenant) submission backlog has been.
     pub peak_queue_depth: u64,
     /// Total nanoseconds submissions spent queued before dispatch.
     pub wait_ns: u64,
@@ -241,19 +322,57 @@ pub struct ServerStats {
     pub stash_evicted: u64,
 }
 
+/// Point-in-time counters of one tenant (same torn-snapshot semantics as
+/// [`ServerStats`]: per-field accurate, not a consistent cut).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's slot index ([`TenantId::index`]).
+    pub tenant: usize,
+    /// DRR weight the tenant was registered with.
+    pub weight: u32,
+    /// Operations accepted from this tenant.
+    pub submitted: u64,
+    /// This tenant's operations whose cluster job has been collected.
+    pub completed: u64,
+    /// This tenant's submissions that ran fused with at least one sibling.
+    pub coalesced: u64,
+    /// `try_submit_*` refusals charged to this tenant.
+    pub rejected: u64,
+    /// Currently queued (undispatched) submissions — a gauge, not a
+    /// monotone counter.
+    pub queue_depth: u64,
+    /// Deepest this tenant's queue has been.
+    pub peak_queue_depth: u64,
+    /// Nanoseconds this tenant's submissions spent queued before dispatch.
+    pub wait_ns: u64,
+}
+
 #[derive(Default)]
 struct StatsInner {
     submitted: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     coalesced: AtomicU64,
+    rejected: AtomicU64,
     peak_queue_depth: AtomicU64,
     wait_ns: AtomicU64,
     stash_evicted: AtomicU64,
 }
 
+#[derive(Default)]
+struct TenantStatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
 enum Cmd {
     Bcast {
+        tenant: usize,
         group: Arc<Vec<usize>>,
         root_node: usize,
         root_rank: usize,
@@ -262,12 +381,38 @@ enum Cmd {
         queued_at: Instant,
     },
     Allreduce {
+        tenant: usize,
         group: Arc<Vec<usize>>,
         inputs: Vec<Vec<f64>>,
         count: usize,
         state: Arc<OpState>,
         queued_at: Instant,
     },
+}
+
+impl Cmd {
+    fn tenant(&self) -> usize {
+        match self {
+            Cmd::Bcast { tenant, .. } | Cmd::Allreduce { tenant, .. } => *tenant,
+        }
+    }
+}
+
+/// Smallest DRR charge: even a 1-byte broadcast spends this much deficit,
+/// so a tenant cannot get unbounded service out of tiny payloads.
+const MIN_DRR_COST: u64 = 64;
+/// Largest DRR charge: a multi-megabyte op is capped here so the deficit
+/// accumulation loop stays short; beyond this size the per-op cost is
+/// dominated by the cluster job anyway.
+const DRR_COST_CAP: u64 = 4 << 20;
+
+/// DRR byte-cost of one queued command.
+fn cmd_cost(cmd: &Cmd) -> u64 {
+    let bytes = match cmd {
+        Cmd::Bcast { payload, .. } => payload.len() as u64,
+        Cmd::Allreduce { count, .. } => (count * 8) as u64,
+    };
+    bytes.clamp(MIN_DRR_COST, DRR_COST_CAP)
 }
 
 /// One engine op of a dispatched batch. A coalesced broadcast carries the
@@ -288,8 +433,22 @@ enum PlanOp {
     },
 }
 
-struct Queue {
+/// One tenant's slot in the queue table: its bounded command queue, DRR
+/// scheduling state, and stats cell.
+struct Tenant {
+    weight: u32,
+    deficit: u64,
     cmds: VecDeque<Cmd>,
+    stats: Arc<TenantStatsInner>,
+}
+
+struct Queue {
+    tenants: Vec<Tenant>,
+    /// Total queued commands across tenants (the `max_pending` backstop).
+    total: usize,
+    /// Round-robin cursor of the DRR scan (persists across batches so
+    /// service resumes where it left off).
+    rr: usize,
     closed: bool,
 }
 
@@ -301,7 +460,7 @@ struct ServerShared {
 }
 
 /// A collectives-as-a-service front-end over an owned cluster. See the
-/// module docs for the admission / coalescing / batching behavior.
+/// module docs for the admission / DRR / coalescing / batching behavior.
 ///
 /// Submissions may come from any thread. Dropping the server stops
 /// accepting work, drains everything already queued, and joins the
@@ -321,12 +480,21 @@ impl CollectiveServer {
         Self::with_config(m, n, ServerConfig::default())
     }
 
-    /// A server with explicit tuning.
+    /// A server with explicit tuning. Starts with one registered tenant
+    /// ([`DEFAULT_TENANT`], weight 1); register more with
+    /// [`Self::add_tenant`].
     pub fn with_config(m: usize, n: usize, cfg: ServerConfig) -> Self {
         assert!(m >= 1 && n >= 1, "cluster geometry must be at least 1x1");
         let shared = Arc::new(ServerShared {
             queue: Mutex::new(Queue {
-                cmds: VecDeque::new(),
+                tenants: vec![Tenant {
+                    weight: 1,
+                    deficit: 0,
+                    cmds: VecDeque::new(),
+                    stats: Arc::new(TenantStatsInner::default()),
+                }],
+                total: 0,
+                rr: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -347,7 +515,37 @@ impl CollectiveServer {
         }
     }
 
-    /// Snapshot the service counters.
+    /// Nodes in the server's cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.m
+    }
+
+    /// Ranks per node in the server's cluster.
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+
+    /// The server's tuning (as passed to [`Self::with_config`]).
+    pub fn config(&self) -> ServerConfig {
+        self.cfg
+    }
+
+    /// Register a tenant with its own bounded queue and DRR `weight`
+    /// (clamped to at least 1). Tenants cannot be removed: a `TenantId`
+    /// stays valid for the server's lifetime.
+    pub fn add_tenant(&self, weight: u32) -> TenantId {
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        q.tenants.push(Tenant {
+            weight: weight.max(1),
+            deficit: 0,
+            cmds: VecDeque::new(),
+            stats: Arc::new(TenantStatsInner::default()),
+        });
+        TenantId(q.tenants.len() - 1)
+    }
+
+    /// Snapshot the service counters (torn-snapshot semantics — see
+    /// [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
         let s = &self.shared.stats;
         ServerStats {
@@ -355,35 +553,47 @@ impl CollectiveServer {
             completed: s.completed.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             coalesced: s.coalesced.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
             peak_queue_depth: s.peak_queue_depth.load(Ordering::Relaxed),
             wait_ns: s.wait_ns.load(Ordering::Relaxed),
             stash_evicted: s.stash_evicted.load(Ordering::Relaxed),
         }
     }
 
+    /// Snapshot one tenant's counters, or [`SchedError::UnknownTenant`].
+    pub fn tenant_stats(&self, tenant: TenantId) -> Result<TenantStats, SchedError> {
+        let q = self.shared.queue.lock().expect("queue lock");
+        let t = q.tenants.get(tenant.0).ok_or(SchedError::UnknownTenant)?;
+        Ok(snapshot_tenant(tenant.0, t))
+    }
+
+    /// Snapshot every tenant's counters, in registration order.
+    pub fn all_tenant_stats(&self) -> Vec<TenantStats> {
+        let q = self.shared.queue.lock().expect("queue lock");
+        q.tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| snapshot_tenant(i, t))
+            .collect()
+    }
+
     fn check_group(&self, group: &[usize]) -> Result<(), SchedError> {
-        if group.is_empty() {
-            return Err(SchedError::BadGroup("group is empty"));
-        }
-        if !group.windows(2).all(|w| w[0] < w[1]) {
-            return Err(SchedError::BadGroup(
-                "group must be sorted and duplicate-free",
-            ));
-        }
-        if *group.last().unwrap() >= self.n {
-            return Err(SchedError::BadGroup("group rank out of range"));
-        }
-        if group.len() + 8 > 256 {
-            return Err(SchedError::BadGroup(
-                "group too large for per-op counter keys",
-            ));
-        }
-        Ok(())
+        validate_group_shape(group, self.n)
+    }
+
+    /// Look up a tenant's stats cell (validating the id).
+    fn tenant_cell(&self, tenant: TenantId) -> Result<Arc<TenantStatsInner>, SchedError> {
+        let q = self.shared.queue.lock().expect("queue lock");
+        q.tenants
+            .get(tenant.0)
+            .map(|t| t.stats.clone())
+            .ok_or(SchedError::UnknownTenant)
     }
 
     /// Submit a broadcast of `payload` from `(root_node, root_rank)` to
-    /// every `group` member on every node, blocking while the queue is at
-    /// its admission bound. Zero-length broadcasts complete immediately.
+    /// every `group` member on every node, as [`DEFAULT_TENANT`], blocking
+    /// while the queue is at its admission bound. Zero-length broadcasts
+    /// complete immediately.
     pub fn submit_bcast(
         &self,
         group: &[usize],
@@ -391,7 +601,7 @@ impl CollectiveServer {
         root_rank: usize,
         payload: Vec<u8>,
     ) -> Result<BcastTicket, SchedError> {
-        self.submit_bcast_inner(group, root_node, root_rank, payload, true)
+        self.submit_bcast_inner(DEFAULT_TENANT, group, root_node, root_rank, payload, true)
     }
 
     /// Like [`Self::submit_bcast`] but failing with
@@ -403,23 +613,49 @@ impl CollectiveServer {
         root_rank: usize,
         payload: Vec<u8>,
     ) -> Result<BcastTicket, SchedError> {
-        self.submit_bcast_inner(group, root_node, root_rank, payload, false)
+        self.submit_bcast_inner(DEFAULT_TENANT, group, root_node, root_rank, payload, false)
+    }
+
+    /// [`Self::submit_bcast`] on behalf of a registered tenant.
+    pub fn submit_bcast_as(
+        &self,
+        tenant: TenantId,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+    ) -> Result<BcastTicket, SchedError> {
+        self.submit_bcast_inner(tenant, group, root_node, root_rank, payload, true)
+    }
+
+    /// [`Self::try_submit_bcast`] on behalf of a registered tenant.
+    pub fn try_submit_bcast_as(
+        &self,
+        tenant: TenantId,
+        group: &[usize],
+        root_node: usize,
+        root_rank: usize,
+        payload: Vec<u8>,
+    ) -> Result<BcastTicket, SchedError> {
+        self.submit_bcast_inner(tenant, group, root_node, root_rank, payload, false)
     }
 
     fn submit_bcast_inner(
         &self,
+        tenant: TenantId,
         group: &[usize],
         root_node: usize,
         root_rank: usize,
         payload: Vec<u8>,
         block: bool,
     ) -> Result<BcastTicket, SchedError> {
+        let cell = self.tenant_cell(tenant)?;
         self.check_group(group)?;
         if root_node >= self.m {
-            return Err(SchedError::BadGroup("root node out of range"));
+            return Err(SchedError::BadGroup("root node out of range".into()));
         }
         if group.binary_search(&root_rank).is_err() {
-            return Err(SchedError::BadGroup("root rank not in group"));
+            return Err(SchedError::BadGroup("root rank not in group".into()));
         }
         if payload.len().div_ceil(DEFAULT_CHUNK_BYTES) >= 1 << 24 {
             return Err(SchedError::TooLarge);
@@ -429,11 +665,14 @@ impl CollectiveServer {
             let state = Arc::new(OpState::completed(vec![Vec::new(); members]));
             self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            cell.submitted.fetch_add(1, Ordering::Relaxed);
+            cell.completed.fetch_add(1, Ordering::Relaxed);
             return Ok(BcastTicket { state });
         }
         let state = Arc::new(OpState::new(members));
         self.enqueue(
             Cmd::Bcast {
+                tenant: tenant.0,
                 group: Arc::new(group.to_vec()),
                 root_node,
                 root_rank,
@@ -446,16 +685,17 @@ impl CollectiveServer {
         Ok(BcastTicket { state })
     }
 
-    /// Submit a sum-allreduce over `group` on every node. `inputs` holds one
-    /// vector per member in global member order (`node * group_len + index`),
-    /// all the same length. Blocks at the admission bound; zero-length
-    /// reductions complete immediately.
+    /// Submit a sum-allreduce over `group` on every node, as
+    /// [`DEFAULT_TENANT`]. `inputs` holds one vector per member in global
+    /// member order (`node * group_len + index`), all the same length.
+    /// Blocks at the admission bound; zero-length reductions complete
+    /// immediately.
     pub fn submit_allreduce(
         &self,
         group: &[usize],
         inputs: Vec<Vec<f64>>,
     ) -> Result<AllreduceTicket, SchedError> {
-        self.submit_allreduce_inner(group, inputs, true)
+        self.submit_allreduce_inner(DEFAULT_TENANT, group, inputs, true)
     }
 
     /// Like [`Self::submit_allreduce`] but failing with
@@ -465,24 +705,48 @@ impl CollectiveServer {
         group: &[usize],
         inputs: Vec<Vec<f64>>,
     ) -> Result<AllreduceTicket, SchedError> {
-        self.submit_allreduce_inner(group, inputs, false)
+        self.submit_allreduce_inner(DEFAULT_TENANT, group, inputs, false)
+    }
+
+    /// [`Self::submit_allreduce`] on behalf of a registered tenant.
+    pub fn submit_allreduce_as(
+        &self,
+        tenant: TenantId,
+        group: &[usize],
+        inputs: Vec<Vec<f64>>,
+    ) -> Result<AllreduceTicket, SchedError> {
+        self.submit_allreduce_inner(tenant, group, inputs, true)
+    }
+
+    /// [`Self::try_submit_allreduce`] on behalf of a registered tenant.
+    pub fn try_submit_allreduce_as(
+        &self,
+        tenant: TenantId,
+        group: &[usize],
+        inputs: Vec<Vec<f64>>,
+    ) -> Result<AllreduceTicket, SchedError> {
+        self.submit_allreduce_inner(tenant, group, inputs, false)
     }
 
     fn submit_allreduce_inner(
         &self,
+        tenant: TenantId,
         group: &[usize],
         inputs: Vec<Vec<f64>>,
         block: bool,
     ) -> Result<AllreduceTicket, SchedError> {
+        let cell = self.tenant_cell(tenant)?;
         self.check_group(group)?;
         let members = self.m * group.len();
         if inputs.len() != members {
-            return Err(SchedError::BadGroup("need one input vector per member"));
+            return Err(SchedError::BadGroup(
+                "need one input vector per member".into(),
+            ));
         }
         let count = inputs[0].len();
         if inputs.iter().any(|v| v.len() != count) {
             return Err(SchedError::BadGroup(
-                "input vectors must all be the same length",
+                "input vectors must all be the same length".into(),
             ));
         }
         if (count * 8).div_ceil(DEFAULT_CHUNK_BYTES) >= 1 << 24 {
@@ -492,11 +756,14 @@ impl CollectiveServer {
             let state = Arc::new(OpState::completed(vec![Vec::new(); members]));
             self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            cell.submitted.fetch_add(1, Ordering::Relaxed);
+            cell.completed.fetch_add(1, Ordering::Relaxed);
             return Ok(AllreduceTicket { state });
         }
         let state = Arc::new(OpState::new(members));
         self.enqueue(
             Cmd::Allreduce {
+                tenant: tenant.0,
                 group: Arc::new(group.to_vec()),
                 inputs,
                 count,
@@ -509,24 +776,35 @@ impl CollectiveServer {
     }
 
     fn enqueue(&self, cmd: Cmd, block: bool) -> Result<(), SchedError> {
+        let t = cmd.tenant();
         let mut q = self.shared.queue.lock().expect("queue lock");
         loop {
             if q.closed {
                 return Err(SchedError::ShuttingDown);
             }
-            if q.cmds.len() < self.cfg.max_pending {
+            if q.tenants[t].cmds.len() < self.cfg.tenant_max_pending.max(1)
+                && q.total < self.cfg.max_pending.max(1)
+            {
                 break;
             }
             if !block {
+                q.tenants[t].stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SchedError::Backpressure);
             }
             q = self.shared.not_full.wait(q).expect("queue lock");
         }
-        q.cmds.push_back(cmd);
+        q.tenants[t].cmds.push_back(cmd);
+        q.total += 1;
+        let depth = q.tenants[t].cmds.len() as u64;
+        let ts = &q.tenants[t].stats;
+        ts.submitted.fetch_add(1, Ordering::Relaxed);
+        ts.queue_depth.store(depth, Ordering::Relaxed);
+        store_max(&ts.peak_queue_depth, depth);
+        let total = q.total as u64;
         let s = &self.shared.stats;
-        s.peak_queue_depth
-            .fetch_max(q.cmds.len() as u64, Ordering::Relaxed);
         s.submitted.fetch_add(1, Ordering::Relaxed);
+        store_max(&s.peak_queue_depth, total);
         self.shared.not_empty.notify_one();
         Ok(())
     }
@@ -546,11 +824,102 @@ impl Drop for CollectiveServer {
     }
 }
 
-/// The dispatcher thread: owns the cluster, drains the queue in batches,
-/// coalesces, and keeps up to `cfg.pipeline` jobs in flight.
+fn snapshot_tenant(i: usize, t: &Tenant) -> TenantStats {
+    TenantStats {
+        tenant: i,
+        weight: t.weight,
+        submitted: t.stats.submitted.load(Ordering::Relaxed),
+        completed: t.stats.completed.load(Ordering::Relaxed),
+        coalesced: t.stats.coalesced.load(Ordering::Relaxed),
+        rejected: t.stats.rejected.load(Ordering::Relaxed),
+        queue_depth: t.stats.queue_depth.load(Ordering::Relaxed),
+        peak_queue_depth: t.stats.peak_queue_depth.load(Ordering::Relaxed),
+        wait_ns: t.stats.wait_ns.load(Ordering::Relaxed),
+    }
+}
+
+/// One drained batch: the commands (DRR order) plus per-tenant completion
+/// credits `(stats cell, command count)` to apply when the job collects.
+/// Completion credits owed when a job collects: per-tenant stat cell and
+/// how many of the job's ops belong to it.
+type Credits = Vec<(Arc<TenantStatsInner>, u64)>;
+
+struct Batch {
+    cmds: Vec<Cmd>,
+    credits: Credits,
+    /// Stats cells indexed by tenant id, for `build_plan` accounting.
+    cells: Vec<Arc<TenantStatsInner>>,
+}
+
+/// Drain up to `batch_max_ops` commands by deficit round robin: the scan
+/// visits tenants in slot order from the persistent cursor, credits each
+/// backlogged tenant `drr_quantum * weight` bytes, and pops commands while
+/// the deficit covers their byte cost. A tenant that empties its queue
+/// forfeits its remaining deficit (standard DRR — credit never accrues to
+/// idle tenants).
+fn drain_drr(q: &mut Queue, cfg: &ServerConfig) -> Batch {
+    let max_ops = cfg.batch_max_ops.max(1);
+    let quantum = (cfg.drr_quantum.max(1)) as u64;
+    let mut cmds = Vec::new();
+    let nt = q.tenants.len();
+    while cmds.len() < max_ops && q.total > 0 {
+        let i = q.rr % nt;
+        q.rr = q.rr.wrapping_add(1);
+        let t = &mut q.tenants[i];
+        if t.cmds.is_empty() {
+            t.deficit = 0;
+            continue;
+        }
+        t.deficit = t.deficit.saturating_add(quantum * u64::from(t.weight));
+        while cmds.len() < max_ops {
+            let Some(front) = t.cmds.front() else { break };
+            let cost = cmd_cost(front);
+            if cost > t.deficit {
+                break;
+            }
+            t.deficit -= cost;
+            cmds.push(t.cmds.pop_front().expect("front exists"));
+            q.total -= 1;
+        }
+        if t.cmds.is_empty() {
+            t.deficit = 0;
+        }
+        t.stats
+            .queue_depth
+            .store(t.cmds.len() as u64, Ordering::Relaxed);
+    }
+    let cells: Vec<Arc<TenantStatsInner>> = q.tenants.iter().map(|t| t.stats.clone()).collect();
+    let mut counts = vec![0u64; nt];
+    for c in &cmds {
+        counts[c.tenant()] += 1;
+    }
+    let credits = counts
+        .into_iter()
+        .enumerate()
+        .filter(|(_, n)| *n > 0)
+        .map(|(i, n)| (cells[i].clone(), n))
+        .collect();
+    Batch {
+        cmds,
+        credits,
+        cells,
+    }
+}
+
+/// Apply a collected job's completion credits.
+fn credit_completion(stats: &StatsInner, credits: &Credits) {
+    for (cell, n) in credits {
+        cell.completed.fetch_add(*n, Ordering::Relaxed);
+        stats.completed.fetch_add(*n, Ordering::Relaxed);
+    }
+}
+
+/// The dispatcher thread: owns the cluster, drains the tenant queues by
+/// DRR into batches, coalesces, and keeps up to `cfg.pipeline` jobs in
+/// flight.
 fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
     let cluster = Cluster::new(m, n);
-    let mut in_flight: VecDeque<(PendingJob<()>, u64)> = VecDeque::new();
+    let mut in_flight: VecDeque<(PendingJob<()>, Credits)> = VecDeque::new();
     let stats = &shared.stats;
     loop {
         // Mirror the cluster's cumulative stash-eviction count into the
@@ -560,27 +929,26 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
             .stash_evicted
             .store(cluster.stats().stash_evicted_chunks, Ordering::Relaxed);
         // Opportunistically collect finished jobs (submission order).
-        while let Some((job, nc)) = in_flight.pop_front() {
+        while let Some((job, credits)) = in_flight.pop_front() {
             if cluster.try_collect(&job).is_some() {
-                stats.completed.fetch_add(nc, Ordering::Relaxed);
+                credit_completion(stats, &credits);
             } else {
-                in_flight.push_front((job, nc));
+                in_flight.push_front((job, credits));
                 break;
             }
         }
         // Enforce the pipeline depth.
         while in_flight.len() >= cfg.pipeline.max(1) {
-            let (job, nc) = in_flight.pop_front().expect("nonempty");
+            let (job, credits) = in_flight.pop_front().expect("nonempty");
             cluster.collect(job);
-            stats.completed.fetch_add(nc, Ordering::Relaxed);
+            credit_completion(stats, &credits);
         }
         // Take a batch, or learn there is nothing left to do.
-        let batch: Option<Vec<Cmd>> = {
+        let batch: Option<Batch> = {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
-                if !q.cmds.is_empty() {
-                    let take = q.cmds.len().min(cfg.batch_max_ops.max(1));
-                    let b: Vec<Cmd> = q.cmds.drain(..take).collect();
+                if q.total > 0 {
+                    let b = drain_drr(&mut q, &cfg);
                     shared.not_full.notify_all();
                     break Some(b);
                 }
@@ -590,30 +958,33 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
                 if !in_flight.is_empty() {
                     // Nothing queued but jobs running: go collect one
                     // (keeps `completed` current) instead of sleeping.
-                    break Some(Vec::new());
+                    break Some(Batch {
+                        cmds: Vec::new(),
+                        credits: Vec::new(),
+                        cells: Vec::new(),
+                    });
                 }
                 q = shared.not_empty.wait(q).expect("queue lock");
             }
         };
         match batch {
             None => break,
-            Some(b) if b.is_empty() => {
-                let (job, nc) = in_flight.pop_front().expect("nonempty");
+            Some(b) if b.cmds.is_empty() => {
+                let (job, credits) = in_flight.pop_front().expect("nonempty");
                 cluster.collect(job);
-                stats.completed.fetch_add(nc, Ordering::Relaxed);
+                credit_completion(stats, &credits);
             }
             Some(b) => {
-                let ncmds = b.len() as u64;
-                let plan = Arc::new(build_plan(b, &cfg, stats));
+                let plan = Arc::new(build_plan(b.cmds, &cfg, stats, &b.cells));
                 let job = cluster.submit(move |cctx| run_plan(cctx, &plan));
-                in_flight.push_back((job, ncmds));
+                in_flight.push_back((job, b.credits));
                 stats.batches.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
-    for (job, nc) in in_flight {
+    for (job, credits) in in_flight {
         cluster.collect(job);
-        stats.completed.fetch_add(nc, Ordering::Relaxed);
+        credit_completion(stats, &credits);
     }
     stats
         .stash_evicted
@@ -627,22 +998,33 @@ struct FusedBcast {
     root_rank: usize,
     payload: Vec<u8>,
     children: Vec<(Arc<OpState>, usize, usize)>,
+    /// Tenant of each child, parallel to `children` (coalesced-stat
+    /// attribution).
+    child_tenants: Vec<usize>,
 }
 
 /// Turn a drained batch into engine ops, fusing coalescable broadcasts and
-/// charging queue-wait time.
-fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<PlanOp> {
+/// charging queue-wait time (globally and per tenant).
+fn build_plan(
+    batch: Vec<Cmd>,
+    cfg: &ServerConfig,
+    stats: &StatsInner,
+    cells: &[Arc<TenantStatsInner>],
+) -> Vec<PlanOp> {
     let now = Instant::now();
     let mut wait_ns = 0u64;
     let mut plan: Vec<PlanOp> = Vec::new();
     let mut open: Option<FusedBcast> = None;
 
-    fn flush(open: &mut Option<FusedBcast>, plan: &mut Vec<PlanOp>, stats: &StatsInner) {
+    let flush = |open: &mut Option<FusedBcast>, plan: &mut Vec<PlanOp>| {
         if let Some(f) = open.take() {
             if f.children.len() > 1 {
                 stats
                     .coalesced
                     .fetch_add(f.children.len() as u64, Ordering::Relaxed);
+                for t in &f.child_tenants {
+                    cells[*t].coalesced.fetch_add(1, Ordering::Relaxed);
+                }
             }
             plan.push(PlanOp::Bcast {
                 group: f.group,
@@ -652,11 +1034,12 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
                 children: f.children,
             });
         }
-    }
+    };
 
     for cmd in batch {
         match cmd {
             Cmd::Bcast {
+                tenant,
                 group,
                 root_node,
                 root_rank,
@@ -664,7 +1047,9 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
                 state,
                 queued_at,
             } => {
-                wait_ns += now.saturating_duration_since(queued_at).as_nanos() as u64;
+                let waited = now.saturating_duration_since(queued_at).as_nanos() as u64;
+                wait_ns += waited;
+                cells[tenant].wait_ns.fetch_add(waited, Ordering::Relaxed);
                 let eligible = cfg.coalesce_max_ops > 1 && payload.len() <= cfg.coalesce_eligible;
                 if eligible {
                     if let Some(f) = open.as_mut() {
@@ -677,10 +1062,11 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
                             let off = f.payload.len();
                             f.payload.extend_from_slice(&payload);
                             f.children.push((state, off, payload.len()));
+                            f.child_tenants.push(tenant);
                             continue;
                         }
                     }
-                    flush(&mut open, &mut plan, stats);
+                    flush(&mut open, &mut plan);
                     let len = payload.len();
                     open = Some(FusedBcast {
                         group,
@@ -688,9 +1074,10 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
                         root_rank,
                         payload,
                         children: vec![(state, 0, len)],
+                        child_tenants: vec![tenant],
                     });
                 } else {
-                    flush(&mut open, &mut plan, stats);
+                    flush(&mut open, &mut plan);
                     let len = payload.len();
                     plan.push(PlanOp::Bcast {
                         group,
@@ -702,14 +1089,17 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
                 }
             }
             Cmd::Allreduce {
+                tenant,
                 group,
                 inputs,
                 count,
                 state,
                 queued_at,
             } => {
-                wait_ns += now.saturating_duration_since(queued_at).as_nanos() as u64;
-                flush(&mut open, &mut plan, stats);
+                let waited = now.saturating_duration_since(queued_at).as_nanos() as u64;
+                wait_ns += waited;
+                cells[tenant].wait_ns.fetch_add(waited, Ordering::Relaxed);
+                flush(&mut open, &mut plan);
                 plan.push(PlanOp::Ar {
                     group,
                     inputs,
@@ -719,7 +1109,7 @@ fn build_plan(batch: Vec<Cmd>, cfg: &ServerConfig, stats: &StatsInner) -> Vec<Pl
             }
         }
     }
-    flush(&mut open, &mut plan, stats);
+    flush(&mut open, &mut plan);
     stats.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
     plan
 }

@@ -1,0 +1,94 @@
+//! Latency and fairness summary statistics for the soak harness and the
+//! service tests: percentile extraction over recorded latency samples and
+//! the Jain fairness index over per-tenant throughput.
+
+/// The `p`-th percentile (0.0..=100.0) of `sorted` (ascending), by the
+/// nearest-rank method. Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: the smallest value with at least p% of samples at or
+    // below it.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Jain's fairness index over per-tenant allocations:
+/// `(sum x)^2 / (n * sum x^2)`. 1.0 means perfectly equal shares; `1/n`
+/// means one tenant got everything. Returns 1.0 for empty or all-zero
+/// input (nothing to be unfair about).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * sum_sq)
+}
+
+/// Summary of one latency sample set: count and the p50/p99/p999
+/// percentiles in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency (ns).
+    pub p999_ns: u64,
+}
+
+/// Summarize latency samples (ns). Sorts in place.
+pub fn summarize(samples: &mut [u64]) -> LatencySummary {
+    samples.sort_unstable();
+    LatencySummary {
+        count: samples.len(),
+        p50_ns: percentile(samples, 50.0),
+        p99_ns: percentile(samples, 99.0),
+        p999_ns: percentile(samples, 99.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&s, 99.9), 100);
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&s, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[42], 99.9), 42);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogs everything: index collapses to 1/n.
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let mid = jain_index(&[4.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0, "got {mid}");
+    }
+
+    #[test]
+    fn summarize_sorts_and_counts() {
+        let mut s = vec![30, 10, 20];
+        let sum = summarize(&mut s);
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.p50_ns, 20);
+        assert_eq!(sum.p999_ns, 30);
+    }
+}

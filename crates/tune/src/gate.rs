@@ -463,6 +463,51 @@ pub fn real_entries() -> Vec<GateEntry> {
             value: sched_ops(&cluster, depth),
         });
     }
+    // Condensed multi-tenant soak through the bgp-svc facade: three
+    // equal-weight tenants on real threads, each running a closed-loop
+    // 1 KiB bcast train against one shared service. Records aggregate
+    // throughput plus the Jain fairness index over per-tenant rates
+    // (1.0 = perfectly even split); `svc_soak` is the full harness.
+    {
+        use bgp_svc::metrics::jain_index;
+        use bgp_svc::Service;
+        const TENANTS: usize = 3;
+        const OPS: usize = 32;
+        let svc = Arc::new(Service::new(2, 2));
+        let t0 = std::time::Instant::now();
+        let rates: Vec<f64> = (0..TENANTS)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let session = svc.open_session(&format!("gate-{t}"), 1).unwrap();
+                    let comm = session.comm_world();
+                    let t0 = std::time::Instant::now();
+                    for i in 0..OPS {
+                        comm.bcast(0, 0, vec![i as u8; 1024]).unwrap().wait();
+                    }
+                    OPS as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("gate tenant thread"))
+            .collect();
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        out.push(GateEntry {
+            id: "svc/soak_ops_per_s".into(),
+            unit: "ops/s".into(),
+            better: Better::Higher,
+            gated: false,
+            value: (TENANTS * OPS) as f64 / wall,
+        });
+        out.push(GateEntry {
+            id: "svc/fairness_jain".into(),
+            unit: "index".into(),
+            better: Better::Higher,
+            gated: false,
+            value: jain_index(&rates),
+        });
+    }
     out
 }
 

@@ -18,6 +18,7 @@
 //! | [`shmem`] | `bgp-shmem` | real concurrent primitives: Bcast FIFO, message counters, windows |
 //! | [`smp`] | `bgp-smp` | threaded 4-rank node runtime over real shared memory |
 //! | [`sched`] | `bgp-sched` | nonblocking collectives, per-node progress engine, op-scheduling service |
+//! | [`svc`] | `bgp-svc` | multi-tenant service: sessions, communicator lifecycle, weighted fair scheduling |
 //! | [`dcmf`] | `bgp-dcmf` | messaging layer: pt2pt, direct put/get, line bcast, tree channel |
 //! | [`ccmi`] | `bgp-ccmi` | collective framework: color schedules, executors, pipelining |
 //! | [`mpi`] | `bgp-mpi` | MPI-like API + every algorithm and baseline from the paper |
@@ -31,4 +32,5 @@ pub use bgp_sched as sched;
 pub use bgp_shmem as shmem;
 pub use bgp_sim as sim;
 pub use bgp_smp as smp;
+pub use bgp_svc as svc;
 pub use bgp_tune as tune;
