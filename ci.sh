@@ -51,9 +51,11 @@ echo "== seeded exploration smoke (10,000 random schedules)"
 cargo test -q -p bgp-shmem --features model --test model bcast_ten_thousand_random_schedules
 
 # The real-thread cluster runtime: 2 nodes x 2 ranks on every run (checked
-# payloads + persistent-beats-spawn assertion); the full 2 x 4 acceptance
-# shape when the stress budget is on.
-echo "== smoke: cluster_real --small --check (2 nodes x 2 ranks)"
+# payloads + persistent-beats-spawn assertion + the node-aware allreduce
+# family with its inter-node chunk probe); the full 2 x 4 acceptance shape
+# (where node-aware must send strictly fewer chunks than the flat ring)
+# when the stress budget is on.
+echo "== smoke: cluster_real --small --check (2 nodes x 2 ranks, node-aware smoke)"
 cargo run --release -p bgp-bench --bin cluster_real -- --small --check
 if [ "${BGP_STRESS_FULL:-}" = "1" ]; then
   echo "== cluster_real --check (full 2 x 4 shape)"

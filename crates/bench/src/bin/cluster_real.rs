@@ -107,6 +107,76 @@ fn main() {
         black_box(got);
     });
 
+    // 2b. The node-aware allreduce (intra-node reduce + ring reduce-scatter
+    // + ring allgather) at the same size: identical sums, and the fabric
+    // chunk probe. On quad-core nodes (n = 4) it moves strictly fewer
+    // inter-node chunks than the flat multi-color ring (which rounds each
+    // of the n color spans up to the chunk grid separately); at n = 2 the
+    // two schedules tie, so the --small smoke asserts <=.
+    let na_once = |fused: bool| {
+        let got = cluster.run(move |cctx| {
+            let input = cctx.intra().alloc_buffer(ALLREDUCE_COUNT * 8);
+            let output = cctx.intra().alloc_buffer(ALLREDUCE_COUNT * 8);
+            write_f64s(
+                &input,
+                0,
+                &vec![cctx.global_rank() as f64 + 1.0; ALLREDUCE_COUNT],
+            );
+            cctx.intra().barrier();
+            if fused {
+                cctx.allreduce_f64_node_aware_fused(&input, &output, ALLREDUCE_COUNT);
+            } else {
+                cctx.allreduce_f64_node_aware(&input, &output, ALLREDUCE_COUNT);
+            }
+            read_f64s(&output, 0, ALLREDUCE_COUNT).iter().sum::<f64>()
+        });
+        if check {
+            assert!(
+                got.iter().flatten().all(|&s| s == expect_sum),
+                "node-aware allreduce sum mismatch"
+            );
+        }
+        black_box(got);
+    };
+    bench_case_median("cluster/allreduce_node_aware_16K", 10, || na_once(false));
+    bench_case_median("cluster/allreduce_node_aware_fused_16K", 10, || {
+        na_once(true)
+    });
+    let chunks = |cluster: &Cluster| -> usize {
+        cluster.run(|cctx| cctx.fabric().total_chunks_sent())[0][0]
+    };
+    let before = chunks(&cluster);
+    let got = cluster.run(move |cctx| {
+        let input = cctx.intra().alloc_buffer(ALLREDUCE_COUNT * 8);
+        let output = cctx.intra().alloc_buffer(ALLREDUCE_COUNT * 8);
+        write_f64s(&input, 0, &vec![1.0; ALLREDUCE_COUNT]);
+        cctx.intra().barrier();
+        cctx.allreduce_f64(&input, &output, ALLREDUCE_COUNT);
+    });
+    black_box(got);
+    let flat_chunks = chunks(&cluster) - before;
+    let before = chunks(&cluster);
+    na_once(false);
+    let na_chunks = chunks(&cluster) - before;
+    println!(
+        "probe: inter-node chunks per 16K-double allreduce: flat={flat_chunks} node_aware={na_chunks}"
+    );
+    if check {
+        if n >= 4 {
+            assert!(
+                na_chunks < flat_chunks,
+                "node-aware must send fewer chunks than the flat ring on quad nodes \
+                 (na={na_chunks}, flat={flat_chunks})"
+            );
+        } else {
+            assert!(
+                na_chunks <= flat_chunks,
+                "node-aware must never send more chunks than the flat ring \
+                 (na={na_chunks}, flat={flat_chunks})"
+            );
+        }
+    }
+
     // 3. Sustained mixed traffic: rotating-root broadcasts interleaved with
     // allreduces, all on the one persistent cluster, buffers reused.
     bench_case_median("cluster/sustained_bcast+allreduce_x8", 5, || {

@@ -42,6 +42,19 @@ pub enum AllreduceAlgorithm {
     RingCurrent,
     /// The paper's core-specialized shared-address design.
     ShaddrSpecialized,
+    /// Node-aware reduce-scatter + allgather: the intra-node combine and
+    /// copy-out stages are the shared-address scheme's, but the inter-node
+    /// phase replaces the pipelined ring reduce+broadcast with a
+    /// reduce-scatter pass followed by an allgather pass (the
+    /// locality-aware decomposition of Bienz et al., arXiv:1910.09650,
+    /// fused with the intra-node stage per Zhou et al., arXiv:2007.06892).
+    /// Each node owns one `1/n` slice of the result, so the combine work
+    /// and link traffic drop by `1/n`, and the allgather pass is pure
+    /// remote-put descriptor chains — no protocol-core forwarding. The
+    /// price is a counter synchronization at every stage boundary, so the
+    /// scheme only wins once the message amortizes `2·stages` sync
+    /// latencies.
+    NodeAwareRsAg,
 }
 
 impl AllreduceAlgorithm {
@@ -50,6 +63,7 @@ impl AllreduceAlgorithm {
         match self {
             AllreduceAlgorithm::RingCurrent => "Ring (current)",
             AllreduceAlgorithm::ShaddrSpecialized => "Shaddr specialized",
+            AllreduceAlgorithm::NodeAwareRsAg => "Node-aware RS+AG",
         }
     }
 }
@@ -79,6 +93,7 @@ pub fn run_allreduce(m: &mut Machine, alg: AllreduceAlgorithm, bytes: u64) -> Si
     match alg {
         AllreduceAlgorithm::ShaddrSpecialized => run_new(m, bytes),
         AllreduceAlgorithm::RingCurrent => run_current(m, bytes),
+        AllreduceAlgorithm::NodeAwareRsAg => run_node_aware(m, bytes),
     }
 }
 
@@ -189,6 +204,117 @@ fn new_net_step(
     eng.schedule_at(net_done, move |m, eng| {
         // Local broadcast: the three worker cores copy the result chunk out
         // of the master's reception buffer (shared address, single copy).
+        let now = eng.now();
+        let visible = now + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+        let mut done = visible;
+        for core in 1..=3u32.min(m.cfg.ranks_per_node() - 1) {
+            done = done.max(ops::core_copy(m, visible, node, core, bytes, ws, true));
+        }
+        let mut s = st2.borrow_mut();
+        s.completion = s.completion.max(done);
+    });
+}
+
+/// Node-aware reduce-scatter + allgather: same intra-node stages as the
+/// shared-address scheme, RS+AG inter-node phase.
+fn run_node_aware(m: &mut Machine, bytes: u64) -> SimTime {
+    let t0 = m.cfg.sw.mpi_overhead();
+    let node = NodeId(0);
+    let n_ranks = m.cfg.ranks_per_node() as usize;
+    let ws = 2 * bytes;
+    let pwidth = m.cfg.sw.pwidth as u64;
+    let shares = color_shares(bytes, COLORS);
+    let st = Rc::new(RefCell::new(ArState { completion: t0 }));
+
+    let mut eng: Sim = Sim::new();
+    for (c, &share) in shares.iter().enumerate() {
+        let chunks = chunk_sizes(share, pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let st2 = st.clone();
+        eng.schedule_at(t0, move |m, eng| {
+            na_reduce_step(m, eng, &st2, c, chunks, 0, node, n_ranks, ws);
+        });
+    }
+    eng.run(m);
+    let stages = u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z);
+    // Every RS and AG stage boundary is a counter handshake between the
+    // protocol core and its ring neighbor — the latency the pipelined ring
+    // hides, and the reason the scheme loses at small sizes.
+    let sync = (m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll()) * (2 * stages);
+    let done = st.borrow().completion;
+    done + ring_fill(m, stages) + sync
+}
+
+/// Local reduce of chunk `k` of color `c` for the node-aware scheme —
+/// identical worker-core window reduce as the shared-address scheme, then
+/// hands the chunk to the RS+AG network stage.
+#[allow(clippy::too_many_arguments)]
+fn na_reduce_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<ArState>>,
+    c: usize,
+    chunks: Vec<u64>,
+    k: usize,
+    node: NodeId,
+    n_ranks: usize,
+    ws: u64,
+) {
+    let now = eng.now();
+    let bytes = chunks[k];
+    let core = 1 + c as u32;
+    let reduced = ops::core_reduce(m, now, node, core, bytes, n_ranks, ws);
+    let visible = reduced + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+    {
+        let st2 = st.clone();
+        eng.schedule_at(visible, move |m, eng| {
+            na_net_step(m, eng, &st2, c, bytes, node, ws);
+        });
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(reduced, move |m, eng| {
+            na_reduce_step(m, eng, &st2, c, chunks, k + 1, node, n_ranks, ws);
+        });
+    }
+}
+
+/// Network stage of the node-aware scheme: a reduce-scatter pass and an
+/// allgather pass, each moving `(n-1)/n` of the chunk per node. The
+/// protocol core combines only the RS pass; the AG pass is remote-put
+/// descriptor chains, so the core posts descriptors instead of forwarding
+/// per packet.
+fn na_net_step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<ArState>>,
+    c: usize,
+    bytes: u64,
+    node: NodeId,
+    ws: u64,
+) {
+    let now = eng.now();
+    let n = u64::from(m.cfg.node_count()).max(2);
+    // Per-pass bytes each node moves: its ring carries every slice except
+    // the one it owns.
+    let eff = bytes - bytes / n;
+    let link = m.link(node, color_dir(c));
+    let link_done = m.pool.reserve(link, now, m.link_time(eff) * 2);
+    let dma_t = m.dma_time(4 * eff);
+    let mem_t = m.mem_time(4 * eff, ws);
+    let dma = m.dma(node);
+    let mem = m.mem(node);
+    let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+    // RS combine on the core; AG forwarding by descriptor post only.
+    let combined = ops::core_reduce(m, now, node, 0, eff, 2, ws);
+    let core_done = ops::descriptor_post(m, combined, node, 0);
+    let net_done = link_done.max(dma_done).max(core_done);
+
+    let st2 = st.clone();
+    eng.schedule_at(net_done, move |m, eng| {
+        // Same shared-address copy-out as the specialized scheme.
         let now = eng.now();
         let visible = now + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
         let mut done = visible;
@@ -367,6 +493,36 @@ mod tests {
             t512 > t16,
             "throughput should rise with size: {t16:.0} -> {t512:.0}"
         );
+    }
+
+    #[test]
+    fn node_aware_loses_small_wins_large() {
+        // Small: the 2·stages counter handshakes dominate and the
+        // pipelined shared-address ring wins.
+        let small_sh = run_allreduce(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, 8 * 1024);
+        let small_na = run_allreduce(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 8 * 1024);
+        assert!(
+            small_na > small_sh,
+            "node-aware must lose at 8KiB: na={small_na} sh={small_sh}"
+        );
+        // Large: RS+AG moves (n-1)/n per pass and frees the protocol core
+        // of per-packet forwarding — it beats both the pipelined node ring
+        // and the flat rank-level ring.
+        let doubles = 512 * 1024;
+        let na = throughput_mb(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, doubles);
+        let sh = throughput_mb(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, doubles);
+        let cur = throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, doubles);
+        assert!(na > sh * 1.05, "na={na:.0} sh={sh:.0}");
+        assert!(na > cur * 1.3, "na={na:.0} cur={cur:.0}");
+    }
+
+    #[test]
+    fn node_aware_deterministic_and_nonzero() {
+        let a = throughput_mb(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 65536);
+        let b = throughput_mb(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 65536);
+        assert_eq!(a, b);
+        let t = run_allreduce(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 0);
+        assert!(t > SimTime::ZERO);
     }
 
     #[test]

@@ -23,17 +23,20 @@
 //! |---|---|
 //! | `RingCurrent` | rank-level multicolor ring with DMA moving both inter- and intra-node data |
 //! | `ShaddrSpecialized` | node-level ring driven by one protocol core; three cores own one color partition each for local reduce + local broadcast via mapped windows |
+//! | `NodeAwareRsAg` | node-aware reduce-scatter + allgather inter-node phase over the shared-address intra-node stages (Bienz et al. / Zhou et al.) |
 //!
 //! All timings come out of the shared `bgp-sim` server model with one
 //! calibration (DESIGN.md §5), so cross-algorithm comparisons are fair.
 
 pub mod allgather;
 pub mod allreduce;
+pub mod alltoall;
 pub mod bcast_torus;
 pub mod bcast_tree;
 pub mod datatype;
 pub mod mpi;
 pub mod reduce;
+pub mod reduce_scatter;
 pub mod select;
 pub mod tune;
 

@@ -175,6 +175,40 @@ impl Mpi {
         t
     }
 
+    /// `MPI_Allreduce` with the production selection policy; returns the
+    /// chosen algorithm and the elapsed time. Same probe contract as
+    /// [`Self::bcast_auto`]: `tune.table` when a tuning-table region
+    /// answered, `tune.fallback` when the static thresholds did.
+    pub fn allreduce_auto(&mut self, doubles: u64) -> (AllreduceAlgorithm, SimTime) {
+        let (alg, tuned) = self
+            .policy
+            .select_allreduce_info(&self.machine.cfg, doubles * 8);
+        let t = self.allreduce(alg, doubles);
+        self.machine
+            .probe
+            .count(if tuned { "tune.table" } else { "tune.fallback" }, 1);
+        (alg, t)
+    }
+
+    /// `MPI_Reduce_scatter` of a vector of `doubles` doubles (every rank
+    /// contributes the vector; every rank receives its slice of the sum).
+    pub fn reduce_scatter(&mut self, alg: AllreduceAlgorithm, doubles: u64) -> SimTime {
+        self.machine.reset();
+        self.machine.probe.begin_op("reduce_scatter", alg.label());
+        let t = crate::reduce_scatter::run_reduce_scatter(&mut self.machine, alg, doubles * 8);
+        self.last_elapsed = t;
+        t
+    }
+
+    /// `MPI_Alltoall` with `block_bytes` per rank pair.
+    pub fn alltoall(&mut self, alg: AllgatherAlgorithm, block_bytes: u64) -> SimTime {
+        self.machine.reset();
+        self.machine.probe.begin_op("alltoall", alg.label());
+        let t = crate::alltoall::run_alltoall(&mut self.machine, alg, block_bytes);
+        self.last_elapsed = t;
+        t
+    }
+
     /// `MPI_Allgather` (the §VII future-work extension) with `block_bytes`
     /// contributed per rank.
     pub fn allgather(&mut self, alg: AllgatherAlgorithm, block_bytes: u64) -> SimTime {
@@ -283,6 +317,35 @@ mod tests {
         let new = mpi.allreduce(AllreduceAlgorithm::ShaddrSpecialized, 16384);
         let cur = mpi.allreduce(AllreduceAlgorithm::RingCurrent, 16384);
         assert!(new < cur, "new={new} cur={cur}");
+    }
+
+    #[test]
+    fn allreduce_auto_selects_by_size() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        let (small_alg, _) = mpi.allreduce_auto(128);
+        let (large_alg, _) = mpi.allreduce_auto(512 * 1024);
+        assert_eq!(small_alg, AllreduceAlgorithm::ShaddrSpecialized);
+        assert_eq!(large_alg, AllreduceAlgorithm::NodeAwareRsAg);
+    }
+
+    #[test]
+    fn reduce_scatter_and_alltoall_run() {
+        let mut mpi = Mpi::new(MachineConfig::test_small(OpMode::Quad));
+        for alg in [
+            AllreduceAlgorithm::RingCurrent,
+            AllreduceAlgorithm::ShaddrSpecialized,
+            AllreduceAlgorithm::NodeAwareRsAg,
+        ] {
+            let t = mpi.reduce_scatter(alg, 16384);
+            assert!(t > SimTime::ZERO, "{}", alg.label());
+        }
+        for alg in [
+            AllgatherAlgorithm::RingCurrent,
+            AllgatherAlgorithm::ShaddrSpecialized,
+        ] {
+            let t = mpi.alltoall(alg, 2048);
+            assert!(t > SimTime::ZERO, "{}", alg.label());
+        }
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub fn run_reduce(m: &mut Machine, alg: AllreduceAlgorithm, bytes: u64) -> SimTi
     eng.run(m);
     let stages = u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z);
     let fill = match alg {
-        AllreduceAlgorithm::ShaddrSpecialized => ring_fill_once(m, stages),
+        // NodeAwareRsAg shares the shared-address intra-node machinery;
+        // reduce has a single directed pass, so RS+AG adds nothing here.
+        AllreduceAlgorithm::ShaddrSpecialized | AllreduceAlgorithm::NodeAwareRsAg => {
+            ring_fill_once(m, stages)
+        }
         // Rank-level ring: extra per-node intra stages.
         AllreduceAlgorithm::RingCurrent => {
             ring_fill_once(m, stages)
@@ -86,7 +90,7 @@ fn reduce_step(
     let now = eng.now();
     let bytes = chunks[k];
     let finish = match alg {
-        AllreduceAlgorithm::ShaddrSpecialized => {
+        AllreduceAlgorithm::ShaddrSpecialized | AllreduceAlgorithm::NodeAwareRsAg => {
             // Worker core for this color reduces the four local buffers
             // through windows, then the protocol core runs one ring pass.
             let reduced = ops::core_reduce(m, now, node, 1 + c as u32, bytes, n_ranks, ws);
@@ -148,7 +152,7 @@ pub fn run_gather(m: &mut Machine, alg: AllreduceAlgorithm, block_bytes: u64) ->
     // new — the sending rank maps its peers' buffers and injects straight
     // from them (no staging); current — the DMA stages three copies first.
     let prep_done = match alg {
-        AllreduceAlgorithm::ShaddrSpecialized => {
+        AllreduceAlgorithm::ShaddrSpecialized | AllreduceAlgorithm::NodeAwareRsAg => {
             ops::core_busy(m, t0, root, 0, m.cfg.cnk.map_cost(1))
         }
         AllreduceAlgorithm::RingCurrent => {

@@ -1,0 +1,213 @@
+//! `MPI_Reduce_scatter` — the reduce-scatter half of the node-aware
+//! allreduce exposed as its own collective (the stage decomposition of
+//! Bienz et al., arXiv:1910.09650: a locality-aware allreduce *is* a
+//! reduce-scatter followed by an allgather, so both halves are first-class
+//! here).
+//!
+//! Decomposition mirrors the allreduce:
+//!
+//! * **local combine** — the node's four contributions are reduced into
+//!   the master's buffer (worker cores through mapped windows in the new
+//!   scheme; DMA staging copies in the current one);
+//! * **node-level ring reduce-scatter** — a *single* directed pass: each
+//!   node combines what arrives with its own data and forwards, ending
+//!   with the node owning the fully-reduced `1/n` slice;
+//! * **local scatter** — each rank copies its quarter of the node slice
+//!   out of the master's reception buffer (one small copy; the current
+//!   scheme pays DMA local copies instead).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bgp_ccmi::chunking::{chunk_sizes, color_shares};
+use bgp_dcmf::{ops, Machine, Sim};
+use bgp_machine::geometry::{Axis, Direction, NodeId, Sign};
+use bgp_sim::SimTime;
+
+use crate::allreduce::AllreduceAlgorithm;
+
+const COLORS: usize = 3;
+
+fn color_dir(c: usize) -> Direction {
+    Direction {
+        axis: Axis::ALL[c],
+        sign: Sign::Plus,
+    }
+}
+
+/// Ring fill for the single reduce-scatter pass.
+fn ring_fill_once(m: &Machine, stages: u64) -> SimTime {
+    let per_hop = m.cfg.torus.hop_latency(1) + SimTime::from_nanos(m.cfg.tree.core_packet_ns);
+    per_hop * stages
+}
+
+/// Simulate `MPI_Reduce_scatter` of a `bytes`-byte vector (every rank
+/// contributes `bytes`; every rank receives its `bytes / P` slice of the
+/// sum). Returns the completion time.
+pub fn run_reduce_scatter(m: &mut Machine, alg: AllreduceAlgorithm, bytes: u64) -> SimTime {
+    let t0 = m.cfg.sw.mpi_overhead();
+    let node = NodeId(0);
+    let n_ranks = m.cfg.ranks_per_node() as usize;
+    let ranks = n_ranks as u64;
+    let n = u64::from(m.cfg.node_count()).max(2);
+    let ws = 2 * bytes;
+    let pwidth = m.cfg.sw.pwidth as u64;
+    let shares = color_shares(bytes, COLORS);
+    let st = Rc::new(RefCell::new(t0));
+
+    let mut eng: Sim = Sim::new();
+    for (c, &share) in shares.iter().enumerate() {
+        let chunks = chunk_sizes(share, pwidth);
+        if chunks.is_empty() {
+            continue;
+        }
+        let st2 = st.clone();
+        eng.schedule_at(t0, move |m, eng| {
+            step(m, eng, &st2, alg, c, chunks, 0, node, n_ranks, n, ws);
+        });
+    }
+    eng.run(m);
+    let stages = u64::from(m.cfg.dims.x + m.cfg.dims.y + m.cfg.dims.z);
+    let fill = match alg {
+        AllreduceAlgorithm::ShaddrSpecialized | AllreduceAlgorithm::NodeAwareRsAg => {
+            ring_fill_once(m, stages)
+        }
+        AllreduceAlgorithm::RingCurrent => {
+            ring_fill_once(m, stages)
+                + SimTime::from_nanos(m.cfg.tree.core_packet_ns) * (stages * (ranks - 1))
+        }
+    };
+    let done = *st.borrow();
+    // Local scatter: each rank's slice of the node's `1/n` share — one
+    // small copy per worker core (pipelined with the ring in steady state;
+    // the last chunk's copy is what lands on the completion path).
+    let slice = (bytes / n / ranks).max(1);
+    let copy = m.mem_time(slice, ws);
+    done + fill + copy
+}
+
+/// One ring chunk through the representative node: single pass, with
+/// arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    m: &mut Machine,
+    eng: &mut Sim,
+    st: &Rc<RefCell<SimTime>>,
+    alg: AllreduceAlgorithm,
+    c: usize,
+    chunks: Vec<u64>,
+    k: usize,
+    node: NodeId,
+    n_ranks: usize,
+    n: u64,
+    ws: u64,
+) {
+    let now = eng.now();
+    let bytes = chunks[k];
+    let finish = match alg {
+        AllreduceAlgorithm::ShaddrSpecialized | AllreduceAlgorithm::NodeAwareRsAg => {
+            // Worker core reduces the local contributions through windows,
+            // then the protocol core runs the single combining ring pass
+            // on the node's transit share.
+            let reduced = ops::core_reduce(m, now, node, 1 + c as u32, bytes, n_ranks, ws);
+            let visible = reduced + m.cfg.sw.counter_publish() + m.cfg.sw.counter_poll();
+            let eff = bytes - bytes / n;
+            let link = m.link(node, color_dir(c));
+            let link_done = m.pool.reserve(link, visible, m.link_time(eff));
+            let dma_t = m.dma_time(2 * eff);
+            let mem_t = m.mem_time(2 * eff, ws);
+            let dma = m.dma(node);
+            let mem = m.mem(node);
+            let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], visible);
+            let combined = ops::core_reduce(m, visible, node, 0, eff, 2, ws);
+            link_done.max(dma_done).max(combined)
+        }
+        AllreduceAlgorithm::RingCurrent => {
+            // Rank-level ring: the DMA carries the intra hops as local
+            // copies on top of the inter-node pass.
+            let link = m.link(node, color_dir(c));
+            let link_done = m.pool.reserve(link, now, m.link_time(bytes));
+            let ranks = m.cfg.ranks_per_node() as u64;
+            let units = (2 + 2 * (ranks - 1)) * bytes;
+            let dma_t = m.dma_time(units);
+            let mem_t = m.mem_time(units, ws);
+            let dma = m.dma(node);
+            let mem = m.mem(node);
+            let dma_done = m.pool.reserve_coupled(dma, dma_t, &[(mem, mem_t)], now);
+            let mut cores_done = now;
+            for core in 0..m.cfg.ranks_per_node() {
+                cores_done = cores_done.max(ops::core_reduce(m, now, node, core, bytes, 2, ws));
+            }
+            link_done.max(dma_done).max(cores_done)
+        }
+    };
+    {
+        let mut s = st.borrow_mut();
+        *s = (*s).max(finish);
+    }
+    if k + 1 < chunks.len() {
+        let st2 = st.clone();
+        eng.schedule_at(finish, move |m, eng| {
+            step(m, eng, &st2, alg, c, chunks, k + 1, node, n_ranks, n, ws);
+        });
+    }
+}
+
+/// Throughput in MB/s over the contributed vector size.
+pub fn reduce_scatter_throughput_mb(m: &mut Machine, alg: AllreduceAlgorithm, bytes: u64) -> f64 {
+    let t = run_reduce_scatter(m, alg, bytes);
+    bytes as f64 / t.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::{MachineConfig, OpMode};
+
+    fn quad() -> Machine {
+        Machine::new(MachineConfig::test_small(OpMode::Quad))
+    }
+
+    #[test]
+    fn shaddr_beats_current() {
+        for bytes in [64u64 << 10, 1 << 20] {
+            let new = reduce_scatter_throughput_mb(
+                &mut quad(),
+                AllreduceAlgorithm::ShaddrSpecialized,
+                bytes,
+            );
+            let cur =
+                reduce_scatter_throughput_mb(&mut quad(), AllreduceAlgorithm::RingCurrent, bytes);
+            assert!(new > cur, "bytes {bytes}: new={new:.0} cur={cur:.0}");
+        }
+    }
+
+    #[test]
+    fn single_pass_beats_allreduce() {
+        // Reduce-scatter is the cheaper half of the allreduce: one combining
+        // pass instead of two, so it must finish sooner at equal size.
+        let bytes = 1 << 20;
+        let rs = run_reduce_scatter(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, bytes);
+        let ar = crate::allreduce::run_allreduce(
+            &mut quad(),
+            AllreduceAlgorithm::ShaddrSpecialized,
+            bytes,
+        );
+        assert!(rs < ar, "rs={rs} ar={ar}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = reduce_scatter_throughput_mb(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 65536);
+        let b = reduce_scatter_throughput_mb(&mut quad(), AllreduceAlgorithm::NodeAwareRsAg, 65536);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_and_tiny_complete() {
+        for bytes in [0u64, 1, 8] {
+            let t = run_reduce_scatter(&mut quad(), AllreduceAlgorithm::ShaddrSpecialized, bytes);
+            assert!(t > SimTime::ZERO, "bytes {bytes}");
+        }
+    }
+}

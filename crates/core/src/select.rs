@@ -15,6 +15,8 @@
 
 use bgp_machine::{MachineConfig, OpMode};
 
+use crate::allreduce::AllreduceAlgorithm;
+
 /// Every broadcast algorithm the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BcastAlgorithm {
@@ -92,9 +94,39 @@ pub fn select_bcast(cfg: &MachineConfig, bytes: u64) -> BcastAlgorithm {
     }
 }
 
+/// Threshold above which the node-aware RS+AG allreduce amortizes its
+/// per-stage counter synchronizations and beats the pipelined
+/// shared-address ring (measured crossover on the two-rack quad machine
+/// falls between 8 KiB and 128 KiB; the tuned table refines this).
+pub const ALLREDUCE_NODE_AWARE_CROSSOVER_BYTES: u64 = 64 * 1024;
+
+/// The static selection policy for an allreduce of `bytes` on `cfg`.
+pub fn select_allreduce(cfg: &MachineConfig, bytes: u64) -> AllreduceAlgorithm {
+    // A single node has no inter-node ring to restructure: the
+    // shared-address scheme's intra-node machinery is all there is.
+    if cfg.node_count() < 2 || bytes <= ALLREDUCE_NODE_AWARE_CROSSOVER_BYTES {
+        AllreduceAlgorithm::ShaddrSpecialized
+    } else {
+        AllreduceAlgorithm::NodeAwareRsAg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn allreduce_selection_crosses_to_node_aware() {
+        let cfg = MachineConfig::two_racks_quad();
+        assert_eq!(
+            select_allreduce(&cfg, 4096),
+            AllreduceAlgorithm::ShaddrSpecialized
+        );
+        assert_eq!(
+            select_allreduce(&cfg, 1 << 20),
+            AllreduceAlgorithm::NodeAwareRsAg
+        );
+    }
 
     #[test]
     fn quad_selection_follows_the_paper() {

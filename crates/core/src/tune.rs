@@ -40,8 +40,9 @@ use std::fmt;
 use bgp_machine::{MachineConfig, OpMode};
 use bgp_sim::json::{self, Json};
 
+use crate::allreduce::AllreduceAlgorithm;
 use crate::datatype::{demote_noncontiguous, Datatype};
-use crate::select::{select_bcast, BcastAlgorithm};
+use crate::select::{select_allreduce, select_bcast, BcastAlgorithm};
 
 /// Schema identifier a table must carry to be accepted. Bump on any
 /// incompatible format change; old tables then fall back to the static
@@ -71,6 +72,25 @@ pub fn alg_id(alg: BcastAlgorithm) -> &'static str {
         BcastAlgorithm::TreeShaddr { caching: true } => "tree_shaddr_caching",
         BcastAlgorithm::TreeShaddr { caching: false } => "tree_shaddr_nocaching",
     }
+}
+
+/// Stable identifier of an allreduce algorithm in table JSON.
+pub fn ar_alg_id(alg: AllreduceAlgorithm) -> &'static str {
+    match alg {
+        AllreduceAlgorithm::RingCurrent => "ring_current",
+        AllreduceAlgorithm::ShaddrSpecialized => "shaddr_specialized",
+        AllreduceAlgorithm::NodeAwareRsAg => "node_aware_rsag",
+    }
+}
+
+/// Inverse of [`ar_alg_id`].
+pub fn ar_alg_from_id(id: &str) -> Option<AllreduceAlgorithm> {
+    Some(match id {
+        "ring_current" => AllreduceAlgorithm::RingCurrent,
+        "shaddr_specialized" => AllreduceAlgorithm::ShaddrSpecialized,
+        "node_aware_rsag" => AllreduceAlgorithm::NodeAwareRsAg,
+        _ => return None,
+    })
 }
 
 /// Inverse of [`alg_id`].
@@ -185,6 +205,17 @@ pub struct Region {
     pub confidence: f64,
 }
 
+/// One allreduce selection region, same bound semantics as [`Region`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArRegion {
+    /// Inclusive upper size bound; `None` = no bound (must be last).
+    pub upto: Option<u64>,
+    /// The measured-optimal allreduce algorithm for this region.
+    pub alg: AllreduceAlgorithm,
+    /// Fraction of seeded resamples that kept this pick, in `[0, 1]`.
+    pub confidence: f64,
+}
+
 /// The table for one `(mode, machine shape)` point of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShapeEntry {
@@ -195,6 +226,11 @@ pub struct ShapeEntry {
     pub nodes: u32,
     /// Ordered selection regions.
     pub regions: Vec<Region>,
+    /// Ordered allreduce selection regions. Optional in the document
+    /// (tables predating the allreduce sweep parse with an empty list and
+    /// the static thresholds answer), so the schema stays
+    /// [`TABLE_SCHEMA`].
+    pub ar_regions: Vec<ArRegion>,
     /// Fitted per-algorithm cost models (metadata: used by reports and the
     /// crossover exhibit, not by selection).
     pub models: Vec<(BcastAlgorithm, CostModel)>,
@@ -212,6 +248,19 @@ impl ShapeEntry {
         }
         // Unreachable on validated tables (last upto is None); defensive.
         self.regions.last().expect("validated: non-empty").alg
+    }
+
+    /// The allreduce region pick for a message of `bytes`, `None` when the
+    /// entry carries no allreduce regions (pre-sweep table).
+    pub fn select_allreduce(&self, bytes: u64) -> Option<AllreduceAlgorithm> {
+        for r in &self.ar_regions {
+            match r.upto {
+                Some(b) if bytes <= b => return Some(r.alg),
+                None => return Some(r.alg),
+                _ => {}
+            }
+        }
+        self.ar_regions.last().map(|r| r.alg)
     }
 
     /// The fitted model for `alg`, if the table carries one.
@@ -321,6 +370,57 @@ impl TuningTable {
                     confidence,
                 });
             }
+            let mut ar_regions = Vec::new();
+            if let Some(raw_ar) = e.get("ar_regions").and_then(Json::as_arr) {
+                let mut prev_upto: Option<u64> = None;
+                for (i, r) in raw_ar.iter().enumerate() {
+                    let last = i + 1 == raw_ar.len();
+                    let upto = match r.get("upto") {
+                        Some(Json::Null) => None,
+                        Some(Json::Num(n)) if *n >= 1.0 && *n == n.trunc() => Some(*n as u64),
+                        _ => {
+                            return Err(corrupt(
+                                "ar region upto must be a positive integer or null",
+                            ))
+                        }
+                    };
+                    match (last, upto) {
+                        (false, None) => {
+                            return Err(corrupt("only the last ar region may be unbounded"))
+                        }
+                        (true, Some(_)) => {
+                            return Err(corrupt("the last ar region must be unbounded"))
+                        }
+                        (_, Some(b)) => {
+                            if let Some(p) = prev_upto {
+                                if b <= p {
+                                    return Err(corrupt(
+                                        "ar region bounds must be strictly increasing",
+                                    ));
+                                }
+                            }
+                            prev_upto = Some(b);
+                        }
+                        _ => {}
+                    }
+                    let alg_s = r
+                        .get("alg")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| corrupt("ar region missing alg"))?;
+                    let alg = ar_alg_from_id(alg_s).ok_or_else(|| {
+                        corrupt(&format!("unknown allreduce algorithm {alg_s:?}"))
+                    })?;
+                    let confidence = r.get("confidence").and_then(Json::as_f64).unwrap_or(1.0);
+                    if !(0.0..=1.0).contains(&confidence) {
+                        return Err(corrupt("confidence must be in [0, 1]"));
+                    }
+                    ar_regions.push(ArRegion {
+                        upto,
+                        alg,
+                        confidence,
+                    });
+                }
+            }
             let mut models = Vec::new();
             if let Some(raw_models) = e.get("models").and_then(Json::as_arr) {
                 for m in raw_models {
@@ -359,6 +459,7 @@ impl TuningTable {
                 mode,
                 nodes,
                 regions,
+                ar_regions,
                 models,
             });
         }
@@ -399,7 +500,24 @@ impl TuningTable {
                     if ri + 1 < e.regions.len() { "," } else { "" }
                 ));
             }
-            out.push_str("     ],\n     \"models\": [\n");
+            out.push_str("     ],\n");
+            if !e.ar_regions.is_empty() {
+                out.push_str("     \"ar_regions\": [\n");
+                for (ri, r) in e.ar_regions.iter().enumerate() {
+                    let upto = match r.upto {
+                        Some(b) => b.to_string(),
+                        None => "null".to_string(),
+                    };
+                    out.push_str(&format!(
+                        "       {{\"upto\": {upto}, \"alg\": {}, \"confidence\": {}}}{}\n",
+                        json::escape(ar_alg_id(r.alg)),
+                        json::fmt_f64(r.confidence),
+                        if ri + 1 < e.ar_regions.len() { "," } else { "" }
+                    ));
+                }
+                out.push_str("     ],\n");
+            }
+            out.push_str("     \"models\": [\n");
             for (mi, (alg, m)) in e.models.iter().enumerate() {
                 let piece = |p: &CostPiece| {
                     format!(
@@ -559,6 +677,30 @@ impl SelectionPolicy {
         self.select_bcast_info(cfg, bytes).0
     }
 
+    /// Select an allreduce algorithm, and report whether a table entry
+    /// drove the pick (`false` = static thresholds answered — no table,
+    /// no matching entry, or an entry predating the allreduce sweep).
+    pub fn select_allreduce_info(
+        &self,
+        cfg: &MachineConfig,
+        bytes: u64,
+    ) -> (AllreduceAlgorithm, bool) {
+        if let Some(alg) = self
+            .table
+            .as_ref()
+            .and_then(|t| t.entry_for(cfg))
+            .and_then(|e| e.select_allreduce(bytes))
+        {
+            return (alg, true);
+        }
+        (select_allreduce(cfg, bytes), false)
+    }
+
+    /// The policy's pick for an allreduce of `bytes`.
+    pub fn select_allreduce(&self, cfg: &MachineConfig, bytes: u64) -> AllreduceAlgorithm {
+        self.select_allreduce_info(cfg, bytes).0
+    }
+
     /// Datatype-aware pick: contiguous layouts follow [`Self::select_bcast`];
     /// non-contiguous ones reuse the tuned region boundaries but are demoted
     /// off the counter (`Shaddr`) paths, which §IV-C restricts to
@@ -685,6 +827,18 @@ mod tests {
                         confidence: 1.0,
                     },
                 ],
+                ar_regions: vec![
+                    ArRegion {
+                        upto: Some(65536),
+                        alg: AllreduceAlgorithm::ShaddrSpecialized,
+                        confidence: 1.0,
+                    },
+                    ArRegion {
+                        upto: None,
+                        alg: AllreduceAlgorithm::NodeAwareRsAg,
+                        confidence: 0.75,
+                    },
+                ],
                 models: vec![(
                     BcastAlgorithm::TreeShmem,
                     CostModel {
@@ -720,6 +874,7 @@ mod tests {
                         alg: BcastAlgorithm::TorusShaddr,
                         confidence: 1.0,
                     }],
+                    ar_regions: vec![],
                     models: vec![],
                 },
                 ShapeEntry {
@@ -730,6 +885,7 @@ mod tests {
                         alg: BcastAlgorithm::TreeShmem,
                         confidence: 1.0,
                     }],
+                    ar_regions: vec![],
                     models: vec![],
                 },
             ],
@@ -779,6 +935,81 @@ mod tests {
             BcastAlgorithm::TorusShaddr,
             "large regime"
         );
+        // Allreduce regions: shared-address ring small, node-aware RS+AG
+        // once the per-stage syncs amortize.
+        assert_eq!(
+            e.select_allreduce(4096),
+            Some(AllreduceAlgorithm::ShaddrSpecialized),
+            "small allreduce"
+        );
+        assert_eq!(
+            e.select_allreduce(1 << 20),
+            Some(AllreduceAlgorithm::NodeAwareRsAg),
+            "large allreduce"
+        );
+    }
+
+    #[test]
+    fn ar_region_validation_rejects_bad_documents() {
+        let with_ar = |ar: &str| {
+            format!(
+                r#"{{"schema": "{TABLE_SCHEMA}", "generator": "t", "seed": 1, "resamples": 1,
+                    "entries": [{{"mode": "quad", "nodes": 64,
+                      "regions": [{{"upto": null, "alg": "tree_shmem"}}],
+                      "ar_regions": [{ar}]}}]}}"#
+            )
+        };
+        // A valid document round-trips with its ar regions intact.
+        let ok = TuningTable::parse(&with_ar(
+            r#"{"upto": 1024, "alg": "shaddr_specialized"}, {"upto": null, "alg": "node_aware_rsag"}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            ok.entries[0].select_allreduce(2048),
+            Some(AllreduceAlgorithm::NodeAwareRsAg)
+        );
+        assert_eq!(TuningTable::parse(&ok.to_json()).unwrap(), ok);
+        for bad in [
+            // Unbounded region not last.
+            r#"{"upto": null, "alg": "shaddr_specialized"}, {"upto": 4096, "alg": "node_aware_rsag"}"#,
+            // Bounded last region.
+            r#"{"upto": 4096, "alg": "shaddr_specialized"}"#,
+            // Non-increasing bounds.
+            r#"{"upto": 4096, "alg": "shaddr_specialized"}, {"upto": 4096, "alg": "ring_current"},
+               {"upto": null, "alg": "node_aware_rsag"}"#,
+            // Unknown algorithm.
+            r#"{"upto": null, "alg": "quantum_allreduce"}"#,
+            // Confidence out of range.
+            r#"{"upto": null, "alg": "node_aware_rsag", "confidence": 2}"#,
+        ] {
+            assert!(
+                matches!(
+                    TuningTable::parse(&with_ar(bad)),
+                    Err(TuneError::Corrupt(_))
+                ),
+                "accepted: {bad}"
+            );
+        }
+        // A table with no ar_regions still parses; selection returns None.
+        let legacy = TuningTable::parse(&format!(
+            r#"{{"schema": "{TABLE_SCHEMA}", "generator": "t", "seed": 1, "resamples": 1,
+                    "entries": [{{"mode": "quad", "nodes": 64,
+                      "regions": [{{"upto": null, "alg": "tree_shmem"}}]}}]}}"#
+        ))
+        .unwrap();
+        assert_eq!(legacy.entries[0].select_allreduce(1024), None);
+    }
+
+    #[test]
+    fn ar_alg_ids_round_trip() {
+        for alg in [
+            AllreduceAlgorithm::RingCurrent,
+            AllreduceAlgorithm::ShaddrSpecialized,
+            AllreduceAlgorithm::NodeAwareRsAg,
+        ] {
+            assert_eq!(ar_alg_from_id(ar_alg_id(alg)), Some(alg));
+        }
+        assert_eq!(ar_alg_from_id("warp_reduce"), None);
     }
 
     #[test]

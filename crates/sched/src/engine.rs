@@ -172,6 +172,8 @@ enum Role {
     BcastCopy(BcastCopy),
     /// Allreduce member: local reduce, result copy-out, input retirement.
     ArMember(Box<ArMember>),
+    /// Allgather member: block deposit, gathered-prefix copy-out.
+    AgMember(Box<AgMember>),
 }
 
 struct BcastRoot {
@@ -219,10 +221,36 @@ struct ArMember {
     inputs: Vec<Option<Arc<SharedRegion>>>,
     acc: Option<Arc<SharedRegion>>,
     output: Arc<SharedRegion>,
+    /// Byte span `[res_lo, res_hi)` of the accumulator this member copies
+    /// out (the full message for allreduce, its scatter span for
+    /// reduce-scatter). Output offset 0 maps to `res_lo`.
+    res_lo: usize,
+    res_hi: usize,
     in_ptr: usize,
     out_ptr: usize,
     parts: Vec<Arc<MessageCounter>>,
     part_total: Vec<u64>,
+    res: Arc<MessageCounter>,
+    done: Arc<MessageCounter>,
+    copied: usize,
+}
+
+struct AgMember {
+    /// Global member index (`node * group_len + index_in_group`): the
+    /// member's block offset in the gathered output is `my_global * len`.
+    my_global: usize,
+    len: usize,
+    /// Gathered bytes: `m * group_len * len`.
+    total: usize,
+    deposited: bool,
+    input: Arc<SharedRegion>,
+    output: Arc<SharedRegion>,
+    acc: Option<Arc<SharedRegion>>,
+    in_ptr: usize,
+    out_ptr: usize,
+    /// This member's deposit stream (engine gates its node's superblock
+    /// sends on all local deposits).
+    part: Arc<MessageCounter>,
     res: Arc<MessageCounter>,
     done: Arc<MessageCounter>,
     copied: usize,
@@ -294,9 +322,58 @@ impl NetAr {
     }
 }
 
+/// The network side of one allgather on this node: a ring allgather of
+/// node "superblocks" (the `g` contiguous member blocks a node
+/// contributes, `g*len` bytes node-major in the accumulator). At step
+/// `s ∈ 1..m` a node sends the superblock it received at step `s-1` (its
+/// own at `s = 1`) and receives the superblock originating `s` hops
+/// upstream — `m-1` steps, each superblock traversing `m-1` links total.
+struct NetAg {
+    len: usize,
+    g: usize,
+    /// Superblock bytes (`g * len`) and chunks per superblock.
+    sb: usize,
+    kb: usize,
+    dir: RingDir,
+    acc: Arc<SharedRegion>,
+    parts: Vec<Arc<MessageCounter>>,
+    res: Arc<MessageCounter>,
+    done: Arc<MessageCounter>,
+    expected_done: u64,
+    /// Superblock (by origin node) fully valid in the accumulator.
+    have: Vec<bool>,
+    /// Completed send steps and chunks sent within the current step.
+    sent_steps: usize,
+    sent_chunks: usize,
+    /// Total chunks received (the per-link `k` sequence).
+    recv_chunks: usize,
+    /// Next superblock (node-major) awaiting prefix publication on `res`.
+    next_pub: usize,
+}
+
+impl NetAg {
+    /// Origin node of the superblock arriving `s` hops upstream of `node`.
+    fn upstream(&self, node: usize, m: usize, s: usize) -> usize {
+        match self.dir {
+            RingDir::Plus => (node + m - s % m) % m,
+            RingDir::Minus => (node + s) % m,
+        }
+    }
+
+    /// Have all local members deposited their blocks?
+    fn local_ready(&self) -> bool {
+        self.parts.iter().all(|c| c.read() >= self.len as u64)
+    }
+
+    fn flow_finished(&self, m: usize) -> bool {
+        self.next_pub == m && self.sent_steps == m - 1 && self.recv_chunks == (m - 1) * self.kb
+    }
+}
+
 enum NetOp {
     Bcast(NetBcast),
     Ar(Box<NetAr>),
+    Ag(Box<NetAg>),
 }
 
 /// The per-node progress engine, run by rank 0 (the network core).
@@ -441,12 +518,52 @@ impl Engine {
         );
     }
 
+    fn register_ag(&mut self, op: u64, group_len: usize, len: usize) {
+        let bank = self.shared.sched_bank();
+        let g = group_len;
+        let sb = g * len;
+        let kb = sb.div_ceil(self.chunk);
+        let acc = Arc::new(SharedRegion::new(self.m * sb));
+        self.shared
+            .registry()
+            .expose(0, reg_tag(op, ROLE_STAGE), acc.clone());
+        let dir = if op.is_multiple_of(2) {
+            RingDir::Plus
+        } else {
+            RingDir::Minus
+        };
+        self.ops.insert(
+            op,
+            NetOp::Ag(Box::new(NetAg {
+                len,
+                g,
+                sb,
+                kb,
+                dir,
+                acc,
+                parts: (0..g)
+                    .map(|i| bank.counter(bank_key(op, SUB_PART + i as u64)))
+                    .collect(),
+                res: bank.counter(bank_key(op, SUB_RES)),
+                done: bank.counter(bank_key(op, SUB_DONE)),
+                expected_done: g as u64,
+                have: vec![false; self.m],
+                sent_steps: 0,
+                sent_chunks: 0,
+                recv_chunks: 0,
+                next_pub: 0,
+            })),
+        );
+    }
+
     /// Can the next chunk `(kind, k)` for `netop` be consumed right now?
     /// Pure check — consuming is only allowed after this returns true.
     fn can_accept(netop: &NetOp, kind: u64, fabric: &Fabric, node: usize, m: usize) -> bool {
         match netop {
             // Broadcast data lands in the preallocated stage: always.
             NetOp::Bcast(_) => true,
+            // Allgather superblocks land in the preallocated accumulator.
+            NetOp::Ag(_) => true,
             NetOp::Ar(a) => match kind {
                 // A partial is combined and immediately forwarded (or, at
                 // the last position, written out): needs the local
@@ -494,6 +611,23 @@ impl Engine {
                     .as_ref()
                     .expect("only non-root nodes receive")
                     .publish(clen as u64);
+            }
+            NetOp::Ag(a) => {
+                debug_assert_eq!(kind, optag::KIND_DATA);
+                debug_assert_eq!(k, a.recv_chunks, "allgather chunks arrive in order");
+                let s = k / a.kb + 1;
+                let c = k % a.kb;
+                let u = a.upstream(node, m, s);
+                let (off, clen) = chunk_span(a.sb, chunk, c);
+                debug_assert_eq!(clen, bytes.len());
+                // SAFETY: the engine is the unique writer of remote
+                // superblocks; member reads are gated on the prefix
+                // publication of `res` in the outbound pass.
+                unsafe { a.acc.write(u * a.sb + off, bytes) };
+                a.recv_chunks += 1;
+                if c == a.kb - 1 {
+                    a.have[u] = true;
+                }
             }
             NetOp::Ar(a) => match kind {
                 optag::KIND_PARTIAL => {
@@ -600,6 +734,7 @@ impl Engine {
                         ports.push(fabric.bcast_in(node, b.root_node));
                     }
                     NetOp::Ar(a) => ports.push(fabric.ring_recv(node, a.dir)),
+                    NetOp::Ag(a) => ports.push(fabric.ring_recv(node, a.dir)),
                     _ => {}
                 }
             }
@@ -713,6 +848,47 @@ impl Engine {
                         }
                     }
                 }
+                NetOp::Ag(a) => {
+                    if !a.have[node] && a.local_ready() {
+                        a.have[node] = true;
+                    }
+                    if m > 1 {
+                        let out = fabric.ring_send(node, a.dir);
+                        while a.sent_steps < m - 1 {
+                            let s = a.sent_steps + 1;
+                            // Step s forwards the superblock received at
+                            // step s-1 (the node's own at s == 1).
+                            let u = a.upstream(node, m, s - 1);
+                            if !a.have[u] {
+                                break;
+                            }
+                            while a.sent_chunks < a.kb && out.can_send() {
+                                let c = a.sent_chunks;
+                                let (off, clen) = chunk_span(a.sb, chunk, c);
+                                out.send_with(
+                                    optag::pack(*op, optag::KIND_DATA, (s - 1) * a.kb + c),
+                                    clen,
+                                    // SAFETY: the superblock is valid — own
+                                    // blocks by `local_ready`, remote ones
+                                    // received in full (`have`).
+                                    |d| unsafe { a.acc.read(u * a.sb + off, d) },
+                                );
+                                a.sent_chunks += 1;
+                            }
+                            if a.sent_chunks < a.kb {
+                                break;
+                            }
+                            a.sent_steps += 1;
+                            a.sent_chunks = 0;
+                        }
+                    }
+                    // Members chase a node-major byte prefix of the
+                    // accumulator; publish superblocks in that order.
+                    while a.next_pub < m && a.have[a.next_pub] {
+                        a.res.publish(a.sb as u64);
+                        a.next_pub += 1;
+                    }
+                }
             }
         }
 
@@ -727,6 +903,7 @@ impl Engine {
             .filter(|(_, netop)| match netop {
                 NetOp::Bcast(b) => b.netdone_published && b.done.read() >= b.expected_done,
                 NetOp::Ar(a) => a.flow_finished(m) && a.done.read() >= a.expected_done,
+                NetOp::Ag(a) => a.flow_finished(m) && a.done.read() >= a.expected_done,
             })
             .map(|(op, _)| *op)
             .collect();
@@ -741,6 +918,14 @@ impl Engine {
                     bank.retire(bank_key(op, SUB_DONE));
                 }
                 NetOp::Ar(a) => {
+                    registry.unexpose(0, reg_tag(op, ROLE_STAGE));
+                    bank.retire(bank_key(op, SUB_RES));
+                    bank.retire(bank_key(op, SUB_DONE));
+                    for i in 0..a.g {
+                        bank.retire(bank_key(op, SUB_PART + i as u64));
+                    }
+                }
+                NetOp::Ag(a) => {
                     registry.unexpose(0, reg_tag(op, ROLE_STAGE));
                     bank.retire(bank_key(op, SUB_RES));
                     bank.retire(bank_key(op, SUB_DONE));
@@ -932,6 +1117,38 @@ impl Sched {
         output: Option<&Arc<SharedRegion>>,
         count: usize,
     ) -> Result<Request, SchedError> {
+        self.post_reduce(group, input, output, count, false)
+    }
+
+    /// Post a nonblocking sum-reduce-scatter of `count` `f64`s over every
+    /// rank in `group` on every node: the reduced vector is partitioned by
+    /// global member index (`node * group_len + index_in_group`), member
+    /// `gi` of `G` receiving elements `[gi*count/G, (gi+1)*count/G)` at
+    /// offset 0 of its output. Shares the allreduce ring flow on the
+    /// progress engine — only the member-side copy-out span differs — so
+    /// it interleaves with every other in-flight op. A member's output
+    /// region only needs its own span (possibly zero bytes when
+    /// `count < G`); buffer rules match [`Self::iallreduce`].
+    pub fn ireduce_scatter(
+        &mut self,
+        group: &[usize],
+        input: Option<&Arc<SharedRegion>>,
+        output: Option<&Arc<SharedRegion>>,
+        count: usize,
+    ) -> Result<Request, SchedError> {
+        self.post_reduce(group, input, output, count, true)
+    }
+
+    /// Shared body of [`Self::iallreduce`] / [`Self::ireduce_scatter`]:
+    /// identical network flow, differing only in each member's result span.
+    fn post_reduce(
+        &mut self,
+        group: &[usize],
+        input: Option<&Arc<SharedRegion>>,
+        output: Option<&Arc<SharedRegion>>,
+        count: usize,
+        scatter: bool,
+    ) -> Result<Request, SchedError> {
         self.validate_group(group)?;
         let member = group.binary_search(&self.rank).is_ok();
         match (member, input.is_some(), output.is_some()) {
@@ -939,11 +1156,32 @@ impl Sched {
             (true, _, _) => return Err(SchedError::BufferMissing),
             (false, _, _) => return Err(SchedError::UnexpectedBuffer),
         }
-        let bytes = count * 8;
-        for b in [input, output].into_iter().flatten() {
-            if b.len() < bytes {
+        // The member's result span: the whole message for allreduce, its
+        // global-member-index slice for reduce-scatter.
+        let (res_lo, res_hi) = if scatter {
+            match group.binary_search(&self.rank) {
+                Ok(i) => {
+                    let big = self.m * group.len();
+                    let gi = self.node * group.len() + i;
+                    (gi * count / big * 8, (gi + 1) * count / big * 8)
+                }
+                Err(_) => (0, 0),
+            }
+        } else {
+            (0, count * 8)
+        };
+        if let Some(b) = input {
+            if b.len() < count * 8 {
                 return Err(SchedError::BufferTooShort {
-                    needed: bytes,
+                    needed: count * 8,
+                    got: b.len(),
+                });
+            }
+        }
+        if let Some(b) = output {
+            if b.len() < res_hi - res_lo {
+                return Err(SchedError::BufferTooShort {
+                    needed: res_hi - res_lo,
                     got: b.len(),
                 });
             }
@@ -1004,6 +1242,8 @@ impl Sched {
                 inputs: vec![None; g],
                 acc: None,
                 output: output.clone(),
+                res_lo,
+                res_hi,
                 in_ptr,
                 out_ptr,
                 parts: (0..g)
@@ -1020,6 +1260,103 @@ impl Sched {
         self.roles.insert(op, role);
         if let Some(engine) = self.engine.as_mut() {
             engine.register_ar(op, group, count);
+        }
+        Ok(Request { op })
+    }
+
+    /// Post a nonblocking allgather of `len`-byte blocks over every rank
+    /// in `group` on every node: each member contributes its input block
+    /// and every member's output receives all `m * group_len` blocks
+    /// concatenated in global member order (`node * group_len +
+    /// index_in_group`). Runs a ring allgather of node superblocks on the
+    /// progress engine, interleaved with every other in-flight op.
+    /// Members pass input (`len` bytes) and output (`m * group_len * len`
+    /// bytes) regions; non-members pass `None`. Inputs must be final
+    /// before the post; neither buffer may be touched until the request
+    /// completes.
+    pub fn iallgather(
+        &mut self,
+        group: &[usize],
+        input: Option<&Arc<SharedRegion>>,
+        output: Option<&Arc<SharedRegion>>,
+        len: usize,
+    ) -> Result<Request, SchedError> {
+        self.validate_group(group)?;
+        let member = group.binary_search(&self.rank).is_ok();
+        match (member, input.is_some(), output.is_some()) {
+            (true, true, true) | (false, false, false) => {}
+            (true, _, _) => return Err(SchedError::BufferMissing),
+            (false, _, _) => return Err(SchedError::UnexpectedBuffer),
+        }
+        let total = self.m * group.len() * len;
+        if let Some(b) = input {
+            if b.len() < len {
+                return Err(SchedError::BufferTooShort {
+                    needed: len,
+                    got: b.len(),
+                });
+            }
+        }
+        if let Some(b) = output {
+            if b.len() < total {
+                return Err(SchedError::BufferTooShort {
+                    needed: total,
+                    got: b.len(),
+                });
+            }
+        }
+        if let (Some(i), Some(o)) = (input, output) {
+            if Arc::ptr_eq(i, o) {
+                return Err(SchedError::BufferAliased);
+            }
+        }
+        let kb = (group.len() * len).div_ceil(self.chunk);
+        if (self.m.max(2) - 1) * kb >= 1 << 24 {
+            return Err(SchedError::TooLarge);
+        }
+        let ptrs = if len > 0 && member {
+            let i = input.expect("member");
+            let o = output.expect("member");
+            Some((self.claim_buf(i)?, self.claim_buf(o)?))
+        } else {
+            None
+        };
+
+        // --- all checks passed: side effects may begin ---
+        let op = self.shared.next_sched_op(self.rank);
+        if len == 0 {
+            self.roles.insert(op, Role::Done);
+            return Ok(Request { op });
+        }
+        let bank = self.shared.sched_bank();
+        let role = if member {
+            let input = input.expect("member");
+            let output = output.expect("member");
+            let (in_ptr, out_ptr) = ptrs.expect("member with len > 0");
+            self.active_bufs.insert(in_ptr, op);
+            self.active_bufs.insert(out_ptr, op);
+            let my_index = group.binary_search(&self.rank).expect("member");
+            Role::AgMember(Box::new(AgMember {
+                my_global: self.node * group.len() + my_index,
+                len,
+                total,
+                deposited: false,
+                input: input.clone(),
+                output: output.clone(),
+                acc: None,
+                in_ptr,
+                out_ptr,
+                part: bank.counter(bank_key(op, SUB_PART + my_index as u64)),
+                res: bank.counter(bank_key(op, SUB_RES)),
+                done: bank.counter(bank_key(op, SUB_DONE)),
+                copied: 0,
+            }))
+        } else {
+            Role::Done
+        };
+        self.roles.insert(op, role);
+        if let Some(engine) = self.engine.as_mut() {
+            engine.register_ag(op, group.len(), len);
         }
         Ok(Request { op })
     }
@@ -1168,7 +1505,54 @@ fn step_role(
                 *role = Role::Done;
             }
         }
+        Role::AgMember(a) => {
+            if step_ag_member(op, a, shared, seen) {
+                active.remove(&a.in_ptr);
+                active.remove(&a.out_ptr);
+                *role = Role::Done;
+            }
+        }
     }
+}
+
+/// Advance an allgather member; `true` when it completed this step.
+fn step_ag_member(
+    op: u64,
+    a: &mut AgMember,
+    shared: &NodeShared,
+    seen: &mut HashSet<usize>,
+) -> bool {
+    if a.acc.is_none() {
+        a.acc = shared
+            .registry()
+            .try_map_auto(0, reg_tag(op, ROLE_STAGE), seen);
+    }
+    let Some(acc) = a.acc.as_ref() else {
+        return false;
+    };
+    if !a.deposited {
+        // SAFETY: this member is the unique writer of its own block;
+        // readers (engine sends, co-member copy-outs) are gated on the
+        // deposit counter published below.
+        unsafe { acc.copy_from(a.my_global * a.len, &a.input, 0, a.len) };
+        a.part.publish(a.len as u64);
+        a.deposited = true;
+    }
+    let avail = (a.res.read() as usize).min(a.total);
+    if avail > a.copied {
+        // SAFETY: `[copied, avail)` of the accumulator holds final block
+        // bytes published through the result counter; output is ours.
+        unsafe {
+            a.output
+                .copy_from(a.copied, acc, a.copied, avail - a.copied)
+        };
+        a.copied = avail;
+    }
+    if a.copied == a.total {
+        a.done.publish(1);
+        return true;
+    }
+    false
 }
 
 /// Advance an allreduce member; `true` when it completed this step.
@@ -1184,12 +1568,21 @@ fn step_ar_member(
         if a.acc.is_none() {
             a.acc = registry.try_map_auto(0, reg_tag(op, ROLE_STAGE), seen);
         }
-        for (i, slot) in a.inputs.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = registry.try_map_auto(a.group[i] as u32, reg_tag(op, ROLE_DATA), seen);
+        // Only chunk owners read co-member inputs. A member whose reduce
+        // partition is empty (`kt < g`) must not wait to map them: owners
+        // unexpose their inputs once every partial *stream* completes, and
+        // an empty partition's stream is trivially complete — so an owner
+        // can finish and unexpose before this member ever maps, and
+        // waiting here would spin forever.
+        let needs_inputs = a.lo < a.hi;
+        if needs_inputs {
+            for (i, slot) in a.inputs.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = registry.try_map_auto(a.group[i] as u32, reg_tag(op, ROLE_DATA), seen);
+                }
             }
         }
-        if a.acc.is_some() && a.inputs.iter().all(|s| s.is_some()) {
+        if a.acc.is_some() && (!needs_inputs || a.inputs.iter().all(|s| s.is_some())) {
             a.phase = ArPhase::Reduce;
         } else {
             return false;
@@ -1226,15 +1619,18 @@ fn step_ar_member(
         a.phase = ArPhase::CopyOut;
     }
     if matches!(a.phase, ArPhase::CopyOut) {
-        let total = a.count * 8;
-        let avail = (a.res.read() as usize).min(total);
+        let total = a.res_hi - a.res_lo;
+        // The result counter publishes a whole-message byte prefix; clamp
+        // it to this member's copy span.
+        let avail = (a.res.read() as usize).saturating_sub(a.res_lo).min(total);
         if avail > a.copied {
             let acc = a.acc.as_ref().expect("mapped");
-            // SAFETY: `[copied, avail)` holds final values published
-            // through the result counter; output is exclusively ours.
+            // SAFETY: `[res_lo + copied, res_lo + avail)` holds final
+            // values published through the result counter; output is
+            // exclusively ours.
             unsafe {
                 a.output
-                    .copy_from(a.copied, acc, a.copied, avail - a.copied)
+                    .copy_from(a.copied, acc, a.res_lo + a.copied, avail - a.copied)
             };
             a.copied = avail;
         }

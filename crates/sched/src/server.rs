@@ -90,6 +90,20 @@ pub struct OpState {
     status: AtomicU64,
     pending: AtomicU64,
     slots: Box<[UnsafeCell<Option<Vec<u8>>>]>,
+    /// Completion credit attached to server-submitted ops (`None` for
+    /// hand-built boards): bumped by the last slot filler *before* the
+    /// Release store of the done flag, so a waiter that observes
+    /// [`Self::is_done`] also observes the `completed` counters. Crediting
+    /// anywhere later (e.g. when the dispatcher collects the cluster job)
+    /// lets `wait()` return while the stats still read stale.
+    credit: Option<OpCredit>,
+}
+
+/// The stat cells an [`OpState`] credits at its done transition: the
+/// owning tenant's cell and the server-wide counters.
+struct OpCredit {
+    tenant: Arc<TenantStatsInner>,
+    server: Arc<ServerShared>,
 }
 
 impl OpState {
@@ -99,7 +113,16 @@ impl OpState {
             status: AtomicU64::new(u64::from(n_slots == 0)),
             pending: AtomicU64::new(n_slots as u64),
             slots: (0..n_slots).map(|_| UnsafeCell::new(None)).collect(),
+            credit: None,
         }
+    }
+
+    /// [`Self::new`] plus a completion credit for the owning tenant,
+    /// applied exactly once when the last slot fills.
+    fn credited(n_slots: usize, tenant: Arc<TenantStatsInner>, server: Arc<ServerShared>) -> Self {
+        let mut state = Self::new(n_slots);
+        state.credit = Some(OpCredit { tenant, server });
+        state
     }
 
     /// A board born complete with the given slot contents (zero-length
@@ -112,6 +135,7 @@ impl OpState {
                 .into_iter()
                 .map(|s| UnsafeCell::new(Some(s)))
                 .collect(),
+            credit: None,
         }
     }
 
@@ -133,6 +157,15 @@ impl OpState {
             });
         }
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Credit before the Release store: the store synchronizes with
+            // the waiter's Acquire load in `is_done`, so a waiter that sees
+            // done also sees these (relaxed) increments. This is what makes
+            // `ticket.wait(); stats().completed` read consistently even
+            // while the dispatcher has not yet collected the cluster job.
+            if let Some(c) = &self.credit {
+                c.tenant.completed.fetch_add(1, Ordering::Relaxed);
+                c.server.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
             self.status.store(
                 1,
                 model_support::relaxed_if("sched_done_relaxed", Ordering::Release),
@@ -208,17 +241,36 @@ impl AllreduceTicket {
     /// Spin until done; returns every member's result vector in global
     /// member order. All vectors are equal (the reduced sums) — returned
     /// per member so tests can assert exactly that.
+    ///
+    /// Panics (with the [`SchedError::MalformedPayload`] message) if a slot
+    /// was completed with a byte length that is not a multiple of 8; use
+    /// [`Self::try_wait`] to handle that as a typed error instead.
     pub fn wait(self) -> Vec<Vec<f64>> {
+        self.try_wait().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Spin until done; like [`Self::wait`] but surfacing a malformed slot
+    /// length as [`SchedError::MalformedPayload`] instead of panicking.
+    ///
+    /// Every internal completion path posts `count * 8`-byte payloads, so
+    /// this only trips when an [`OpState`] was completed by hand with a
+    /// byte length that is not a whole number of f64 lanes. The pre-fix
+    /// decode used `chunks_exact(8)`, which silently *dropped* such a tail
+    /// — a truncated result, not even a panic.
+    pub fn try_wait(self) -> Result<Vec<Vec<f64>>, SchedError> {
         while !self.state.is_done() {
             spin();
         }
         (0..self.state.n_slots())
             .map(|i| {
-                self.state
-                    .slot(i)
+                let bytes = self.state.slot(i);
+                if !bytes.len().is_multiple_of(8) {
+                    return Err(SchedError::MalformedPayload { len: bytes.len() });
+                }
+                Ok(bytes
                     .chunks_exact(8)
                     .map(|b| f64::from_ne_bytes(b.try_into().unwrap()))
-                    .collect()
+                    .collect())
             })
             .collect()
     }
@@ -669,7 +721,7 @@ impl CollectiveServer {
             cell.completed.fetch_add(1, Ordering::Relaxed);
             return Ok(BcastTicket { state });
         }
-        let state = Arc::new(OpState::new(members));
+        let state = Arc::new(OpState::credited(members, cell, self.shared.clone()));
         self.enqueue(
             Cmd::Bcast {
                 tenant: tenant.0,
@@ -760,7 +812,7 @@ impl CollectiveServer {
             cell.completed.fetch_add(1, Ordering::Relaxed);
             return Ok(AllreduceTicket { state });
         }
-        let state = Arc::new(OpState::new(members));
+        let state = Arc::new(OpState::credited(members, cell, self.shared.clone()));
         self.enqueue(
             Cmd::Allreduce {
                 tenant: tenant.0,
@@ -838,15 +890,12 @@ fn snapshot_tenant(i: usize, t: &Tenant) -> TenantStats {
     }
 }
 
-/// One drained batch: the commands (DRR order) plus per-tenant completion
-/// credits `(stats cell, command count)` to apply when the job collects.
-/// Completion credits owed when a job collects: per-tenant stat cell and
-/// how many of the job's ops belong to it.
-type Credits = Vec<(Arc<TenantStatsInner>, u64)>;
-
+/// One drained batch: the commands (DRR order) plus the stats cells for
+/// `build_plan` accounting. Completion is *not* tracked here — each op's
+/// [`OpState`] credits its tenant at the done transition, so the counters
+/// are already right by the time a waiter returns.
 struct Batch {
     cmds: Vec<Cmd>,
-    credits: Credits,
     /// Stats cells indexed by tenant id, for `build_plan` accounting.
     cells: Vec<Arc<TenantStatsInner>>,
 }
@@ -889,29 +938,7 @@ fn drain_drr(q: &mut Queue, cfg: &ServerConfig) -> Batch {
             .store(t.cmds.len() as u64, Ordering::Relaxed);
     }
     let cells: Vec<Arc<TenantStatsInner>> = q.tenants.iter().map(|t| t.stats.clone()).collect();
-    let mut counts = vec![0u64; nt];
-    for c in &cmds {
-        counts[c.tenant()] += 1;
-    }
-    let credits = counts
-        .into_iter()
-        .enumerate()
-        .filter(|(_, n)| *n > 0)
-        .map(|(i, n)| (cells[i].clone(), n))
-        .collect();
-    Batch {
-        cmds,
-        credits,
-        cells,
-    }
-}
-
-/// Apply a collected job's completion credits.
-fn credit_completion(stats: &StatsInner, credits: &Credits) {
-    for (cell, n) in credits {
-        cell.completed.fetch_add(*n, Ordering::Relaxed);
-        stats.completed.fetch_add(*n, Ordering::Relaxed);
-    }
+    Batch { cmds, cells }
 }
 
 /// The dispatcher thread: owns the cluster, drains the tenant queues by
@@ -919,7 +946,7 @@ fn credit_completion(stats: &StatsInner, credits: &Credits) {
 /// flight.
 fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
     let cluster = Cluster::new(m, n);
-    let mut in_flight: VecDeque<(PendingJob<()>, Credits)> = VecDeque::new();
+    let mut in_flight: VecDeque<PendingJob<()>> = VecDeque::new();
     let stats = &shared.stats;
     loop {
         // Mirror the cluster's cumulative stash-eviction count into the
@@ -928,20 +955,18 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
         stats
             .stash_evicted
             .store(cluster.stats().stash_evicted_chunks, Ordering::Relaxed);
-        // Opportunistically collect finished jobs (submission order).
-        while let Some((job, credits)) = in_flight.pop_front() {
-            if cluster.try_collect(&job).is_some() {
-                credit_completion(stats, &credits);
-            } else {
-                in_flight.push_front((job, credits));
+        // Opportunistically collect finished jobs (submission order) to
+        // free pipeline slots; completion stats were already credited by
+        // each op's last slot filler.
+        while let Some(job) = in_flight.pop_front() {
+            if cluster.try_collect(&job).is_none() {
+                in_flight.push_front(job);
                 break;
             }
         }
         // Enforce the pipeline depth.
         while in_flight.len() >= cfg.pipeline.max(1) {
-            let (job, credits) = in_flight.pop_front().expect("nonempty");
-            cluster.collect(job);
-            credit_completion(stats, &credits);
+            cluster.collect(in_flight.pop_front().expect("nonempty"));
         }
         // Take a batch, or learn there is nothing left to do.
         let batch: Option<Batch> = {
@@ -957,10 +982,9 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
                 }
                 if !in_flight.is_empty() {
                     // Nothing queued but jobs running: go collect one
-                    // (keeps `completed` current) instead of sleeping.
+                    // (frees the pipeline slot) instead of sleeping.
                     break Some(Batch {
                         cmds: Vec::new(),
-                        credits: Vec::new(),
                         cells: Vec::new(),
                     });
                 }
@@ -970,21 +994,18 @@ fn dispatch(m: usize, n: usize, cfg: ServerConfig, shared: Arc<ServerShared>) {
         match batch {
             None => break,
             Some(b) if b.cmds.is_empty() => {
-                let (job, credits) = in_flight.pop_front().expect("nonempty");
-                cluster.collect(job);
-                credit_completion(stats, &credits);
+                cluster.collect(in_flight.pop_front().expect("nonempty"));
             }
             Some(b) => {
                 let plan = Arc::new(build_plan(b.cmds, &cfg, stats, &b.cells));
                 let job = cluster.submit(move |cctx| run_plan(cctx, &plan));
-                in_flight.push_back((job, b.credits));
+                in_flight.push_back(job);
                 stats.batches.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
-    for (job, credits) in in_flight {
+    for job in in_flight {
         cluster.collect(job);
-        credit_completion(stats, &credits);
     }
     stats
         .stash_evicted
@@ -1214,6 +1235,9 @@ fn run_plan(cctx: &mut ClusterCtx, plan: &[PlanOp]) {
                         }
                     }
                     PlanOp::Ar { state, .. } => {
+                        // The submit path sized this to `count * 8` bytes;
+                        // anything else would make `wait` decode garbage.
+                        debug_assert_eq!(bytes.len() % 8, 0, "allreduce slot not whole f64 lanes");
                         state.complete_slot(slot, bytes);
                     }
                 }
@@ -1226,4 +1250,50 @@ fn run_plan(cctx: &mut ClusterCtx, plan: &[PlanOp]) {
         }
     }
     // `sched` drops here: quiesces the engine so the next job starts clean.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a slot whose byte length is not a multiple of
+    /// 8 must surface [`SchedError::MalformedPayload`], not decode. The
+    /// pre-fix `wait` ran `chunks_exact(8)` directly, silently dropping
+    /// the 7-byte tail and returning a truncated (empty) lane vector.
+    #[test]
+    fn malformed_slot_length_is_a_typed_error() {
+        let state = Arc::new(OpState::completed(vec![vec![0u8; 7]]));
+        let ticket = AllreduceTicket { state };
+        assert_eq!(
+            ticket.try_wait(),
+            Err(SchedError::MalformedPayload { len: 7 })
+        );
+    }
+
+    /// The blocking `wait` surfaces the same condition as a panic carrying
+    /// the typed error's message (pre-fix it returned a truncated result).
+    #[test]
+    #[should_panic(expected = "not a whole number of f64")]
+    fn wait_panics_on_malformed_rather_than_truncating() {
+        let state = Arc::new(OpState::completed(vec![[
+            1.0f64.to_ne_bytes().to_vec(),
+            vec![0u8; 3],
+        ]
+        .concat()]));
+        let ticket = AllreduceTicket { state };
+        let _ = ticket.wait();
+    }
+
+    /// Well-formed slots still decode lane-exactly through the checked path.
+    #[test]
+    fn well_formed_slots_decode_exactly() {
+        let mut bytes = Vec::new();
+        for v in [1.5f64, -2.0, 0.25] {
+            bytes.extend_from_slice(&v.to_ne_bytes());
+        }
+        let state = Arc::new(OpState::completed(vec![bytes.clone(), bytes]));
+        let ticket = AllreduceTicket { state };
+        let got = ticket.try_wait().expect("3 lanes is well-formed");
+        assert_eq!(got, vec![vec![1.5, -2.0, 0.25]; 2]);
+    }
 }

@@ -273,3 +273,222 @@ fn many_ops_in_flight_deep_pipeline() {
         }
     }
 }
+
+#[test]
+fn ireduce_scatter_scatters_global_member_spans() {
+    let cluster = Cluster::new(2, 4);
+    let count = 5000;
+    let results = cluster.run(move |cctx| {
+        let world = 8usize;
+        let gi = cctx.global_rank();
+        let vals: Vec<f64> = (0..count).map(|i| gi as f64 + i as f64).collect();
+        let input = Arc::new(SharedRegion::new(count * 8));
+        write_f64s(&input, 0, &vals);
+        let lo = gi * count / world;
+        let hi = (gi + 1) * count / world;
+        let output = Arc::new(SharedRegion::new(((hi - lo) * 8).max(1)));
+        let mut sched = Sched::new(cctx);
+        let req = sched
+            .ireduce_scatter(&[0, 1, 2, 3], Some(&input), Some(&output), count)
+            .unwrap();
+        sched.wait(req);
+        (lo, read_f64s(&output, 0, hi - lo))
+    });
+    let rank_sum: f64 = (0..8).map(|r| r as f64).sum();
+    for node in &results {
+        for (lo, got) in node {
+            for (j, v) in got.iter().enumerate() {
+                let i = lo + j;
+                assert_eq!(*v, rank_sum + 8.0 * i as f64, "element {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ireduce_scatter_handles_empty_spans() {
+    // count < world: some members own zero elements and still complete.
+    let cluster = Cluster::new(2, 4);
+    let count = 5;
+    let results = cluster.run(move |cctx| {
+        let world = 8usize;
+        let gi = cctx.global_rank();
+        let input = Arc::new(SharedRegion::new(count * 8));
+        write_f64s(&input, 0, &vec![gi as f64 + 1.0; count]);
+        let lo = gi * count / world;
+        let hi = (gi + 1) * count / world;
+        let output = Arc::new(SharedRegion::new(((hi - lo) * 8).max(1)));
+        let mut sched = Sched::new(cctx);
+        let req = sched
+            .ireduce_scatter(&[0, 1, 2, 3], Some(&input), Some(&output), count)
+            .unwrap();
+        sched.wait(req);
+        read_f64s(&output, 0, hi - lo)
+    });
+    let sum: f64 = (1..=8).map(|r| r as f64).sum();
+    let per_rank: Vec<usize> = (0..8).map(|gi| (gi + 1) * 5 / 8 - gi * 5 / 8).collect();
+    assert_eq!(per_rank.iter().sum::<usize>(), 5);
+    for (node, per_node) in results.iter().enumerate() {
+        for (rank, got) in per_node.iter().enumerate() {
+            let gi = node * 4 + rank;
+            assert_eq!(got.len(), per_rank[gi], "span size of member {gi}");
+            assert!(got.iter().all(|&v| v == sum), "member {gi}: {got:?}");
+        }
+    }
+}
+
+#[test]
+fn iallgather_gathers_in_global_member_order() {
+    let cluster = Cluster::new(2, 4);
+    let len = 20_000; // multi-chunk superblocks at the default 16 KiB
+    let results = cluster.run(move |cctx| {
+        let input = Arc::new(SharedRegion::new(len));
+        // SAFETY: fresh region.
+        unsafe { input.write(0, &pattern(cctx.global_rank() as u8, len)) };
+        let output = Arc::new(SharedRegion::new(8 * len));
+        let mut sched = Sched::new(cctx);
+        let req = sched
+            .iallgather(&[0, 1, 2, 3], Some(&input), Some(&output), len)
+            .unwrap();
+        sched.wait(req);
+        read_bytes(&output, 8 * len)
+    });
+    let mut expect = Vec::new();
+    for gi in 0..8u8 {
+        expect.extend_from_slice(&pattern(gi, len));
+    }
+    for node in &results {
+        for got in node {
+            assert_eq!(*got, expect);
+        }
+    }
+}
+
+#[test]
+fn mixed_collectives_in_flight_concurrently() {
+    // All four op types posted back-to-back before any wait.
+    let cluster = Cluster::new(2, 4);
+    let len = 6000;
+    let count = 3000;
+    let results = cluster.run(move |cctx| {
+        let gi = cctx.global_rank();
+        let world = 8usize;
+        let mut sched = Sched::new(cctx);
+
+        let bbuf = Arc::new(SharedRegion::new(len));
+        if gi == 5 {
+            // SAFETY: fresh region.
+            unsafe { bbuf.write(0, &pattern(42, len)) };
+        }
+        let ain = Arc::new(SharedRegion::new(count * 8));
+        write_f64s(&ain, 0, &vec![gi as f64; count]);
+        let aout = Arc::new(SharedRegion::new(count * 8));
+        let rin = Arc::new(SharedRegion::new(count * 8));
+        write_f64s(&rin, 0, &vec![1.0 + gi as f64; count]);
+        let lo = gi * count / world;
+        let hi = (gi + 1) * count / world;
+        let rout = Arc::new(SharedRegion::new(((hi - lo) * 8).max(1)));
+        let gin = Arc::new(SharedRegion::new(len));
+        // SAFETY: fresh region.
+        unsafe { gin.write(0, &pattern(gi as u8, len)) };
+        let gout = Arc::new(SharedRegion::new(8 * len));
+
+        let grp = [0usize, 1, 2, 3];
+        let r1 = sched.ibcast(&grp, 1, 1, Some(&bbuf), len).unwrap();
+        let r2 = sched
+            .iallreduce(&grp, Some(&ain), Some(&aout), count)
+            .unwrap();
+        let r3 = sched
+            .ireduce_scatter(&grp, Some(&rin), Some(&rout), count)
+            .unwrap();
+        let r4 = sched
+            .iallgather(&grp, Some(&gin), Some(&gout), len)
+            .unwrap();
+        sched.wait_all(&[r1, r2, r3, r4]);
+
+        (
+            read_bytes(&bbuf, len),
+            read_f64s(&aout, 0, count),
+            read_f64s(&rout, 0, hi - lo),
+            read_bytes(&gout, 8 * len),
+        )
+    });
+    let sum: f64 = (0..8).map(|r| r as f64).sum();
+    let mut gexpect = Vec::new();
+    for g in 0..8u8 {
+        gexpect.extend_from_slice(&pattern(g, len));
+    }
+    for (node, per_node) in results.iter().enumerate() {
+        for (rank, (b, a, r, g)) in per_node.iter().enumerate() {
+            let gi = node * 4 + rank;
+            assert_eq!(*b, pattern(42, len), "bcast at member {gi}");
+            assert!(a.iter().all(|&v| v == sum), "allreduce at member {gi}");
+            assert!(
+                r.iter().all(|&v| v == sum + 8.0),
+                "reduce_scatter at member {gi}"
+            );
+            assert_eq!(*g, gexpect, "allgather at member {gi}");
+        }
+    }
+}
+
+/// Regression: with fewer chunks than members (`kt < g`) the members with
+/// an empty reduce partition never read co-member inputs, so they must not
+/// wait to map them — a chunk owner may finish and unexpose its input
+/// first (its await-parts gate sees the empty partials trivially done),
+/// after which the map could never succeed and `wait` spun forever. The
+/// single-chunk shape below idles three of four members per node; the loop
+/// gives the scheduler chances to order the owner's unexpose first.
+#[test]
+fn single_chunk_ops_with_idle_partitions_terminate() {
+    let cluster = Cluster::new(2, 4);
+    for _ in 0..10 {
+        let count = 64; // one chunk at 2048 elements per chunk, g = 4
+        let results = cluster.run(move |cctx| {
+            let world = 8usize;
+            let gi = cctx.global_rank();
+            let input = Arc::new(SharedRegion::new(count * 8));
+            write_f64s(&input, 0, &vec![gi as f64 + 1.0; count]);
+            let ar_out = Arc::new(SharedRegion::new(count * 8));
+            let lo = gi * count / world;
+            let hi = (gi + 1) * count / world;
+            let rs_in = Arc::new(SharedRegion::new(count * 8));
+            write_f64s(&rs_in, 0, &vec![gi as f64 + 1.0; count]);
+            let rs_out = Arc::new(SharedRegion::new(((hi - lo) * 8).max(1)));
+            let mut sched = Sched::new(cctx);
+            let r1 = sched
+                .iallreduce(&[0, 1, 2, 3], Some(&input), Some(&ar_out), count)
+                .unwrap();
+            let r2 = sched
+                .ireduce_scatter(&[0, 1, 2, 3], Some(&rs_in), Some(&rs_out), count)
+                .unwrap();
+            sched.wait_all(&[r1, r2]);
+            (read_f64s(&ar_out, 0, count), read_f64s(&rs_out, 0, hi - lo))
+        });
+        let sum: f64 = (1..=8).map(|r| r as f64).sum();
+        for node in &results {
+            for (ar, rs) in node {
+                assert!(ar.iter().all(|&v| v == sum), "allreduce: {ar:?}");
+                assert!(rs.iter().all(|&v| v == sum), "reduce-scatter: {rs:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_rs_ag_complete_at_post() {
+    let cluster = Cluster::new(2, 2);
+    let oks = cluster.run(|cctx| {
+        let mut sched = Sched::new(cctx);
+        let a = Arc::new(SharedRegion::new(8));
+        let b = Arc::new(SharedRegion::new(8));
+        let r1 = sched
+            .ireduce_scatter(&[0, 1], Some(&a), Some(&b), 0)
+            .unwrap();
+        let c = Arc::new(SharedRegion::new(8));
+        let d = Arc::new(SharedRegion::new(8));
+        let r2 = sched.iallgather(&[0, 1], Some(&c), Some(&d), 0).unwrap();
+        sched.is_complete(r1) && sched.is_complete(r2)
+    });
+    assert!(oks.iter().flatten().all(|&ok| ok));
+}

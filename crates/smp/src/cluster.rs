@@ -497,8 +497,78 @@ impl Drop for Cluster {
 pub(crate) const KIND_PARTIAL: u64 = 0;
 pub(crate) const KIND_FULL: u64 = 1;
 
+/// Exclusive upper bound of the `color` field of a packed chunk tag
+/// (23 bits: tag bits 40..63).
+pub const TAG_COLOR_LIMIT: usize = 1 << 23;
+/// Exclusive upper bound of the `k` (chunk-sequence) field of a packed
+/// chunk tag (40 bits: tag bits 0..40).
+pub const TAG_CHUNK_LIMIT: usize = 1 << 40;
+
+/// Why a chunk tag could not be packed: a field would overflow its bit
+/// range and silently corrupt neighboring fields (the `kind` bit, or an
+/// adjacent color). Surfaced by [`try_pack_tag`]; the unchecked
+/// [`pack_tag`] debug-asserts the same bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagError {
+    /// `color` does not fit the 23-bit field ([`TAG_COLOR_LIMIT`]).
+    ColorTooLarge {
+        /// The offending color / segment id.
+        color: usize,
+    },
+    /// `k` does not fit the 40-bit field ([`TAG_CHUNK_LIMIT`]).
+    ChunkTooLarge {
+        /// The offending chunk index.
+        k: usize,
+    },
+    /// `kind` is not a single bit.
+    KindTooLarge {
+        /// The offending kind value.
+        kind: u64,
+    },
+}
+
+impl std::fmt::Display for TagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagError::ColorTooLarge { color } => write!(
+                f,
+                "tag color {color} exceeds the 23-bit field (limit {TAG_COLOR_LIMIT})"
+            ),
+            TagError::ChunkTooLarge { k } => write!(
+                f,
+                "tag chunk index {k} exceeds the 40-bit field (limit {TAG_CHUNK_LIMIT})"
+            ),
+            TagError::KindTooLarge { kind } => {
+                write!(f, "tag kind {kind} exceeds the single kind bit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TagError {}
+
+/// Checked tag constructor: packs `(color, kind, k)` into the
+/// `kind:1 | color:23 | k:40` wire layout, refusing any field that would
+/// overflow into a neighbor. Collectives validate their *largest* tag with
+/// this once per operation, so the per-chunk hot path can keep using the
+/// unchecked (debug-asserted) [`pack_tag`].
+pub(crate) fn try_pack_tag(color: usize, kind: u64, k: usize) -> Result<u64, TagError> {
+    if color >= TAG_COLOR_LIMIT {
+        return Err(TagError::ColorTooLarge { color });
+    }
+    if k >= TAG_CHUNK_LIMIT {
+        return Err(TagError::ChunkTooLarge { k });
+    }
+    if kind > 1 {
+        return Err(TagError::KindTooLarge { kind });
+    }
+    Ok((kind << 63) | ((color as u64) << 40) | k as u64)
+}
+
 pub(crate) fn pack_tag(color: usize, kind: u64, k: usize) -> u64 {
-    debug_assert!(k < (1 << 40));
+    debug_assert!(color < TAG_COLOR_LIMIT, "tag color {color} overflows");
+    debug_assert!(k < TAG_CHUNK_LIMIT, "tag chunk index {k} overflows");
+    debug_assert!(kind <= 1, "tag kind {kind} overflows");
     (kind << 63) | ((color as u64) << 40) | k as u64
 }
 
@@ -518,6 +588,11 @@ pub(crate) fn chunks_of(len: usize, chunk: usize) -> impl Iterator<Item = (usize
         (k, off, (len - off).min(chunk))
     })
 }
+
+/// The node-aware collectives (locality-aware reduce-scatter/allgather
+/// stages, the fused hybrid allreduce, and the rounded-out collective set).
+#[path = "node_aware.rs"]
+mod node_aware;
 
 impl ClusterCtx {
     /// This rank's node id.
@@ -961,6 +1036,23 @@ impl ClusterCtx {
         let chunk_len = |span: usize, k: usize| (span.min((k + 1) * ce) - k * ce) * 8;
         let cum_bytes = |span: usize, upto: usize| (span.min(upto * ce) * 8) as u64;
 
+        // Chunks this op still expects on each incoming direction. The
+        // drain loop below must never peek past this: there is no
+        // cluster-wide barrier between collectives, so a chunk of the
+        // *next* ring collective can already be queued behind our last
+        // expected one (cross-op pipelining), and its tag — a different
+        // color space entirely — must be left for that op's engine.
+        let mut expect = [0usize; 2];
+        for f in &flows {
+            let di = (f.dir == RingDir::Minus) as usize;
+            if f.pos > 0 {
+                expect[di] += f.kt; // partials, position 1..m-1
+            }
+            if f.pos < m - 1 {
+                expect[di] += f.kt; // fulls, every position but the producer
+            }
+        }
+
         loop {
             let mut progressed = false;
 
@@ -1004,8 +1096,10 @@ impl ClusterCtx {
             }
 
             for dir in [RingDir::Plus, RingDir::Minus] {
+                let di = (dir == RingDir::Minus) as usize;
                 let in_ch = fabric.ring_recv(v, dir);
-                while let Some(tag) = in_ch.peek_tag() {
+                while expect[di] > 0 {
+                    let Some(tag) = in_ch.peek_tag() else { break };
                     let (c, kind, k) = unpack_tag(tag);
                     let f = &mut flows[c];
                     debug_assert_eq!(f.dir, dir, "flow routed on the wrong ring direction");
@@ -1063,6 +1157,7 @@ impl ClusterCtx {
                             f.fulls_local += 1;
                         }
                         f.combined += 1;
+                        expect[di] -= 1;
                         progressed = true;
                     } else {
                         debug_assert!(f.pos < m - 1, "the originator never receives fulls");
@@ -1089,6 +1184,7 @@ impl ClusterCtx {
                             snd.publish(pack_tag(c, KIND_FULL, k));
                             f.fulls_sent += 1;
                         }
+                        expect[di] -= 1;
                         progressed = true;
                     }
                 }
@@ -1239,6 +1335,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tag_fields_round_trip_at_their_boundaries() {
+        // The widest legal values in every field survive a round trip with
+        // no cross-field bleed.
+        for (color, kind, k) in [
+            (TAG_COLOR_LIMIT - 1, KIND_PARTIAL, TAG_CHUNK_LIMIT - 1),
+            (TAG_COLOR_LIMIT - 1, KIND_FULL, 0),
+            (0, KIND_FULL, TAG_CHUNK_LIMIT - 1),
+            (0, KIND_PARTIAL, 0),
+        ] {
+            let tag = try_pack_tag(color, kind, k).expect("boundary values are legal");
+            assert_eq!(unpack_tag(tag), (color, kind, k), "fields bled");
+            assert_eq!(tag, pack_tag(color, kind, k));
+        }
+    }
+
+    #[test]
+    fn overflowing_tag_fields_are_refused_not_aliased() {
+        // Pre-fix, pack_tag(1 << 23, KIND_PARTIAL, k) silently set bit 63:
+        // a partial tag aliased a *full* tag of color 0 — the satellite bug.
+        assert_eq!(
+            try_pack_tag(TAG_COLOR_LIMIT, KIND_PARTIAL, 5),
+            Err(TagError::ColorTooLarge {
+                color: TAG_COLOR_LIMIT
+            })
+        );
+        // The alias the unchecked shift would have produced:
+        let aliased = ((TAG_COLOR_LIMIT as u64) << 40) | 5;
+        assert_eq!(aliased, pack_tag(0, KIND_FULL, 5), "the alias is real");
+        // A chunk index past 40 bits would corrupt the color field.
+        assert_eq!(
+            try_pack_tag(0, KIND_PARTIAL, TAG_CHUNK_LIMIT),
+            Err(TagError::ChunkTooLarge { k: TAG_CHUNK_LIMIT })
+        );
+        assert_eq!(
+            try_pack_tag(0, 2, 0),
+            Err(TagError::KindTooLarge { kind: 2 })
+        );
+        let msg = TagError::ColorTooLarge {
+            color: TAG_COLOR_LIMIT,
+        }
+        .to_string();
+        assert!(msg.contains("23-bit"), "error names the field: {msg}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tag color")]
+    fn unchecked_pack_tag_guards_color_in_debug() {
+        // Regression: the pre-fix pack_tag had no color guard at all.
+        let _ = pack_tag(TAG_COLOR_LIMIT, KIND_PARTIAL, 0);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod transport;
 pub mod proc;
 
 pub use barrier::SenseBarrier;
-pub use cluster::{Cluster, ClusterCtx, ClusterStats, PendingJob};
+pub use cluster::{
+    Cluster, ClusterCtx, ClusterStats, PendingJob, TagError, TAG_CHUNK_LIMIT, TAG_COLOR_LIMIT,
+};
 pub use runtime::{
     run_node, NodeRuntime, NodeShared, RankCtx, SchedStash, StashEviction, StashStats,
     STASH_PER_OP_CAP, STASH_TOTAL_CAP,

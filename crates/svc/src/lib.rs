@@ -538,6 +538,13 @@ impl AllreduceTicket {
     pub fn wait(self) -> Vec<Vec<f64>> {
         self.inner.wait()
     }
+
+    /// Spin until done; surfaces a slot whose byte length is not a whole
+    /// number of f64 lanes as [`SchedError::MalformedPayload`] instead of
+    /// panicking.
+    pub fn try_wait(self) -> Result<Vec<Vec<f64>>, SvcError> {
+        self.inner.try_wait().map_err(SvcError::Sched)
+    }
 }
 
 #[cfg(test)]

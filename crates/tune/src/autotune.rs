@@ -26,12 +26,12 @@
 //! the fraction of (resample, grid size) pairs that kept the same pick.
 
 use bgp_machine::{MachineConfig, OpMode};
-use bgp_mpi::tune::{Region, ShapeEntry, TuningTable};
-use bgp_mpi::BcastAlgorithm;
+use bgp_mpi::tune::{ArRegion, Region, ShapeEntry, TuningTable};
+use bgp_mpi::{AllreduceAlgorithm, BcastAlgorithm};
 use bgp_sim::Rng;
 
 use crate::model::fit_piecewise;
-use crate::sweep::{pow2_sizes, sweep_bcast, Sweep};
+use crate::sweep::{pow2_sizes, sweep_allreduce, sweep_bcast, ArSweep, Sweep};
 
 /// What to sweep and how to resample.
 #[derive(Debug, Clone)]
@@ -109,6 +109,53 @@ pub fn measured_algorithms(mode: OpMode) -> Vec<BcastAlgorithm> {
         algs.insert(0, BcastAlgorithm::TreeSmp);
     }
     algs
+}
+
+/// The production allreduce candidate sequence, in crossover order: the
+/// shared-address ring is the latency path, the node-aware RS+AG the
+/// bandwidth path (`RingCurrent` is the pre-paper baseline — measured by
+/// the sweeps and the gate, never a production candidate).
+pub fn ar_candidates() -> Vec<AllreduceAlgorithm> {
+    vec![
+        AllreduceAlgorithm::ShaddrSpecialized,
+        AllreduceAlgorithm::NodeAwareRsAg,
+    ]
+}
+
+/// Derive monotone allreduce regions from measured pairwise crossovers.
+fn ar_regions_from(sweep: &ArSweep, cands: &[AllreduceAlgorithm]) -> Vec<ArRegion> {
+    let mut regions = Vec::new();
+    let mut prev_bound = 0u64;
+    for pair in cands.windows(2) {
+        if let Some(b) = sweep.last_win(pair[0], pair[1]) {
+            if b > prev_bound {
+                regions.push(ArRegion {
+                    upto: Some(b),
+                    alg: pair[0],
+                    confidence: 1.0,
+                });
+                prev_bound = b;
+            }
+        }
+    }
+    regions.push(ArRegion {
+        upto: None,
+        alg: *cands.last().expect("candidates are never empty"),
+        confidence: 1.0,
+    });
+    regions
+}
+
+/// The pick of an allreduce region list at `bytes`.
+fn ar_pick(regions: &[ArRegion], bytes: u64) -> AllreduceAlgorithm {
+    for r in regions {
+        match r.upto {
+            Some(b) if bytes <= b => return r.alg,
+            None => return r.alg,
+            _ => {}
+        }
+    }
+    regions.last().unwrap().alg
 }
 
 /// Derive monotone selection regions from measured pairwise crossovers
@@ -205,10 +252,48 @@ pub fn tune_entry(cfg: &MachineConfig, opts: &AutotuneOpts) -> ShapeEntry {
         })
         .collect();
 
+    // Allreduce: sweep the production candidates, derive the RS+AG
+    // crossover, resample for confidence with the same protocol.
+    let ar_cands = ar_candidates();
+    let ar_sweep = sweep_allreduce(cfg, &ar_cands, &opts.sizes);
+    let mut ar_regions = ar_regions_from(&ar_sweep, &ar_cands);
+    let mut ar_agree: Vec<u64> = vec![0; ar_regions.len()];
+    let mut ar_total: Vec<u64> = vec![0; ar_regions.len()];
+    let mut ar_rng = Rng::new(entry_seed ^ 0xA11D_0CE5);
+    for _ in 0..opts.resamples {
+        let mut perturbed = ar_sweep.clone();
+        for row in &mut perturbed.micros {
+            for v in row.iter_mut() {
+                let amp = opts.perturb_pct / 100.0;
+                *v *= 1.0 + ar_rng.range_f64(-amp, amp);
+            }
+        }
+        let resampled = ar_regions_from(&perturbed, &ar_cands);
+        for &bytes in &ar_sweep.sizes {
+            let base = ar_pick(&ar_regions, bytes);
+            let idx = ar_regions
+                .iter()
+                .position(|r| r.upto.is_none_or(|b| bytes <= b))
+                .unwrap();
+            ar_total[idx] += 1;
+            if ar_pick(&resampled, bytes) == base {
+                ar_agree[idx] += 1;
+            }
+        }
+    }
+    if opts.resamples > 0 {
+        for (i, r) in ar_regions.iter_mut().enumerate() {
+            if ar_total[i] > 0 {
+                r.confidence = ar_agree[i] as f64 / ar_total[i] as f64;
+            }
+        }
+    }
+
     ShapeEntry {
         mode: cfg.mode,
         nodes: cfg.node_count(),
         regions,
+        ar_regions,
         models,
     }
 }

@@ -274,10 +274,12 @@ pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
         mbps(b, quad.bcast(BcastAlgorithm::TorusDirectPut, b)),
     );
 
-    // Table I: allreduce throughput at the paper's headline 512K doubles.
+    // Table I: allreduce throughput at the paper's headline 512K doubles,
+    // plus the node-aware RS+AG schedule at the same point.
     let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
     let mut m1 = Machine::new(cfg.clone());
-    let mut m2 = Machine::new(cfg);
+    let mut m2 = Machine::new(cfg.clone());
+    let mut m3 = Machine::new(cfg);
     bw(
         &mut entries,
         "table1/shaddr_specialized/512K",
@@ -288,6 +290,45 @@ pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
         "table1/ring_current/512K",
         throughput_mb(&mut m2, AllreduceAlgorithm::RingCurrent, 512 << 10),
     );
+    bw(
+        &mut entries,
+        "table1/node_aware_rsag/512K",
+        throughput_mb(&mut m3, AllreduceAlgorithm::NodeAwareRsAg, 512 << 10),
+    );
+
+    // The rest of the collective family: reduce-scatter (one combining
+    // pass of the node-aware decomposition) and the personalized
+    // all-to-all exchange. Bit-deterministic sim entries like table1.
+    {
+        use bgp_mpi::allgather::AllgatherAlgorithm;
+        use bgp_mpi::alltoall::alltoall_throughput_mb;
+        use bgp_mpi::reduce_scatter::reduce_scatter_throughput_mb;
+        let cfg = MachineConfig::with_nodes(scale.nodes(), OpMode::Quad);
+        let mut m = Machine::new(cfg.clone());
+        bw(
+            &mut entries,
+            "rs/shaddr_specialized/512K",
+            reduce_scatter_throughput_mb(&mut m, AllreduceAlgorithm::ShaddrSpecialized, 512 << 10),
+        );
+        let mut m = Machine::new(cfg.clone());
+        bw(
+            &mut entries,
+            "rs/ring_current/512K",
+            reduce_scatter_throughput_mb(&mut m, AllreduceAlgorithm::RingCurrent, 512 << 10),
+        );
+        let mut m = Machine::new(cfg.clone());
+        bw(
+            &mut entries,
+            "a2a/shaddr_specialized/4K",
+            alltoall_throughput_mb(&mut m, AllgatherAlgorithm::ShaddrSpecialized, 4 << 10),
+        );
+        let mut m = Machine::new(cfg);
+        bw(
+            &mut entries,
+            "a2a/ring_current/4K",
+            alltoall_throughput_mb(&mut m, AllgatherAlgorithm::RingCurrent, 4 << 10),
+        );
+    }
 
     // The production tuned-selection path end to end: whatever the table
     // picks must stay fast. A selection-policy change that lands on a
@@ -304,6 +345,11 @@ pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
     sim_us("tuned/bcast_auto/1K", quad.bcast_auto(1024).1);
     sim_us("tuned/bcast_auto/64K", quad.bcast_auto(64 << 10).1);
     sim_us("tuned/bcast_auto/2M", quad.bcast_auto(2 << 20).1);
+    // The allreduce selection path: small stays on the shared-address
+    // ring, large crosses to node-aware RS+AG (region tables or static
+    // fallback — either way the landed-on path must stay fast).
+    sim_us("tuned/allreduce_auto/1K", quad.allreduce_auto(128).1);
+    sim_us("tuned/allreduce_auto/4M", quad.allreduce_auto(512 << 10).1);
 
     // The hot-path speedup ratios: wall-derived but dimensionless, gated
     // against conservative floors in the baseline (module docs).
@@ -818,6 +864,17 @@ mod tests {
         assert!(a.entries.iter().any(|e| e.id.starts_with("fig6/")));
         assert!(a.entries.iter().any(|e| e.id.starts_with("table1/")));
         assert!(a.entries.iter().any(|e| e.id.starts_with("tuned/")));
+        // The node-aware family rides in the gated sim suite.
+        assert!(a
+            .entries
+            .iter()
+            .any(|e| e.id == "table1/node_aware_rsag/512K"));
+        assert!(a.entries.iter().any(|e| e.id.starts_with("rs/")));
+        assert!(a.entries.iter().any(|e| e.id.starts_with("a2a/")));
+        assert!(a
+            .entries
+            .iter()
+            .any(|e| e.id.starts_with("tuned/allreduce_auto/")));
         // The gated hot-path ratios ride in the suite; the win itself
         // (ratio > 1) is asserted in release builds only — a debug build
         // de-optimizes both sides but not equally.

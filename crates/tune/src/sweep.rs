@@ -9,7 +9,7 @@
 
 use bgp_machine::MachineConfig;
 use bgp_mpi::tune::SelectionPolicy;
-use bgp_mpi::{BcastAlgorithm, Mpi};
+use bgp_mpi::{AllreduceAlgorithm, BcastAlgorithm, Mpi};
 
 /// Power-of-two sizes from `from` to `to` inclusive.
 pub fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
@@ -98,6 +98,52 @@ pub fn sweep_bcast(cfg: &MachineConfig, algs: &[BcastAlgorithm], sizes: &[u64]) 
     }
 }
 
+/// Measured allreduce latencies over a size grid (sizes are payload
+/// bytes; the measured call reduces `bytes / 8` doubles).
+#[derive(Debug, Clone)]
+pub struct ArSweep {
+    /// Algorithms, in column order.
+    pub algs: Vec<AllreduceAlgorithm>,
+    /// Payload sizes in bytes, in row order.
+    pub sizes: Vec<u64>,
+    /// `micros[size_idx][alg_idx]` — simulated latency in µs.
+    pub micros: Vec<Vec<f64>>,
+}
+
+impl ArSweep {
+    /// The largest size at which `earlier` measures at or below `later`
+    /// (`None` if `later` wins everywhere) — the measured pairwise
+    /// crossover, same contract as [`Sweep::last_win`].
+    pub fn last_win(&self, earlier: AllreduceAlgorithm, later: AllreduceAlgorithm) -> Option<u64> {
+        let e = self.algs.iter().position(|&a| a == earlier)?;
+        let l = self.algs.iter().position(|&a| a == later)?;
+        self.sizes
+            .iter()
+            .zip(&self.micros)
+            .filter(|(_, row)| row[e] <= row[l])
+            .map(|(&s, _)| s)
+            .max()
+    }
+}
+
+/// Measure every allreduce `(alg, size)` point on a fresh machine.
+pub fn sweep_allreduce(cfg: &MachineConfig, algs: &[AllreduceAlgorithm], sizes: &[u64]) -> ArSweep {
+    let mut mpi = Mpi::with_policy(cfg.clone(), SelectionPolicy::static_policy());
+    let micros = sizes
+        .iter()
+        .map(|&bytes| {
+            algs.iter()
+                .map(|&alg| mpi.allreduce(alg, (bytes / 8).max(1)).as_micros_f64())
+                .collect()
+        })
+        .collect();
+    ArSweep {
+        algs: algs.to_vec(),
+        sizes: sizes.to_vec(),
+        micros,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +172,27 @@ mod tests {
         // Latency grows with size.
         assert!(shmem.last().unwrap().1 > shmem[0].1);
         assert!(s.series(BcastAlgorithm::TreeSmp).is_none());
+    }
+
+    #[test]
+    fn allreduce_sweep_finds_the_node_aware_crossover() {
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        let algs = [
+            AllreduceAlgorithm::ShaddrSpecialized,
+            AllreduceAlgorithm::NodeAwareRsAg,
+        ];
+        let sizes = pow2_sizes(64, 4 << 20);
+        let s = sweep_allreduce(&cfg, &algs, &sizes);
+        assert!(s.micros.iter().all(|row| row.iter().all(|&v| v > 0.0)));
+        // The shared-address ring wins small sizes (node-aware pays
+        // per-stage sync), loses somewhere below the top of the grid.
+        let b = s
+            .last_win(
+                AllreduceAlgorithm::ShaddrSpecialized,
+                AllreduceAlgorithm::NodeAwareRsAg,
+            )
+            .expect("shaddr must win somewhere");
+        assert!(b < 4 << 20, "crossover at {b}");
     }
 
     #[test]

@@ -148,6 +148,7 @@ fn table_cannot_override_noncontiguous_demotion() {
                 alg: BcastAlgorithm::TorusShaddr,
                 confidence: 1.0,
             }],
+            ar_regions: vec![],
             models: vec![],
         }],
     };
