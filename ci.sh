@@ -7,12 +7,20 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Provenance for bench artifacts: bench_gate / bench_hot_path stamp this
+# SHA (plus a monotonic sequence number) into their BENCH_*.json metadata
+# so the report subsystem can order history without file mtimes.
+BGP_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+export BGP_GIT_SHA
+
 # Every smoke artifact is removed on exit — success, failure, or ^C — so a
 # failing step can no longer leak ci_*.json/BENCH_*.json into the tree
 # (the committed BENCH_baseline.json is not a smoke artifact and stays).
 cleanup() {
-  rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json BENCH_ci.json \
-    ci_sched_trace.json BENCH_hotpath.json ci_svc_soak.json
+  rm -f ci_fig6.json BENCH_fig6_phases.json BENCH_fig6_trace.json \
+    BENCH_fig6_folded.txt BENCH_ci.json ci_sched_trace.json \
+    ci_sched_trace.json.folded BENCH_hotpath.json ci_svc_soak.json
+  rm -rf ci_report
   # Stray cross-process segments from an interrupted proc_cluster run.
   # (Worker processes need no kill here: they watch getppid and exit on
   # their own once the parent is gone.)
@@ -110,5 +118,16 @@ python3 -m json.tool BENCH_ci.json >/dev/null
 
 echo "== perf gate self-test: injected 20% slowdown is flagged"
 cargo run --release -p bgp-bench --bin bench_gate -- --small --selftest
+
+# The reporting subsystem: unit + golden-file tests (byte-stable SVG
+# writer, typed ingestion errors per schema), then a full report build
+# from the committed baseline plus the BENCH_ci.json the gate step just
+# wrote. --check re-validates every emitted artifact: SVGs through the
+# vendored XML well-formedness scanner, .folded files through the
+# collapsed-stack format check, sweep JSONs through history ingestion.
+echo "== report: bgp-report tests"
+cargo test -q -p bgp-report
+echo "== report: perf_report --check (history -> ci_report/)"
+cargo run --release -p bgp-report --bin perf_report -- --out ci_report --check
 
 echo "CI OK"

@@ -68,8 +68,13 @@ fn main() -> ExitCode {
 
     let mut report = gate::run_suite(scale, with_real);
     report.label = label.clone();
+    // Provenance stamp (label, BGP_GIT_SHA, monotonic seq over the files
+    // already in cwd) so the report subsystem can order history without
+    // mtimes. Stamped before the first write so even a run that fails the
+    // comparison leaves an ordered artifact.
+    gate::stamp_meta(&mut report, std::path::Path::new("."));
+    let path = format!("BENCH_{label}.json");
     if write {
-        let path = format!("BENCH_{label}.json");
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -104,6 +109,15 @@ fn main() -> ExitCode {
     }
     let outcome = gate::compare(&report, &baseline, tol);
     print!("{}", outcome.render());
+    // Embed the comparison's violations into the written artifact so
+    // `perf_report` can mark the offending points on trend charts.
+    report.violations = outcome.violations();
+    if write && !report.violations.is_empty() {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot rewrite {path} with violations: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if outcome.passed() {
         ExitCode::SUCCESS
     } else {

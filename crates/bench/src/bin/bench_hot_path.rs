@@ -85,6 +85,9 @@ fn main() -> ExitCode {
     );
 
     if write {
+        // Same provenance stamp as bench_gate, so hotpath reports order
+        // alongside gate reports in the perf-report history.
+        bgp_tune::gate::stamp_meta(&mut report, std::path::Path::new("."));
         let path = format!("BENCH_{label}.json");
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("cannot write {path}: {e}");

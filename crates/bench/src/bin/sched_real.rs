@@ -17,7 +17,8 @@
 //! sched_real [--small] [--check] [--trace FILE]
 //!   --small   2 nodes × 2 ranks (the CI smoke shape); default 2 × 4
 //!   --check   verify payloads and assert ops/sec(depth>1) > ops/sec(depth=1)
-//!   --trace   write a Chrome trace with the sched.* service counters
+//!   --trace   write a Chrome trace with the sched.* service counters,
+//!             plus FILE.folded (collapsed-stack format, flamegraph-ready)
 //! ```
 
 use std::hint::black_box;
@@ -183,7 +184,10 @@ fn main() {
         probe.count("sched.wait_ns", stats.wait_ns);
         probe.count("sched.coalesced", stats.coalesced);
         std::fs::write(&path, probe.chrome_trace()).expect("write trace");
-        println!("trace: wrote {path}");
+        // The same spans in collapsed-stack format, flamegraph-ready.
+        let folded_path = format!("{path}.folded");
+        std::fs::write(&folded_path, probe.collapsed()).expect("write folded");
+        println!("trace: wrote {path} and {folded_path}");
     }
 
     if check {

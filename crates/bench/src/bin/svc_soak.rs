@@ -381,6 +381,9 @@ fn main() {
 
     if let Some(path) = json_path {
         let mut out = String::from("{\n");
+        // Schema tag so the perf-report ingester can type this document
+        // (and reject malformed ones with a typed error).
+        out.push_str("  \"schema\": \"bgp-svc-soak-v1\",\n");
         out.push_str(&format!(
             "  \"shape\": {{\"nodes\": {}, \"ranks\": {}, \"tenants\": {}, \"sessions\": {}}},\n",
             shape.nodes, shape.ranks, shape.tenants, shape.sessions

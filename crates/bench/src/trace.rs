@@ -10,6 +10,9 @@
 //! * `BENCH_<id>_trace.json` — a `chrome://tracing` / Perfetto JSON trace
 //!   of every recorded span (one `tid` per node; load it directly in either
 //!   viewer).
+//! * `BENCH_<id>_folded.txt` — the same spans in collapsed-stack format
+//!   (`op;alg;node<N>;phase <ns>` per line), directly consumable by
+//!   `inferno-flamegraph` and speedscope's collapsed importer.
 //!
 //! The traced run is separate from the measured sweep, so the figure's
 //! numbers are never produced with recording on (recording does not change
@@ -37,9 +40,10 @@ pub enum TraceOp {
     Allreduce(AllreduceAlgorithm, u64),
 }
 
-/// Run `op` on a fresh machine with the probe enabled and write the two
-/// artifacts for figure `id`; returns `(phases_path, trace_path)`.
-pub fn emit(id: &str, cfg: MachineConfig, op: TraceOp) -> io::Result<(PathBuf, PathBuf)> {
+/// Run `op` on a fresh machine with the probe enabled and write the three
+/// artifacts for figure `id`; returns `(phases_path, trace_path,
+/// folded_path)`.
+pub fn emit(id: &str, cfg: MachineConfig, op: TraceOp) -> io::Result<(PathBuf, PathBuf, PathBuf)> {
     let mut mpi = Mpi::new(cfg);
     mpi.enable_probe();
     match op {
@@ -52,9 +56,11 @@ pub fn emit(id: &str, cfg: MachineConfig, op: TraceOp) -> io::Result<(PathBuf, P
     }
     let phases_path = PathBuf::from(format!("BENCH_{id}_phases.json"));
     let trace_path = PathBuf::from(format!("BENCH_{id}_trace.json"));
+    let folded_path = PathBuf::from(format!("BENCH_{id}_folded.txt"));
     fs::write(&phases_path, mpi.breakdown().to_json())?;
     fs::write(&trace_path, mpi.chrome_trace())?;
-    Ok((phases_path, trace_path))
+    fs::write(&folded_path, mpi.collapsed())?;
+    Ok((phases_path, trace_path, folded_path))
 }
 
 /// [`emit`] if `--trace` was requested, reporting the written paths on
@@ -64,7 +70,12 @@ pub fn emit_if_requested(id: &str, cfg: MachineConfig, op: TraceOp) {
         return;
     }
     match emit(id, cfg, op) {
-        Ok((p, t)) => println!("trace: wrote {} and {}", p.display(), t.display()),
+        Ok((p, t, f)) => println!(
+            "trace: wrote {}, {} and {}",
+            p.display(),
+            t.display(),
+            f.display()
+        ),
         Err(e) => eprintln!("trace: failed to write artifacts: {e}"),
     }
 }
@@ -89,9 +100,10 @@ mod tests {
             TraceOp::Bcast(BcastAlgorithm::TreeShaddr { caching: true }, 64 << 10),
         );
         std::env::set_current_dir(old).unwrap();
-        let (p, t) = result.unwrap();
+        let (p, t, f) = result.unwrap();
         let phases = fs::read_to_string(dir.join(&p)).unwrap();
         let trace = fs::read_to_string(dir.join(&t)).unwrap();
+        let folded = fs::read_to_string(dir.join(&f)).unwrap();
         let pv = json::parse(&phases).unwrap();
         assert_eq!(
             pv.get("schema").unwrap().as_str(),
@@ -101,7 +113,15 @@ mod tests {
         assert!(!pv.get("phases").unwrap().as_arr().unwrap().is_empty());
         let tv = json::parse(&trace).unwrap();
         assert!(tv.as_arr().unwrap().len() > 1);
+        // The folded artifact follows the collapsed-stack format rules.
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space before count");
+            assert!(count.parse::<u64>().is_ok(), "integer count: {line}");
+            assert!(stack.contains(';'), "stack has frames: {line}");
+        }
         fs::remove_file(dir.join(p)).ok();
         fs::remove_file(dir.join(t)).ok();
+        fs::remove_file(dir.join(f)).ok();
     }
 }

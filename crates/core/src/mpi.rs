@@ -83,6 +83,12 @@ impl Mpi {
         self.machine.probe.chrome_trace()
     }
 
+    /// The most recent operation in collapsed-stack ("folded") format,
+    /// ready for `inferno-flamegraph` / speedscope.
+    pub fn collapsed(&self) -> String {
+        self.machine.probe.collapsed()
+    }
+
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.machine.cfg

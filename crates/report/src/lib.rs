@@ -1,0 +1,20 @@
+//! bgp-report — the perf-trajectory reporting subsystem.
+//!
+//! Turns the repo's bench artifacts (`BENCH_*.json` gate suites and
+//! hot-path reports, soak summaries, serialized sweeps) into a browsable
+//! report: `report/index.md` plus deterministic SVG figures reproducing
+//! the paper's plot layouts, cross-PR trend charts per gated series, and
+//! flamegraph-ready collapsed-stack exports of representative traced
+//! operations.
+//!
+//! Everything is vendored — the SVG writer ([`svg`]), the XML
+//! well-formedness check ([`xml`]), the history ingestion ([`history`]),
+//! and the collapsed-stack validator ([`flame`]) use no external crates,
+//! so the report pipeline adds nothing to the dependency graph and its
+//! output is byte-reproducible (golden-tested).
+
+pub mod flame;
+pub mod history;
+pub mod plots;
+pub mod svg;
+pub mod xml;

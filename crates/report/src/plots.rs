@@ -1,0 +1,323 @@
+//! Plot generators: the paper-layout figures and the cross-PR trend
+//! charts.
+//!
+//! The latency-vs-size figures reproduce the layout of the paper's
+//! broadcast/allreduce figures (log₂ size axis labeled `64 … 4M`, log₂
+//! latency axis, one line per algorithm path) and overlay the *tuned
+//! crossovers*: dashed vertical markers at the tuning table's region
+//! boundaries, so a reader can see exactly where the table switches
+//! algorithms relative to the measured curves.
+//!
+//! Trend charts plot one gated series across the bench history, with the
+//! baseline's tolerance band shaded and gate violations marked.
+
+use bgp_machine::MachineConfig;
+use bgp_mpi::tune::{alg_id, ar_alg_id, ShapeEntry, TuningTable};
+use bgp_tune::gate::{Better, GateReport};
+use bgp_tune::sweep::{pow2_sizes, sweep_allreduce, sweep_bcast, ArSweep, Sweep};
+
+use crate::svg::{fmt_bytes, BarChart, BarGroup, LineChart, PointMark, ScaleKind, Series, VMark};
+
+/// The size grid of the paper-layout figures: 64 B … 4 MiB.
+pub fn paper_sizes() -> Vec<u64> {
+    pow2_sizes(64, 4 << 20)
+}
+
+/// Dashed markers at the tuned region boundaries of `entry` (broadcast).
+fn bcast_crossover_marks(entry: &ShapeEntry) -> Vec<VMark> {
+    entry
+        .regions
+        .windows(2)
+        .filter_map(|w| {
+            w[0].upto.map(|b| VMark {
+                x: b as f64,
+                label: format!(
+                    "tuned: {}>{}: {}",
+                    fmt_bytes(b as f64),
+                    alg_id(w[0].alg),
+                    alg_id(w[1].alg)
+                ),
+            })
+        })
+        .collect()
+}
+
+/// Dashed markers at the tuned region boundaries of `entry` (allreduce).
+fn ar_crossover_marks(entry: &ShapeEntry) -> Vec<VMark> {
+    entry
+        .ar_regions
+        .windows(2)
+        .filter_map(|w| {
+            w[0].upto.map(|b| VMark {
+                x: b as f64,
+                label: format!(
+                    "tuned: {}>{}: {}",
+                    fmt_bytes(b as f64),
+                    ar_alg_id(w[0].alg),
+                    ar_alg_id(w[1].alg)
+                ),
+            })
+        })
+        .collect()
+}
+
+fn latency_chart(
+    title: &str,
+    swept: &[(String, Vec<(u64, f64)>)],
+    vmarks: Vec<VMark>,
+) -> LineChart {
+    let mut chart = LineChart::new(title, "message size (bytes)", "latency (us, log2)");
+    chart.x_kind = ScaleKind::Log2;
+    chart.y_kind = ScaleKind::Log2;
+    chart.x_bytes = true;
+    chart.vmarks = vmarks;
+    for (name, pts) in swept {
+        chart.series.push(Series {
+            name: name.clone(),
+            points: pts.iter().map(|&(s, us)| (s as f64, us)).collect(),
+        });
+    }
+    chart
+}
+
+/// The broadcast latency-vs-size figure for `cfg`, sweeping `algs`, with
+/// tuned crossover markers from `table`. Returns `(svg, sweep)` so the
+/// caller can also serialize the sweep.
+pub fn bcast_figure(
+    cfg: &MachineConfig,
+    algs: &[bgp_mpi::BcastAlgorithm],
+    table: &TuningTable,
+) -> (String, Sweep) {
+    let sweep = sweep_bcast(cfg, algs, &paper_sizes());
+    let series: Vec<(String, Vec<(u64, f64)>)> = algs
+        .iter()
+        .map(|&a| (alg_id(a).to_string(), sweep.series(a).unwrap()))
+        .collect();
+    let vmarks = table
+        .entry_for(cfg)
+        .map(bcast_crossover_marks)
+        .unwrap_or_default();
+    let title = format!(
+        "MPI_Bcast latency vs size ({} nodes, {:?} mode)",
+        cfg.node_count(),
+        cfg.mode
+    );
+    (latency_chart(&title, &series, vmarks).render(), sweep)
+}
+
+/// The allreduce latency-vs-size figure, same layout as [`bcast_figure`].
+pub fn allreduce_figure(
+    cfg: &MachineConfig,
+    algs: &[bgp_mpi::AllreduceAlgorithm],
+    table: &TuningTable,
+) -> (String, ArSweep) {
+    let sizes = paper_sizes();
+    let sweep = sweep_allreduce(cfg, algs, &sizes);
+    let series: Vec<(String, Vec<(u64, f64)>)> = algs
+        .iter()
+        .enumerate()
+        .map(|(col, &a)| {
+            let pts = sizes
+                .iter()
+                .zip(&sweep.micros)
+                .map(|(&s, row)| (s, row[col]))
+                .collect();
+            (ar_alg_id(a).to_string(), pts)
+        })
+        .collect();
+    let vmarks = table
+        .entry_for(cfg)
+        .map(ar_crossover_marks)
+        .unwrap_or_default();
+    let title = format!(
+        "MPI_Allreduce latency vs size ({} nodes, {:?} mode)",
+        cfg.node_count(),
+        cfg.mode
+    );
+    (latency_chart(&title, &series, vmarks).render(), sweep)
+}
+
+/// The Table-I-style grouped bars: every bandwidth series (`table1/*`,
+/// `fig7/*`, `fig10/*`, `rs/*`, `a2a/*`) of `newest` next to `baseline`.
+/// `None` when the two reports share no bandwidth series.
+pub fn table1_bars(baseline: &GateReport, newest: &GateReport) -> Option<String> {
+    let mut groups = Vec::new();
+    for e in baseline.entries.iter().filter(|e| e.unit == "MB/s") {
+        if let Some(cur) = newest.entries.iter().find(|c| c.id == e.id) {
+            groups.push(BarGroup {
+                // Strip the figure prefix; bar labels need to stay short.
+                label: e
+                    .id
+                    .rsplit_once('/')
+                    .map(|(_, t)| t)
+                    .unwrap_or(&e.id)
+                    .to_string(),
+                values: vec![e.value, cur.value],
+            });
+        }
+    }
+    if groups.is_empty() {
+        return None;
+    }
+    let chart = BarChart {
+        title: "Intra-node path bandwidth: baseline vs newest (Table I layout)".to_string(),
+        y_label: "bandwidth (MB/s)".to_string(),
+        series: vec![
+            format!("baseline ({})", baseline.label),
+            format!("newest ({})", newest.label),
+        ],
+        groups,
+    };
+    Some(chart.render())
+}
+
+/// One point on a trend chart.
+#[derive(Debug, Clone)]
+pub struct TrendPoint {
+    /// X tick label (report label, plus seq when stamped).
+    pub label: String,
+    pub value: f64,
+    /// Whether this point's report recorded a gate violation for the
+    /// series being charted.
+    pub violation: bool,
+}
+
+/// The cross-PR trend chart of one gated series: measured values across
+/// the history, the baseline's tolerance band shaded, violations marked.
+pub fn trend_chart(
+    id: &str,
+    unit: &str,
+    better: Better,
+    baseline: Option<f64>,
+    tolerance_pct: f64,
+    points: &[TrendPoint],
+) -> String {
+    let mut chart = LineChart::new(
+        &format!("{id} across bench history"),
+        "report (trajectory order)",
+        &format!("{id} ({unit})"),
+    );
+    chart.series.push(Series {
+        name: "measured".to_string(),
+        points: points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64, p.value))
+            .collect(),
+    });
+    chart.x_tick_labels = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as f64, p.label.clone()))
+        .collect();
+    if let Some(base) = baseline {
+        // The band is the gate's tolerance zone around the baseline; the
+        // gated direction decides which edge is the hard limit, but the
+        // symmetric band is what "within tolerance" means visually.
+        let tol = tolerance_pct / 100.0;
+        chart.band = Some((base * (1.0 - tol), base * (1.0 + tol)));
+        let _ = better; // direction is encoded in the violation marks
+    }
+    chart.marks = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.violation)
+        .map(|(i, p)| PointMark {
+            x: i as f64,
+            y: p.value,
+            label: "gate violation".to_string(),
+        })
+        .collect();
+    chart.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_machine::OpMode;
+    use bgp_mpi::tune::BUILTIN_TABLE_JSON;
+    use bgp_mpi::BcastAlgorithm;
+    use bgp_tune::gate::{GateEntry, GateReport};
+
+    fn table() -> TuningTable {
+        TuningTable::parse(BUILTIN_TABLE_JSON).unwrap()
+    }
+
+    #[test]
+    fn bcast_figure_has_crossover_marks_and_is_deterministic() {
+        let cfg = MachineConfig::with_nodes(64, OpMode::Quad);
+        let algs = [BcastAlgorithm::TreeShmem, BcastAlgorithm::TorusShaddr];
+        let t = table();
+        let (svg, sweep) = bcast_figure(&cfg, &algs, &t);
+        assert!(svg.contains("tuned:"), "crossover markers present");
+        assert!(svg.contains("tree_shmem"));
+        assert_eq!(sweep.sizes, paper_sizes());
+        let (svg2, _) = bcast_figure(&cfg, &algs, &t);
+        assert_eq!(svg, svg2);
+        crate::xml::check_well_formed(&svg).unwrap();
+    }
+
+    #[test]
+    fn allreduce_figure_marks_the_node_aware_crossover() {
+        let cfg = MachineConfig::with_nodes(64, OpMode::Quad);
+        let algs = bgp_tune::autotune::ar_candidates();
+        let (svg, _) = allreduce_figure(&cfg, &algs, &table());
+        assert!(svg.contains("node_aware_rsag"));
+        crate::xml::check_well_formed(&svg).unwrap();
+    }
+
+    #[test]
+    fn trend_chart_marks_violations_and_bands_the_baseline() {
+        let pts = vec![
+            TrendPoint {
+                label: "baseline".into(),
+                value: 100.0,
+                violation: false,
+            },
+            TrendPoint {
+                label: "ci#1".into(),
+                value: 104.0,
+                violation: false,
+            },
+            TrendPoint {
+                label: "ci#2".into(),
+                value: 131.0,
+                violation: true,
+            },
+        ];
+        let svg = trend_chart("fig6/x", "us", Better::Lower, Some(100.0), 10.0, &pts);
+        assert!(svg.contains("gate violation"));
+        assert!(svg.contains("fig6/x across bench history"));
+        crate::xml::check_well_formed(&svg).unwrap();
+    }
+
+    #[test]
+    fn table1_bars_pair_baseline_with_newest() {
+        let entry = |id: &str, unit: &str, v: f64| GateEntry {
+            id: id.into(),
+            unit: unit.into(),
+            better: Better::Higher,
+            gated: true,
+            value: v,
+        };
+        let base = GateReport {
+            label: "baseline".into(),
+            scale: "small".into(),
+            meta: None,
+            violations: Vec::new(),
+            entries: vec![
+                entry("table1/shmem", "MB/s", 800.0),
+                entry("fig6/x", "us", 9.0),
+            ],
+        };
+        let mut newest = base.clone();
+        newest.label = "ci".into();
+        newest.entries[0].value = 820.0;
+        let svg = table1_bars(&base, &newest).unwrap();
+        assert!(svg.contains("shmem"));
+        crate::xml::check_well_formed(&svg).unwrap();
+        // No shared bandwidth series -> no chart.
+        newest.entries.clear();
+        assert!(table1_bars(&base, &newest).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! A vendored XML well-formedness check (tag balance, attribute quoting).
+//!
+//! CI validates every emitted SVG through this — no external tools — so a
+//! writer bug that produces unbalanced markup fails the build rather than
+//! shipping a figure browsers silently refuse to render. This is a
+//! *well-formedness* scanner, not a validating parser: it checks tag
+//! nesting, attribute quote balance, and comment/PI termination, which is
+//! exactly the class of bug a string-assembling writer can introduce.
+
+use std::fmt;
+
+/// Why a document failed the well-formedness scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// `</b>` closed while `<a>` was open, or a close with nothing open.
+    Mismatch {
+        expected: Option<String>,
+        found: String,
+    },
+    /// Elements still open at end of input.
+    Unclosed(Vec<String>),
+    /// A `<` never terminated by `>` (or unterminated comment/PI).
+    UnterminatedTag(usize),
+    /// An attribute value's quote never closed.
+    UnterminatedAttr(usize),
+    /// No root element at all.
+    Empty,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Mismatch { expected, found } => match expected {
+                Some(e) => write!(f, "closing </{found}> while <{e}> is open"),
+                None => write!(f, "closing </{found}> with no element open"),
+            },
+            XmlError::Unclosed(stack) => {
+                write!(f, "unclosed elements at end of input: {}", stack.join(", "))
+            }
+            XmlError::UnterminatedTag(pos) => write!(f, "unterminated tag at byte {pos}"),
+            XmlError::UnterminatedAttr(pos) => {
+                write!(f, "unterminated attribute value at byte {pos}")
+            }
+            XmlError::Empty => write!(f, "no root element"),
+        }
+    }
+}
+
+fn tag_name(s: &str) -> String {
+    s.chars()
+        .take_while(|c| !c.is_whitespace() && *c != '>' && *c != '/')
+        .collect()
+}
+
+/// Scan `doc` for tag balance; `Ok(())` iff it is well-formed markup with
+/// at least one element.
+pub fn check_well_formed(doc: &str) -> Result<(), XmlError> {
+    let bytes = doc.as_bytes();
+    let mut stack: Vec<String> = Vec::new();
+    let mut seen_element = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let rest = &doc[i..];
+        if rest.starts_with("<!--") {
+            match rest.find("-->") {
+                Some(end) => i += end + 3,
+                None => return Err(XmlError::UnterminatedTag(i)),
+            }
+            continue;
+        }
+        if rest.starts_with("<?") {
+            match rest.find("?>") {
+                Some(end) => i += end + 2,
+                None => return Err(XmlError::UnterminatedTag(i)),
+            }
+            continue;
+        }
+        if rest.starts_with("<!") {
+            // DOCTYPE etc. — scan to the matching '>'.
+            match rest.find('>') {
+                Some(end) => i += end + 1,
+                None => return Err(XmlError::UnterminatedTag(i)),
+            }
+            continue;
+        }
+        if let Some(close) = rest.strip_prefix("</") {
+            let end = match close.find('>') {
+                Some(e) => e,
+                None => return Err(XmlError::UnterminatedTag(i)),
+            };
+            let found = tag_name(close);
+            match stack.pop() {
+                Some(open) if open == found => {}
+                other => {
+                    return Err(XmlError::Mismatch {
+                        expected: other,
+                        found,
+                    })
+                }
+            }
+            i += 2 + end + 1;
+            continue;
+        }
+        // Open tag: scan attributes respecting quotes until '>' / '/>'.
+        let name = tag_name(&rest[1..]);
+        let mut j = i + 1;
+        let self_closing;
+        loop {
+            if j >= bytes.len() {
+                return Err(XmlError::UnterminatedTag(i));
+            }
+            match bytes[j] {
+                b'"' | b'\'' => {
+                    let q = bytes[j];
+                    let mut k = j + 1;
+                    while k < bytes.len() && bytes[k] != q {
+                        k += 1;
+                    }
+                    if k >= bytes.len() {
+                        return Err(XmlError::UnterminatedAttr(j));
+                    }
+                    j = k + 1;
+                }
+                b'>' => {
+                    self_closing = j > 0 && bytes[j - 1] == b'/';
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        seen_element = true;
+        if !self_closing {
+            stack.push(name);
+        }
+        i = j;
+    }
+    if !stack.is_empty() {
+        return Err(XmlError::Unclosed(stack));
+    }
+    if !seen_element {
+        return Err(XmlError::Empty);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_svg() {
+        let doc = "<?xml version=\"1.0\"?>\n<svg xmlns=\"x\"><g>\n  <rect x=\"1\"/>\n  \
+                   <text>a &lt; b</text>\n</g></svg>\n";
+        assert_eq!(check_well_formed(doc), Ok(()));
+    }
+
+    #[test]
+    fn rejects_mismatched_and_unclosed_tags() {
+        assert!(matches!(
+            check_well_formed("<svg><g></svg>"),
+            Err(XmlError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            check_well_formed("<svg><rect x=\"1\"/>"),
+            Err(XmlError::Unclosed(_))
+        ));
+        assert!(matches!(
+            check_well_formed("<svg></svg><"),
+            Err(XmlError::UnterminatedTag(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_attribute_and_empty_docs() {
+        assert!(matches!(
+            check_well_formed("<svg x=\"oops></svg>"),
+            Err(XmlError::UnterminatedAttr(_))
+        ));
+        assert_eq!(check_well_formed("just text"), Err(XmlError::Empty));
+        assert_eq!(
+            check_well_formed("<?xml version=\"1.0\"?>"),
+            Err(XmlError::Empty)
+        );
+    }
+
+    #[test]
+    fn quoted_angle_brackets_do_not_confuse_the_scanner() {
+        assert_eq!(
+            check_well_formed("<svg title=\"a > b < c\"><g/></svg>"),
+            Ok(())
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden-file snapshot tests for the SVG writer.
+//!
+//! The committed files under `tests/golden/` pin the writer's exact
+//! bytes. If a rendering change is intentional, regenerate with
+//!
+//! ```text
+//! BGP_BLESS_GOLDEN=1 cargo test -p bgp-report --test golden
+//! ```
+//!
+//! and review the diff like any other source change. Byte-identity across
+//! runs and platforms is what makes `perf_report` reproducible, so these
+//! tests fail on *any* formatting drift (float formatting, attribute
+//! order, palette), not just visual changes.
+
+use bgp_report::plots::{trend_chart, TrendPoint};
+use bgp_report::svg::{LineChart, PointMark, ScaleKind, Series, VMark};
+use bgp_report::xml::check_well_formed;
+use bgp_tune::gate::Better;
+
+/// A fixed chart exercising every writer feature: log-log axes, byte
+/// tick labels, two series, a crossover marker, a band, a violation
+/// mark, and the legend.
+fn reference_line_chart() -> String {
+    let mut c = LineChart::new(
+        "reference: latency vs size",
+        "message size (bytes)",
+        "latency (us, log2)",
+    );
+    c.x_kind = ScaleKind::Log2;
+    c.y_kind = ScaleKind::Log2;
+    c.x_bytes = true;
+    c.series.push(Series {
+        name: "tree_shmem".into(),
+        points: vec![
+            (64.0, 2.0),
+            (1024.0, 4.5),
+            (65536.0, 95.0),
+            (2097152.0, 3150.0),
+        ],
+    });
+    c.series.push(Series {
+        name: "torus_shaddr".into(),
+        points: vec![
+            (64.0, 9.0),
+            (1024.0, 9.5),
+            (65536.0, 40.0),
+            (2097152.0, 900.0),
+        ],
+    });
+    c.vmarks.push(VMark {
+        x: 8192.0,
+        label: "tuned: >8K: torus_shaddr".into(),
+    });
+    c.band = Some((30.0, 50.0));
+    c.marks.push(PointMark {
+        x: 65536.0,
+        y: 95.0,
+        label: "gate violation".into(),
+    });
+    c.render()
+}
+
+/// A fixed trend chart: categorical x labels, tolerance band, one
+/// violation point.
+fn reference_trend_chart() -> String {
+    let pts = vec![
+        TrendPoint {
+            label: "baseline".into(),
+            value: 100.0,
+            violation: false,
+        },
+        TrendPoint {
+            label: "ci#1".into(),
+            value: 97.5,
+            violation: false,
+        },
+        TrendPoint {
+            label: "ci#2".into(),
+            value: 104.0,
+            violation: false,
+        },
+        TrendPoint {
+            label: "ci#3".into(),
+            value: 131.0,
+            violation: true,
+        },
+    ];
+    trend_chart(
+        "fig6/tree_shmem/1K",
+        "us",
+        Better::Lower,
+        Some(100.0),
+        10.0,
+        &pts,
+    )
+}
+
+fn assert_golden(name: &str, got: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BGP_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); bless with BGP_BLESS_GOLDEN=1"));
+    assert!(
+        want == got,
+        "{name}: output drifted from golden file (if intentional, regenerate \
+         with BGP_BLESS_GOLDEN=1 and review the diff)"
+    );
+}
+
+#[test]
+fn line_chart_matches_golden_bytes() {
+    let svg = reference_line_chart();
+    check_well_formed(&svg).unwrap();
+    // Byte-stable across repeated renders before comparing to disk.
+    assert_eq!(svg, reference_line_chart());
+    assert_golden("line_chart.svg", &svg);
+}
+
+#[test]
+fn trend_chart_matches_golden_bytes() {
+    let svg = reference_trend_chart();
+    check_well_formed(&svg).unwrap();
+    assert_eq!(svg, reference_trend_chart());
+    assert_golden("trend_chart.svg", &svg);
+}

@@ -326,6 +326,35 @@ impl Probe {
     /// recorded [`Self::count`] totals follow as counter (`"ph": "C"`)
     /// events so service-level gauges (queue depth, wait time, coalesced
     /// ops) land in the same artifact as the phase timeline.
+    /// Export all spans in collapsed-stack ("folded") format — the input
+    /// of `inferno-flamegraph` and speedscope's "collapsed" importer: one
+    /// line per distinct stack, `frame;frame;...;frame <count>`, counts
+    /// summed over spans and expressed in nanoseconds of span time. The
+    /// synthesized stack is `op;alg;node<N>;phase`, so a flamegraph groups
+    /// by operation, then algorithm, then node track, then phase (empty
+    /// op/alg frames are skipped). Lines are sorted lexicographically —
+    /// the output is byte-stable for identical recordings.
+    pub fn collapsed(&self) -> String {
+        let mut stacks: std::collections::BTreeMap<String, u64> = Default::default();
+        for s in &self.spans {
+            let mut frames: Vec<String> = Vec::with_capacity(4);
+            if !self.op.is_empty() {
+                frames.push(self.op.clone());
+            }
+            if !self.alg.is_empty() {
+                frames.push(self.alg.clone());
+            }
+            frames.push(format!("node{}", s.node));
+            frames.push(s.phase.to_string());
+            *stacks.entry(frames.join(";")).or_default() += (s.end - s.start).as_nanos();
+        }
+        let mut out = String::new();
+        for (stack, ns) in stacks {
+            out.push_str(&format!("{stack} {ns}\n"));
+        }
+        out
+    }
+
     pub fn chrome_trace(&self) -> String {
         let mut out = String::from("[\n");
         out.push_str(&format!(
@@ -473,6 +502,32 @@ mod tests {
         assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(0.1));
         assert_eq!(events[1].get("dur").unwrap().as_f64(), Some(2.4));
         assert_eq!(events[2].get("tid").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn collapsed_export_is_folded_format_and_stable() {
+        let mut p = Probe::new();
+        p.enable();
+        p.begin_op("bcast", "TorusShaddr");
+        p.record("dma_inject", 3, t(100), t(2500));
+        p.record("core_copy", 3, t(2500), t(4000));
+        p.record("dma_inject", 3, t(4000), t(4100)); // same stack: summed
+        p.record("core_copy", 0, t(0), t(500)); // other node: own stack
+        let folded = p.collapsed();
+        assert_eq!(folded, p.collapsed(), "byte-stable");
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            // inferno/speedscope collapsed rules: frames;...;frames <int>
+            let (stack, count) = line.rsplit_once(' ').expect("space before count");
+            assert!(count.parse::<u64>().is_ok(), "integer count: {line}");
+            assert!(!stack.is_empty() && !stack.starts_with(';') && !stack.ends_with(';'));
+            assert!(stack.starts_with("bcast;TorusShaddr;node"), "{line}");
+        }
+        assert!(folded.contains("bcast;TorusShaddr;node3;dma_inject 2500\n"));
+        assert!(folded.contains("bcast;TorusShaddr;node0;core_copy 500\n"));
+        // Sorted lexicographically: node0 line first.
+        assert!(lines[0].contains("node0"));
     }
 
     #[test]

@@ -37,6 +37,17 @@ use bgp_sim::json::{self, Json};
 /// Schema identifier of `BENCH_*.json` gate reports.
 pub const GATE_SCHEMA: &str = "bgp-bench-gate-v1";
 
+/// Schema identifier of the per-report provenance block (see [`GateMeta`]).
+pub const META_SCHEMA: &str = "bgp-bench-meta-v1";
+
+/// Environment variable carrying the git SHA to stamp into reports
+/// (exported by `ci.sh`; `"unknown"` when absent).
+pub const GIT_SHA_ENV: &str = "BGP_GIT_SHA";
+
+/// Environment variable overriding the monotonic sequence number
+/// ([`next_seq`] scans the output directory when it is unset).
+pub const SEQ_ENV: &str = "BGP_BENCH_SEQ";
+
 /// Default slowdown tolerance, percent.
 pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
 
@@ -74,6 +85,68 @@ pub struct GateEntry {
     pub value: f64,
 }
 
+/// Schema-versioned provenance stamped into each `BENCH_*.json` so the
+/// report subsystem can order history points without relying on mtimes.
+/// Old reports without the block still parse ([`GateReport::parse`] leaves
+/// `meta` as `None` — the legacy fallback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateMeta {
+    /// Report label (duplicated from the report for self-containment).
+    pub label: String,
+    /// Git SHA of the measured tree (from [`GIT_SHA_ENV`]; `"unknown"`
+    /// when the environment does not provide one).
+    pub git_sha: String,
+    /// Monotonic sequence number: strictly greater than every stamped
+    /// report already present when this one was written.
+    pub seq: u64,
+}
+
+/// One gated series that failed the comparison, with everything needed to
+/// report it in one line: the baseline, the worst value the tolerance
+/// allowed, what was measured, and how many times worse than baseline the
+/// measurement is (in the bad direction, so `ratio > 1` always means
+/// "worse"). A gated series missing from the current report is carried as
+/// `measured == 0` / `ratio == 0`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Series id.
+    pub id: String,
+    /// Unit label of the series.
+    pub unit: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Worst value the tolerance allowed.
+    pub allowed: f64,
+    /// Measured value (0 when the series vanished).
+    pub measured: f64,
+    /// Measured-vs-baseline factor in the bad direction (0 when missing).
+    pub ratio: f64,
+}
+
+impl Violation {
+    /// The one-line report: series, expected-vs-measured, baseline ratio.
+    pub fn one_line(&self) -> String {
+        if self.measured == 0.0 {
+            format!(
+                "{}: gated series missing from current report (baseline {} {})",
+                self.id,
+                json::fmt_f64(self.baseline),
+                self.unit
+            )
+        } else {
+            format!(
+                "{}: measured {:.3} {u} vs allowed {:.3} {u} (baseline {:.3} {u}, {:.2}x worse)",
+                self.id,
+                self.measured,
+                self.allowed,
+                self.baseline,
+                self.ratio,
+                u = self.unit
+            )
+        }
+    }
+}
+
 /// A full suite run, serializable to/from `BENCH_<label>.json`.
 #[derive(Debug, Clone)]
 pub struct GateReport {
@@ -81,6 +154,13 @@ pub struct GateReport {
     pub label: String,
     /// Suite scale (`small` / `paper`).
     pub scale: String,
+    /// Provenance block (`None` on legacy reports and fresh suites that
+    /// were never stamped).
+    pub meta: Option<GateMeta>,
+    /// Gate violations recorded by `bench_gate --check` (empty on passing
+    /// runs and on reports that never went through a comparison). The
+    /// report subsystem reads these to mark trend charts.
+    pub violations: Vec<Violation>,
     /// The measurements.
     pub entries: Vec<GateEntry>,
 }
@@ -92,6 +172,31 @@ impl GateReport {
         out.push_str(&format!("  \"schema\": {},\n", json::escape(GATE_SCHEMA)));
         out.push_str(&format!("  \"label\": {},\n", json::escape(&self.label)));
         out.push_str(&format!("  \"scale\": {},\n", json::escape(&self.scale)));
+        if let Some(m) = &self.meta {
+            out.push_str(&format!(
+                "  \"meta\": {{\"schema\": {}, \"label\": {}, \"git_sha\": {}, \"seq\": {}}},\n",
+                json::escape(META_SCHEMA),
+                json::escape(&m.label),
+                json::escape(&m.git_sha),
+                m.seq
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("  \"violations\": [\n");
+            for (i, v) in self.violations.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"id\": {}, \"unit\": {}, \"baseline\": {}, \"allowed\": {}, \"measured\": {}, \"ratio\": {}}}{}\n",
+                    json::escape(&v.id),
+                    json::escape(&v.unit),
+                    json::fmt_f64(v.baseline),
+                    json::fmt_f64(v.allowed),
+                    json::fmt_f64(v.measured),
+                    json::fmt_f64(v.ratio),
+                    if i + 1 < self.violations.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
@@ -156,6 +261,64 @@ impl GateReport {
         if entries.is_empty() {
             return Err("report has no entries".into());
         }
+        // Provenance is optional (legacy fallback: pre-metadata reports
+        // parse with `meta: None`), but a present block must be valid.
+        let meta = match doc.get("meta") {
+            None => None,
+            Some(m) => {
+                let schema = m.get("schema").and_then(Json::as_str).unwrap_or("");
+                if schema != META_SCHEMA {
+                    return Err(format!(
+                        "stale meta schema {schema:?} (expected {META_SCHEMA:?})"
+                    ));
+                }
+                let seq = m
+                    .get("seq")
+                    .and_then(Json::as_f64)
+                    .filter(|s| s.is_finite() && *s >= 0.0 && s.fract() == 0.0)
+                    .ok_or("meta missing seq")?;
+                Some(GateMeta {
+                    label: m
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or("meta missing label")?
+                        .to_string(),
+                    git_sha: m
+                        .get("git_sha")
+                        .and_then(Json::as_str)
+                        .ok_or("meta missing git_sha")?
+                        .to_string(),
+                    seq: seq as u64,
+                })
+            }
+        };
+        let mut violations = Vec::new();
+        if let Some(raw) = doc.get("violations").and_then(Json::as_arr) {
+            for v in raw {
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_f64)
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or_else(|| format!("violation missing {key}"))
+                };
+                violations.push(Violation {
+                    id: v
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or("violation missing id")?
+                        .to_string(),
+                    unit: v
+                        .get("unit")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    baseline: num("baseline")?,
+                    allowed: num("allowed")?,
+                    measured: num("measured")?,
+                    ratio: num("ratio")?,
+                });
+            }
+        }
         Ok(GateReport {
             label: doc
                 .get("label")
@@ -167,9 +330,53 @@ impl GateReport {
                 .and_then(Json::as_str)
                 .unwrap_or("")
                 .to_string(),
+            meta,
+            violations,
             entries,
         })
     }
+}
+
+/// The next monotonic sequence number for a report written into `dir`:
+/// one more than the largest stamped `seq` among the parseable
+/// `BENCH_*.json` files already there (0 for a pristine directory).
+/// Unparseable or legacy (meta-less) files are skipped. [`SEQ_ENV`]
+/// overrides the scan.
+pub fn next_seq(dir: &std::path::Path) -> u64 {
+    if let Ok(v) = std::env::var(SEQ_ENV) {
+        if let Ok(n) = v.parse::<u64>() {
+            return n;
+        }
+    }
+    let mut max_seq: Option<u64> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(entry.path()) else {
+                continue;
+            };
+            if let Ok(report) = GateReport::parse(&text) {
+                if let Some(m) = report.meta {
+                    max_seq = Some(max_seq.map_or(m.seq, |s| s.max(m.seq)));
+                }
+            }
+        }
+    }
+    max_seq.map_or(0, |s| s + 1)
+}
+
+/// Stamp `report` with provenance for a write into `dir`: its own label,
+/// the git SHA from [`GIT_SHA_ENV`] (or `"unknown"`), and [`next_seq`].
+pub fn stamp_meta(report: &mut GateReport, dir: &std::path::Path) {
+    report.meta = Some(GateMeta {
+        label: report.label.clone(),
+        git_sha: std::env::var(GIT_SHA_ENV).unwrap_or_else(|_| "unknown".into()),
+        seq: next_seq(dir),
+    });
 }
 
 /// Suite scale (mirrors `bgp_bench::Scale` without the dependency).
@@ -366,6 +573,8 @@ pub fn run_suite(scale: GateScale, with_real: bool) -> GateReport {
     GateReport {
         label: String::new(),
         scale: scale.id().into(),
+        meta: None,
+        violations: Vec::new(),
         entries,
     }
 }
@@ -581,6 +790,10 @@ pub enum LineStatus {
 pub struct CompareLine {
     /// Entry id.
     pub id: String,
+    /// Unit label of the series.
+    pub unit: String,
+    /// Good direction of the series.
+    pub better: Better,
     /// Outcome.
     pub status: LineStatus,
     /// Baseline value (0 for `New`).
@@ -614,6 +827,41 @@ impl CompareOutcome {
         self.failures() == 0
     }
 
+    /// The failing gated series as [`Violation`]s, each reportable in one
+    /// line and serializable into the written report for the perf-report
+    /// subsystem to mark on trend charts.
+    pub fn violations(&self) -> Vec<Violation> {
+        let tol = self.tolerance_pct / 100.0;
+        self.lines
+            .iter()
+            .filter_map(|l| match l.status {
+                LineStatus::Regression => {
+                    let (allowed, ratio) = match l.better {
+                        Better::Lower => (l.base * (1.0 + tol), l.cur / l.base),
+                        Better::Higher => (l.base * (1.0 - tol), l.base / l.cur),
+                    };
+                    Some(Violation {
+                        id: l.id.clone(),
+                        unit: l.unit.clone(),
+                        baseline: l.base,
+                        allowed,
+                        measured: l.cur,
+                        ratio,
+                    })
+                }
+                LineStatus::Missing => Some(Violation {
+                    id: l.id.clone(),
+                    unit: l.unit.clone(),
+                    baseline: l.base,
+                    allowed: l.base,
+                    measured: 0.0,
+                    ratio: 0.0,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Render the per-series report as aligned text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -635,6 +883,16 @@ impl CompareOutcome {
                 l.id, l.base, l.cur, l.delta_pct
             ));
         }
+        // Every failing series again as a self-contained one-liner, so a
+        // CI log names the offender with expected-vs-measured and the
+        // baseline ratio without anyone diffing two JSON files by hand.
+        let violations = self.violations();
+        if !violations.is_empty() {
+            out.push_str("violations:\n");
+            for v in &violations {
+                out.push_str(&format!("  {}\n", v.one_line()));
+            }
+        }
         let f = self.failures();
         out.push_str(&format!(
             "gate: {} (tolerance {}%, {} series, {} failure{})\n",
@@ -655,6 +913,8 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tolerance_pct: f64) 
         let Some(b) = baseline.entries.iter().find(|b| b.id == e.id) else {
             lines.push(CompareLine {
                 id: e.id.clone(),
+                unit: e.unit.clone(),
+                better: e.better,
                 status: if e.gated {
                     LineStatus::New
                 } else {
@@ -689,6 +949,8 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tolerance_pct: f64) 
         };
         lines.push(CompareLine {
             id: e.id.clone(),
+            unit: e.unit.clone(),
+            better: e.better,
             status,
             base: b.value,
             cur: e.value,
@@ -699,6 +961,8 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tolerance_pct: f64) 
         if b.gated && !current.entries.iter().any(|e| e.id == b.id) {
             lines.push(CompareLine {
                 id: b.id.clone(),
+                unit: b.unit.clone(),
+                better: b.better,
                 status: LineStatus::Missing,
                 base: b.value,
                 cur: 0.0,
@@ -732,6 +996,8 @@ mod tests {
         GateReport {
             label: "t".into(),
             scale: "small".into(),
+            meta: None,
+            violations: Vec::new(),
             entries: vec![
                 GateEntry {
                     id: "a/latency".into(),
@@ -767,6 +1033,110 @@ mod tests {
         assert_eq!(parsed.entries[1].better, Better::Higher);
         assert!(!parsed.entries[2].gated);
         assert_eq!(parsed.scale, "small");
+    }
+
+    #[test]
+    fn meta_and_violations_round_trip() {
+        let mut r = synthetic();
+        r.meta = Some(GateMeta {
+            label: "t".into(),
+            git_sha: "abc123def".into(),
+            seq: 7,
+        });
+        r.violations = vec![Violation {
+            id: "a/latency".into(),
+            unit: "us".into(),
+            baseline: 100.0,
+            allowed: 110.0,
+            measured: 125.0,
+            ratio: 1.25,
+        }];
+        let parsed = GateReport::parse(&r.to_json()).unwrap();
+        let m = parsed.meta.expect("meta survives round trip");
+        assert_eq!(m.git_sha, "abc123def");
+        assert_eq!(m.seq, 7);
+        assert_eq!(parsed.violations.len(), 1);
+        assert_eq!(parsed.violations[0].id, "a/latency");
+        assert_eq!(parsed.violations[0].ratio, 1.25);
+    }
+
+    #[test]
+    fn legacy_reports_without_meta_still_parse() {
+        // A verbatim pre-metadata document (the PR-3-era layout).
+        let legacy = r#"{
+  "schema": "bgp-bench-gate-v1",
+  "label": "old",
+  "scale": "small",
+  "entries": [
+    {"id": "fig6/tree_shmem/1K", "unit": "us", "better": "lower", "gated": true, "value": 7.586}
+  ]
+}"#;
+        let parsed = GateReport::parse(legacy).unwrap();
+        assert!(parsed.meta.is_none());
+        assert!(parsed.violations.is_empty());
+        assert_eq!(parsed.label, "old");
+        // A present meta block with a stale schema is a typed error, not a
+        // silent legacy fallback.
+        let stale_meta = r#"{
+  "schema": "bgp-bench-gate-v1",
+  "label": "old",
+  "scale": "small",
+  "meta": {"schema": "bgp-bench-meta-v0", "label": "old", "git_sha": "x", "seq": 1},
+  "entries": [
+    {"id": "a", "unit": "us", "better": "lower", "gated": true, "value": 1}
+  ]
+}"#;
+        assert!(GateReport::parse(stale_meta)
+            .unwrap_err()
+            .contains("stale meta schema"));
+    }
+
+    #[test]
+    fn violations_name_offender_with_expected_vs_measured() {
+        let base = synthetic();
+        let mut cur = synthetic();
+        cur.entries[0].value = 125.0; // latency up 25%
+        cur.entries.remove(1); // bandwidth series vanished
+        let out = compare(&cur, &base, 10.0);
+        let v = out.violations();
+        assert_eq!(v.len(), 2);
+        let reg = v.iter().find(|v| v.id == "a/latency").unwrap();
+        assert_eq!(reg.baseline, 100.0);
+        assert!((reg.allowed - 110.0).abs() < 1e-9);
+        assert_eq!(reg.measured, 125.0);
+        assert!((reg.ratio - 1.25).abs() < 1e-9);
+        let line = reg.one_line();
+        assert!(line.contains("a/latency"), "{line}");
+        assert!(line.contains("125.000"), "{line}");
+        assert!(line.contains("110.000"), "{line}");
+        assert!(line.contains("1.25x"), "{line}");
+        let missing = v.iter().find(|v| v.id == "b/bandwidth").unwrap();
+        assert!(missing.one_line().contains("missing"));
+        // The rendered report carries the one-liners too.
+        assert!(out.render().contains("violations:"));
+        assert!(out.render().contains("1.25x worse"));
+    }
+
+    #[test]
+    fn next_seq_orders_reports_without_mtimes() {
+        let dir = std::env::temp_dir().join("bgp_gate_seq_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in std::fs::read_dir(&dir).unwrap().flatten() {
+            std::fs::remove_file(f.path()).ok();
+        }
+        assert_eq!(next_seq(&dir), 0, "pristine dir starts at 0");
+        let mut r = synthetic();
+        r.meta = Some(GateMeta {
+            label: "t".into(),
+            git_sha: "x".into(),
+            seq: 4,
+        });
+        std::fs::write(dir.join("BENCH_t.json"), r.to_json()).unwrap();
+        // Legacy (meta-less) and unparseable files never affect ordering.
+        std::fs::write(dir.join("BENCH_legacy.json"), synthetic().to_json()).unwrap();
+        std::fs::write(dir.join("BENCH_junk.json"), "not json").unwrap();
+        assert_eq!(next_seq(&dir), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -852,6 +1222,8 @@ mod tests {
         let sim_only = |r: &GateReport| GateReport {
             label: r.label.clone(),
             scale: r.scale.clone(),
+            meta: None,
+            violations: Vec::new(),
             entries: r
                 .entries
                 .iter()

@@ -351,6 +351,8 @@ pub fn report(small: bool) -> GateReport {
     GateReport {
         label: "hotpath".into(),
         scale: if small { "small" } else { "full" }.into(),
+        meta: None,
+        violations: Vec::new(),
         entries,
     }
 }

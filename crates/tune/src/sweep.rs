@@ -7,9 +7,66 @@
 //! simulated machine — the Figure 5 microbenchmark's leading barrier), and
 //! sim-time microseconds as the unit.
 
-use bgp_machine::MachineConfig;
-use bgp_mpi::tune::SelectionPolicy;
+use bgp_machine::{MachineConfig, OpMode};
+use bgp_mpi::tune::{alg_id, ar_alg_id, SelectionPolicy};
 use bgp_mpi::{AllreduceAlgorithm, BcastAlgorithm, Mpi};
+use bgp_sim::json;
+
+/// Schema identifier of serialized sweep documents (see [`Sweep::to_json`]
+/// / [`ArSweep::to_json`]; `bgp-report` ingests and re-validates them).
+pub const SWEEP_SCHEMA: &str = "bgp-sweep-v1";
+
+fn mode_str(mode: OpMode) -> &'static str {
+    match mode {
+        OpMode::Smp => "smp",
+        OpMode::Dual => "dual",
+        OpMode::Quad => "quad",
+    }
+}
+
+fn sweep_json(
+    op: &str,
+    mode: OpMode,
+    nodes: u32,
+    alg_ids: &[&'static str],
+    sizes: &[u64],
+    micros: &[Vec<f64>],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": {},\n", json::escape(SWEEP_SCHEMA)));
+    out.push_str(&format!("  \"op\": {},\n", json::escape(op)));
+    out.push_str(&format!("  \"mode\": {},\n", json::escape(mode_str(mode))));
+    out.push_str(&format!("  \"nodes\": {nodes},\n"));
+    out.push_str(&format!(
+        "  \"algs\": [{}],\n",
+        alg_ids
+            .iter()
+            .map(|id| json::escape(id))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"sizes\": [{}],\n",
+        sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"micros\": [\n");
+    for (i, row) in micros.iter().enumerate() {
+        out.push_str(&format!(
+            "    [{}]{}\n",
+            row.iter()
+                .map(|&v| json::fmt_f64(v))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < micros.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 /// Power-of-two sizes from `from` to `to` inclusive.
 pub fn pow2_sizes(from: u64, to: u64) -> Vec<u64> {
@@ -59,6 +116,19 @@ impl Sweep {
             }
         }
         best
+    }
+
+    /// Serialize as a [`SWEEP_SCHEMA`] document (`bgp-report` renders
+    /// these as the paper-layout latency-vs-size figures).
+    pub fn to_json(&self) -> String {
+        sweep_json(
+            "bcast",
+            self.cfg.mode,
+            self.cfg.node_count(),
+            &self.algs.iter().map(|&a| alg_id(a)).collect::<Vec<_>>(),
+            &self.sizes,
+            &self.micros,
+        )
     }
 
     /// The largest size at which `earlier` measures at or below `later`
@@ -111,6 +181,19 @@ pub struct ArSweep {
 }
 
 impl ArSweep {
+    /// Serialize as a [`SWEEP_SCHEMA`] document. The allreduce sweep does
+    /// not carry its config, so the swept shape is passed in.
+    pub fn to_json(&self, cfg: &MachineConfig) -> String {
+        sweep_json(
+            "allreduce",
+            cfg.mode,
+            cfg.node_count(),
+            &self.algs.iter().map(|&a| ar_alg_id(a)).collect::<Vec<_>>(),
+            &self.sizes,
+            &self.micros,
+        )
+    }
+
     /// The largest size at which `earlier` measures at or below `later`
     /// (`None` if `later` wins everywhere) — the measured pairwise
     /// crossover, same contract as [`Sweep::last_win`].
@@ -193,6 +276,27 @@ mod tests {
             )
             .expect("shaddr must win somewhere");
         assert!(b < 4 << 20, "crossover at {b}");
+    }
+
+    #[test]
+    fn sweep_json_parses_and_is_deterministic() {
+        let cfg = MachineConfig::test_small(OpMode::Quad);
+        let algs = [BcastAlgorithm::TreeShmem, BcastAlgorithm::TorusShaddr];
+        let sizes = pow2_sizes(1 << 10, 4 << 10);
+        let s = sweep_bcast(&cfg, &algs, &sizes);
+        let j = s.to_json();
+        assert_eq!(j, sweep_bcast(&cfg, &algs, &sizes).to_json());
+        let doc = json::parse(&j).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SWEEP_SCHEMA));
+        assert_eq!(doc.get("op").unwrap().as_str(), Some("bcast"));
+        assert_eq!(doc.get("algs").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            doc.get("micros").unwrap().as_arr().unwrap().len(),
+            sizes.len()
+        );
+        let ar = sweep_allreduce(&cfg, &[AllreduceAlgorithm::RingCurrent], &sizes);
+        let doc = json::parse(&ar.to_json(&cfg)).unwrap();
+        assert_eq!(doc.get("op").unwrap().as_str(), Some("allreduce"));
     }
 
     #[test]
